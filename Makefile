@@ -1,0 +1,28 @@
+# Convenience targets for the sdf-lifetime reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-full report examples clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-full:
+	REPRO_FULL_SCALE=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+report:
+	$(PYTHON) -m repro report -o REPORT.md
+
+examples:
+	for script in examples/*.py; do $(PYTHON) $$script > /dev/null || exit 1; done
+	@echo "all examples ran cleanly"
+
+clean:
+	rm -rf build dist src/*.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

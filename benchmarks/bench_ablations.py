@@ -1,0 +1,67 @@
+"""Ablations of the paper's design choices (DESIGN.md section 4).
+
+Not a paper table — these quantify the decisions the paper makes by
+argument: the section 5.1 factoring heuristic versus its extremes, the
+precise chain DP versus EQ 5, first-fit orderings, periodicity tracking
+versus solid envelopes, and the section 12 buffer-merging extension.
+"""
+
+from repro.experiments.ablations import (
+    ablate_chain_dp,
+    ablate_factoring,
+    ablate_merging,
+    ablate_orderings,
+    ablate_periodicity,
+    format_ablation,
+)
+
+
+def test_factoring_ablation(benchmark, capsys):
+    rows = benchmark.pedantic(ablate_factoring, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(format_ablation("Factoring policy (ground-truth peak):", rows))
+    # The heuristic must never lose to *both* extremes at once by much:
+    # it should match the better extreme on most workloads.
+    matched = sum(
+        1 for r in rows
+        if r.totals["auto"] <= min(r.totals["always"], r.totals["never"])
+    )
+    assert matched >= len(rows) // 2
+
+
+def test_chain_dp_ablation(benchmark, capsys):
+    rows = benchmark.pedantic(ablate_chain_dp, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(format_ablation("Chain DP vs EQ 5 (ground-truth peak):", rows))
+    # The precise DP never does worse on chains.
+    assert all(r.totals["triple_dp"] <= r.totals["eq5"] for r in rows)
+
+
+def test_ordering_ablation(benchmark, capsys):
+    rows = benchmark.pedantic(ablate_orderings, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(format_ablation("First-fit ordering:", rows))
+    # The reference study's finding: duration ordering wins on average.
+    dur = sum(r.totals["ffdur"] for r in rows)
+    start = sum(r.totals["ffstart"] for r in rows)
+    assert dur <= start
+
+
+def test_periodicity_ablation(benchmark, capsys):
+    rows = benchmark.pedantic(ablate_periodicity, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(format_ablation("Periodic lifetimes vs solid envelopes:", rows))
+    # Periodicity awareness can only remove conflicts.
+    assert all(r.totals["periodic"] <= r.totals["solid"] for r in rows)
+
+
+def test_merging_ablation(benchmark, capsys):
+    rows = benchmark.pedantic(ablate_merging, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(format_ablation("CBP-zero buffer merging:", rows))
+    assert all(r.totals["merged"] <= r.totals["base"] for r in rows)

@@ -1,0 +1,40 @@
+"""Section 11.1.3: CD-to-DAT input buffering, nested versus flat SAS.
+
+The paper: on the CD-DAT rate converter (period 147 sample periods), a
+buffer-optimal nested SAS needs ~11 tokens of input buffering versus 65
+for the flat SAS, because nesting spreads the source actor's firings
+across the period.  Absolute values depend on the assumed actor
+execution times; the shape target is nested << flat.
+"""
+
+from repro.experiments.cddat_io import run_cddat_io
+
+
+def test_cddat_io_report(benchmark, capsys):
+    unit = benchmark.pedantic(run_cddat_io, rounds=1, iterations=1)
+    weighted = run_cddat_io(
+        execution_times={"A": 10, "B": 20, "C": 20, "D": 25, "E": 25, "F": 15}
+    )
+    with capsys.disabled():
+        print()
+        print("=" * 60)
+        print("Section 11.1.3 - CD-DAT input buffering (samples)")
+        print("=" * 60)
+        print(f"period: {unit.period_samples} sample periods")
+        print(f"{'cost model':>12} {'flat SAS':>9} {'nested SAS':>11}")
+        print(f"{'unit':>12} {unit.flat_backlog:>9} {unit.nested_backlog:>11}")
+        print(
+            f"{'DSP-like':>12} {weighted.flat_backlog:>9} "
+            f"{weighted.nested_backlog:>11}"
+        )
+        print(f"nested schedule: {unit.nested_schedule}")
+    assert unit.nested_backlog < unit.flat_backlog
+    assert weighted.nested_backlog < weighted.flat_backlog
+    # The flat SAS buffers a large fraction of the whole period.
+    assert unit.flat_backlog > unit.period_samples // 2
+
+
+def test_cddat_io_runtime(benchmark):
+    result = benchmark(run_cddat_io)
+    benchmark.extra_info["flat"] = result.flat_backlog
+    benchmark.extra_info["nested"] = result.nested_backlog

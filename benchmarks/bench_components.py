@@ -1,0 +1,88 @@
+"""Component micro-benchmarks: where the flow's time goes.
+
+Times each stage of figure 21's flow in isolation on a fixed 100-actor
+random graph and on the 188-actor qmf12_5d filterbank, so performance
+regressions in any one algorithm are visible independently of the
+others.  Not a paper table; performance documentation for the library.
+"""
+
+import pytest
+
+from repro.sdf.random_graphs import random_sdf_graph
+from repro.sdf.repetitions import repetitions_vector
+from repro.apps import table1_graph
+from repro.scheduling.apgan import apgan
+from repro.scheduling.dppo import dppo
+from repro.scheduling.rpmc import rpmc
+from repro.scheduling.sdppo import sdppo
+from repro.lifetimes.intervals import extract_lifetimes
+from repro.allocation.first_fit import ffdur
+from repro.allocation.intersection_graph import build_intersection_graph
+
+
+@pytest.fixture(scope="module")
+def graph100():
+    return random_sdf_graph(100, seed=42)
+
+
+@pytest.fixture(scope="module")
+def prepared(graph100):
+    order = rpmc(graph100).order
+    schedule = sdppo(graph100, order).schedule
+    lifetimes = extract_lifetimes(graph100, schedule)
+    return order, schedule, lifetimes
+
+
+def test_repetitions_vector_100(benchmark, graph100):
+    q = benchmark(lambda: repetitions_vector(graph100))
+    benchmark.extra_info["actors"] = len(q)
+
+
+def test_rpmc_100(benchmark, graph100):
+    result = benchmark(lambda: rpmc(graph100))
+    benchmark.extra_info["actors"] = len(result.order)
+
+
+def test_apgan_100(benchmark, graph100):
+    result = benchmark(lambda: apgan(graph100))
+    benchmark.extra_info["actors"] = len(result.order)
+
+
+def test_dppo_100(benchmark, graph100, prepared):
+    order, _, _ = prepared
+    result = benchmark(lambda: dppo(graph100, order))
+    benchmark.extra_info["cost"] = result.cost
+
+
+def test_sdppo_100(benchmark, graph100, prepared):
+    order, _, _ = prepared
+    result = benchmark(lambda: sdppo(graph100, order))
+    benchmark.extra_info["cost"] = result.cost
+
+
+def test_lifetime_extraction_100(benchmark, graph100, prepared):
+    _, schedule, _ = prepared
+    lifetimes = benchmark(lambda: extract_lifetimes(graph100, schedule))
+    benchmark.extra_info["buffers"] = len(lifetimes.lifetimes)
+
+
+def test_intersection_graph_100(benchmark, prepared):
+    _, _, lifetimes = prepared
+    wig = benchmark(
+        lambda: build_intersection_graph(lifetimes.as_list())
+    )
+    benchmark.extra_info["edges"] = wig.num_edges()
+
+
+def test_first_fit_100(benchmark, prepared):
+    _, _, lifetimes = prepared
+    buffers = lifetimes.as_list()
+    wig = build_intersection_graph(buffers)
+    allocation = benchmark(lambda: ffdur(buffers, graph=wig))
+    benchmark.extra_info["total_words"] = allocation.total
+
+
+def test_apgan_188_filterbank(benchmark):
+    graph = table1_graph("qmf12_5d")
+    result = benchmark(lambda: apgan(graph))
+    benchmark.extra_info["actors"] = len(result.order)

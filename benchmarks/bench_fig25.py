@@ -1,0 +1,31 @@
+"""Figure 25: bar chart of the improvement percentage per system.
+
+Prints the ASCII rendering of the paper's figure 25 (the last column of
+Table 1 as bars) and times the series computation on the quick suite.
+"""
+
+from repro.apps import TABLE1_SYSTEMS
+from repro.experiments.fig25 import format_fig25, run_fig25
+
+from conftest import full_scale
+
+QUICK = [n for n in TABLE1_SYSTEMS if not n.endswith("5d")]
+
+
+def test_fig25_report(benchmark, scale, capsys):
+    systems = list(TABLE1_SYSTEMS) if full_scale() else QUICK
+    series = benchmark.pedantic(
+        run_fig25, args=(systems,), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print("=" * 70)
+        print(f"Figure 25 — improvement of shared over non-shared ({scale})")
+        print("=" * 70)
+        print(format_fig25(series))
+    assert all(value > 0 for _, value in series)
+
+
+def test_fig25_series_runtime(benchmark):
+    series = benchmark(lambda: run_fig25(["qmf23_2d", "16qamModem"]))
+    benchmark.extra_info["series"] = {s: round(v, 1) for s, v in series}

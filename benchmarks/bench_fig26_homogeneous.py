@@ -1,0 +1,62 @@
+"""Figure 26 / section 10.2: the homogeneous M x N sharing family.
+
+Regenerates the claim that the suite allocates exactly M + 1 units on
+the M-chains-of-N graph against M(N-1) + 2M for a non-shared
+implementation, including the vector-token variant, and times the flow
+as M and N grow.
+"""
+
+import pytest
+
+from repro.apps.homogeneous import homogeneous_graph
+from repro.experiments.homogeneous_exp import (
+    format_fig26,
+    run_homogeneous_experiment,
+)
+from repro.scheduling.pipeline import implement_best
+
+from conftest import full_scale
+
+POINTS = ((2, 3), (3, 4), (4, 6), (6, 8), (8, 10))
+FULL_POINTS = POINTS + ((10, 12), (12, 16))
+
+
+def test_fig26_report(benchmark, scale, capsys):
+    points = FULL_POINTS if full_scale() else POINTS
+    results = benchmark.pedantic(
+        run_homogeneous_experiment, kwargs={"points": points},
+        rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print("=" * 60)
+        print(f"Figure 26 — homogeneous M-chains-of-N graphs ({scale})")
+        print("=" * 60)
+        print(format_fig26(results))
+    for r in results:
+        assert r.suite_allocation == r.lower_bound  # exactly M + 1
+        assert r.nonshared == r.m * (r.n - 1) + 2 * r.m
+
+
+def test_fig26_vector_tokens_report(benchmark, capsys):
+    """Savings grow with vector tokens (section 10.2's closing remark)."""
+    results = benchmark.pedantic(
+        run_homogeneous_experiment,
+        kwargs={"points": ((4, 6),), "token_size": 64},
+        rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print("Figure 26 with 64-word vector tokens:")
+        print(format_fig26(results))
+    r = results[0]
+    assert r.suite_allocation == 5 * 64
+    assert r.nonshared == 28 * 64
+
+
+@pytest.mark.parametrize("m,n", [(4, 6), (8, 10)])
+def test_fig26_runtime(benchmark, m, n):
+    graph = homogeneous_graph(m, n)
+    result = benchmark(lambda: implement_best(graph, verify=False))
+    benchmark.extra_info["allocation"] = result.best_shared
+    benchmark.extra_info["bound"] = m + 1

@@ -1,0 +1,75 @@
+"""Figure 27: the six random-graph charts.
+
+Regenerates all six series of the paper's figure 27 — shared-over-
+non-shared improvement, allocation vs the optimistic/pessimistic MCW
+estimates, allocation vs the SDPPO estimate, and the RPMC/APGAN margin
+and win rate — over randomly generated SDF graphs of increasing size.
+
+At the default (reduced) scale: 12 graphs per size at sizes 20/50/100.
+Set REPRO_FULL_SCALE=1 for the paper's 100 graphs per size at
+20/50/100/150.
+"""
+
+from repro.experiments.random_graphs import (
+    density_sweep,
+    format_fig27,
+    run_random_graph_experiment,
+)
+from repro.sdf.random_graphs import random_sdf_graph
+from repro.scheduling.pipeline import implement_best
+
+from conftest import full_scale
+
+
+def test_fig27_report(benchmark, scale, capsys):
+    if full_scale():
+        sizes, count = (20, 50, 100, 150), 100
+    else:
+        sizes, count = (20, 50, 100), 12
+    stats = benchmark.pedantic(
+        run_random_graph_experiment,
+        kwargs={"sizes": sizes, "graphs_per_size": count, "seed": 0},
+        rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print("=" * 76)
+        print(
+            f"Figure 27 — random graph experiments "
+            f"({count} graphs/size, {scale})"
+        )
+        print("=" * 76)
+        print(format_fig27(stats))
+    for s in stats:
+        # (a) sharing always helps; (b) allocation >= optimistic bound.
+        assert s.improvement_pct > 0
+        assert s.alloc_over_mco_pct >= 0
+        assert 0.0 <= s.rpmc_wins_fraction <= 1.0
+
+
+def test_fig27_density_sweep(benchmark, capsys):
+    """Generator-divergence probe (EXPERIMENTS.md fig 27(a) note)."""
+    rows = benchmark.pedantic(density_sweep, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print("Improvement vs extra-edge density (30-node graphs):")
+        for row in rows:
+            print(
+                f"  density {row['density']:>4}: "
+                f"{row['improvement_pct']:5.1f}% improvement"
+            )
+    # Denser graphs share no better than sparse ones.
+    assert rows[0]["improvement_pct"] >= rows[-1]["improvement_pct"] - 5.0
+
+
+def test_fig27_single_graph_runtime(benchmark):
+    """Time one 50-node graph through both flows (the sweep's unit)."""
+    graph = random_sdf_graph(50, seed=42)
+    result = benchmark(lambda: implement_best(graph, verify=False))
+    benchmark.extra_info["best_shared"] = result.best_shared
+
+
+def test_fig27_large_graph_runtime(benchmark):
+    graph = random_sdf_graph(100, seed=42)
+    result = benchmark(lambda: implement_best(graph, verify=False))
+    benchmark.extra_info["best_shared"] = result.best_shared

@@ -1,0 +1,46 @@
+"""Figure 3 / section 5: the buffer-sharing granularity spectrum.
+
+The paper adopts the coarsest sharing model, arguing the finer levels
+"although requiring less memory theoretically, may be practically
+infeasible" — this bench measures exactly what that choice costs: the
+shared-memory requirement at every loop-nest aggregation depth, down to
+the fine-grained token count, for practical systems.
+"""
+
+from repro.apps import table1_graph
+from repro.lifetimes.granularity import fine_grained_peak, granularity_levels
+from repro.scheduling.pipeline import implement
+
+
+def test_fig3_granularity_report(benchmark, capsys):
+    systems = ["qmf23_2d", "16qamModem", "satrec", "overAddFFT"]
+
+    def sweep():
+        rows = []
+        for name in systems:
+            graph = table1_graph(name)
+            result = implement(graph, "rpmc", verify=False)
+            levels = granularity_levels(graph, result.sdppo_schedule)
+            fine = fine_grained_peak(graph, result.sdppo_schedule)
+            rows.append((name, levels, fine, result.allocation.total))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print("=" * 64)
+        print("Figure 3 - sharing-granularity spectrum (live words)")
+        print("=" * 64)
+        for name, levels, fine, allocated in rows:
+            steps = "  ".join(f"d{d}={v}" for d, v in levels)
+            print(f"{name:>12}: {steps}  fine={fine}  (allocated {allocated})")
+    for name, levels, fine, allocated in rows:
+        values = [v for _, v in levels]
+        # Coarser never needs less memory than finer.
+        assert values == sorted(values, reverse=True), name
+        assert values[-1] >= fine, name
+        # The paper's trade: the adopted per-episode coarse model (the
+        # allocated pool) costs more than the fine-grained bound, but
+        # stays within a small factor on practical systems — that is
+        # what makes the "practically feasible" choice defensible.
+        assert allocated <= 3 * fine, name

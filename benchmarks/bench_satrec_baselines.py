@@ -1,0 +1,36 @@
+"""Sections 11.1.2–11.1.3: satellite receiver strategy comparison.
+
+Regenerates the paper's three-way comparison on ``satrec``:
+
+* nested static SAS with lifetime sharing (paper: 1542 / 991),
+* flat-SAS sharing after Ritz et al. (paper: "more than 2000"),
+* demand-driven dynamic scheduling after Goddard & Jeffay
+  (paper: 1599 non-shared, ~1101 shared, with an unstorable schedule).
+"""
+
+from repro.experiments.satrec_comparison import (
+    format_satrec,
+    run_satrec_comparison,
+)
+
+def test_satrec_comparison_report(benchmark, capsys):
+    c = benchmark.pedantic(run_satrec_comparison, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print("=" * 60)
+        print("Sections 11.1.2-11.1.3 - satrec strategy comparison")
+        print("=" * 60)
+        print(format_satrec(c))
+    # Shape targets: nested sharing beats flat sharing decisively.
+    assert c.flat_shared >= 1.5 * c.nested_shared
+    # The dynamic schedule is sum-of-repetitions long.
+    assert c.dynamic_schedule_length == 4515
+    # Nested sharing beats the nested non-shared implementation ~2x.
+    assert c.nested_shared <= 0.65 * c.nested_nonshared
+
+
+def test_satrec_comparison_runtime(benchmark):
+    c = benchmark(run_satrec_comparison)
+    benchmark.extra_info["nested_shared"] = c.nested_shared
+    benchmark.extra_info["flat_shared"] = c.flat_shared
+    benchmark.extra_info["dynamic_shared"] = c.dynamic_shared

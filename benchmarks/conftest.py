@@ -1,0 +1,24 @@
+"""Shared configuration for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one table or figure of the paper's
+evaluation section: it prints the same rows/series the paper reports
+(captured with ``-s`` or in the benchmark's ``extra_info``) and times
+the underlying computation with pytest-benchmark.
+
+Set ``REPRO_FULL_SCALE=1`` to run the figure 27 sweep at the paper's
+full scale (100 graphs per size, sizes up to 150 nodes); the default
+uses reduced counts so the whole suite completes in a few minutes.
+"""
+
+import os
+
+import pytest
+
+
+def full_scale() -> bool:
+    return os.environ.get("REPRO_FULL_SCALE", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return "full" if full_scale() else "reduced"

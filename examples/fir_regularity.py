@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Regularity extraction on a fine-grained FIR filter (paper section 12).
+
+Figures 28–29: a fine-grained FIR drawn gain-by-gain generates naive
+threaded code with one block per instance, where a human would write a
+loop.  Section 12 proposes (i) higher-order constructors ("Chain") so
+the design stays compact, and (ii) a dynamic program that rediscovers
+loops over instance-labeled firing sequences.
+
+This example builds the FIR with the Chain constructor, schedules it,
+shows the naive inline code growing linearly with the tap count, and
+then compresses the firing sequence back to the loop the designer meant
+— plus the shared-memory story: the FIR is homogeneous, so looping
+cannot reduce buffers, but lifetime sharing keeps the pool small.
+
+Run:  python examples/fir_regularity.py [taps]
+"""
+
+import sys
+
+from repro.extensions.higher_order import fir_graph
+from repro.extensions.regularity import compress_firing_sequence
+from repro.scheduling import implement
+
+
+def main() -> None:
+    taps = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    graph = fir_graph(taps)
+    print(
+        f"FIR with {taps} taps: {graph.num_actors} actors, "
+        f"{graph.num_edges} edges (homogeneous)"
+    )
+
+    result = implement(graph, "natural")
+    sequence = result.sdppo_schedule.firing_list()
+    print(f"\nthreaded firing sequence ({len(sequence)} blocks):")
+    print("  " + " ".join(sequence))
+
+    compressed = compress_firing_sequence(sequence)
+    appearances = sum(compressed.appearances().values())
+    print(
+        f"\nafter instance-label collapse + optimal looping "
+        f"({appearances} code blocks):"
+    )
+    print(f"  {compressed}")
+
+    print(
+        f"\nbuffer memory: {result.dppo_cost} words unshared -> "
+        f"{result.allocation.total} words shared "
+        f"(edges: {graph.num_edges})"
+    )
+    print(
+        "looping cannot shrink homogeneous buffers (section 10.2); "
+        "sharing does."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""CD-to-DAT sample-rate conversion end to end (paper section 11.1.3).
+
+Builds the classic 44.1 kHz -> 48 kHz converter (147:160 in four
+polyphase stages), compiles it through the full shared-memory flow, and
+pushes a real sinusoid through the generated implementation: 147 input
+samples become 160 output samples per period, produced by
+upsample-filter-downsample stages running out of one packed memory pool.
+
+Also reproduces the section 11.1.3 input-buffering comparison: the
+nested schedule needs far less real-time input buffering than the flat
+schedule because the source actor's firings are spread across the
+period.
+
+Run:  python examples/sample_rate_converter.py
+"""
+
+import math
+
+from repro.actors import (
+    CollectSink,
+    Downsample,
+    FIRFilter,
+    ListSource,
+    MovingAverage,
+    Upsample,
+    run_graph,
+)
+from repro.apps.ptolemy_demos import cd_to_dat
+from repro.experiments.cddat_io import run_cddat_io
+from repro.sdf import repetitions_vector
+
+
+class Resampler:
+    """cons M -> prod L: polyphase-style L/M stage (zero-order hold).
+
+    A real converter interpolates with a lowpass; a zero-order hold
+    keeps the example dependency-free while exercising exactly the same
+    token traffic.
+    """
+
+    def __init__(self, produce: int, consume: int) -> None:
+        self.produce = produce
+        self.consume = consume
+
+    def __call__(self, inputs):
+        data = [v for tokens in inputs for v in tokens]
+        out = [
+            data[min(i * self.consume // self.produce, len(data) - 1)]
+            for i in range(self.produce)
+        ]
+        return [out]
+
+    def reset(self) -> None:  # stateless
+        pass
+
+
+def main() -> None:
+    graph = cd_to_dat()
+    q = repetitions_vector(graph)
+    print(
+        f"CD-DAT converter: {graph.num_actors} actors, repetitions {q} "
+        f"(one period = {q['A']} input samples -> {q['F']} output samples)"
+    )
+
+    # 147 samples of a low-frequency sinusoid per period.  Stage
+    # signatures follow the edge rates: B consumes 1 and produces 2,
+    # C consumes 3 and produces 2, D consumes 7 and produces 8,
+    # E consumes 7 and produces 5, F consumes 1 and produces 1.
+    signal = [math.sin(2 * math.pi * 3 * n / 147.0) for n in range(147)]
+    sink = CollectSink()
+    # Extend the graph with an explicit sink so we can observe output.
+    extended = graph.copy()
+    extended.add_actor("out")
+    extended.add_edge("F", "out", 1, 1)
+    behaviours = {
+        "A": ListSource(signal),            # 0 -> 1 source
+        "B": Resampler(2, 1),               # 1 -> 2
+        "C": Resampler(2, 3),               # 3 -> 2
+        "D": Resampler(8, 7),               # 7 -> 8
+        "E": Resampler(5, 7),               # 7 -> 5
+        "F": MovingAverage(1),              # 1 -> 1 smoothing placeholder
+        "out": sink,
+    }
+
+    outcome = run_graph(extended, behaviours, periods=2)
+    produced = len(sink.collected)
+    print(
+        f"processed 2 periods: {2 * 147} samples in -> {produced} out "
+        f"(expected {2 * 160})"
+    )
+    print(
+        f"shared pool: {outcome.implementation.allocation.total} words "
+        f"(non-shared {outcome.implementation.dppo_cost})"
+    )
+
+    io = run_cddat_io()
+    print(
+        f"\nreal-time input buffering over a {io.period_samples}-sample "
+        f"period:"
+    )
+    print(f"  flat SAS:   {io.flat_backlog} samples")
+    print(f"  nested SAS: {io.nested_backlog} samples")
+    print(f"  nested schedule: {io.nested_schedule}")
+
+
+if __name__ == "__main__":
+    main()

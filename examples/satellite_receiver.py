@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Case study: the satellite receiver (paper sections 10–11).
+
+Reproduces the paper's flagship comparison on the 22-actor satellite
+receiver from Ritz et al.: nested single appearance schedules with
+lifetime-shared buffers versus (i) one buffer per edge, (ii) sharing
+restricted to flat schedules, and (iii) demand-driven dynamic
+scheduling.  Also shows the published schedule from section 11.1.3
+executing against our reconstruction.
+
+Run:  python examples/satellite_receiver.py
+"""
+
+from repro.apps.satellite import SATREC_REPETITIONS, satellite_receiver
+from repro.experiments.satrec_comparison import (
+    format_satrec,
+    run_satrec_comparison,
+)
+from repro.sdf import parse_schedule, repetitions_vector, validate_schedule
+from repro.scheduling import implement_best
+
+PUBLISHED_SCHEDULE = (
+    "(24(11(4A)B)C G H I(11(4D)E)F K L M 10(N S J T U P))(Q R V 240W)"
+)
+
+
+def main() -> None:
+    graph = satellite_receiver()
+    q = repetitions_vector(graph)
+    assert q == SATREC_REPETITIONS
+    print(
+        f"satellite receiver: {graph.num_actors} actors, "
+        f"{graph.num_edges} edges, {sum(q.values())} firings per period"
+    )
+
+    # The paper's published APGAN schedule is valid for our
+    # reconstruction — the repetitions structure matches exactly.
+    published = parse_schedule(PUBLISHED_SCHEDULE)
+    validate_schedule(graph, published)
+    print(f"published schedule validates: {PUBLISHED_SCHEDULE}")
+
+    # Our own flow.
+    result = implement_best(graph)
+    winner = (
+        result.rpmc
+        if result.rpmc.best_shared_total <= result.apgan.best_shared_total
+        else result.apgan
+    )
+    print(f"\nour nested schedule: {winner.sdppo_schedule}")
+    print(
+        f"memory: {winner.dppo_cost} words non-shared -> "
+        f"{result.best_shared} words shared "
+        f"({result.improvement_percent:.1f}% improvement; "
+        f"paper: 1542 -> 991, 36%)"
+    )
+
+    print()
+    print(format_satrec(run_satrec_comparison(graph)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,114 @@
+"""Actor function protocol and binding helpers.
+
+The generated Python implementations (:mod:`repro.codegen.py_emitter`)
+call each actor as ``fire(inputs) -> outputs`` where ``inputs`` is a
+list of token-word lists, one per input edge in graph edge order, and
+``outputs`` must likewise provide one word list per output edge with
+exactly ``production * token_size`` entries.
+
+This module provides the plumbing that lets actor *behaviours* be
+written naturally:
+
+* :class:`Actor` — a stateful callable with named construction
+  parameters (the paper's "parameterized code blocks", section 11.2);
+* :func:`bind_actors` — attach behaviours to a graph's actors with
+  arity checking at bind time rather than first firing;
+* :func:`consume_all` / :func:`emit` — small helpers for behaviours.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from ..exceptions import SDFError
+from ..sdf.graph import SDFGraph
+
+__all__ = ["Actor", "bind_actors", "consume_all", "emit"]
+
+Tokens = List[float]
+FireFunction = Callable[[List[Tokens]], List[Tokens]]
+
+
+class Actor:
+    """A stateful actor behaviour.
+
+    Subclasses implement :meth:`fire`; state lives on the instance and
+    persists across firings (e.g. FIR delay lines).  ``reset`` restores
+    initial state so one instance can be reused across runs.
+    """
+
+    def fire(self, inputs: List[Tokens]) -> List[Tokens]:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Restore initial state (default: nothing to restore)."""
+
+    def __call__(self, inputs: List[Tokens]) -> List[Tokens]:
+        return self.fire(inputs)
+
+
+def consume_all(inputs: Sequence[Tokens]) -> Tokens:
+    """Flatten all input edges into one token list (fan-in helper)."""
+    return [v for tokens in inputs for v in tokens]
+
+
+def emit(*outputs: Sequence[float]) -> List[Tokens]:
+    """Package output token lists (cosmetic symmetry with consume_all)."""
+    return [list(tokens) for tokens in outputs]
+
+
+def bind_actors(
+    graph: SDFGraph,
+    behaviours: Dict[str, FireFunction],
+) -> Dict[str, FireFunction]:
+    """Check and normalize a behaviour map for a graph.
+
+    Ensures every actor has a behaviour, resets stateful behaviours,
+    and wraps each in an arity check so misbehaving actors fail with
+    the actor's name rather than a cursor error deep in the pool.
+    """
+    missing = [a for a in graph.actor_names() if a not in behaviours]
+    if missing:
+        raise SDFError(f"no behaviour bound for actors {missing!r}")
+
+    bound: Dict[str, FireFunction] = {}
+    for name in graph.actor_names():
+        behaviour = behaviours[name]
+        if isinstance(behaviour, Actor):
+            behaviour.reset()
+        expected_out = [
+            e.production * e.token_size for e in graph.out_edges(name)
+        ]
+        expected_in = [
+            e.consumption * e.token_size for e in graph.in_edges(name)
+        ]
+
+        def checked(
+            inputs: List[Tokens],
+            _behaviour: FireFunction = behaviour,
+            _name: str = name,
+            _in: List[int] = expected_in,
+            _out: List[int] = expected_out,
+        ) -> List[Tokens]:
+            for position, (tokens, need) in enumerate(zip(inputs, _in)):
+                if len(tokens) != need:
+                    raise SDFError(
+                        f"actor {_name!r} input {position}: got "
+                        f"{len(tokens)} words, expected {need}"
+                    )
+            outputs = _behaviour(inputs)
+            if len(outputs) != len(_out):
+                raise SDFError(
+                    f"actor {_name!r} produced {len(outputs)} outputs, "
+                    f"expected {len(_out)}"
+                )
+            for position, (tokens, need) in enumerate(zip(outputs, _out)):
+                if len(tokens) != need:
+                    raise SDFError(
+                        f"actor {_name!r} output {position}: produced "
+                        f"{len(tokens)} words, expected {need}"
+                    )
+            return [list(t) for t in outputs]
+
+        bound[name] = checked
+    return bound

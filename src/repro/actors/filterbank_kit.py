@@ -1,0 +1,87 @@
+"""Ready-made behaviours for the generated filterbank graphs.
+
+The filterbank constructors (:mod:`repro.apps.filterbanks`) fix an actor
+naming convention (``src``, ``pre*``, ``lo*``, ``hi*``, ``ulo*``,
+``uhi*``, ``add*``, ``snk``); this module binds working DSP behaviours
+to those names.
+
+:func:`haar_behaviours` implements the 2-band Haar (quadrature mirror)
+bank for the ``"12"`` rate variant: analysis ``(x0 ± x1)/2``, synthesis
+``v -> (v, ±v)``.  The composition is a perfect-reconstruction
+identity, which makes it the reference workload for end-to-end
+validation: a compiled shared-memory filterbank must return its input
+exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..exceptions import SDFError
+from ..sdf.graph import SDFGraph
+from .base import Actor, FireFunction, Tokens
+from .library import Adder, CollectSink, Fork, ListSource
+
+__all__ = ["HaarAnalysis", "HaarSynthesis", "haar_behaviours"]
+
+
+class HaarAnalysis(Actor):
+    """cons 2 -> prod 1: ``(x0 + sign * x1) / 2``."""
+
+    def __init__(self, sign: int) -> None:
+        if sign not in (1, -1):
+            raise SDFError("sign must be +1 (lowpass) or -1 (highpass)")
+        self.sign = sign
+
+    def fire(self, inputs: List[Tokens]) -> List[Tokens]:
+        x0, x1 = inputs[0]
+        return [[(x0 + self.sign * x1) / 2.0]]
+
+
+class HaarSynthesis(Actor):
+    """cons 1 -> prod 2: ``v -> (v, sign * v)``."""
+
+    def __init__(self, sign: int) -> None:
+        if sign not in (1, -1):
+            raise SDFError("sign must be +1 (lowpass) or -1 (highpass)")
+        self.sign = sign
+
+    def fire(self, inputs: List[Tokens]) -> List[Tokens]:
+        (value,) = inputs[0]
+        return [[value, self.sign * value]]
+
+
+def haar_behaviours(
+    graph: SDFGraph, signal: Sequence[float]
+) -> Dict[str, FireFunction]:
+    """Perfect-reconstruction behaviours for a ``qmf12`` filterbank graph.
+
+    ``signal`` drives the source (cycling).  The returned map includes a
+    :class:`~repro.actors.library.CollectSink` as ``snk`` whose
+    ``collected`` list receives the reconstructed samples.
+    """
+    behaviours: Dict[str, FireFunction] = {}
+    for name in graph.actor_names():
+        fan_out = len(graph.out_edges(name))
+        if name == "src":
+            behaviours[name] = ListSource(signal, fan_out=fan_out)
+        elif name == "snk":
+            behaviours[name] = CollectSink()
+        elif name.startswith("pre"):
+            behaviours[name] = Fork(fan_out=fan_out)
+        elif name.startswith("ulo"):
+            behaviours[name] = HaarSynthesis(+1)
+        elif name.startswith("uhi"):
+            behaviours[name] = HaarSynthesis(-1)
+        elif name.startswith("lo"):
+            behaviours[name] = HaarAnalysis(+1)
+        elif name.startswith("hi"):
+            behaviours[name] = HaarAnalysis(-1)
+        elif name.startswith("add"):
+            behaviours[name] = Adder()
+        else:
+            raise SDFError(
+                f"actor {name!r} does not follow the filterbank "
+                f"naming convention"
+            )
+    return behaviours

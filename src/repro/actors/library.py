@@ -1,0 +1,383 @@
+"""A library of DSP actor behaviours.
+
+Pure-Python implementations of the block-diagram primitives the paper's
+benchmark systems are built from: rate changers, arithmetic, FIR
+filtering, and transform blocks, plus sources and sinks for driving and
+observing compiled implementations.  Each class documents its SDF
+signature as ``consumes -> produces`` per input/output edge.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import List, Optional, Sequence
+
+from ..exceptions import SDFError
+from .base import Actor, Tokens, consume_all
+
+__all__ = [
+    "Gain",
+    "Adder",
+    "Subtract",
+    "Accumulator",
+    "Upsample",
+    "Downsample",
+    "Block",
+    "Unblock",
+    "Fork",
+    "Commutator",
+    "Distributor",
+    "FIRFilter",
+    "MovingAverage",
+    "DelayLine",
+    "DFT",
+    "IDFT",
+    "Magnitude",
+    "ConstantSource",
+    "RampSource",
+    "SineSource",
+    "ListSource",
+    "CollectSink",
+    "NullSink",
+    "Passthrough",
+]
+
+
+class Passthrough(Actor):
+    """1 -> 1 per edge: forwards input tokens to every output edge."""
+
+    def __init__(self, fan_out: int = 1) -> None:
+        self.fan_out = fan_out
+
+    def fire(self, inputs: List[Tokens]) -> List[Tokens]:
+        data = consume_all(inputs)
+        return [list(data) for _ in range(self.fan_out)]
+
+
+class Gain(Actor):
+    """n -> n: multiplies every token by a constant."""
+
+    def __init__(self, factor: float, fan_out: int = 1) -> None:
+        self.factor = factor
+        self.fan_out = fan_out
+
+    def fire(self, inputs: List[Tokens]) -> List[Tokens]:
+        data = [v * self.factor for v in consume_all(inputs)]
+        return [list(data) for _ in range(self.fan_out)]
+
+
+class Adder(Actor):
+    """(n, n, ...) -> n: element-wise sum across input edges."""
+
+    def fire(self, inputs: List[Tokens]) -> List[Tokens]:
+        if not inputs:
+            raise SDFError("Adder needs at least one input edge")
+        length = len(inputs[0])
+        return [[sum(t[i] for t in inputs) for i in range(length)]]
+
+
+class Subtract(Actor):
+    """(n, n) -> n: first input minus second, element-wise."""
+
+    def fire(self, inputs: List[Tokens]) -> List[Tokens]:
+        a, b = inputs
+        return [[x - y for x, y in zip(a, b)]]
+
+
+class Accumulator(Actor):
+    """n -> 1: running sum emitted once per firing (integrate & dump)."""
+
+    def fire(self, inputs: List[Tokens]) -> List[Tokens]:
+        return [[sum(consume_all(inputs))]]
+
+
+class Upsample(Actor):
+    """1 -> L: zero-stuffing interpolator."""
+
+    def __init__(self, factor: int) -> None:
+        self.factor = factor
+
+    def fire(self, inputs: List[Tokens]) -> List[Tokens]:
+        out: Tokens = []
+        for v in consume_all(inputs):
+            out.append(v)
+            out.extend([0.0] * (self.factor - 1))
+        return [out]
+
+
+class Downsample(Actor):
+    """M -> 1: keeps every M-th token (phase 0)."""
+
+    def __init__(self, factor: int) -> None:
+        self.factor = factor
+
+    def fire(self, inputs: List[Tokens]) -> List[Tokens]:
+        data = consume_all(inputs)
+        return [data[:: self.factor]]
+
+
+class Block(Actor):
+    """n -> n: groups samples into a block token stream (identity data)."""
+
+    def fire(self, inputs: List[Tokens]) -> List[Tokens]:
+        return [consume_all(inputs)]
+
+
+class Unblock(Block):
+    """Alias of :class:`Block`: ungrouping is also an identity copy."""
+
+
+class Fork(Actor):
+    """n -> (n, n, ...): replicates the input on every output edge."""
+
+    def __init__(self, fan_out: int = 2) -> None:
+        self.fan_out = fan_out
+
+    def fire(self, inputs: List[Tokens]) -> List[Tokens]:
+        data = consume_all(inputs)
+        return [list(data) for _ in range(self.fan_out)]
+
+
+class Commutator(Actor):
+    """(n, n, ...) -> k*n: interleaves input edges round robin."""
+
+    def fire(self, inputs: List[Tokens]) -> List[Tokens]:
+        length = len(inputs[0])
+        out: Tokens = []
+        for i in range(length):
+            for tokens in inputs:
+                out.append(tokens[i])
+        return [out]
+
+
+class Distributor(Actor):
+    """k*n -> (n, n, ...): deals tokens to output edges round robin."""
+
+    def __init__(self, ways: int = 2) -> None:
+        self.ways = ways
+
+    def fire(self, inputs: List[Tokens]) -> List[Tokens]:
+        data = consume_all(inputs)
+        return [data[w :: self.ways] for w in range(self.ways)]
+
+
+class FIRFilter(Actor):
+    """n -> n: streaming FIR with a persistent delay line.
+
+    Matches ``scipy.signal.lfilter(taps, 1.0, signal)`` sample for
+    sample across firings.
+    """
+
+    def __init__(self, taps: Sequence[float]) -> None:
+        if not taps:
+            raise SDFError("FIRFilter needs at least one tap")
+        self.taps = list(taps)
+        self._history: Tokens = []
+        self.reset()
+
+    def reset(self) -> None:
+        self._history = [0.0] * (len(self.taps) - 1)
+
+    def fire(self, inputs: List[Tokens]) -> List[Tokens]:
+        out: Tokens = []
+        for v in consume_all(inputs):
+            window = [v] + self._history
+            out.append(
+                sum(tap * sample for tap, sample in zip(self.taps, window))
+            )
+            if self._history:
+                self._history = [v] + self._history[:-1]
+        return [out]
+
+
+class MovingAverage(FIRFilter):
+    """n -> n: length-L moving average (uniform FIR)."""
+
+    def __init__(self, length: int) -> None:
+        if length < 1:
+            raise SDFError("MovingAverage needs length >= 1")
+        super().__init__([1.0 / length] * length)
+
+
+class DelayLine(Actor):
+    """n -> n: pure delay of D samples with persistent state."""
+
+    def __init__(self, delay: int) -> None:
+        if delay < 0:
+            raise SDFError("DelayLine needs delay >= 0")
+        self.delay = delay
+        self._queue: Tokens = []
+        self.reset()
+
+    def reset(self) -> None:
+        self._queue = [0.0] * self.delay
+
+    def fire(self, inputs: List[Tokens]) -> List[Tokens]:
+        out: Tokens = []
+        for v in consume_all(inputs):
+            self._queue.append(v)
+            out.append(self._queue.pop(0))
+        return [out]
+
+
+class DFT(Actor):
+    """N -> 2N: block DFT emitting interleaved (re, im) pairs."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+
+    def fire(self, inputs: List[Tokens]) -> List[Tokens]:
+        data = consume_all(inputs)
+        out: Tokens = []
+        for k in range(self.size):
+            acc = 0j
+            for n, v in enumerate(data):
+                acc += v * cmath.exp(-2j * math.pi * k * n / self.size)
+            out.extend([acc.real, acc.imag])
+        return [out]
+
+
+class IDFT(Actor):
+    """2N -> N: inverse of :class:`DFT` (interleaved (re, im) input)."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+
+    def fire(self, inputs: List[Tokens]) -> List[Tokens]:
+        pairs = consume_all(inputs)
+        spectrum = [
+            complex(pairs[2 * k], pairs[2 * k + 1]) for k in range(self.size)
+        ]
+        out: Tokens = []
+        for n in range(self.size):
+            acc = 0j
+            for k, c in enumerate(spectrum):
+                acc += c * cmath.exp(2j * math.pi * k * n / self.size)
+            out.append(acc.real / self.size)
+        return [out]
+
+
+class Magnitude(Actor):
+    """2N -> N: magnitude of interleaved (re, im) pairs."""
+
+    def fire(self, inputs: List[Tokens]) -> List[Tokens]:
+        pairs = consume_all(inputs)
+        return [
+            [
+                math.hypot(pairs[2 * k], pairs[2 * k + 1])
+                for k in range(len(pairs) // 2)
+            ]
+        ]
+
+
+class ConstantSource(Actor):
+    """0 -> n: emits a constant."""
+
+    def __init__(self, value: float, per_firing: int = 1, fan_out: int = 1) -> None:
+        self.value = value
+        self.per_firing = per_firing
+        self.fan_out = fan_out
+
+    def fire(self, inputs: List[Tokens]) -> List[Tokens]:
+        data = [self.value] * self.per_firing
+        return [list(data) for _ in range(self.fan_out)]
+
+
+class RampSource(Actor):
+    """0 -> n: emits 0, 1, 2, ... across firings."""
+
+    def __init__(self, per_firing: int = 1, fan_out: int = 1) -> None:
+        self.per_firing = per_firing
+        self.fan_out = fan_out
+        self._next = 0
+        self.reset()
+
+    def reset(self) -> None:
+        self._next = 0
+
+    def fire(self, inputs: List[Tokens]) -> List[Tokens]:
+        data = [float(self._next + i) for i in range(self.per_firing)]
+        self._next += self.per_firing
+        return [list(data) for _ in range(self.fan_out)]
+
+
+class SineSource(Actor):
+    """0 -> n: sampled sinusoid with persistent phase."""
+
+    def __init__(
+        self,
+        frequency: float,
+        sample_rate: float = 1.0,
+        amplitude: float = 1.0,
+        per_firing: int = 1,
+        fan_out: int = 1,
+    ) -> None:
+        self.frequency = frequency
+        self.sample_rate = sample_rate
+        self.amplitude = amplitude
+        self.per_firing = per_firing
+        self.fan_out = fan_out
+        self._n = 0
+        self.reset()
+
+    def reset(self) -> None:
+        self._n = 0
+
+    def fire(self, inputs: List[Tokens]) -> List[Tokens]:
+        data = []
+        for _ in range(self.per_firing):
+            data.append(
+                self.amplitude
+                * math.sin(
+                    2 * math.pi * self.frequency * self._n / self.sample_rate
+                )
+            )
+            self._n += 1
+        return [list(data) for _ in range(self.fan_out)]
+
+
+class ListSource(Actor):
+    """0 -> n: plays back a fixed sample list (cycling)."""
+
+    def __init__(
+        self, samples: Sequence[float], per_firing: int = 1, fan_out: int = 1
+    ) -> None:
+        if not samples:
+            raise SDFError("ListSource needs samples")
+        self.samples = list(samples)
+        self.per_firing = per_firing
+        self.fan_out = fan_out
+        self._cursor = 0
+        self.reset()
+
+    def reset(self) -> None:
+        self._cursor = 0
+
+    def fire(self, inputs: List[Tokens]) -> List[Tokens]:
+        data = []
+        for _ in range(self.per_firing):
+            data.append(self.samples[self._cursor % len(self.samples)])
+            self._cursor += 1
+        return [list(data) for _ in range(self.fan_out)]
+
+
+class CollectSink(Actor):
+    """n -> 0: records every consumed token in ``collected``."""
+
+    def __init__(self) -> None:
+        self.collected: Tokens = []
+
+    def reset(self) -> None:
+        self.collected = []
+
+    def fire(self, inputs: List[Tokens]) -> List[Tokens]:
+        self.collected.extend(consume_all(inputs))
+        return []
+
+
+class NullSink(Actor):
+    """n -> 0: discards input."""
+
+    def fire(self, inputs: List[Tokens]) -> List[Tokens]:
+        return []

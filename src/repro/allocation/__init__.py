@@ -1,0 +1,28 @@
+"""Dynamic storage allocation: WIG, first-fit, clique bounds, verification."""
+
+from .intersection_graph import IntersectionGraph, build_intersection_graph
+from .first_fit import Allocation, ffdur, ffstart, first_fit
+from .clique import (
+    clique_weight_at,
+    mcw_exact_occurrences,
+    mcw_optimistic,
+    mcw_pessimistic,
+)
+from .verify import find_conflicts, verify_allocation
+from .optimal import optimal_allocation
+
+__all__ = [
+    "optimal_allocation",
+    "IntersectionGraph",
+    "build_intersection_graph",
+    "Allocation",
+    "first_fit",
+    "ffdur",
+    "ffstart",
+    "clique_weight_at",
+    "mcw_optimistic",
+    "mcw_pessimistic",
+    "mcw_exact_occurrences",
+    "find_conflicts",
+    "verify_allocation",
+]

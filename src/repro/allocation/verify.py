@@ -1,0 +1,71 @@
+"""Allocation verification (definition 5 of the paper).
+
+An allocation ``A`` is feasible iff for every pair of buffers whose
+lifetimes intersect, their address ranges are disjoint:
+``A(b1) + w(b1) <= A(b2)`` or ``A(b2) + w(b2) <= A(b1)``.  The checker
+re-derives intersection from the lifetimes (it does not trust the
+intersection graph the allocator used), making it an independent oracle
+for tests and experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..exceptions import AllocationError
+from ..lifetimes.periodic import PeriodicLifetime
+from .first_fit import Allocation
+
+__all__ = ["verify_allocation", "find_conflicts"]
+
+
+def find_conflicts(
+    buffers: Sequence[PeriodicLifetime],
+    offsets: Dict[str, int],
+    occurrence_cap: int = 4096,
+) -> List[Tuple[str, str]]:
+    """All pairs that overlap in time *and* in memory."""
+    conflicts: List[Tuple[str, str]] = []
+    items = list(buffers)
+    for i in range(len(items)):
+        bi = items[i]
+        if bi.name not in offsets:
+            raise AllocationError(f"buffer {bi.name!r} has no offset")
+        for j in range(i + 1, len(items)):
+            bj = items[j]
+            if bj.size == 0 or bi.size == 0:
+                continue
+            oi, oj = offsets[bi.name], offsets[bj.name]
+            memory_disjoint = oi + bi.size <= oj or oj + bj.size <= oi
+            if memory_disjoint:
+                continue
+            if bi.overlaps(bj, occurrence_cap=occurrence_cap):
+                conflicts.append((bi.name, bj.name))
+    return conflicts
+
+
+def verify_allocation(
+    buffers: Sequence[PeriodicLifetime],
+    allocation: Allocation,
+    occurrence_cap: int = 4096,
+) -> None:
+    """Raise :class:`AllocationError` unless ``allocation`` is feasible.
+
+    Also checks that offsets are non-negative and that the reported
+    total covers every buffer.
+    """
+    for b in buffers:
+        off = allocation.offset_of(b.name)
+        if off < 0:
+            raise AllocationError(f"buffer {b.name!r} at negative offset {off}")
+        if off + b.size > allocation.total:
+            raise AllocationError(
+                f"buffer {b.name!r} extends past the reported total "
+                f"({off} + {b.size} > {allocation.total})"
+            )
+    conflicts = find_conflicts(buffers, allocation.offsets, occurrence_cap)
+    if conflicts:
+        raise AllocationError(
+            f"allocation has {len(conflicts)} conflicting pair(s), "
+            f"e.g. {conflicts[0]}"
+        )

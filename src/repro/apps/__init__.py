@@ -1,0 +1,75 @@
+"""Benchmark application graphs (Table 1 systems and worked examples)."""
+
+from typing import Callable, Dict, List
+
+from ..sdf.graph import SDFGraph
+from .filterbanks import (
+    filterbank_by_name,
+    one_sided_filterbank,
+    two_sided_filterbank,
+)
+from .homogeneous import (
+    depth_first_order,
+    homogeneous_graph,
+    nonshared_requirement,
+    shared_lower_bound,
+)
+from .satellite import SATREC_REPETITIONS, satellite_receiver
+from .ptolemy_demos import (
+    block_vocoder,
+    cd_to_dat,
+    overlap_add_fft,
+    pam4_transmitter_receiver,
+    phased_array,
+    qam16_modem,
+)
+
+__all__ = [
+    "two_sided_filterbank",
+    "one_sided_filterbank",
+    "filterbank_by_name",
+    "homogeneous_graph",
+    "depth_first_order",
+    "shared_lower_bound",
+    "nonshared_requirement",
+    "satellite_receiver",
+    "SATREC_REPETITIONS",
+    "cd_to_dat",
+    "qam16_modem",
+    "pam4_transmitter_receiver",
+    "block_vocoder",
+    "overlap_add_fft",
+    "phased_array",
+    "TABLE1_SYSTEMS",
+    "table1_graph",
+]
+
+#: The Table 1 benchmark suite: name -> constructor.
+TABLE1_SYSTEMS: Dict[str, Callable[[], SDFGraph]] = {
+    "nqmf23_4d": lambda: one_sided_filterbank(4, "23", name="nqmf23_4d"),
+    "qmf23_2d": lambda: two_sided_filterbank(2, "23", name="qmf23_2d"),
+    "qmf12_2d": lambda: two_sided_filterbank(2, "12", name="qmf12_2d"),
+    "qmf12_3d": lambda: two_sided_filterbank(3, "12", name="qmf12_3d"),
+    "qmf12_5d": lambda: two_sided_filterbank(5, "12", name="qmf12_5d"),
+    "qmf23_3d": lambda: two_sided_filterbank(3, "23", name="qmf23_3d"),
+    "qmf235_2d": lambda: two_sided_filterbank(2, "235", name="qmf235_2d"),
+    "qmf235_3d": lambda: two_sided_filterbank(3, "235", name="qmf235_3d"),
+    "qmf235_5d": lambda: two_sided_filterbank(5, "235", name="qmf235_5d"),
+    "satrec": satellite_receiver,
+    "16qamModem": qam16_modem,
+    "4pamxmitrec": pam4_transmitter_receiver,
+    "blockVox": block_vocoder,
+    "overAddFFT": overlap_add_fft,
+    "phasedArray": phased_array,
+}
+
+
+def table1_graph(name: str) -> SDFGraph:
+    """Construct a Table 1 system by name."""
+    try:
+        return TABLE1_SYSTEMS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown Table 1 system {name!r}; "
+            f"known: {sorted(TABLE1_SYSTEMS)}"
+        ) from None

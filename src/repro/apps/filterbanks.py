@@ -1,0 +1,180 @@
+"""Filterbank benchmark graphs (paper figures 22–23, Table 1).
+
+Two families:
+
+* **Two-sided (uniform) QMF filterbanks** ``qmfPQ_kD`` (figure 23): a
+  complete binary analysis tree of depth ``k`` followed by its mirror
+  synthesis tree.  Each analysis split is three actors — an input
+  conditioner and a decimating lowpass/highpass pair — and each
+  synthesis merge is three — an interpolating pair and an adder.  The
+  paper's node counts (20, 44 and 188 for depths 2, 3 and 5) satisfy
+  ``6 * 2^depth - 4 = 6 * (2^depth - 1) + 2`` which fixes exactly this
+  3 + 3 actors-per-split structure plus a source and a sink.
+
+* **One-sided (octave / wavelet) filterbanks** ``nqmfPQ_kD`` (figure 22):
+  only the lowpass branch is split recursively; the highpass branch of
+  each level feeds the corresponding synthesis merge directly.
+
+Rate-change variants (Table 1 naming):
+
+* ``12``  — 1/2, 1/2 splits (lowpass and highpass each keep half);
+* ``23``  — 1/3, 2/3 splits;
+* ``235`` — 2/5, 3/5 splits.
+
+A split with denominator ``P`` and numerators ``(p_lo, p_hi)`` uses a
+decimating lowpass ``cons P / prod p_lo``, highpass ``cons P / prod
+p_hi``, and the inverse interpolators on the synthesis side; this is
+sample-rate consistent for any external rate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..exceptions import GraphStructureError
+from ..sdf.graph import SDFGraph
+
+__all__ = ["two_sided_filterbank", "one_sided_filterbank", "filterbank_by_name"]
+
+#: Table 1 name fragment -> (p_lo, p_hi, P)
+RATE_VARIANTS: Dict[str, Tuple[int, int, int]] = {
+    "12": (1, 1, 2),
+    "23": (1, 2, 3),
+    "235": (2, 3, 5),
+}
+
+
+def two_sided_filterbank(
+    depth: int, variant: str = "12", name: str = ""
+) -> SDFGraph:
+    """A two-sided QMF filterbank of the given depth (figure 23).
+
+    ``variant`` selects the rate-change family (``"12"``, ``"23"``,
+    ``"235"``).  The graph has ``6 * 2^depth - 4`` actors.
+
+    Examples
+    --------
+    >>> two_sided_filterbank(2).num_actors
+    20
+    >>> two_sided_filterbank(5).num_actors
+    188
+    """
+    p_lo, p_hi, P = _variant(variant)
+    if depth < 1:
+        raise GraphStructureError("filterbank depth must be >= 1")
+    g = SDFGraph(name or f"qmf{variant}_{depth}d")
+    g.add_actor("src")
+    g.add_actor("snk")
+
+    def build(level: int, tag: str, upstream: str, up_prod: int) -> str:
+        """Create the split rooted at ``tag``; returns the actor whose
+        output carries the reconstructed signal of this subtree.
+        ``up_prod`` is the upstream actor's per-firing production onto
+        this subtree's input edge."""
+        pre = f"pre{tag}"
+        lo = f"lo{tag}"
+        hi = f"hi{tag}"
+        ulo = f"ulo{tag}"
+        uhi = f"uhi{tag}"
+        add = f"add{tag}"
+        for a in (pre, lo, hi, ulo, uhi, add):
+            g.add_actor(a)
+        g.add_edge(upstream, pre, up_prod, 1)
+        g.add_edge(pre, lo, 1, P)
+        g.add_edge(pre, hi, 1, P)
+        if level + 1 < depth:
+            # Child subtrees reconstruct their branch signal one token
+            # per adder firing.
+            lo_out = build(level + 1, tag + "L", lo, p_lo)
+            hi_out = build(level + 1, tag + "H", hi, p_hi)
+            g.add_edge(lo_out, ulo, 1, p_lo)
+            g.add_edge(hi_out, uhi, 1, p_hi)
+        else:
+            g.add_edge(lo, ulo, p_lo, p_lo)
+            g.add_edge(hi, uhi, p_hi, p_hi)
+        g.add_edge(ulo, add, P, 1)
+        g.add_edge(uhi, add, P, 1)
+        return add
+
+    root_out = build(0, "0", "src", 1)
+    g.add_edge(root_out, "snk", 1, 1)
+    return g
+
+
+def one_sided_filterbank(
+    depth: int, variant: str = "23", name: str = ""
+) -> SDFGraph:
+    """A one-sided (octave) filterbank of the given depth (figure 22).
+
+    Only the lowpass branch splits recursively; each level's highpass
+    branch feeds its synthesis merge directly.  ``6 * depth + 2``
+    actors.
+
+    Examples
+    --------
+    >>> one_sided_filterbank(4, "23").num_actors
+    26
+    """
+    p_lo, p_hi, P = _variant(variant)
+    if depth < 1:
+        raise GraphStructureError("filterbank depth must be >= 1")
+    g = SDFGraph(name or f"nqmf{variant}_{depth}d")
+    g.add_actor("src")
+    g.add_actor("snk")
+
+    def build(level: int, upstream: str, up_prod: int) -> str:
+        tag = str(level)
+        pre = f"pre{tag}"
+        lo = f"lo{tag}"
+        hi = f"hi{tag}"
+        ulo = f"ulo{tag}"
+        uhi = f"uhi{tag}"
+        add = f"add{tag}"
+        for a in (pre, lo, hi, ulo, uhi, add):
+            g.add_actor(a)
+        g.add_edge(upstream, pre, up_prod, 1)
+        g.add_edge(pre, lo, 1, P)
+        g.add_edge(pre, hi, 1, P)
+        if level + 1 < depth:
+            lo_out = build(level + 1, lo, p_lo)
+            g.add_edge(lo_out, ulo, 1, p_lo)
+        else:
+            g.add_edge(lo, ulo, p_lo, p_lo)
+        g.add_edge(hi, uhi, p_hi, p_hi)
+        g.add_edge(ulo, add, P, 1)
+        g.add_edge(uhi, add, P, 1)
+        return add
+
+    root_out = build(0, "src", 1)
+    g.add_edge(root_out, "snk", 1, 1)
+    return g
+
+
+def filterbank_by_name(name: str) -> SDFGraph:
+    """Construct a filterbank from its Table 1 name.
+
+    ``qmf<variant>_<depth>d`` for two-sided, ``nqmf<variant>_<depth>d``
+    for one-sided, e.g. ``"qmf23_2d"``, ``"nqmf23_4d"``, ``"qmf235_5d"``.
+    """
+    text = name.strip()
+    one_sided = text.startswith("nqmf")
+    rest = text[4:] if one_sided else text[3:]
+    if not text.startswith(("qmf", "nqmf")) or "_" not in rest:
+        raise GraphStructureError(f"unrecognized filterbank name {name!r}")
+    variant, _, depth_part = rest.partition("_")
+    if not depth_part.endswith("d"):
+        raise GraphStructureError(f"unrecognized filterbank name {name!r}")
+    depth = int(depth_part[:-1])
+    if one_sided:
+        return one_sided_filterbank(depth, variant, name=text)
+    return two_sided_filterbank(depth, variant, name=text)
+
+
+def _variant(variant: str) -> Tuple[int, int, int]:
+    try:
+        return RATE_VARIANTS[variant]
+    except KeyError:
+        raise GraphStructureError(
+            f"unknown rate variant {variant!r}; "
+            f"expected one of {sorted(RATE_VARIANTS)}"
+        ) from None

@@ -1,0 +1,14 @@
+"""Comparison baselines: flat-SAS sharing, dynamic scheduling, random search."""
+
+from .flat_sharing import FlatSharingResult, flat_shared_implementation
+from .dynamic_scheduler import DynamicScheduleResult, demand_driven_schedule
+from .random_search import RandomSearchResult, random_search
+
+__all__ = [
+    "FlatSharingResult",
+    "flat_shared_implementation",
+    "DynamicScheduleResult",
+    "demand_driven_schedule",
+    "RandomSearchResult",
+    "random_search",
+]

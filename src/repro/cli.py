@@ -1,0 +1,249 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``compile``
+    Run the full flow on a benchmark system or a JSON graph file and
+    report the schedule, memory figures, and (optionally) generated C.
+``table1`` / ``fig25`` / ``fig26`` / ``fig27`` / ``satrec`` / ``cddat``
+    Regenerate an evaluation table/figure on stdout.
+``systems``
+    List the built-in benchmark systems.
+``dot``
+    Emit a Graphviz rendering of a system or graph file.
+
+Examples
+--------
+.. code-block:: bash
+
+    python -m repro compile satrec --method apgan
+    python -m repro compile mygraph.json --emit-c out.c
+    python -m repro table1 --systems qmf23_2d satrec
+    python -m repro fig27 --sizes 20 50 --count 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .apps import TABLE1_SYSTEMS, table1_graph
+from .sdf.graph import SDFGraph
+from .sdf.io import load_graph, to_dot
+
+__all__ = ["main"]
+
+
+def _resolve_graph(spec: str) -> SDFGraph:
+    if spec in TABLE1_SYSTEMS:
+        return table1_graph(spec)
+    if spec.endswith(".json"):
+        return load_graph(spec)
+    raise SystemExit(
+        f"unknown system {spec!r}; use a name from 'systems' or a "
+        f".json graph file"
+    )
+
+
+def _cmd_systems(_: argparse.Namespace) -> int:
+    for name in TABLE1_SYSTEMS:
+        graph = table1_graph(name)
+        print(f"{name:>12}  {graph.num_actors:>4} actors "
+              f"{graph.num_edges:>4} edges")
+    return 0
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    from .scheduling.pipeline import implement
+    from .codegen import emit_c, run_shared_memory_check
+
+    graph = _resolve_graph(args.graph)
+    result = implement(graph, args.method, seed=args.seed)
+    print(f"graph:      {graph.name} ({graph.num_actors} actors)")
+    print(f"order:      {' '.join(result.order)}")
+    print(f"schedule:   {result.sdppo_schedule}")
+    print(f"non-shared: {result.dppo_cost} words")
+    print(f"shared:     {result.allocation.total} words "
+          f"(mco {result.mco}, mcp {result.mcp})")
+    if args.check:
+        firings = run_shared_memory_check(
+            graph, result.lifetimes, result.allocation, periods=2
+        )
+        print(f"execution check: OK ({firings} firings)")
+    if args.emit_c:
+        code = emit_c(graph, result.lifetimes, result.allocation)
+        with open(args.emit_c, "w") as handle:
+            handle.write(code)
+        print(f"C written to {args.emit_c}")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from .experiments.table1 import format_table1, run_table1
+
+    systems = args.systems or [
+        n for n in TABLE1_SYSTEMS if not n.endswith("5d")
+    ]
+    print(format_table1(run_table1(systems, seed=args.seed)))
+    return 0
+
+
+def _cmd_fig25(args: argparse.Namespace) -> int:
+    from .experiments.fig25 import format_fig25, run_fig25
+
+    systems = args.systems or [
+        n for n in TABLE1_SYSTEMS if not n.endswith("5d")
+    ]
+    print(format_fig25(run_fig25(systems, seed=args.seed)))
+    return 0
+
+
+def _cmd_fig26(args: argparse.Namespace) -> int:
+    from .experiments.homogeneous_exp import (
+        format_fig26,
+        run_homogeneous_experiment,
+    )
+
+    points = tuple(
+        (m, n)
+        for m, n in (p.split("x") for p in args.points)
+    ) if args.points else ((2, 3), (3, 4), (4, 6), (6, 8))
+    points = tuple((int(m), int(n)) for m, n in points)
+    print(format_fig26(run_homogeneous_experiment(points=points)))
+    return 0
+
+
+def _cmd_fig27(args: argparse.Namespace) -> int:
+    from .experiments.random_graphs import (
+        format_fig27,
+        run_random_graph_experiment,
+    )
+
+    print(
+        format_fig27(
+            run_random_graph_experiment(
+                sizes=tuple(args.sizes),
+                graphs_per_size=args.count,
+                seed=args.seed,
+            )
+        )
+    )
+    return 0
+
+
+def _cmd_satrec(_: argparse.Namespace) -> int:
+    from .experiments.satrec_comparison import (
+        format_satrec,
+        run_satrec_comparison,
+    )
+
+    print(format_satrec(run_satrec_comparison()))
+    return 0
+
+
+def _cmd_cddat(_: argparse.Namespace) -> int:
+    from .experiments.cddat_io import run_cddat_io
+
+    r = run_cddat_io()
+    print(f"CD-DAT input buffering over a {r.period_samples}-sample period:")
+    print(f"  flat SAS:   {r.flat_backlog} samples")
+    print(f"  nested SAS: {r.nested_backlog} samples")
+    print(f"  nested schedule: {r.nested_schedule}")
+    return 0
+
+
+def _cmd_dot(args: argparse.Namespace) -> int:
+    sys.stdout.write(to_dot(_resolve_graph(args.graph)))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .experiments.report import generate_report
+
+    text = generate_report(seed=args.seed)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Shared-memory SDF compiler "
+            "(Murthy & Bhattacharyya, DATE 2000 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("systems", help="list built-in benchmark systems")
+    p.set_defaults(func=_cmd_systems)
+
+    p = sub.add_parser("compile", help="run the full flow on a graph")
+    p.add_argument("graph", help="system name or .json graph file")
+    p.add_argument(
+        "--method", default="rpmc", choices=["rpmc", "apgan", "natural"]
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--emit-c", metavar="FILE", help="write C output")
+    p.add_argument(
+        "--check", action="store_true",
+        help="execute the schedule against the allocation",
+    )
+    p.set_defaults(func=_cmd_compile)
+
+    p = sub.add_parser("table1", help="regenerate Table 1")
+    p.add_argument("--systems", nargs="*", default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_table1)
+
+    p = sub.add_parser("fig25", help="regenerate figure 25")
+    p.add_argument("--systems", nargs="*", default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_fig25)
+
+    p = sub.add_parser("fig26", help="regenerate figure 26")
+    p.add_argument(
+        "--points", nargs="*", default=None, metavar="MxN",
+        help="e.g. 3x4 6x8",
+    )
+    p.set_defaults(func=_cmd_fig26)
+
+    p = sub.add_parser("fig27", help="regenerate figure 27")
+    p.add_argument("--sizes", nargs="*", type=int, default=[20, 50])
+    p.add_argument("--count", type=int, default=10)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_fig27)
+
+    p = sub.add_parser("satrec", help="satellite receiver comparison")
+    p.set_defaults(func=_cmd_satrec)
+
+    p = sub.add_parser("cddat", help="CD-DAT input buffering comparison")
+    p.set_defaults(func=_cmd_cddat)
+
+    p = sub.add_parser("dot", help="emit Graphviz DOT for a graph")
+    p.add_argument("graph", help="system name or .json graph file")
+    p.set_defaults(func=_cmd_dot)
+
+    p = sub.add_parser(
+        "report", help="regenerate the full evaluation as Markdown"
+    )
+    p.add_argument("--output", "-o", metavar="FILE", default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,13 @@
+"""Code generation: inline C emission and shared-memory execution checks."""
+
+from .c_emitter import emit_c
+from .py_emitter import compile_python, emit_python
+from .vm import SharedMemoryVM, run_shared_memory_check
+
+__all__ = [
+    "emit_c",
+    "emit_python",
+    "compile_python",
+    "SharedMemoryVM",
+    "run_shared_memory_check",
+]

@@ -1,0 +1,202 @@
+"""Shared-memory execution of a scheduled, allocated SDF graph.
+
+The strongest check an allocation can pass is *functional*: run the
+schedule with every buffer living at its assigned offset in one shared
+memory array, write a unique value for every produced token, and verify
+that every consumer reads back exactly the value its producer wrote.
+Any unsafe overlay — two time-overlapping buffers sharing addresses —
+corrupts a token and is caught at the consuming firing.
+
+:class:`SharedMemoryVM` performs exactly the memory discipline of the
+generated C code (:mod:`repro.codegen.c_emitter`): linear per-episode
+cursors reset at each iteration of the buffer's least-parent loop, and
+circular cursors for delayed edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..exceptions import CodegenError
+from ..sdf.graph import Edge, SDFGraph
+from ..allocation.first_fit import Allocation
+from ..lifetimes.intervals import LifetimeSet
+from ..lifetimes.schedule_tree import ScheduleTreeNode
+
+__all__ = ["SharedMemoryVM", "run_shared_memory_check"]
+
+_Token = Tuple[Tuple[str, str, int], int]  # (edge key, sequence number)
+
+
+@dataclass
+class _EdgeState:
+    edge: Edge
+    base: int
+    size_words: int
+    write_cursor: int = 0
+    read_cursor: int = 0
+    produced: int = 0
+    consumed: int = 0
+    circular: bool = False
+
+    def reset_cursors(self) -> None:
+        self.write_cursor = 0
+        self.read_cursor = 0
+
+
+class SharedMemoryVM:
+    """Execute a SAS against a first-fit allocation with token checking.
+
+    Parameters
+    ----------
+    graph, lifetimes, allocation:
+        The outputs of the scheduling pipeline; ``lifetimes`` carries
+        the schedule tree that defines the loop structure to execute.
+
+    Raises
+    ------
+    CodegenError
+        On any token mismatch (memory corruption through an unsafe
+        overlay) or cursor overrun.
+    """
+
+    def __init__(
+        self,
+        graph: SDFGraph,
+        lifetimes: LifetimeSet,
+        allocation: Allocation,
+    ) -> None:
+        self.graph = graph
+        self.lifetimes = lifetimes
+        self.allocation = allocation
+        self.memory: List[Optional[_Token]] = [None] * max(allocation.total, 1)
+        self._edges: Dict[Tuple[str, str, int], _EdgeState] = {}
+        self._reset_at: Dict[int, List[_EdgeState]] = {}
+        for e in graph.edge_list():
+            lt = lifetimes.lifetimes[e.key]
+            state = _EdgeState(
+                edge=e,
+                base=allocation.offset_of(lt.name),
+                size_words=lt.size,
+                circular=e.delay > 0,
+            )
+            self._edges[e.key] = state
+            if not state.circular:
+                lp = lifetimes.tree.least_parent(e.source, e.sink)
+                self._reset_at.setdefault(id(lp), []).append(state)
+        self.firings = 0
+
+    # ------------------------------------------------------------------
+    def preload_delays(self) -> None:
+        """Write the initial tokens of delayed edges into memory."""
+        for state in self._edges.values():
+            e = state.edge
+            if e.delay == 0:
+                continue
+            for _ in range(e.delay):
+                self._write_token(state)
+
+    def run_period(self) -> None:
+        """Execute one complete schedule period."""
+        self._run_node(self.lifetimes.tree.root)
+
+    def run(self, periods: int = 1) -> None:
+        """Preload delays and run ``periods`` schedule periods."""
+        self.preload_delays()
+        for _ in range(periods):
+            self.run_period()
+        self._check_balance()
+
+    # ------------------------------------------------------------------
+    def _run_node(self, node: ScheduleTreeNode) -> None:
+        if node.is_leaf():
+            for _ in range(node.residual):
+                self._fire(node.actor)
+            return
+        for _ in range(node.loop):
+            for state in self._reset_at.get(id(node), ()):
+                state.reset_cursors()
+            self._run_node(node.left)
+            self._run_node(node.right)
+
+    def _fire(self, actor: str) -> None:
+        self.firings += 1
+        for e in self.graph.in_edges(actor):
+            state = self._edges[e.key]
+            for _ in range(e.consumption):
+                self._read_token(state)
+        for e in self.graph.out_edges(actor):
+            state = self._edges[e.key]
+            for _ in range(e.production):
+                self._write_token(state)
+
+    def _write_token(self, state: _EdgeState) -> None:
+        e = state.edge
+        words = e.token_size
+        if state.write_cursor + words > state.size_words:
+            if state.circular:
+                state.write_cursor = 0
+            else:
+                raise CodegenError(
+                    f"buffer {e} overruns its array: write cursor "
+                    f"{state.write_cursor} + {words} > {state.size_words} "
+                    f"(firing {self.firings})"
+                )
+        token: _Token = (e.key, state.produced)
+        for w in range(words):
+            self.memory[state.base + state.write_cursor + w] = token
+        state.write_cursor += words
+        state.produced += 1
+
+    def _read_token(self, state: _EdgeState) -> None:
+        e = state.edge
+        words = e.token_size
+        if state.read_cursor + words > state.size_words:
+            if state.circular:
+                state.read_cursor = 0
+            else:
+                raise CodegenError(
+                    f"buffer {e} read cursor overruns: "
+                    f"{state.read_cursor} + {words} > {state.size_words} "
+                    f"(firing {self.firings})"
+                )
+        expected: _Token = (e.key, state.consumed)
+        for w in range(words):
+            actual = self.memory[state.base + state.read_cursor + w]
+            if actual != expected:
+                raise CodegenError(
+                    f"token corruption on {e}: expected token "
+                    f"#{state.consumed}, found "
+                    f"{actual!r} at address "
+                    f"{state.base + state.read_cursor + w} "
+                    f"(firing {self.firings}) — unsafe buffer overlay"
+                )
+        state.read_cursor += words
+        state.consumed += 1
+
+    def _check_balance(self) -> None:
+        for state in self._edges.values():
+            e = state.edge
+            outstanding = state.produced - state.consumed
+            if outstanding != e.delay:
+                raise CodegenError(
+                    f"edge {e} ends with {outstanding} tokens in flight, "
+                    f"expected {e.delay}"
+                )
+
+
+def run_shared_memory_check(
+    graph: SDFGraph,
+    lifetimes: LifetimeSet,
+    allocation: Allocation,
+    periods: int = 2,
+) -> int:
+    """Run the VM for ``periods`` periods; returns total firings.
+
+    Running at least two periods exercises the period boundary (delayed
+    edges wrapping their circular cursors, episode-cursor resets).
+    """
+    vm = SharedMemoryVM(graph, lifetimes, allocation)
+    vm.run(periods=periods)
+    return vm.firings

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the SDF lifetime-analysis framework.
+
+All exceptions raised by this package derive from :class:`SDFError` so that
+callers can catch framework errors with a single ``except`` clause while
+letting programming errors (``TypeError``, ``KeyError`` from user code, ...)
+propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class SDFError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class GraphStructureError(SDFError):
+    """The graph violates a structural requirement.
+
+    Raised, for example, when an algorithm that requires an acyclic or
+    chain-structured graph is handed one that is not, when an edge refers
+    to an unknown actor, or when a duplicate actor name is added.
+    """
+
+
+class InconsistentGraphError(SDFError):
+    """The SDF graph has no valid schedule.
+
+    Either the balance equations (sample-rate consistency) have no
+    positive integer solution, or every schedule deadlocks because of
+    insufficient initial tokens on a cycle.
+    """
+
+    def __init__(self, message: str, *, kind: str = "rate") -> None:
+        super().__init__(message)
+        #: ``"rate"`` for balance-equation failures, ``"deadlock"`` for
+        #: graphs that are sample-rate consistent but deadlock.
+        self.kind = kind
+
+
+class ScheduleError(SDFError):
+    """A schedule is malformed or invalid for its graph.
+
+    Raised when a looped schedule fires an actor the wrong number of
+    times, drives an edge's token count negative, or does not return
+    every edge to its initial token count.
+    """
+
+
+class AllocationError(SDFError):
+    """A memory allocation is infeasible or fails verification."""
+
+
+class CodegenError(SDFError):
+    """Code generation failed (e.g. missing allocation for a buffer)."""

@@ -1,0 +1,62 @@
+"""Experiment harnesses: one per evaluation table/figure of the paper."""
+
+from .table1 import PAPER_REFERENCE, Table1Row, format_table1, run_table1
+from .fig25 import format_fig25, improvement_series, run_fig25
+from .random_graphs import (
+    RandomGraphStats,
+    format_fig27,
+    run_random_graph_experiment,
+)
+from .homogeneous_exp import (
+    HomogeneousResult,
+    format_fig26,
+    run_homogeneous_experiment,
+)
+from .satrec_comparison import (
+    SatrecComparison,
+    format_satrec,
+    run_satrec_comparison,
+)
+from .cddat_io import InputBufferingResult, input_buffering, run_cddat_io
+from .optimality_gap import GapRow, format_gap, run_optimality_gap
+from .ablations import (
+    AblationRow,
+    ablate_chain_dp,
+    ablate_factoring,
+    ablate_merging,
+    ablate_orderings,
+    ablate_periodicity,
+    format_ablation,
+)
+
+__all__ = [
+    "GapRow",
+    "run_optimality_gap",
+    "format_gap",
+    "AblationRow",
+    "ablate_factoring",
+    "ablate_chain_dp",
+    "ablate_orderings",
+    "ablate_periodicity",
+    "ablate_merging",
+    "format_ablation",
+    "Table1Row",
+    "run_table1",
+    "format_table1",
+    "PAPER_REFERENCE",
+    "improvement_series",
+    "run_fig25",
+    "format_fig25",
+    "RandomGraphStats",
+    "run_random_graph_experiment",
+    "format_fig27",
+    "HomogeneousResult",
+    "run_homogeneous_experiment",
+    "format_fig26",
+    "SatrecComparison",
+    "run_satrec_comparison",
+    "format_satrec",
+    "InputBufferingResult",
+    "input_buffering",
+    "run_cddat_io",
+]

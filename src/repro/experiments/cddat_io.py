@@ -1,0 +1,113 @@
+"""Section 11.1.3: input buffering of nested versus flat SAS (CD-to-DAT).
+
+A real-time source delivers one sample per sample period; the schedule
+consumes samples only when the source actor fires.  A flat SAS fires the
+source's whole period of invocations back to back, then ignores the
+input for the rest of the period — so samples pile up.  A nested SAS
+spreads the source's firings across the period, shrinking the input
+backlog: the paper reports ~11 tokens for the buffer-optimal nested SAS
+versus 65 for the flat SAS on the CD-DAT example (period 147 sample
+periods).
+
+The experiment assigns each actor an execution-time cost (the paper
+assumed "typical execution time values ... for a typical DSP in 1994";
+we default to unit cost per firing — the *ratio* between nested and
+flat is what matters), simulates sample arrivals at the steady-state
+rate, and measures the maximum backlog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Optional
+
+from ..apps.ptolemy_demos import cd_to_dat
+from ..sdf.graph import SDFGraph
+from ..sdf.repetitions import repetitions_vector
+from ..sdf.schedule import LoopedSchedule, flat_single_appearance_schedule
+from ..scheduling.dppo import dppo
+
+__all__ = ["InputBufferingResult", "input_buffering", "run_cddat_io"]
+
+
+@dataclass
+class InputBufferingResult:
+    """Input-buffering comparison between flat and nested SAS."""
+
+    source: str
+    period_samples: int
+    flat_backlog: int
+    nested_backlog: int
+    flat_schedule: str
+    nested_schedule: str
+
+
+def input_buffering(
+    graph: SDFGraph,
+    schedule: LoopedSchedule,
+    source: str,
+    execution_times: Optional[Dict[str, int]] = None,
+) -> int:
+    """Required input buffer (in samples) of ``schedule`` at steady state.
+
+    The source consumes one arriving sample per firing.  One schedule
+    period takes ``total_cycles`` and must process ``q(source)``
+    samples, so the steady-state sample period is
+    ``total_cycles / q(source)`` cycles.
+
+    The schedule cannot consume a sample before it arrives, so its
+    start is phase-shifted until consumption never overtakes arrivals;
+    the required buffer is then the peak of
+    ``arrivals(t) - consumptions(t)``.  With linear arrivals that peak
+    equals ``max_t f(t) - min_t f(t)`` for the unshifted difference
+    ``f(t) = arrivals(t) - consumptions(t)`` sampled at firing
+    boundaries — a flat SAS (source bursts once per period) has a deep
+    trough and a high crest, a nested SAS keeps ``f`` near zero.
+    """
+    q = repetitions_vector(graph)
+    times = execution_times or {}
+    firings = schedule.firing_list()
+    total_cycles = sum(
+        times.get(a, graph.actor(a).execution_time) for a in firings
+    )
+    samples_per_period = q[source]
+    sample_period = Fraction(total_cycles, samples_per_period)
+
+    f_max = 0
+    f_min = 0
+    t = 0
+    consumed = 0
+    for actor in firings:
+        arrived = int(Fraction(t) / sample_period)
+        f = arrived - consumed
+        if f > f_max:
+            f_max = f
+        if f < f_min:
+            f_min = f
+        if actor == source:
+            consumed += 1
+        t += times.get(actor, graph.actor(actor).execution_time)
+    # End of period: all samples arrived and consumed.
+    f_end = samples_per_period - consumed
+    f_max = max(f_max, f_end)
+    return f_max - f_min
+
+
+def run_cddat_io(
+    execution_times: Optional[Dict[str, int]] = None, source: str = "A"
+) -> InputBufferingResult:
+    """Reproduce the CD-DAT input-buffering comparison."""
+    graph = cd_to_dat()
+    q = repetitions_vector(graph)
+    order = graph.topological_order()
+    flat = flat_single_appearance_schedule(order, q)
+    nested = dppo(graph, order).schedule
+    return InputBufferingResult(
+        source=source,
+        period_samples=q[source],
+        flat_backlog=input_buffering(graph, flat, source, execution_times),
+        nested_backlog=input_buffering(graph, nested, source, execution_times),
+        flat_schedule=str(flat),
+        nested_schedule=str(nested),
+    )

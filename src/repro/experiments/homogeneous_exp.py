@@ -1,0 +1,80 @@
+"""Figure 26 / section 10.2: homogeneous graphs where sharing shines.
+
+For the M-chains-of-N graph, the paper states that "running the
+complete suite of techniques on this graph for any M and N results in
+an allocation of M + 1 units", against ``M(N-1) + 2M`` for a
+non-shared implementation.  The experiment sweeps M and N, reporting
+the suite's allocation, the allocation with the depth-first
+chain-by-chain order (which provably achieves the bound), and the
+non-shared requirement; ``token_size`` scales the savings the way the
+paper's closing remark about vector tokens describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..apps.homogeneous import (
+    depth_first_order,
+    homogeneous_graph,
+    nonshared_requirement,
+    shared_lower_bound,
+)
+from ..scheduling.pipeline import implement, implement_best
+
+__all__ = ["HomogeneousResult", "run_homogeneous_experiment", "format_fig26"]
+
+
+@dataclass
+class HomogeneousResult:
+    """One (M, N) point of the figure 26 sweep."""
+
+    m: int
+    n: int
+    token_size: int
+    nonshared: int
+    suite_allocation: int
+    depth_first_allocation: int
+    lower_bound: int
+
+
+def run_homogeneous_experiment(
+    points: Sequence[Tuple[int, int]] = ((2, 3), (3, 4), (4, 6), (6, 8), (8, 10)),
+    token_size: int = 1,
+    seed: int = 0,
+) -> List[HomogeneousResult]:
+    """Sweep (M, N) points of the figure 26 family."""
+    results = []
+    for m, n in points:
+        graph = homogeneous_graph(m, n, token_size=token_size)
+        suite = implement_best(graph, seed=seed, verify=False)
+        ordered = implement(
+            graph, order=depth_first_order(graph), verify=True
+        )
+        results.append(
+            HomogeneousResult(
+                m=m,
+                n=n,
+                token_size=token_size,
+                nonshared=nonshared_requirement(m, n, token_size),
+                suite_allocation=suite.best_shared,
+                depth_first_allocation=ordered.best_shared_total,
+                lower_bound=shared_lower_bound(m, n, token_size),
+            )
+        )
+    return results
+
+
+def format_fig26(results: Sequence[HomogeneousResult]) -> str:
+    header = (
+        f"{'M':>3} {'N':>3} {'non-shared':>11} {'suite':>7} "
+        f"{'depth-first':>12} {'bound M+1':>10}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in results:
+        lines.append(
+            f"{r.m:>3} {r.n:>3} {r.nonshared:>11} {r.suite_allocation:>7} "
+            f"{r.depth_first_allocation:>12} {r.lower_bound:>10}"
+        )
+    return "\n".join(lines)

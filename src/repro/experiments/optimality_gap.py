@@ -1,0 +1,107 @@
+"""Optimality gap of RPMC and APGAN on small graphs.
+
+The paper justifies its heuristics by NP-completeness; this experiment
+quantifies what the heuristics give up where the optimum is computable:
+for small random graphs, compare the RPMC- and APGAN-based results
+against the exact minimum over *all* topological sorts
+(:mod:`repro.scheduling.exhaustive`), under both buffer models.
+
+A gap of 0% means the heuristic's topological sort was optimal for that
+graph.  On the paper's narrative this should usually be small — the
+random-search experiment of section 10.1 already shows the heuristics
+are hard to beat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..sdf.random_graphs import random_sdf_graph
+from ..scheduling.dppo import dppo
+from ..scheduling.exhaustive import optimal_sas
+from ..scheduling.pipeline import implement
+
+__all__ = ["GapRow", "run_optimality_gap", "format_gap"]
+
+
+@dataclass
+class GapRow:
+    """One graph's heuristic-vs-optimal comparison (one objective)."""
+
+    workload: str
+    objective: str
+    optimal: int
+    rpmc: int
+    apgan: int
+    sorts: int
+
+    @property
+    def rpmc_gap_pct(self) -> float:
+        return 100.0 * (self.rpmc - self.optimal) / self.optimal if self.optimal else 0.0
+
+    @property
+    def apgan_gap_pct(self) -> float:
+        return 100.0 * (self.apgan - self.optimal) / self.optimal if self.optimal else 0.0
+
+
+def run_optimality_gap(
+    seeds: Sequence[int] = range(10),
+    num_actors: int = 7,
+    objective: str = "nonshared",
+    max_sorts: int = 20_000,
+) -> List[GapRow]:
+    """Measure heuristic gaps on small random graphs.
+
+    Graphs whose topological-sort count exceeds ``max_sorts`` are
+    skipped (the exact search would be too slow), so the returned list
+    can be shorter than ``seeds``.
+    """
+    rows: List[GapRow] = []
+    for seed in seeds:
+        graph = random_sdf_graph(num_actors, seed=seed)
+        try:
+            exact = optimal_sas(graph, objective, max_sorts=max_sorts)
+        except Exception:
+            continue
+        if objective == "nonshared":
+            rpmc_cost = implement(graph, "rpmc", verify=False).dppo_cost
+            apgan_cost = implement(graph, "apgan", verify=False).dppo_cost
+        else:
+            rpmc_cost = implement(graph, "rpmc", verify=False).best_shared_total
+            apgan_cost = implement(graph, "apgan", verify=False).best_shared_total
+        rows.append(
+            GapRow(
+                workload=f"{graph.name}#{seed}",
+                objective=objective,
+                optimal=exact.cost,
+                rpmc=rpmc_cost,
+                apgan=apgan_cost,
+                sorts=exact.sorts_examined,
+            )
+        )
+    return rows
+
+
+def format_gap(rows: Sequence[GapRow]) -> str:
+    if not rows:
+        return "(no graphs small enough for exact search)"
+    header = (
+        f"{'workload':>14} {'sorts':>6} {'optimal':>8} {'rpmc':>6} "
+        f"{'apgan':>6} {'rpmc gap':>9} {'apgan gap':>10}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r.workload:>14} {r.sorts:>6} {r.optimal:>8} {r.rpmc:>6} "
+            f"{r.apgan:>6} {r.rpmc_gap_pct:>8.1f}% {r.apgan_gap_pct:>9.1f}%"
+        )
+    mean_r = sum(r.rpmc_gap_pct for r in rows) / len(rows)
+    mean_a = sum(r.apgan_gap_pct for r in rows) / len(rows)
+    optimal_r = sum(1 for r in rows if r.rpmc == r.optimal)
+    optimal_a = sum(1 for r in rows if r.apgan == r.optimal)
+    lines.append(
+        f"mean gaps: rpmc {mean_r:.1f}%, apgan {mean_a:.1f}%; optimal on "
+        f"{optimal_r}/{len(rows)} (rpmc), {optimal_a}/{len(rows)} (apgan)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,86 @@
+"""Section 11 comparisons on the satellite receiver.
+
+Three implementation strategies on the same graph:
+
+* the paper's nested static SAS with lifetime-shared buffers
+  (non-shared total 1542 / shared 991 in the paper);
+* Ritz-style sharing restricted to *flat* SASs (section 11.1.2; the
+  paper reports "more than 2000 units", i.e. >100% worse than 991);
+* the Goddard–Jeffay-style dynamic (demand-driven) schedule
+  (section 11.1.3; 1599 non-shared / ~1101 shared in the paper),
+  which trades a shorter buffer for an unstorable schedule and ~2x
+  runtime overhead.
+
+Shape targets: flat-shared > nested-shared; dynamic non-shared <
+nested non-shared; dynamic shared > nested shared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..apps.satellite import satellite_receiver
+from ..baselines.dynamic_scheduler import demand_driven_schedule
+from ..baselines.flat_sharing import flat_shared_implementation
+from ..sdf.graph import SDFGraph
+from ..scheduling.pipeline import implement_best
+
+__all__ = ["SatrecComparison", "run_satrec_comparison", "format_satrec"]
+
+
+@dataclass
+class SatrecComparison:
+    """All strategy totals, in words."""
+
+    nested_nonshared: int
+    nested_shared: int
+    flat_nonshared: int
+    flat_shared: int
+    dynamic_nonshared: int
+    dynamic_shared: int
+    dynamic_schedule_length: int
+    nested_schedule: str
+
+
+def run_satrec_comparison(
+    graph: Optional[SDFGraph] = None, seed: int = 0
+) -> SatrecComparison:
+    """Run the three strategies on ``satrec`` (or any given graph)."""
+    g = graph if graph is not None else satellite_receiver()
+    nested = implement_best(g, seed=seed)
+    winner = (
+        nested.rpmc
+        if nested.rpmc.best_shared_total <= nested.apgan.best_shared_total
+        else nested.apgan
+    )
+    flat = flat_shared_implementation(g, order=winner.order)
+    dynamic = demand_driven_schedule(g)
+    return SatrecComparison(
+        nested_nonshared=nested.best_nonshared,
+        nested_shared=nested.best_shared,
+        flat_nonshared=flat.nonshared_total,
+        flat_shared=flat.shared_total,
+        dynamic_nonshared=dynamic.nonshared_total,
+        dynamic_shared=dynamic.shared_total,
+        dynamic_schedule_length=dynamic.schedule_length,
+        nested_schedule=str(winner.sdppo_schedule),
+    )
+
+
+def format_satrec(c: SatrecComparison) -> str:
+    lines = [
+        "Satellite receiver implementation comparison (words):",
+        f"{'strategy':>28} {'non-shared':>11} {'shared':>8}",
+        "-" * 50,
+        f"{'nested SAS (this paper)':>28} {c.nested_nonshared:>11} "
+        f"{c.nested_shared:>8}",
+        f"{'flat SAS (Ritz-style)':>28} {c.flat_nonshared:>11} "
+        f"{c.flat_shared:>8}",
+        f"{'dynamic (demand-driven)':>28} {c.dynamic_nonshared:>11} "
+        f"{c.dynamic_shared:>8}",
+        "-" * 50,
+        f"dynamic schedule length: {c.dynamic_schedule_length} firings "
+        f"(vs a stored looped schedule)",
+    ]
+    return "\n".join(lines)

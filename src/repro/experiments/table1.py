@@ -1,0 +1,136 @@
+"""Table 1: overall performance on practical examples.
+
+For every practical system, runs the full flow of figure 21 for both
+RPMC- and APGAN-generated topological sorts and reports the paper's
+column set:
+
+    dppo(R), sdppo(R), mco(R), mcp(R), ffdur(R), ffstart(R), bmlb,
+    dppo(A), sdppo(A), mco(A), mcp(A), ffdur(A), ffstart(A), % impr
+
+The improvement column is computed exactly as in the paper:
+
+    (MIN(dppo(R), dppo(A)) - MIN(ffdur(R), ffstart(R), ffdur(A),
+     ffstart(A))) / MIN(dppo(R), dppo(A)) * 100
+
+``PAPER_REFERENCE`` records the values readable in the source text
+(Table 1 is truncated after two rows; satrec's totals appear in
+section 11.1.3).  Absolute values for reconstructed graphs differ —
+EXPERIMENTS.md discusses per-system agreement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..apps import TABLE1_SYSTEMS, table1_graph
+from ..scheduling.pipeline import BestResult, implement_best
+
+__all__ = ["Table1Row", "run_table1", "format_table1", "PAPER_REFERENCE"]
+
+#: Paper values readable in the source text: system -> column -> value.
+PAPER_REFERENCE: Dict[str, Dict[str, int]] = {
+    "nqmf23_4d": {
+        "dppo_r": 209, "sdppo_r": 132, "mco_r": 120, "mcp_r": 139,
+        "ffdur_r": 132, "ffstart_r": 133, "bmlb": 75,
+        "dppo_a": 314, "sdppo_a": 242, "mco_a": 237, "mcp_a": 258,
+    },
+    "qmf23_2d": {
+        "dppo_r": 60, "sdppo_r": 24, "mco_r": 21, "mcp_r": 30,
+        "ffdur_r": 22, "ffstart_r": 22, "bmlb": 50,
+        "dppo_a": 62, "sdppo_a": 35, "mco_a": 26, "mcp_a": 28,
+    },
+    # Section 11.1.3: satrec non-shared SAS = 1542, shared = 991.
+    "satrec": {"dppo_best": 1542, "shared_best": 991},
+}
+
+
+@dataclass
+class Table1Row:
+    """One benchmark row with every Table 1 column."""
+
+    system: str
+    dppo_r: int
+    sdppo_r: int
+    mco_r: int
+    mcp_r: int
+    ffdur_r: int
+    ffstart_r: int
+    bmlb: int
+    dppo_a: int
+    sdppo_a: int
+    mco_a: int
+    mcp_a: int
+    ffdur_a: int
+    ffstart_a: int
+    improvement: float
+
+    @staticmethod
+    def from_result(system: str, result: BestResult) -> "Table1Row":
+        return Table1Row(
+            system=system,
+            dppo_r=result.rpmc.dppo_cost,
+            sdppo_r=result.rpmc.sdppo_cost,
+            mco_r=result.rpmc.mco,
+            mcp_r=result.rpmc.mcp,
+            ffdur_r=result.rpmc.ffdur_total,
+            ffstart_r=result.rpmc.ffstart_total,
+            bmlb=result.rpmc.bmlb,
+            dppo_a=result.apgan.dppo_cost,
+            sdppo_a=result.apgan.sdppo_cost,
+            mco_a=result.apgan.mco,
+            mcp_a=result.apgan.mcp,
+            ffdur_a=result.apgan.ffdur_total,
+            ffstart_a=result.apgan.ffstart_total,
+            improvement=result.improvement_percent,
+        )
+
+    @property
+    def best_nonshared(self) -> int:
+        return min(self.dppo_r, self.dppo_a)
+
+    @property
+    def best_shared(self) -> int:
+        return min(self.ffdur_r, self.ffstart_r, self.ffdur_a, self.ffstart_a)
+
+
+def run_table1(
+    systems: Optional[Sequence[str]] = None,
+    seed: int = 0,
+    verify: bool = True,
+) -> List[Table1Row]:
+    """Run the full flow over the benchmark suite.
+
+    ``systems`` defaults to every Table 1 system; pass a subset for
+    quick runs (the depth-5 filterbanks dominate the runtime).
+    """
+    names = list(systems) if systems is not None else list(TABLE1_SYSTEMS)
+    rows = []
+    for name in names:
+        graph = table1_graph(name)
+        result = implement_best(graph, seed=seed, verify=verify)
+        rows.append(Table1Row.from_result(name, result))
+    return rows
+
+
+def format_table1(rows: Sequence[Table1Row]) -> str:
+    """Render rows in the paper's column layout."""
+    header = (
+        f"{'System':>12} {'dppo(R)':>8} {'sdppo(R)':>8} {'mco(R)':>7} "
+        f"{'mcp(R)':>7} {'ffdur(R)':>8} {'ffst(R)':>8} {'bmlb':>7} "
+        f"{'dppo(A)':>8} {'sdppo(A)':>8} {'mco(A)':>7} {'mcp(A)':>7} "
+        f"{'ffdur(A)':>8} {'ffst(A)':>8} {'%impr':>6}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r.system:>12} {r.dppo_r:>8} {r.sdppo_r:>8} {r.mco_r:>7} "
+            f"{r.mcp_r:>7} {r.ffdur_r:>8} {r.ffstart_r:>8} {r.bmlb:>7} "
+            f"{r.dppo_a:>8} {r.sdppo_a:>8} {r.mco_a:>7} {r.mcp_a:>7} "
+            f"{r.ffdur_a:>8} {r.ffstart_a:>8} {r.improvement:>5.1f}%"
+        )
+    if rows:
+        avg = sum(r.improvement for r in rows) / len(rows)
+        lines.append("-" * len(header))
+        lines.append(f"{'average improvement':>{len(header) - 7}} {avg:>5.1f}%")
+    return "\n".join(lines)

@@ -1,0 +1,38 @@
+"""Extensions beyond the paper's core flow (sections 11.1.4 and 12).
+
+* :mod:`buffer_merging` — CBP-zero in-place merging of an actor's input
+  and output buffers (section 12's "buffer merging" future work);
+* :mod:`regularity` — the optimal-looping DP over firing sequences that
+  section 12 proposes for regularity extraction (reference [2]);
+* :mod:`higher_order` — the "Chain" higher-order constructor of
+  figure 29 and the fine-grained FIR it generates;
+* :mod:`nas` — two-appearance schedules trading code size for buffer
+  memory (section 11.1.4, after Sung et al. [25]).
+"""
+
+from .buffer_merging import (
+    MergeCandidate,
+    find_merge_candidates,
+    merged_allocation,
+)
+from .regularity import (
+    compress_firing_sequence,
+    optimal_looping,
+    strip_instance_suffix,
+)
+from .higher_order import SubgraphTemplate, chain_expand, fir_graph
+from .nas import TwoAppearanceResult, two_appearance_search
+
+__all__ = [
+    "MergeCandidate",
+    "find_merge_candidates",
+    "merged_allocation",
+    "optimal_looping",
+    "compress_firing_sequence",
+    "strip_instance_suffix",
+    "SubgraphTemplate",
+    "chain_expand",
+    "fir_graph",
+    "TwoAppearanceResult",
+    "two_appearance_search",
+]

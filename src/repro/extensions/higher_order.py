@@ -1,0 +1,170 @@
+"""Higher-order graph constructors (paper section 12, figure 29).
+
+Section 12 advocates graphical *higher-order functions* — blocks that
+take blocks as parameters and expand into regular graph structures —
+as the scalable way to express fine-grained regular designs like FIR
+filters.  The "Chain" actor replicates a named subgraph N times and
+wires consecutive instances together.
+
+:class:`SubgraphTemplate` captures a parameterizable block (the MAC =
+gain + add pair of figure 29); :func:`chain_expand` instantiates it N
+times into a host graph, renaming actors with instance suffixes and
+connecting each instance's ``chain_out`` port to the next instance's
+``chain_in`` port; :func:`fir_graph` builds the complete figure 28/29
+FIR structure.  The instance-suffix naming deliberately matches
+:func:`repro.extensions.regularity.strip_instance_suffix`, so the
+regularity DP can rediscover the loop the designer expressed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import GraphStructureError
+from ..sdf.graph import SDFGraph
+
+__all__ = ["SubgraphTemplate", "chain_expand", "fir_graph"]
+
+
+@dataclass
+class SubgraphTemplate:
+    """A replicable block: actors, internal edges, and chain ports.
+
+    ``actors`` maps local actor names to execution times; ``edges`` are
+    ``(src, snk, prod, cons)`` over local names; ``chain_in`` /
+    ``chain_out`` name the local actors exposed as the chaining ports;
+    ``broadcast_in`` optionally names a local actor that every instance
+    connects to a shared external source (the FIR's tapped-delay input).
+    """
+
+    name: str
+    actors: Dict[str, int]
+    edges: List[Tuple[str, str, int, int]]
+    chain_in: str
+    chain_out: str
+    broadcast_in: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        for port in (self.chain_in, self.chain_out):
+            if port not in self.actors:
+                raise GraphStructureError(
+                    f"template {self.name!r}: port {port!r} is not an actor"
+                )
+        if self.broadcast_in is not None and self.broadcast_in not in self.actors:
+            raise GraphStructureError(
+                f"template {self.name!r}: broadcast port "
+                f"{self.broadcast_in!r} is not an actor"
+            )
+        for src, snk, _, _ in self.edges:
+            for endpoint in (src, snk):
+                if endpoint not in self.actors:
+                    raise GraphStructureError(
+                        f"template {self.name!r}: edge endpoint "
+                        f"{endpoint!r} is not an actor"
+                    )
+
+
+def chain_expand(
+    graph: SDFGraph,
+    template: SubgraphTemplate,
+    count: int,
+    source: str,
+    sink: str,
+    broadcast_source: Optional[str] = None,
+    link_rates: Tuple[int, int] = (1, 1),
+) -> List[str]:
+    """Instantiate ``template`` ``count`` times into ``graph`` as a chain.
+
+    ``source`` feeds instance 0's ``chain_in``; instance ``count-1``'s
+    ``chain_out`` feeds ``sink``; consecutive instances connect
+    ``chain_out -> chain_in`` with ``link_rates``.  If the template has
+    a ``broadcast_in`` port, every instance's port is fed from
+    ``broadcast_source``.  Returns the instantiated actor names.
+
+    Examples
+    --------
+    >>> g = SDFGraph("fir")
+    >>> _ = g.add_actors(["in", "out"])
+    >>> mac = SubgraphTemplate(
+    ...     name="MAC",
+    ...     actors={"gain": 1, "add": 1},
+    ...     edges=[("gain", "add", 1, 1)],
+    ...     chain_in="add", chain_out="add",
+    ...     broadcast_in="gain",
+    ... )
+    >>> names = chain_expand(g, mac, 3, "in", "out", broadcast_source="in")
+    >>> g.num_actors
+    8
+    """
+    if count < 1:
+        raise GraphStructureError("chain_expand requires count >= 1")
+    for endpoint in (source, sink):
+        if endpoint not in graph:
+            raise GraphStructureError(
+                f"chain_expand: {endpoint!r} is not in the host graph"
+            )
+    if template.broadcast_in is not None:
+        if broadcast_source is None:
+            raise GraphStructureError(
+                f"template {template.name!r} has a broadcast port; pass "
+                f"broadcast_source"
+            )
+        if broadcast_source not in graph:
+            raise GraphStructureError(
+                f"chain_expand: broadcast source {broadcast_source!r} "
+                f"is not in the host graph"
+            )
+
+    created: List[str] = []
+    instance_names: List[Dict[str, str]] = []
+    for index in range(count):
+        renaming = {
+            local: f"{local}{index}" for local in template.actors
+        }
+        for local, execution_time in template.actors.items():
+            graph.add_actor(renaming[local], execution_time)
+            created.append(renaming[local])
+        for src, snk, prod, cons in template.edges:
+            graph.add_edge(renaming[src], renaming[snk], prod, cons)
+        instance_names.append(renaming)
+
+    prod, cons = link_rates
+    graph.add_edge(source, instance_names[0][template.chain_in], prod, cons)
+    for prev, nxt in zip(instance_names, instance_names[1:]):
+        graph.add_edge(
+            prev[template.chain_out], nxt[template.chain_in], prod, cons
+        )
+    graph.add_edge(
+        instance_names[-1][template.chain_out], sink, prod, cons
+    )
+    if template.broadcast_in is not None:
+        for renaming in instance_names:
+            graph.add_edge(
+                broadcast_source, renaming[template.broadcast_in], 1, 1
+            )
+    return created
+
+
+def fir_graph(taps: int, name: str = "fir") -> SDFGraph:
+    """The fine-grained FIR of figures 28–29 with ``taps`` MAC stages.
+
+    A source broadcasts the (delayed) input sample to every tap's gain;
+    the adds accumulate along the chain into the output.  All rates are
+    unity, so the graph is homogeneous — the case the paper notes that
+    sharing (not looping) must handle.
+    """
+    if taps < 1:
+        raise GraphStructureError("fir_graph requires taps >= 1")
+    g = SDFGraph(name)
+    g.add_actors(["in", "out"])
+    mac = SubgraphTemplate(
+        name="MAC",
+        actors={"gain": 1, "add": 1},
+        edges=[("gain", "add", 1, 1)],
+        chain_in="add",
+        chain_out="add",
+        broadcast_in="gain",
+    )
+    chain_expand(g, mac, taps, "in", "out", broadcast_source="in")
+    return g

@@ -1,0 +1,158 @@
+"""Optimal loop organization over firing sequences (paper section 12).
+
+Section 12 points at the authors' dynamic programming algorithm
+(reference [2]) "that can organize loops optimally on a given sequence
+of actor appearances": given the flat firing sequence a threading code
+generator would emit (e.g. ``G0 G1 A0 G2 A1 ... Gn A(n-1)`` for the
+fine-grained FIR of figure 28), find the looped schedule with the
+fewest lexical actor appearances, e.g. ``G (n (G A))``.
+
+This module implements that DP (known as CDPPO / optimal looping):
+
+* ``cost[i][j]`` — the minimum number of appearances needed to
+  represent the subsequence ``s[i:j]``;
+* either split the subsequence (``cost[i][k] + cost[k][j]``), or, if
+  ``s[i:j]`` is ``r >= 2`` exact repetitions of its first ``(j-i)/r``
+  elements, wrap a loop around one period (``cost of the period``);
+* O(n^3) subproblems with O(n) work each after O(n^2) period
+  precomputation (Z-function per suffix).
+
+Instance subscripts are erased by a *labeling* function before matching
+(different instances of the same library actor share one code block via
+parameterized procedure calls — section 11.2), which is exactly what
+makes the FIR example collapse.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..sdf.schedule import Firing, Loop, LoopedSchedule, ScheduleNode
+
+__all__ = ["optimal_looping", "strip_instance_suffix", "compress_firing_sequence"]
+
+
+def strip_instance_suffix(name: str) -> str:
+    """Drop a trailing instance number: ``G12`` -> ``G``, ``add3`` -> ``add``.
+
+    The default labeling for :func:`compress_firing_sequence`; actors
+    that are distinct instantiations of one library block share a label.
+    """
+    return name.rstrip("0123456789") or name
+
+
+def optimal_looping(sequence: Sequence[str]) -> LoopedSchedule:
+    """The minimum-appearance looped schedule for a firing sequence.
+
+    Examples
+    --------
+    >>> str(optimal_looping(list("GAGAGA")))
+    '(3G A)'
+    >>> str(optimal_looping(["G", "G", "A", "G", "A", "G", "A"]))
+    'G(3G A)'
+    >>> optimal_looping(list("ABCABD")).firing_list() == list("ABCABD")
+    True
+    """
+    n = len(sequence)
+    if n == 0:
+        raise ValueError("sequence must be non-empty")
+
+    # smallest_period[i][L] -> smallest p dividing L such that
+    # s[i:i+L] is (L/p) repetitions of s[i:i+p].  Computed from the
+    # Z-function of each suffix: s[i:i+L] has period p iff
+    # z[p] >= L - p (prefix-overlap condition), for p < L.
+    # We store, for each (i, L), the smallest valid period.
+    smallest_period: List[List[int]] = [[0] * (n - i + 1) for i in range(n)]
+    for i in range(n):
+        suffix = sequence[i:]
+        z = _z_function(suffix)
+        m = len(suffix)
+        for length in range(1, m + 1):
+            best = length
+            for p in range(1, length // 2 + 1):
+                if length % p == 0 and z[p] >= length - p:
+                    best = p
+                    break
+            smallest_period[i][length] = best
+
+    # DP over windows [i, j): minimal appearance count and provenance.
+    cost: Dict[Tuple[int, int], int] = {}
+    choice: Dict[Tuple[int, int], Tuple[str, int]] = {}
+
+    for length in range(1, n + 1):
+        for i in range(0, n - length + 1):
+            j = i + length
+            if length == 1:
+                cost[(i, j)] = 1
+                choice[(i, j)] = ("leaf", 0)
+                continue
+            best = None
+            best_choice = None
+            # Option 1: wrap a loop if the window is periodic.
+            p = smallest_period[i][length]
+            if p < length:
+                inner = cost[(i, i + p)]
+                if best is None or inner < best:
+                    best = inner
+                    best_choice = ("loop", p)
+            # Option 2: split.
+            for k in range(i + 1, j):
+                candidate = cost[(i, k)] + cost[(k, j)]
+                if best is None or candidate < best:
+                    best = candidate
+                    best_choice = ("split", k)
+            cost[(i, j)] = best
+            choice[(i, j)] = best_choice
+
+    def build(i: int, j: int) -> List[ScheduleNode]:
+        kind, arg = choice[(i, j)]
+        if kind == "leaf":
+            return [Firing(sequence[i])]
+        if kind == "loop":
+            p = arg
+            body = build(i, i + p)
+            count = (j - i) // p
+            if len(body) == 1 and isinstance(body[0], Firing):
+                inner = body[0]
+                return [Firing(inner.actor, inner.count * count)]
+            return [Loop(count, tuple(body))]
+        k = arg
+        return build(i, k) + build(k, j)
+
+    return LoopedSchedule(build(0, n)).normalized()
+
+
+def compress_firing_sequence(
+    sequence: Sequence[str],
+    labeling: Callable[[str], str] = strip_instance_suffix,
+) -> LoopedSchedule:
+    """Label-collapse a firing sequence, then loop it optimally.
+
+    The figure 28/29 use case: a fine-grained FIR expands to
+    ``G0 G1 A0 G2 A1 ... Gn A(n-1)``; with instance subscripts erased
+    the DP finds ``G (n (G A))``.
+
+    Examples
+    --------
+    >>> seq = ["G0", "G1", "A0", "G2", "A1", "G3", "A2"]
+    >>> str(compress_firing_sequence(seq))
+    'G(3G A)'
+    """
+    return optimal_looping([labeling(a) for a in sequence])
+
+
+def _z_function(s: Sequence[str]) -> List[int]:
+    """Classic Z-array: z[k] = longest common prefix of s and s[k:]."""
+    n = len(s)
+    z = [0] * n
+    if n:
+        z[0] = n
+    left, right = 0, 0
+    for k in range(1, n):
+        if k < right:
+            z[k] = min(right - k, z[k - left])
+        while k + z[k] < n and s[z[k]] == s[k + z[k]]:
+            z[k] += 1
+        if k + z[k] > right:
+            left, right = k, k + z[k]
+    return z

@@ -1,0 +1,17 @@
+"""Lifetime analysis: schedule trees, periodic intervals, extraction."""
+
+from .periodic import PeriodicLifetime
+from .schedule_tree import ScheduleTree, ScheduleTreeNode
+from .intervals import LifetimeSet, extract_lifetimes, lifetime_for_edge
+from .granularity import fine_grained_peak, granularity_levels
+
+__all__ = [
+    "fine_grained_peak",
+    "granularity_levels",
+    "PeriodicLifetime",
+    "ScheduleTree",
+    "ScheduleTreeNode",
+    "LifetimeSet",
+    "extract_lifetimes",
+    "lifetime_for_edge",
+]

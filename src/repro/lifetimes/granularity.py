@@ -1,0 +1,130 @@
+"""Buffer-sharing granularity sweep (paper section 5, figure 3).
+
+Between the *fine-grained* model (a buffer's live size tracks its exact
+token count, firing by firing) and the *coarse-grained* model the paper
+adopts (the whole episode array is live from first write to last read)
+lies a spectrum: "there are a number of granularities within these
+extremes, based on how many levels of loop nests we consider".  The
+paper's example: for ``7(5A 2(2B 3C))`` with C producing one token per
+firing, C's output buffer grows in steps of 1, 3, 6 or jumps to 42
+depending on how many loop levels are aggregated.
+
+This module measures that spectrum for any graph/schedule pair:
+
+* :func:`granularity_levels` — the shared-memory requirement (peak of
+  summed live array sizes) when buffers are aggregated at each loop
+  depth ``d``: tokens moved within one iteration of the depth-``d``
+  ancestor loop count as a unit;
+* level 0 aggregates at the schedule root (the paper's coarse model for
+  top-level buffers), the maximum depth reproduces the fine-grained
+  token count (:func:`repro.sdf.simulate.simulate_schedule` peaks).
+
+The sweep quantifies how much memory the coarse model leaves on the
+table in exchange for its simple pointer management — the trade the
+paper makes explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..sdf.graph import SDFGraph
+from ..sdf.schedule import LoopedSchedule
+from ..sdf.simulate import simulate_schedule
+
+__all__ = ["granularity_levels", "fine_grained_peak"]
+
+
+def fine_grained_peak(graph: SDFGraph, schedule: LoopedSchedule) -> int:
+    """Peak of summed live token words, exact per firing (finest model)."""
+    trace = simulate_schedule(graph, schedule)
+    sizes = {e.key: e.token_size for e in graph.edges()}
+    return max(
+        sum(state[k] * sizes[k] for k in state) for state in trace.counts
+    )
+
+
+def granularity_levels(
+    graph: SDFGraph, schedule: LoopedSchedule, max_depth: int = 8
+) -> List[Tuple[int, int]]:
+    """Memory requirement at each aggregation depth.
+
+    Returns ``[(depth, peak_words), ...]`` for depths 0 (coarsest: an
+    edge's whole live episode measured against the outermost loops) up
+    to ``max_depth`` (finest returned as the exact token peak).  The
+    sequence is non-increasing: finer models never need more memory.
+
+    Aggregation at depth ``d`` rounds every buffer's occupancy *up* to
+    the total it reaches within the current iteration of its depth-``d``
+    enclosing loop: production is credited at that loop iteration's
+    start, consumption at its end.
+    """
+    trace = simulate_schedule(graph, schedule)
+    sizes = {e.key: e.token_size for e in graph.edges()}
+
+    # Annotate each firing with its loop path (iteration stack), by
+    # replaying the schedule structure.
+    paths: List[Tuple[Tuple[int, int], ...]] = []
+
+    def walk(node, stack) -> None:
+        from ..sdf.schedule import Firing, Loop
+
+        if isinstance(node, Firing):
+            for _ in range(node.count):
+                paths.append(tuple(stack))
+            return
+        for iteration in range(node.count):
+            stack.append((id(node), iteration))
+            for child in node.body:
+                walk(child, stack)
+            stack.pop()
+
+    stack: List[Tuple[int, int]] = []
+    for node in schedule.body:
+        walk(node, stack)
+    assert len(paths) == len(trace.firings)
+
+    results: List[Tuple[int, int]] = []
+    for depth in range(0, max_depth + 1):
+        # Group firings into segments sharing the same depth-d prefix.
+        peak = 0
+        # For each edge, within each segment, production is counted at
+        # segment start; liveness = current tokens + tokens the segment
+        # will still produce on the edge.
+        segment_of = [p[:depth] for p in paths]
+        # Precompute, per firing index, tokens produced per edge in the
+        # remainder of its segment (suffix sums per segment).
+        n = len(paths)
+        future: List[Dict[Tuple[str, str, int], int]] = [dict() for _ in range(n)]
+        i = n - 1
+        while i >= 0:
+            acc: Dict[Tuple[str, str, int], int] = {}
+            j = i
+            # walk the whole segment [start, end) ending at i's segment
+            start = i
+            while start > 0 and segment_of[start - 1] == segment_of[i]:
+                start -= 1
+            end = i
+            while end + 1 < n and segment_of[end + 1] == segment_of[i]:
+                end += 1
+            # suffix sums within [start, end]
+            acc = {}
+            for j in range(end, start - 1, -1):
+                actor = trace.firings[j]
+                for e in graph.out_edges(actor):
+                    acc[e.key] = acc.get(e.key, 0) + e.production
+                future[j] = dict(acc)
+            i = start - 1
+        for t in range(n):
+            state = trace.counts[t]  # before firing t+1 (1-based)
+            live = 0
+            for k, count in state.items():
+                live += count * sizes[k]
+            for k, upcoming in future[t].items():
+                live += upcoming * sizes[k]
+            if live > peak:
+                peak = live
+        results.append((depth, peak))
+        if all(len(p) <= depth for p in paths):
+            break
+    return results

@@ -1,0 +1,186 @@
+"""Buffer lifetime extraction from a single appearance schedule (section 8).
+
+Given an SDF graph and a SAS, this module derives one
+:class:`~repro.lifetimes.periodic.PeriodicLifetime` per edge:
+
+* **start** — the start time of the producing actor's leaf (section 8.3);
+* **stop** — the end of the consuming actor's *last* firing within one
+  iteration of the innermost common loop, computed by the walk of
+  figure 16 (subtracting the durations of right-siblings on the path
+  from the consumer's leaf to the least parent's right child);
+* **size** — the coarse-model array: every token transferred during one
+  live episode (``prod(e)`` times the producer's firings per least-parent
+  body iteration), plus initial tokens, in words;
+* **periods** — the ``(a_i, loop_i)`` pairs of the parent-set nodes with
+  non-unit loop factors (section 8.4).
+
+Edges with initial tokens are handled per section 5: the buffer is live
+from time zero; if its token count never returns to zero within the
+period the lifetime covers the whole schedule.  We use the safe
+envelope: any delayed edge's lifetime is the whole schedule period,
+sized for peak occupancy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..exceptions import ScheduleError
+from ..sdf.graph import Edge, SDFGraph
+from ..sdf.repetitions import repetitions_vector, total_tokens_exchanged
+from ..sdf.schedule import LoopedSchedule
+from .periodic import PeriodicLifetime
+from .schedule_tree import ScheduleTree, ScheduleTreeNode
+
+__all__ = ["extract_lifetimes", "lifetime_for_edge", "LifetimeSet"]
+
+
+@dataclass
+class LifetimeSet:
+    """All buffer lifetimes of a schedule, with shared bookkeeping.
+
+    ``lifetimes`` is keyed by edge key; ``tree`` is the schedule tree
+    the times refer to; ``total_span`` its period in schedule steps.
+    """
+
+    lifetimes: Dict[Tuple[str, str, int], PeriodicLifetime]
+    tree: ScheduleTree
+    total_span: int
+
+    def as_list(self) -> List[PeriodicLifetime]:
+        return list(self.lifetimes.values())
+
+    def total_size(self) -> int:
+        """Sum of buffer sizes — the non-shared cost of these arrays."""
+        return sum(b.size for b in self.lifetimes.values())
+
+
+def extract_lifetimes(
+    graph: SDFGraph,
+    schedule: LoopedSchedule,
+    q: Optional[Dict[str, int]] = None,
+) -> LifetimeSet:
+    """Extract the lifetime of every edge buffer under ``schedule``.
+
+    ``schedule`` must be a single appearance schedule for ``graph``.
+    """
+    tree = ScheduleTree(schedule)
+    missing = [a for a in graph.actor_names() if a not in tree.actors()]
+    if missing:
+        raise ScheduleError(
+            f"schedule does not fire actors {missing!r}"
+        )
+    if q is None:
+        q = repetitions_vector(graph)
+    lifetimes = {
+        e.key: lifetime_for_edge(graph, tree, e, q) for e in graph.edges()
+    }
+    return LifetimeSet(
+        lifetimes=lifetimes, tree=tree, total_span=tree.total_duration()
+    )
+
+
+def lifetime_for_edge(
+    graph: SDFGraph,
+    tree: ScheduleTree,
+    edge: Edge,
+    q: Dict[str, int],
+) -> PeriodicLifetime:
+    """The coarse-model lifetime of the buffer on ``edge``.
+
+    See the module docstring for the construction.  For a delayed edge
+    the safe whole-period envelope is returned.
+    """
+    name = f"{edge.source}->{edge.sink}"
+    if edge.index:
+        name += f"#{edge.index}"
+    span = tree.total_duration()
+    tnse_words = total_tokens_exchanged(edge, q) * edge.token_size
+
+    if edge.delay > 0:
+        # Section 5: an edge with initial tokens is live from the start
+        # of the schedule.  We keep the safe envelope: live all period,
+        # sized for its peak occupancy (transfer per episode + delay).
+        lp = tree.least_parent(edge.source, edge.sink)
+        occurrences = _occurrence_count(lp)
+        size = tnse_words // occurrences + edge.delay * edge.token_size
+        return PeriodicLifetime(
+            name=name,
+            size=size,
+            start=0,
+            duration=span,
+            periods=(),
+            total_span=span,
+        )
+
+    if edge.is_self_loop():
+        raise ScheduleError(
+            f"self-loop {edge} requires initial tokens; delay-free "
+            f"self-loops cannot be scheduled"
+        )
+
+    lp = tree.least_parent(edge.source, edge.sink)
+    start = tree.leaf(edge.source).start
+    stop = _interval_stop_time(tree, lp, edge.sink)
+    if stop <= start:
+        raise ScheduleError(
+            f"edge {edge}: computed stop {stop} <= start {start}; "
+            f"is the schedule's lexical order topological?"
+        )
+
+    producer_firings = tree.invocations_per_iteration(edge.source, lp)
+    size = edge.production * producer_firings * edge.token_size
+
+    periods = []
+    for node in tree.parent_set(edge.source, edge.sink):
+        if node.loop > 1:
+            periods.append((node.body_duration(), node.loop))
+    periods.sort(key=lambda p: p[0])
+
+    return PeriodicLifetime(
+        name=name,
+        size=size,
+        start=start,
+        duration=stop - start,
+        periods=tuple(periods),
+        total_span=span,
+    )
+
+
+def _interval_stop_time(
+    tree: ScheduleTree, least_parent: ScheduleTreeNode, sink: str
+) -> int:
+    """The figure 16 walk: earliest stop time of the buffer interval.
+
+    Starting from the end of the least parent's right child (which
+    includes all its loop iterations), subtract the duration of the
+    right sibling of every node on the path from the sink's leaf up to
+    (but excluding) that right child whenever the path ascends from a
+    left child — the work remaining after the sink's final firing.
+    """
+    right = least_parent.right
+    if right is None:
+        # Least parent is the sink's (and source's) own leaf: impossible
+        # for distinct actors in a SAS.
+        raise ScheduleError("least parent of an edge must be internal")
+    stop = right.stop
+    node = tree.leaf(sink)
+    while node is not right:
+        parent = node.parent
+        if parent is None:
+            raise ScheduleError(
+                f"sink {sink!r} is not under the least parent's right child"
+            )
+        if parent.left is node:
+            stop -= parent.right.dur
+        node = parent
+    return stop
+
+
+def _occurrence_count(node: ScheduleTreeNode) -> int:
+    """Product of ``loop`` factors of ``node`` and its ancestors."""
+    count = node.loop
+    for anc in node.ancestors():
+        count *= anc.loop
+    return count

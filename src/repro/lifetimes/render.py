@@ -1,0 +1,125 @@
+"""ASCII rendering of lifetimes, memory maps, and occupancy profiles.
+
+Text-mode counterparts of the paper's figures, for terminals, logs and
+docstrings:
+
+* :func:`render_timeline` — figure 15/17-style chart: one row per
+  buffer, ``#`` where it is live over one schedule period;
+* :func:`render_memory_map` — the first-fit packing by address range;
+* :func:`render_occupancy` — figure 3-style profile: total live words
+  per schedule step under the coarse model;
+* :func:`render_schedule_tree` — the binary tree of section 8.1 with
+  loop factors and durations.
+
+All functions return strings (no printing) so they compose with
+reports and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..allocation.first_fit import Allocation
+from .intervals import LifetimeSet
+from .periodic import PeriodicLifetime
+from .schedule_tree import ScheduleTree, ScheduleTreeNode
+
+__all__ = [
+    "render_timeline",
+    "render_memory_map",
+    "render_occupancy",
+    "render_schedule_tree",
+]
+
+
+def render_timeline(
+    lifetimes: LifetimeSet, width: int = 64, label_width: int = 24
+) -> str:
+    """One ``#``-bar row per buffer over one schedule period."""
+    span = max(lifetimes.total_span, 1)
+    lines = [
+        f"buffer lifetimes over one period ({lifetimes.total_span} steps):"
+    ]
+    for lifetime in lifetimes.as_list():
+        row = ["."] * width
+        for start, stop in lifetime.intervals():
+            lo = int(start * width / span)
+            hi = max(lo + 1, -(-stop * width // span))
+            for x in range(lo, min(hi, width)):
+                row[x] = "#"
+        label = f"{lifetime.name} ({lifetime.size}w)"
+        lines.append(f"{label:>{label_width}} |{''.join(row)}|")
+    return "\n".join(lines)
+
+
+def render_memory_map(
+    lifetimes: LifetimeSet, allocation: Allocation, label_width: int = 24
+) -> str:
+    """Buffers by ascending address range in the shared pool."""
+    lines = [f"memory map ({allocation.total} words):"]
+    rows = sorted(
+        (
+            (allocation.offsets[b.name], b.size, b.name)
+            for b in lifetimes.as_list()
+            if b.size > 0
+        )
+    )
+    for offset, size, name in rows:
+        span = f"[{offset:>6} .. {offset + size - 1:>6}]"
+        lines.append(f"{span} {name} ({size}w)")
+    return "\n".join(lines)
+
+
+def render_occupancy(
+    lifetimes: LifetimeSet, width: int = 64, height: int = 10
+) -> str:
+    """Coarse-model live-word total per schedule step, as a bar chart."""
+    span = max(lifetimes.total_span, 1)
+    occupancy = [0] * span
+    for lifetime in lifetimes.as_list():
+        for start, stop in lifetime.intervals():
+            for t in range(max(start, 0), min(stop, span)):
+                occupancy[t] += lifetime.size
+    peak = max(occupancy) if occupancy else 0
+    if peak == 0:
+        return "occupancy: (no live buffers)"
+    # Downsample to `width` columns (max within each bucket).
+    columns = []
+    for x in range(min(width, span)):
+        lo = x * span // min(width, span)
+        hi = max(lo + 1, (x + 1) * span // min(width, span))
+        columns.append(max(occupancy[lo:hi]))
+    lines = [f"live words per step (peak {peak}):"]
+    for level in range(height, 0, -1):
+        threshold = peak * level / height
+        row = "".join("#" if c >= threshold else " " for c in columns)
+        lines.append(f"{int(threshold):>6} |{row}")
+    lines.append(" " * 7 + "+" + "-" * len(columns))
+    return "\n".join(lines)
+
+
+def render_schedule_tree(tree: ScheduleTree) -> str:
+    """Indented dump of the binary schedule tree with dur/start/stop."""
+    lines: List[str] = [f"schedule tree for {tree.schedule}:"]
+
+    def walk(node: ScheduleTreeNode, depth: int) -> None:
+        pad = "  " * depth
+        if node.is_leaf():
+            label = (
+                f"{node.residual}{node.actor}"
+                if node.residual != 1
+                else node.actor
+            )
+            lines.append(
+                f"{pad}{label}  [start={node.start}, stop={node.stop}]"
+            )
+            return
+        lines.append(
+            f"{pad}loop x{node.loop}  [dur={node.dur}, "
+            f"start={node.start}, stop={node.stop}]"
+        )
+        walk(node.left, depth + 1)
+        walk(node.right, depth + 1)
+
+    walk(tree.root, 1)
+    return "\n".join(lines)

@@ -1,0 +1,44 @@
+"""Scheduling algorithms: DPPO, SDPPO, chain DP, APGAN, RPMC, pipeline."""
+
+from .common import ChainContext, SplitTable, build_schedule_from_splits
+from .dppo import DPPOResult, dppo
+from .sdppo import SDPPOResult, sdppo
+from .chain_sdppo import ChainSDPPOResult, CostTriple, chain_sdppo, combine_triples
+from .apgan import APGANResult, apgan
+from .rpmc import RPMCResult, rpmc
+from .pipeline import BestResult, ImplementationResult, implement, implement_best
+from .cyclic import (
+    CyclicScheduleResult,
+    cluster_cycles,
+    schedule_cyclic,
+    strongly_connected_components,
+)
+from .exhaustive import OptimalSASResult, optimal_sas
+
+__all__ = [
+    "OptimalSASResult",
+    "optimal_sas",
+    "CyclicScheduleResult",
+    "cluster_cycles",
+    "schedule_cyclic",
+    "strongly_connected_components",
+    "ChainContext",
+    "SplitTable",
+    "build_schedule_from_splits",
+    "DPPOResult",
+    "dppo",
+    "SDPPOResult",
+    "sdppo",
+    "ChainSDPPOResult",
+    "CostTriple",
+    "chain_sdppo",
+    "combine_triples",
+    "APGANResult",
+    "apgan",
+    "RPMCResult",
+    "rpmc",
+    "ImplementationResult",
+    "BestResult",
+    "implement",
+    "implement_best",
+]

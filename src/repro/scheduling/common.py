@@ -1,0 +1,227 @@
+"""Shared infrastructure for the dynamic-programming schedulers.
+
+Both DPPO (non-shared model, section 4) and SDPPO (shared model,
+section 5) run the same bottom-up DP over a fixed lexical order
+``(A_1, ..., A_n)``: they differ only in how the costs of the two halves
+of a split combine.  This module provides the common machinery:
+
+* :class:`ChainContext` — the lexical order, repetitions, per-window
+  gcds ``g[i][j] = gcd(q_i..q_j)``, and incremental split-crossing cost
+  sums (EQ 3/4);
+* :func:`build_schedule_from_splits` — reconstruct the nested looped
+  schedule from a table of optimal split points, applying the factoring
+  decision recorded per window.
+
+Positions are 0-based; a *window* ``(i, j)`` covers actors
+``order[i] .. order[j]`` inclusive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import gcd
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import GraphStructureError, ScheduleError
+from ..sdf.graph import Edge, SDFGraph
+from ..sdf.repetitions import repetitions_vector, total_tokens_exchanged
+from ..sdf.schedule import Firing, Loop, LoopedSchedule, ScheduleNode
+from ..sdf.topsort import is_topological_order
+
+__all__ = ["ChainContext", "build_schedule_from_splits", "SplitTable"]
+
+
+class ChainContext:
+    """Precomputed quantities for DP over a lexical order.
+
+    Parameters
+    ----------
+    graph:
+        A consistent SDF graph.  For single appearance schedules to be
+        valid the graph restricted to the order must be acyclic and the
+        order topological; this is checked unless ``trusted=True``.
+    order:
+        The lexical order (a topological sort of the actors).
+    """
+
+    def __init__(
+        self,
+        graph: SDFGraph,
+        order: Sequence[str],
+        q: Optional[Dict[str, int]] = None,
+        trusted: bool = False,
+    ) -> None:
+        if sorted(order) != sorted(graph.actor_names()):
+            raise GraphStructureError(
+                "lexical order must contain each actor exactly once"
+            )
+        if not trusted and not is_topological_order(graph, order):
+            raise GraphStructureError(
+                f"order {list(order)!r} is not a topological sort of "
+                f"{graph.name!r}; a single appearance schedule with this "
+                f"lexical order would deadlock"
+            )
+        self.graph = graph
+        self.order: List[str] = list(order)
+        self.n = len(self.order)
+        self.q = q if q is not None else repetitions_vector(graph)
+        self.position = {a: i for i, a in enumerate(self.order)}
+
+        # g[i][j] = gcd(q_i, ..., q_j), stored as list of lists where
+        # row i holds gcds for windows starting at i.
+        self._g: List[List[int]] = []
+        for i in range(self.n):
+            row = [0] * self.n
+            acc = 0
+            for j in range(i, self.n):
+                acc = gcd(acc, self.q[self.order[j]])
+                row[j] = acc
+            self._g.append(row)
+
+        # Per-edge data keyed by (source position, sink position), with
+        # parallel edges aggregated.  tnse_w is in words.
+        self._edges_by_pos: Dict[Tuple[int, int], List[Edge]] = {}
+        for e in graph.edges():
+            ps, pt = self.position[e.source], self.position[e.sink]
+            self._edges_by_pos.setdefault((ps, pt), []).append(e)
+
+        # Outgoing / incoming edge positions for incremental crossing sums.
+        self._out_pos: List[List[Tuple[int, int, int]]] = [
+            [] for _ in range(self.n)
+        ]  # per source position: (sink position, tnse_w, delay_w)
+        self._in_pos: List[List[Tuple[int, int, int]]] = [
+            [] for _ in range(self.n)
+        ]  # per sink position: (source position, tnse_w, delay_w)
+        for (ps, pt), edges in self._edges_by_pos.items():
+            tw = sum(
+                total_tokens_exchanged(e, self.q) * e.token_size for e in edges
+            )
+            dw = sum(e.delay * e.token_size for e in edges)
+            self._out_pos[ps].append((pt, tw, dw))
+            self._in_pos[pt].append((ps, tw, dw))
+
+    # ------------------------------------------------------------------
+    def window_gcd(self, i: int, j: int) -> int:
+        """``g_ij = gcd(q(A_i), ..., q(A_j))``."""
+        return self._g[i][j]
+
+    def actor(self, i: int) -> str:
+        return self.order[i]
+
+    def rep(self, i: int) -> int:
+        return self.q[self.order[i]]
+
+    def crossing_cost(self, i: int, j: int, k: int) -> int:
+        """``c_ij[k]`` (EQ 3): buffer words on edges crossing split ``k``.
+
+        Sum over edges with source in window positions ``[i, k]`` and
+        sink in ``[k+1, j]`` of ``TNSE(e)/g_ij`` words, plus the edges'
+        initial-token words (a delayed crossing buffer additionally holds
+        its ``del(e)`` tokens at the peak).
+        """
+        g = self._g[i][j]
+        total = 0
+        for ps in range(i, k + 1):
+            for pt, tw, dw in self._out_pos[ps]:
+                if k + 1 <= pt <= j:
+                    total += tw // g + dw
+        return total
+
+    def crossing_costs_for_window(self, i: int, j: int) -> List[int]:
+        """``[c_ij[k] for k in i..j-1]`` computed incrementally in O(deg)."""
+        g = self._g[i][j]
+        costs = []
+        current = 0
+        # k = i: edges leaving position i into (i, j].
+        for pt, tw, dw in self._out_pos[i]:
+            if i < pt <= j:
+                current += tw // g + dw
+        costs.append(current)
+        for k in range(i + 1, j):
+            # Window's split advances from k-1 to k: edges out of k that
+            # land in (k, j] start crossing; edges into k from [i, k)
+            # stop crossing.
+            for pt, tw, dw in self._out_pos[k]:
+                if k < pt <= j:
+                    current += tw // g + dw
+            for ps, tw, dw in self._in_pos[k]:
+                if i <= ps < k:
+                    current -= tw // g + dw
+            costs.append(current)
+        return costs
+
+    def has_crossing_edge(self, i: int, j: int, k: int) -> bool:
+        """True if any edge crosses split ``k`` of window ``(i, j)``.
+
+        These are the *internal edges* of the merge in the factoring
+        heuristic of section 5.1.
+        """
+        for ps in range(i, k + 1):
+            for pt, _, _ in self._out_pos[ps]:
+                if k + 1 <= pt <= j:
+                    return True
+        return False
+
+    def single_crossing_edge_cost(self, i: int, j: int, k: int) -> int:
+        """Crossing cost when the graph is a chain: the one edge (k, k+1)."""
+        g = self._g[i][j]
+        total = 0
+        for pt, tw, dw in self._out_pos[k]:
+            if pt == k + 1:
+                total += tw // g + dw
+        return total
+
+
+@dataclass
+class SplitTable:
+    """Optimal split points and factoring decisions from a DP run.
+
+    ``split[(i, j)]`` is the chosen ``k`` for window ``(i, j)``;
+    ``factored[(i, j)]`` records whether the merge at that window
+    introduced a common loop factor (always true for DPPO; per the
+    section 5.1 heuristic for SDPPO).
+    """
+
+    split: Dict[Tuple[int, int], int]
+    factored: Dict[Tuple[int, int], bool]
+
+
+def build_schedule_from_splits(
+    context: ChainContext, table: SplitTable
+) -> LoopedSchedule:
+    """Reconstruct the nested SAS from a split table (section 4).
+
+    The window ``(i, j)`` executes ``g_ij`` times per schedule period;
+    nested inside an enclosing loop that already supplies
+    ``enclosing`` iterations, its own loop factor is
+    ``g_ij / enclosing`` when factored, and 1 when the factoring
+    heuristic declined to factor (children then keep their own factors
+    relative to ``enclosing``).
+    """
+
+    def build(i: int, j: int, enclosing: int) -> ScheduleNode:
+        if i == j:
+            count = context.rep(i) // enclosing
+            return Firing(context.actor(i), count)
+        key = (i, j)
+        if key not in table.split:
+            raise ScheduleError(f"split table missing window {key}")
+        k = table.split[key]
+        if table.factored.get(key, True):
+            g = context.window_gcd(i, j)
+            factor = g // enclosing
+            inner = g
+        else:
+            factor = 1
+            inner = enclosing
+        left = build(i, k, inner)
+        right = build(k + 1, j, inner)
+        if factor == 1:
+            # Avoid spurious unit loops; keep the tree binary by using a
+            # unit Loop only when a child is itself a bare multi-node —
+            # here children are single nodes, so inline them.
+            return Loop(1, (left, right))
+        return Loop(factor, (left, right))
+
+    root = build(0, context.n - 1, 1)
+    return LoopedSchedule([root]).normalized()

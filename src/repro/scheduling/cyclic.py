@@ -1,0 +1,256 @@
+"""Scheduling cyclic SDF graphs (substrate from reference [3], section 7).
+
+The paper's flow — topological sort, SAS, DPPO — assumes an acyclic
+graph.  General SDF graphs have feedback loops; the standard treatment
+(Bhattacharyya, Murthy & Lee [3]) decomposes the graph into strongly
+connected components, schedules each SCC internally (possible iff its
+initial tokens break the cyclic dependency), clusters each SCC into a
+single composite actor, and runs the acyclic machinery on the quotient
+graph.  Code size stays near-minimal: each actor still appears once,
+inside its SCC's subschedule, which appears once in the top-level SAS.
+
+This module provides:
+
+* :func:`strongly_connected_components` — Tarjan's algorithm;
+* :func:`cluster_cycles` — the quotient graph plus per-SCC metadata;
+* :func:`schedule_cyclic` — the full flow: quotient SAS through
+  DPPO/SDPPO with composite actors expanded back into per-SCC
+  subschedules built by greedy symbolic execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import gcd
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import GraphStructureError, InconsistentGraphError
+from ..sdf.graph import SDFGraph
+from ..sdf.repetitions import repetitions_vector
+from ..sdf.schedule import Firing, Loop, LoopedSchedule, ScheduleNode
+from ..sdf.simulate import validate_schedule
+from .dppo import dppo
+from .sdppo import sdppo
+
+__all__ = [
+    "strongly_connected_components",
+    "cluster_cycles",
+    "schedule_cyclic",
+    "CyclicScheduleResult",
+]
+
+
+def strongly_connected_components(graph: SDFGraph) -> List[List[str]]:
+    """Tarjan's SCC algorithm; components in reverse topological order
+    of the condensation, members in visitation order."""
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Dict[str, bool] = {}
+    stack: List[str] = []
+    components: List[List[str]] = []
+    counter = [0]
+
+    def strongconnect(root: str) -> None:
+        # Iterative Tarjan to survive deep graphs.
+        work: List[Tuple[str, int]] = [(root, 0)]
+        while work:
+            node, child_index = work[-1]
+            if child_index == 0:
+                index[node] = lowlink[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack[node] = True
+            advanced = False
+            successors = graph.successors(node)
+            for position in range(child_index, len(successors)):
+                succ = successors[position]
+                if succ not in index:
+                    work[-1] = (node, position + 1)
+                    work.append((succ, 0))
+                    advanced = True
+                    break
+                if on_stack.get(succ):
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            if lowlink[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+
+    for actor in graph.actor_names():
+        if actor not in index:
+            strongconnect(actor)
+    return components
+
+
+@dataclass
+class ClusteredCycles:
+    """The acyclic quotient of a cyclic graph.
+
+    ``quotient`` has one actor per SCC (named ``scc0``, ``scc1``, ... for
+    multi-actor components, the original name for trivial ones);
+    ``members`` maps quotient actor names to original actor lists;
+    ``subschedules`` holds each multi-actor SCC's internal schedule for
+    one firing of its composite actor.
+    """
+
+    quotient: SDFGraph
+    members: Dict[str, List[str]]
+    subschedules: Dict[str, LoopedSchedule]
+
+
+def cluster_cycles(graph: SDFGraph) -> ClusteredCycles:
+    """Cluster each SCC into a composite actor; quotient is acyclic.
+
+    Each multi-actor SCC must be internally schedulable using only its
+    own initial tokens (otherwise no valid schedule exists at all).  The
+    composite fires ``g = gcd(q | SCC)`` times per period; one firing
+    runs each member ``q / g`` times.
+
+    Raises
+    ------
+    InconsistentGraphError
+        If some SCC deadlocks internally.
+    """
+    q = repetitions_vector(graph)
+    components = strongly_connected_components(graph)
+    members: Dict[str, List[str]] = {}
+    composite_of: Dict[str, str] = {}
+    subschedules: Dict[str, LoopedSchedule] = {}
+    composite_reps: Dict[str, int] = {}
+
+    next_id = 0
+    for component in components:
+        if len(component) == 1 and not any(
+            e.sink == component[0]
+            for e in graph.out_edges(component[0])
+        ):
+            name = component[0]
+            members[name] = component
+            composite_of[component[0]] = name
+            composite_reps[name] = q[component[0]]
+            continue
+        name = f"scc{next_id}"
+        next_id += 1
+        members[name] = list(component)
+        for actor in component:
+            composite_of[actor] = name
+        g = 0
+        for actor in component:
+            g = gcd(g, q[actor])
+        composite_reps[name] = g
+        # Internal schedule for ONE composite firing: each member fires
+        # q/g times, enabled only by the SCC's own initial tokens.
+        sub = graph.subgraph(component, name=name)
+        inner_q = {a: q[a] // g for a in component}
+        subschedules[name] = _scc_subschedule(sub, inner_q)
+
+    quotient = SDFGraph(f"{graph.name}_quotient")
+    for name, reps in composite_reps.items():
+        quotient.add_actor(name)
+    for e in graph.edges():
+        cu, cv = composite_of[e.source], composite_of[e.sink]
+        if cu == cv:
+            continue  # internal to an SCC
+        # Per composite firing: source side moves prod * (q_src / g_src)
+        # tokens, sink side cns * (q_snk / g_snk).
+        prod = e.production * (q[e.source] // composite_reps[cu])
+        cns = e.consumption * (q[e.sink] // composite_reps[cv])
+        quotient.add_edge(cu, cv, prod, cns, e.delay, e.token_size)
+    if not quotient.is_acyclic():
+        raise GraphStructureError(
+            "SCC quotient is cyclic — internal error in clustering"
+        )
+    return ClusteredCycles(
+        quotient=quotient, members=members, subschedules=subschedules
+    )
+
+
+def _scc_subschedule(sub: SDFGraph, inner_q: Dict[str, int]) -> LoopedSchedule:
+    """Greedy symbolic execution of one composite firing of an SCC."""
+    tokens = {e.key: e.delay for e in sub.edges()}
+    remaining = dict(inner_q)
+    firings: List[str] = []
+
+    def can_fire(a: str) -> bool:
+        return remaining[a] > 0 and all(
+            tokens[e.key] >= e.consumption for e in sub.in_edges(a)
+        )
+
+    total = sum(inner_q.values())
+    while len(firings) < total:
+        fired = False
+        for a in sub.actor_names():
+            if can_fire(a):
+                for e in sub.in_edges(a):
+                    tokens[e.key] -= e.consumption
+                for e in sub.out_edges(a):
+                    tokens[e.key] += e.production
+                remaining[a] -= 1
+                firings.append(a)
+                fired = True
+        if not fired:
+            raise InconsistentGraphError(
+                f"strongly connected component {sub.name!r} deadlocks: "
+                f"insufficient initial tokens on its feedback edges",
+                kind="deadlock",
+            )
+    return LoopedSchedule([Firing(a) for a in firings])
+
+
+@dataclass
+class CyclicScheduleResult:
+    """A schedule for a cyclic graph plus its quotient bookkeeping."""
+
+    schedule: LoopedSchedule
+    clustered: ClusteredCycles
+    quotient_schedule: LoopedSchedule
+
+
+def schedule_cyclic(
+    graph: SDFGraph, shared: bool = True
+) -> CyclicScheduleResult:
+    """Schedule an arbitrary consistent SDF graph.
+
+    Acyclic graphs pass straight through DPPO/SDPPO.  Cyclic graphs are
+    SCC-clustered; the quotient's SAS is post-optimized (shared or
+    non-shared objective) and composite firings are expanded into the
+    per-SCC subschedules.  The result is validated by token simulation
+    before being returned.
+    """
+    clustered = cluster_cycles(graph)
+    quotient = clustered.quotient
+    order = quotient.topological_order()
+    optimizer = sdppo if shared else dppo
+    quotient_schedule = optimizer(quotient, order).schedule
+
+    def expand(node: ScheduleNode) -> ScheduleNode:
+        if isinstance(node, Firing):
+            sub = clustered.subschedules.get(node.actor)
+            if sub is None:
+                return node
+            body = tuple(sub.body)
+            if len(body) == 1 and node.count == 1:
+                return body[0]
+            return Loop(node.count, body)
+        return Loop(node.count, tuple(expand(child) for child in node.body))
+
+    expanded = LoopedSchedule(
+        [expand(node) for node in quotient_schedule.body]
+    ).normalized()
+    validate_schedule(graph, expanded)
+    return CyclicScheduleResult(
+        schedule=expanded,
+        clustered=clustered,
+        quotient_schedule=quotient_schedule,
+    )

@@ -1,0 +1,102 @@
+"""Exact optimal SAS search for small graphs (section 7 context).
+
+Constructing buffer-optimal single appearance schedules is NP-complete
+under both buffer models (the paper, citing [3]), which is why RPMC and
+APGAN exist.  For *small* graphs the optimum is computable outright:
+the class of SASs for a delayless acyclic graph is exactly {topological
+sort} x {loop hierarchy}, the hierarchy optimum for a fixed sort is
+what DPPO/SDPPO compute, and topological sorts can be enumerated.
+
+:func:`optimal_sas` therefore minimizes the chosen objective over every
+topological sort — an exact oracle against which the heuristics'
+optimality gap is measured (``experiments/optimality_gap.py``).
+
+Objectives:
+
+* ``"nonshared"`` — DPPO cost (order-optimal is exact per sort, so the
+  result is the true buffer-optimal SAS);
+* ``"shared"``   — first-fit allocation total over the SDPPO schedule
+  (exact enumeration of sorts, heuristic nesting/packing per sort —
+  the same inner flow the heuristic sorts get, so the comparison
+  isolates the *topological sort* quality).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..exceptions import GraphStructureError
+from ..sdf.graph import SDFGraph
+from ..sdf.schedule import LoopedSchedule
+from ..sdf.topsort import all_topological_sorts, count_topological_sorts
+from .dppo import dppo
+from .pipeline import implement
+
+__all__ = ["OptimalSASResult", "optimal_sas"]
+
+
+@dataclass
+class OptimalSASResult:
+    """The exact optimum over all topological sorts."""
+
+    cost: int
+    order: List[str]
+    schedule: LoopedSchedule
+    sorts_examined: int
+    objective: str
+
+
+def optimal_sas(
+    graph: SDFGraph,
+    objective: str = "nonshared",
+    max_sorts: int = 50_000,
+    occurrence_cap: int = 4096,
+) -> OptimalSASResult:
+    """Minimize ``objective`` over every topological sort of ``graph``.
+
+    Raises
+    ------
+    GraphStructureError
+        If the graph has more than ``max_sorts`` topological sorts
+        (checked up front via the counting DP) or is cyclic.
+    """
+    if objective not in ("nonshared", "shared"):
+        raise GraphStructureError(f"unknown objective {objective!r}")
+    total = count_topological_sorts(graph)
+    if total > max_sorts:
+        raise GraphStructureError(
+            f"graph {graph.name!r} has {total} topological sorts; "
+            f"exceeds max_sorts={max_sorts}"
+        )
+
+    best_cost: Optional[int] = None
+    best_order: List[str] = []
+    best_schedule: Optional[LoopedSchedule] = None
+    examined = 0
+    for order in all_topological_sorts(graph):
+        examined += 1
+        if objective == "nonshared":
+            result = dppo(graph, order)
+            cost, schedule = result.cost, result.schedule
+        else:
+            result = implement(
+                graph,
+                order=order,
+                occurrence_cap=occurrence_cap,
+                verify=False,
+            )
+            cost, schedule = result.best_shared_total, result.sdppo_schedule
+        if best_cost is None or cost < best_cost:
+            best_cost = cost
+            best_order = order
+            best_schedule = schedule
+    if best_schedule is None:  # pragma: no cover - empty graphs rejected
+        raise GraphStructureError("graph has no topological sorts")
+    return OptimalSASResult(
+        cost=best_cost,
+        order=best_order,
+        schedule=best_schedule,
+        sorts_examined=examined,
+        objective=objective,
+    )

@@ -1,0 +1,207 @@
+"""The end-to-end compiler flow of the paper (figure 21).
+
+For a consistent acyclic SDF graph:
+
+1. generate a topological sort with RPMC or APGAN (section 7);
+2. post-optimize its flat SAS with DPPO (non-shared cost, the baseline)
+   and with SDPPO (shared cost; the precise chain DP when the graph is a
+   chain);
+3. extract buffer lifetimes from the SDPPO schedule (section 8);
+4. compute the optimistic/pessimistic clique-weight bounds;
+5. allocate with first-fit under both orderings (``ffdur``, ``ffstart``)
+   and verify the winner.
+
+:func:`implement` runs the flow for one topological-sort method;
+:func:`implement_best` runs both methods and both orderings, reproducing
+exactly the comparison columns of Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import GraphStructureError
+from ..sdf.bounds import bmlb
+from ..sdf.graph import SDFGraph
+from ..sdf.repetitions import repetitions_vector
+from ..sdf.schedule import LoopedSchedule
+from ..lifetimes.intervals import LifetimeSet, extract_lifetimes
+from ..allocation.clique import mcw_optimistic, mcw_pessimistic
+from ..allocation.first_fit import Allocation, ffdur, ffstart
+from ..allocation.intersection_graph import build_intersection_graph
+from ..allocation.verify import verify_allocation
+from .apgan import apgan
+from .chain_sdppo import chain_sdppo
+from .dppo import dppo
+from .rpmc import rpmc
+from .sdppo import sdppo
+
+__all__ = ["ImplementationResult", "implement", "implement_best", "BestResult"]
+
+
+@dataclass
+class ImplementationResult:
+    """Everything the flow produces for one topological-sort method.
+
+    Sizes are in words.  ``allocation`` is the better of the two
+    first-fit runs (verified feasible); ``ffdur_total``/``ffstart_total``
+    are the individual totals reported in Table 1.
+    """
+
+    method: str
+    order: List[str]
+    dppo_cost: int
+    dppo_schedule: LoopedSchedule
+    sdppo_cost: int
+    sdppo_schedule: LoopedSchedule
+    lifetimes: LifetimeSet
+    mco: int
+    mcp: int
+    ffdur_total: int
+    ffstart_total: int
+    allocation: Allocation
+    bmlb: int
+
+    @property
+    def best_shared_total(self) -> int:
+        return min(self.ffdur_total, self.ffstart_total)
+
+    @property
+    def improvement_percent(self) -> float:
+        """Shared improvement over this method's own non-shared DPPO."""
+        if self.dppo_cost == 0:
+            return 0.0
+        return 100.0 * (self.dppo_cost - self.best_shared_total) / self.dppo_cost
+
+
+def _topological_order_for(
+    graph: SDFGraph, method: str, seed: int
+) -> List[str]:
+    if method == "rpmc":
+        return rpmc(graph, seed=seed).order
+    if method == "apgan":
+        return apgan(graph).order
+    if method == "natural":
+        return graph.topological_order()
+    raise GraphStructureError(
+        f"unknown topological sort method {method!r}; "
+        f"expected 'rpmc', 'apgan' or 'natural'"
+    )
+
+
+def implement(
+    graph: SDFGraph,
+    method: str = "rpmc",
+    order: Optional[Sequence[str]] = None,
+    seed: int = 0,
+    use_chain_dp: bool = True,
+    occurrence_cap: int = 4096,
+    verify: bool = True,
+) -> ImplementationResult:
+    """Run the full flow with one topological-sort method.
+
+    Parameters
+    ----------
+    method:
+        ``"rpmc"``, ``"apgan"``, or ``"natural"`` (the deterministic
+        topological order; useful as a naive baseline).  Ignored when an
+        explicit ``order`` is supplied (reported as ``"given"``).
+    use_chain_dp:
+        Use the precise triple DP of section 6 when the graph is
+        chain-structured (falls back to EQ 5's heuristic otherwise).
+    occurrence_cap:
+        Cap on periodic-occurrence enumeration in intersection tests.
+    verify:
+        Independently verify the winning allocation (definition 5).
+    """
+    q = repetitions_vector(graph)
+    if order is not None:
+        chosen = list(order)
+        method = "given"
+    else:
+        chosen = _topological_order_for(graph, method, seed)
+
+    dppo_result = dppo(graph, chosen, q)
+    if use_chain_dp and graph.chain_order() is not None:
+        chain_result = chain_sdppo(graph, q=q)
+        sdppo_cost, sdppo_schedule = chain_result.cost, chain_result.schedule
+    else:
+        sdppo_result = sdppo(graph, chosen, q)
+        sdppo_cost, sdppo_schedule = sdppo_result.cost, sdppo_result.schedule
+
+    lifetimes = extract_lifetimes(graph, sdppo_schedule, q)
+    buffers = lifetimes.as_list()
+    wig = build_intersection_graph(buffers, occurrence_cap=occurrence_cap)
+    alloc_dur = ffdur(buffers, graph=wig, occurrence_cap=occurrence_cap)
+    alloc_start = ffstart(buffers, graph=wig, occurrence_cap=occurrence_cap)
+    best = alloc_dur if alloc_dur.total <= alloc_start.total else alloc_start
+    if verify:
+        verify_allocation(buffers, best, occurrence_cap=occurrence_cap)
+
+    return ImplementationResult(
+        method=method,
+        order=chosen,
+        dppo_cost=dppo_result.cost,
+        dppo_schedule=dppo_result.schedule,
+        sdppo_cost=sdppo_cost,
+        sdppo_schedule=sdppo_schedule,
+        lifetimes=lifetimes,
+        mco=mcw_optimistic(buffers),
+        mcp=mcw_pessimistic(buffers),
+        ffdur_total=alloc_dur.total,
+        ffstart_total=alloc_start.total,
+        allocation=best,
+        bmlb=bmlb(graph),
+    )
+
+
+@dataclass
+class BestResult:
+    """The Table 1 comparison: RPMC and APGAN flows side by side."""
+
+    rpmc: ImplementationResult
+    apgan: ImplementationResult
+
+    @property
+    def best_nonshared(self) -> int:
+        """``MIN(dppo(R), dppo(A))``."""
+        return min(self.rpmc.dppo_cost, self.apgan.dppo_cost)
+
+    @property
+    def best_shared(self) -> int:
+        """``MIN(ffdur(R), ffstart(R), ffdur(A), ffstart(A))``."""
+        return min(
+            self.rpmc.ffdur_total,
+            self.rpmc.ffstart_total,
+            self.apgan.ffdur_total,
+            self.apgan.ffstart_total,
+        )
+
+    @property
+    def improvement_percent(self) -> float:
+        """The paper's last Table 1 column."""
+        base = self.best_nonshared
+        if base == 0:
+            return 0.0
+        return 100.0 * (base - self.best_shared) / base
+
+
+def implement_best(
+    graph: SDFGraph,
+    seed: int = 0,
+    use_chain_dp: bool = True,
+    occurrence_cap: int = 4096,
+    verify: bool = True,
+) -> BestResult:
+    """Run both topological-sort methods; the Table 1 row for a system."""
+    return BestResult(
+        rpmc=implement(
+            graph, "rpmc", seed=seed, use_chain_dp=use_chain_dp,
+            occurrence_cap=occurrence_cap, verify=verify,
+        ),
+        apgan=implement(
+            graph, "apgan", seed=seed, use_chain_dp=use_chain_dp,
+            occurrence_cap=occurrence_cap, verify=verify,
+        ),
+    )

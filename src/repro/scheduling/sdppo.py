@@ -1,0 +1,132 @@
+"""SDPPO: DPPO for the shared (coarse-grained) buffer model (section 5).
+
+Under the coarse shared-buffer model, a buffer on an edge is an array
+holding all tokens transferred during one live episode; disjoint-lifetime
+arrays can overlay each other in memory.  SDPPO post-optimizes a lexical
+order with the shared cost as objective (EQ 5):
+
+    bufmem[i, j] = min_k  max(bufmem[i, k], bufmem[k+1, j]) + c_ij[k]
+
+The intuition (figure 5): buffers entirely on the left of a split are
+never live at the same time as buffers entirely on the right, so only
+the larger side matters; the split-crossing buffers are live across both
+and are added in full.
+
+Factoring heuristic (section 5.1): factoring the gcd loop out of a
+split-merge shrinks the crossing buffers but forces the left side's
+input buffers to overlap the right side's output buffers.  Following the
+paper, we factor exactly when the merge has internal (split-crossing)
+edges, and leave the halves as consecutive unfactored loops otherwise.
+
+The resulting ``bufmem[0, n-1]`` is the paper's ``sdppo`` *estimate*
+(Table 1 columns ``sdppo(R)``/``sdppo(A)``); the actual memory usage is
+determined afterwards by lifetime extraction and first-fit allocation,
+and is typically within a few percent of the estimate (figure 27(d)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..sdf.graph import SDFGraph
+from ..sdf.schedule import LoopedSchedule
+from .common import ChainContext, SplitTable, build_schedule_from_splits
+
+__all__ = ["SDPPOResult", "sdppo"]
+
+
+@dataclass
+class SDPPOResult:
+    """Outcome of an SDPPO run.
+
+    ``cost`` is the shared-model buffer memory *estimate* in words;
+    ``schedule`` the chosen nested SAS; ``table`` the DP cost table;
+    ``factored`` the per-window factoring decisions.
+    """
+
+    cost: int
+    schedule: LoopedSchedule
+    order: List[str]
+    table: Dict[Tuple[int, int], int]
+    factored: Dict[Tuple[int, int], bool]
+
+
+def sdppo(
+    graph: SDFGraph,
+    order: Sequence[str],
+    q: Optional[Dict[str, int]] = None,
+    factoring: str = "auto",
+) -> SDPPOResult:
+    """Shared-buffer-optimized SAS over a fixed lexical order (EQ 5).
+
+    O(n^3).  The cost of a one-actor window is zero (a single actor has
+    no internal buffers).
+
+    ``factoring`` selects the section 5.1 policy: ``"auto"`` (the
+    paper's heuristic — factor iff the merge has internal edges),
+    ``"always"``, or ``"never"``.  The non-default policies exist for
+    the ablation study (``benchmarks/bench_ablations.py``): figure 7
+    shows either extreme can lose.
+
+    Examples
+    --------
+    The paper's figure 6 intuition: sharing takes the max of the two
+    sides rather than their sum, so deep chains cost only their widest
+    cut plus the crossing buffers along the way.
+
+        >>> from repro.sdf.graph import SDFGraph
+        >>> g = SDFGraph()
+        >>> _ = g.add_actors("ABC")
+        >>> _ = g.add_edge("A", "B", 10, 2)
+        >>> _ = g.add_edge("B", "C", 2, 3)
+        >>> result = sdppo(g, ["A", "B", "C"])
+        >>> result.cost <= 36
+        True
+    """
+    if factoring not in ("auto", "always", "never"):
+        raise ValueError(f"unknown factoring policy {factoring!r}")
+    context = ChainContext(graph, order, q)
+    n = context.n
+    b: Dict[Tuple[int, int], int] = {}
+    split: Dict[Tuple[int, int], int] = {}
+    factored: Dict[Tuple[int, int], bool] = {}
+    for i in range(n):
+        b[(i, i)] = 0
+    for length in range(2, n + 1):
+        for i in range(0, n - length + 1):
+            j = i + length - 1
+            costs = context.crossing_costs_for_window(i, j)
+            best = None
+            best_k = i
+            best_factored = True
+            for k in range(i, j):
+                cross = costs[k - i]
+                candidate = max(b[(i, k)], b[(k + 1, j)]) + cross
+                if best is None or candidate < best:
+                    best = candidate
+                    best_k = k
+                    # Section 5.1 heuristic: factor iff the merge has
+                    # internal edges.  Crossing costs are strictly
+                    # positive whenever a crossing edge exists, so a
+                    # zero cost means the halves are independent; keep
+                    # them unfactored so their buffers stay disjoint
+                    # (figure 7(a) vs 7(b)).
+                    if factoring == "auto":
+                        best_factored = cross > 0
+                    else:
+                        best_factored = factoring == "always"
+            b[(i, j)] = best if best is not None else 0
+            split[(i, j)] = best_k
+            factored[(i, j)] = best_factored
+
+    schedule = build_schedule_from_splits(
+        context, SplitTable(split=split, factored=factored)
+    )
+    return SDPPOResult(
+        cost=b[(0, n - 1)],
+        schedule=schedule,
+        order=list(order),
+        table=b,
+        factored=factored,
+    )

@@ -1,0 +1,99 @@
+"""SDF model substrate: graphs, repetitions, schedules, simulation, bounds."""
+
+from .graph import Actor, Edge, SDFGraph
+from .repetitions import (
+    is_consistent,
+    repetitions_vector,
+    total_tokens_exchanged,
+)
+from .schedule import (
+    Firing,
+    Loop,
+    LoopedSchedule,
+    flat_single_appearance_schedule,
+    parse_schedule,
+)
+from .simulate import (
+    assert_deadlock_free,
+    buffer_memory_nonshared,
+    coarse_live_intervals,
+    has_valid_schedule,
+    is_valid_schedule,
+    max_live_tokens,
+    max_tokens,
+    simulate_schedule,
+    validate_schedule,
+)
+from .bounds import (
+    bmlb,
+    bmlb_edge,
+    min_buffer_any_schedule,
+    min_buffer_any_schedule_edge,
+    tnse,
+    tnse_map,
+)
+from .topsort import (
+    all_topological_sorts,
+    count_topological_sorts,
+    is_topological_order,
+    random_topological_sort,
+)
+from .clustering import ClusterGraph, ClusterNode
+from .random_graphs import random_chain_graph, random_sdf_graph
+from .io import from_json, load_graph, save_graph, to_dot, to_json
+from .transformations import (
+    ClusteredActor,
+    apply_blocking_factor,
+    blocked_repetitions,
+    cluster_actors,
+    insert_delays,
+    normalize_token_sizes,
+)
+
+__all__ = [
+    "Actor",
+    "Edge",
+    "SDFGraph",
+    "repetitions_vector",
+    "is_consistent",
+    "total_tokens_exchanged",
+    "Firing",
+    "Loop",
+    "LoopedSchedule",
+    "parse_schedule",
+    "flat_single_appearance_schedule",
+    "validate_schedule",
+    "is_valid_schedule",
+    "max_tokens",
+    "buffer_memory_nonshared",
+    "simulate_schedule",
+    "coarse_live_intervals",
+    "max_live_tokens",
+    "assert_deadlock_free",
+    "has_valid_schedule",
+    "bmlb",
+    "bmlb_edge",
+    "min_buffer_any_schedule",
+    "min_buffer_any_schedule_edge",
+    "tnse",
+    "tnse_map",
+    "random_topological_sort",
+    "all_topological_sorts",
+    "count_topological_sorts",
+    "is_topological_order",
+    "ClusterGraph",
+    "ClusterNode",
+    "random_sdf_graph",
+    "random_chain_graph",
+    "to_json",
+    "from_json",
+    "save_graph",
+    "load_graph",
+    "to_dot",
+    "apply_blocking_factor",
+    "blocked_repetitions",
+    "cluster_actors",
+    "ClusteredActor",
+    "insert_delays",
+    "normalize_token_sizes",
+]

@@ -1,0 +1,96 @@
+"""Buffer-memory lower bounds (paper sections 4 and 11.1.3).
+
+Two per-edge lower bounds recur throughout the paper:
+
+* the **BMLB** (buffer memory lower bound), the minimum buffer size on an
+  edge over all valid *single appearance* schedules, under the non-shared
+  model; summed over edges it lower-bounds ``bufmem`` of any SAS
+  (Table 1's ``bmlb`` column);
+* the minimum buffer size over **all** valid schedules (single appearance
+  or not), attained by a greedy demand-driven scheduler — used in the
+  dynamic-scheduling comparison of section 11.1.3.
+
+With ``a = prod(e)``, ``b = cns(e)``, ``c = gcd(a, b)`` and ``d = del(e)``
+(paper section 11.1.3):
+
+* over all schedules:  ``a + b - c + (d mod c)``  if ``d < a + b - c``,
+  else ``d``;
+* over all SASs (BMLB): ``a*b/c + d`` if ``d < a*b/c``, else ``d``.
+"""
+
+from __future__ import annotations
+
+from math import gcd
+from typing import Dict
+
+from .graph import Edge, SDFGraph
+from .repetitions import repetitions_vector, total_tokens_exchanged
+
+__all__ = [
+    "bmlb_edge",
+    "bmlb",
+    "min_buffer_any_schedule_edge",
+    "min_buffer_any_schedule",
+    "tnse",
+    "tnse_map",
+]
+
+
+def tnse(graph: SDFGraph, edge: Edge, q: Dict[str, int] = None) -> int:
+    """Total number of tokens exchanged on ``edge`` per schedule period."""
+    if q is None:
+        q = repetitions_vector(graph)
+    return total_tokens_exchanged(edge, q)
+
+
+def tnse_map(graph: SDFGraph, q: Dict[str, int] = None) -> Dict[tuple, int]:
+    """``TNSE`` for every edge, keyed by ``edge.key``."""
+    if q is None:
+        q = repetitions_vector(graph)
+    return {e.key: total_tokens_exchanged(e, q) for e in graph.edges()}
+
+
+def bmlb_edge(edge: Edge) -> int:
+    """BMLB of a single edge, in tokens.
+
+    The minimum of ``max_tokens(e, S)`` over all valid single appearance
+    schedules ``S``: ``ab/c + d`` when ``d < ab/c``, otherwise ``d``
+    (``c = gcd(a, b)``).
+    """
+    a, b, d = edge.production, edge.consumption, edge.delay
+    eta = a * b // gcd(a, b)
+    return eta + d if d < eta else d
+
+
+def bmlb(graph: SDFGraph) -> int:
+    """Graph BMLB: sum of per-edge BMLBs, in words.
+
+    A lower bound on the non-shared buffer memory requirement of every
+    valid SAS (Table 1's ``bmlb`` column).
+    """
+    return sum(bmlb_edge(e) * e.token_size for e in graph.edges())
+
+
+def min_buffer_any_schedule_edge(edge: Edge) -> int:
+    """Minimum buffer size on ``edge`` over *all* valid schedules, in tokens.
+
+    ``a + b - c + (d mod c)`` when ``d < a + b - c``, else ``d``
+    (section 11.1.3).  Attained by firing the sink whenever possible.
+    """
+    a, b, d = edge.production, edge.consumption, edge.delay
+    c = gcd(a, b)
+    threshold = a + b - c
+    return threshold + (d % c) if d < threshold else d
+
+
+def min_buffer_any_schedule(graph: SDFGraph) -> int:
+    """Sum of per-edge minimum buffer sizes over all schedules, in words.
+
+    For chain-structured graphs this bound is achieved simultaneously on
+    every edge by the greedy demand-driven scheduler
+    (:mod:`repro.baselines.dynamic_scheduler`); for general graphs it is
+    a lower bound.
+    """
+    return sum(
+        min_buffer_any_schedule_edge(e) * e.token_size for e in graph.edges()
+    )

@@ -1,0 +1,129 @@
+"""Random consistent SDF graph generation (paper section 10.3).
+
+The paper evaluates on "randomly generated SDF graphs having 20, 50, 100
+and 150 nodes" without specifying the generator.  We generate connected
+acyclic multirate graphs that are *consistent by construction*:
+
+1. sample a repetition count ``q(v)`` for each actor from a small range;
+2. build a random connected DAG (random spanning tree over a random
+   actor order, plus extra forward edges up to a target edge density);
+3. for each edge ``(u, v)`` set rates ``prod = q(v)/g``, ``cons = q(u)/g``
+   with ``g = gcd(q(u), q(v))``, optionally scaled by a small random
+   factor — this satisfies the balance equation by construction.
+
+The resulting graphs are sparse (like practical SDF systems: the paper's
+examples average < 1.5 edges per actor) and exhibit the modest rate
+changes typical of multirate DSP graphs.  The generator is fully
+deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from math import gcd
+from typing import List, Optional, Sequence
+
+from .graph import SDFGraph
+
+__all__ = ["random_sdf_graph", "random_chain_graph"]
+
+
+def random_sdf_graph(
+    num_actors: int,
+    seed: Optional[int] = None,
+    extra_edge_fraction: float = 0.3,
+    max_repetition: int = 12,
+    rate_scale_choices: Sequence[int] = (1, 1, 1, 2, 3),
+    rng: Optional[random.Random] = None,
+    name: Optional[str] = None,
+) -> SDFGraph:
+    """A random connected, acyclic, consistent SDF graph.
+
+    Parameters
+    ----------
+    num_actors:
+        Number of actors (>= 1).
+    seed / rng:
+        Randomness; pass exactly one.  ``seed`` creates a private
+        ``random.Random``.
+    extra_edge_fraction:
+        Additional edges beyond the spanning tree, as a fraction of
+        ``num_actors``.
+    max_repetition:
+        Per-actor repetition counts are drawn from ``1..max_repetition``.
+    rate_scale_choices:
+        Each edge's balanced rates are multiplied by a factor drawn from
+        this sequence (values > 1 add tokens without changing the
+        repetitions vector, mimicking block-processing actors).
+    """
+    if num_actors < 1:
+        raise ValueError("num_actors must be >= 1")
+    if rng is None:
+        rng = random.Random(seed)
+    g = SDFGraph(name or f"random{num_actors}")
+    names = [f"n{i}" for i in range(num_actors)]
+    reps = {}
+    for n in names:
+        g.add_actor(n)
+        reps[n] = rng.randint(1, max_repetition)
+
+    order = list(names)
+    rng.shuffle(order)
+    position = {a: i for i, a in enumerate(order)}
+
+    def add(u: str, v: str) -> None:
+        if position[u] > position[v]:
+            u, v = v, u
+        if u == v or g.has_edge(u, v):
+            return
+        qu, qv = reps[u], reps[v]
+        common = gcd(qu, qv)
+        scale = rng.choice(list(rate_scale_choices))
+        g.add_edge(u, v, production=(qv // common) * scale,
+                   consumption=(qu // common) * scale)
+
+    # Spanning tree: connect each actor (after the first) to a random
+    # earlier actor in the shuffled order, guaranteeing connectivity and
+    # acyclicity.
+    for i in range(1, num_actors):
+        j = rng.randrange(i)
+        add(order[j], order[i])
+
+    extra = int(extra_edge_fraction * num_actors)
+    attempts = 0
+    while extra > 0 and attempts < 20 * num_actors:
+        attempts += 1
+        i, j = rng.randrange(num_actors), rng.randrange(num_actors)
+        if i == j:
+            continue
+        u, v = order[min(i, j)], order[max(i, j)]
+        if not g.has_edge(u, v):
+            add(u, v)
+            extra -= 1
+    return g
+
+
+def random_chain_graph(
+    num_actors: int,
+    seed: Optional[int] = None,
+    max_rate: int = 6,
+    rng: Optional[random.Random] = None,
+    name: Optional[str] = None,
+) -> SDFGraph:
+    """A random chain-structured SDF graph x1 -> x2 -> ... -> xn.
+
+    Rates are drawn independently per edge from ``1..max_rate``; chains
+    are always consistent.  Used to exercise the precise chain DP of
+    section 6.
+    """
+    if num_actors < 1:
+        raise ValueError("num_actors must be >= 1")
+    if rng is None:
+        rng = random.Random(seed)
+    g = SDFGraph(name or f"chain{num_actors}")
+    names = [f"x{i}" for i in range(num_actors)]
+    for n in names:
+        g.add_actor(n)
+    for u, v in zip(names, names[1:]):
+        g.add_edge(u, v, rng.randint(1, max_rate), rng.randint(1, max_rate))
+    return g

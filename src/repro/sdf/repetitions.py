@@ -1,0 +1,183 @@
+"""Balance equations and the repetitions vector (paper section 2).
+
+A valid schedule fires each actor a whole number of times and leaves the
+token count of every edge unchanged.  The minimum positive firing counts
+form the *repetitions vector* ``q``, the smallest positive integer
+solution of the balance equations
+
+    prod(e) * q(src(e)) = cns(e) * q(snk(e))      for every edge e.
+
+An SDF graph with a solution is *sample-rate consistent*.  Consistency is
+necessary but not sufficient for a valid schedule to exist: the graph
+must also not deadlock (see :mod:`repro.sdf.simulate` for the symbolic
+execution used to detect deadlock on cyclic graphs).
+
+The solver propagates exact rational firing ratios over a spanning
+forest, then verifies the remaining edges — the classic O(|V| + |E|)
+algorithm of Lee & Messerschmitt as presented in Bhattacharyya, Murthy &
+Lee, *Software Synthesis from Dataflow Graphs* (reference [3] of the
+paper).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import gcd
+from typing import Dict, Iterable, List
+
+from ..exceptions import InconsistentGraphError
+from .graph import Edge, SDFGraph
+
+__all__ = [
+    "repetitions_vector",
+    "is_consistent",
+    "total_tokens_exchanged",
+    "gcd_of",
+    "check_self_loops",
+]
+
+
+def gcd_of(values: Iterable[int]) -> int:
+    """Greatest common divisor of an iterable of positive integers."""
+    result = 0
+    for v in values:
+        result = gcd(result, v)
+    return result
+
+
+def check_self_loops(graph: SDFGraph) -> None:
+    """Raise if a self-loop edge cannot fire (needs more tokens than delay).
+
+    A self-loop ``(A, A)`` with ``prod != cns`` is always inconsistent;
+    one with ``prod == cns`` merely requires ``delay >= cns`` to avoid
+    deadlock.
+    """
+    for e in graph.edges():
+        if not e.is_self_loop():
+            continue
+        if e.production != e.consumption:
+            raise InconsistentGraphError(
+                f"self-loop {e} has production != consumption", kind="rate"
+            )
+        if e.delay < e.consumption:
+            raise InconsistentGraphError(
+                f"self-loop {e} deadlocks: delay {e.delay} < "
+                f"consumption {e.consumption}",
+                kind="deadlock",
+            )
+
+
+def repetitions_vector(graph: SDFGraph) -> Dict[str, int]:
+    """The minimal repetitions vector ``q`` of ``graph``.
+
+    Each connected component is normalised independently so that the
+    smallest firing count in the component is as small as possible
+    (component-wise minimal positive integer solution).
+
+    Raises
+    ------
+    InconsistentGraphError
+        If the balance equations have no positive solution.
+
+    Examples
+    --------
+    For figure 1 of the paper (A -2/1-> B, B -1/3-> C)::
+
+        >>> from repro.sdf.graph import SDFGraph
+        >>> g = SDFGraph()
+        >>> _ = g.add_actors("ABC")
+        >>> _ = g.add_edge("A", "B", 2, 1)
+        >>> _ = g.add_edge("B", "C", 1, 3)
+        >>> repetitions_vector(g) == {"A": 3, "B": 6, "C": 2}
+        True
+    """
+    check_self_loops(graph)
+    ratio: Dict[str, Fraction] = {}
+    component: Dict[str, int] = {}
+    components: List[List[str]] = []
+
+    # Build undirected adjacency over edges for ratio propagation.
+    adjacency: Dict[str, List[Edge]] = {a: [] for a in graph.actor_names()}
+    for e in graph.edges():
+        if e.is_self_loop():
+            continue
+        adjacency[e.source].append(e)
+        adjacency[e.sink].append(e)
+
+    for start in graph.actor_names():
+        if start in ratio:
+            continue
+        comp_id = len(components)
+        members = [start]
+        ratio[start] = Fraction(1)
+        component[start] = comp_id
+        stack = [start]
+        while stack:
+            a = stack.pop()
+            for e in adjacency[a]:
+                # firing ratio: q(src) / q(snk) = cns / prod
+                if e.source == a:
+                    other, other_ratio = e.sink, ratio[a] * Fraction(
+                        e.production, e.consumption
+                    )
+                else:
+                    other, other_ratio = e.source, ratio[a] * Fraction(
+                        e.consumption, e.production
+                    )
+                if other not in ratio:
+                    ratio[other] = other_ratio
+                    component[other] = comp_id
+                    members.append(other)
+                    stack.append(other)
+                elif ratio[other] != other_ratio:
+                    raise InconsistentGraphError(
+                        f"balance equations inconsistent at edge {e}: "
+                        f"q({other}) would need both {ratio[other]} and "
+                        f"{other_ratio} relative to q({start})",
+                        kind="rate",
+                    )
+        components.append(members)
+
+    # Scale each component to the minimal positive integer vector.
+    q: Dict[str, int] = {}
+    for members in components:
+        lcm_den = 1
+        for a in members:
+            d = ratio[a].denominator
+            lcm_den = lcm_den // gcd(lcm_den, d) * d
+        ints = {a: int(ratio[a] * lcm_den) for a in members}
+        g = gcd_of(ints.values())
+        for a in members:
+            q[a] = ints[a] // g
+
+    # Verify every edge (spanning-tree propagation covers trees; this
+    # catches inconsistencies on non-tree edges and is cheap).
+    for e in graph.edges():
+        if e.is_self_loop():
+            continue
+        if e.production * q[e.source] != e.consumption * q[e.sink]:
+            raise InconsistentGraphError(
+                f"balance equation violated on {e}: "
+                f"{e.production}*{q[e.source]} != {e.consumption}*{q[e.sink]}",
+                kind="rate",
+            )
+    return q
+
+
+def is_consistent(graph: SDFGraph) -> bool:
+    """True if the balance equations have a positive solution."""
+    try:
+        repetitions_vector(graph)
+        return True
+    except InconsistentGraphError:
+        return False
+
+
+def total_tokens_exchanged(edge: Edge, q: Dict[str, int]) -> int:
+    """``TNSE(e)``: tokens moved across ``edge`` in one schedule period.
+
+    Equals ``prod(e) * q(src(e))`` (= ``cns(e) * q(snk(e))`` by the
+    balance equations), in *tokens*; multiply by ``edge.token_size`` for
+    words.
+    """
+    return edge.production * q[edge.source]

@@ -1,0 +1,318 @@
+"""Schedule interpretation: token counting and buffer profiles.
+
+The algorithms in this package reason about schedules symbolically, but
+everything they claim must be checkable by actually *running* the
+schedule.  This module executes a looped schedule against a graph,
+tracking the token count of every edge, and derives:
+
+* validity (paper section 2): each actor fires ``q`` times, no edge goes
+  negative, and every edge returns to its initial token count;
+* ``max_tokens(e, S)`` (section 4): the peak token count per edge, the
+  cost metric of the non-shared buffer model (EQ 1);
+* fine-grained and coarse-grained buffer liveness profiles (section 5,
+  figure 3), used to validate the lifetime analysis of sections 8–9
+  against ground truth;
+* deadlock detection for arbitrary (possibly cyclic) graphs, via greedy
+  symbolic execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import InconsistentGraphError, ScheduleError
+from .graph import Edge, SDFGraph
+from .repetitions import repetitions_vector
+from .schedule import LoopedSchedule
+
+__all__ = [
+    "validate_schedule",
+    "is_valid_schedule",
+    "max_tokens",
+    "buffer_memory_nonshared",
+    "TokenTrace",
+    "simulate_schedule",
+    "coarse_live_intervals",
+    "max_live_tokens",
+    "assert_deadlock_free",
+    "has_valid_schedule",
+]
+
+
+def _fire(
+    graph: SDFGraph,
+    actor: str,
+    tokens: Dict[Tuple[str, str, int], int],
+    allow_negative: bool = False,
+) -> None:
+    for e in graph.in_edges(actor):
+        tokens[e.key] -= e.consumption
+        if tokens[e.key] < 0 and not allow_negative:
+            raise ScheduleError(
+                f"firing {actor!r} drives edge {e} to "
+                f"{tokens[e.key]} tokens"
+            )
+    for e in graph.out_edges(actor):
+        tokens[e.key] += e.production
+
+
+def validate_schedule(graph: SDFGraph, schedule: LoopedSchedule) -> Dict[str, int]:
+    """Check that ``schedule`` is a valid schedule for ``graph``.
+
+    Returns the per-actor firing counts on success.
+
+    Raises
+    ------
+    ScheduleError
+        If an actor outside the graph is fired, a firing would consume
+        from an empty buffer, an actor fires a number of times that is
+        not its repetition count (times a common positive integer), or
+        an edge does not return to its initial token count.
+    """
+    counts = schedule.firings_per_actor()
+    for a in counts:
+        if a not in graph:
+            raise ScheduleError(f"schedule fires unknown actor {a!r}")
+    missing = [a for a in graph.actor_names() if a not in counts]
+    if missing:
+        raise ScheduleError(f"schedule never fires actors {missing!r}")
+
+    q = repetitions_vector(graph)
+    blocking = None
+    for a, n in counts.items():
+        if n % q[a] != 0:
+            raise ScheduleError(
+                f"actor {a!r} fires {n} times, not a multiple of its "
+                f"repetition count {q[a]}"
+            )
+        factor = n // q[a]
+        if blocking is None:
+            blocking = factor
+        elif factor != blocking:
+            raise ScheduleError(
+                f"actor firing counts are not a uniform multiple of the "
+                f"repetitions vector (actor {a!r}: {factor} periods, "
+                f"expected {blocking})"
+            )
+
+    tokens = {e.key: e.delay for e in graph.edges()}
+    for actor in schedule.firing_sequence():
+        _fire(graph, actor, tokens)
+    for e in graph.edges():
+        if tokens[e.key] != e.delay:
+            raise ScheduleError(
+                f"edge {e} ends with {tokens[e.key]} tokens, "
+                f"expected {e.delay}"
+            )
+    return counts
+
+
+def is_valid_schedule(graph: SDFGraph, schedule: LoopedSchedule) -> bool:
+    try:
+        validate_schedule(graph, schedule)
+        return True
+    except (ScheduleError, InconsistentGraphError):
+        return False
+
+
+def max_tokens(graph: SDFGraph, schedule: LoopedSchedule) -> Dict[Tuple[str, str, int], int]:
+    """``max_tokens(e, S)`` for every edge: the peak token count.
+
+    This is the size of the buffer needed for each edge when each edge
+    gets its own, non-shared buffer.  Includes initial tokens.
+
+    Examples
+    --------
+    Paper section 4: for figure 1's graph with S1 = (3A)(6B)(2C),
+    ``max_tokens((A,B)) == 7`` (one delay plus six produced) and for
+    S2 = (3A(2B))(2C) it is 3.
+    """
+    peaks = {e.key: e.delay for e in graph.edges()}
+    tokens = {e.key: e.delay for e in graph.edges()}
+    for actor in schedule.firing_sequence():
+        _fire(graph, actor, tokens)
+        for e in graph.out_edges(actor):
+            if tokens[e.key] > peaks[e.key]:
+                peaks[e.key] = tokens[e.key]
+    return peaks
+
+
+def buffer_memory_nonshared(graph: SDFGraph, schedule: LoopedSchedule) -> int:
+    """``bufmem(S)`` under the non-shared model (EQ 1), in words."""
+    peaks = max_tokens(graph, schedule)
+    by_key = {e.key: e for e in graph.edges()}
+    return sum(peaks[k] * by_key[k].token_size for k in peaks)
+
+
+@dataclass
+class TokenTrace:
+    """Token counts of every edge after each firing of a schedule.
+
+    ``counts[t]`` is the token state after the ``t``-th firing;
+    ``counts[0]`` is the initial state (delays).  ``firings[t]`` is the
+    actor fired at step ``t`` (1-based alignment with ``counts``).
+    """
+
+    edge_keys: List[Tuple[str, str, int]]
+    firings: List[str]
+    counts: List[Dict[Tuple[str, str, int], int]] = field(default_factory=list)
+
+    def peak(self, key: Tuple[str, str, int]) -> int:
+        return max(state[key] for state in self.counts)
+
+    def total_peak(self) -> int:
+        """Peak over time of the summed live tokens (all edges)."""
+        return max(sum(state.values()) for state in self.counts)
+
+
+def simulate_schedule(graph: SDFGraph, schedule: LoopedSchedule) -> TokenTrace:
+    """Run ``schedule`` and record the full token trace.
+
+    The trace length is the number of firings plus one; use only for
+    moderately sized schedules (tests, small experiments).
+    """
+    tokens = {e.key: e.delay for e in graph.edges()}
+    trace = TokenTrace(edge_keys=[e.key for e in graph.edges()], firings=[])
+    trace.counts.append(dict(tokens))
+    for actor in schedule.firing_sequence():
+        _fire(graph, actor, tokens)
+        trace.firings.append(actor)
+        trace.counts.append(dict(tokens))
+    return trace
+
+
+def coarse_live_intervals(
+    graph: SDFGraph, schedule: LoopedSchedule
+) -> Dict[Tuple[str, str, int], List[Tuple[int, int]]]:
+    """Ground-truth coarse-grained liveness intervals per edge.
+
+    Under the coarse model (section 5, figure 3) a buffer is live from
+    the firing that makes its token count non-zero until the firing that
+    returns it to zero; an edge with initial tokens starts live.  Time is
+    measured in *firings* of the flattened schedule: the interval
+    ``(s, t)`` means the buffer is live after firing ``s`` up to and
+    including the state after firing ``t`` (with 0 = initial state).
+
+    Used by tests to cross-check the schedule-tree lifetime extraction.
+    """
+    trace = simulate_schedule(graph, schedule)
+    intervals: Dict[Tuple[str, str, int], List[Tuple[int, int]]] = {
+        k: [] for k in trace.edge_keys
+    }
+    open_at: Dict[Tuple[str, str, int], Optional[int]] = {}
+    for k in trace.edge_keys:
+        open_at[k] = 0 if trace.counts[0][k] > 0 else None
+    for t in range(1, len(trace.counts)):
+        state = trace.counts[t]
+        for k in trace.edge_keys:
+            live = state[k] > 0
+            if live and open_at[k] is None:
+                # Became live at this firing: the producer fired at step t.
+                open_at[k] = t - 1
+            elif not live and open_at[k] is not None:
+                intervals[k].append((open_at[k], t))
+                open_at[k] = None
+    for k in trace.edge_keys:
+        if open_at[k] is not None:
+            intervals[k].append((open_at[k], len(trace.counts) - 1))
+    return intervals
+
+
+def max_live_tokens(graph: SDFGraph, schedule: LoopedSchedule) -> int:
+    """Peak of the coarse-model live-array total over the schedule.
+
+    Under the coarse model each live episode of an edge's buffer requires
+    an array holding *all* tokens that pass through during that episode
+    (tokens present at episode start plus tokens produced before it
+    drains).  This sums, per time step, the episode array sizes of the
+    edges whose episodes cover that step — ground truth against which the
+    schedule-tree lifetime extraction and the allocators are checked.
+    """
+    trace = simulate_schedule(graph, schedule)
+    intervals = coarse_live_intervals(graph, schedule)
+    by_key = {e.key: e for e in graph.edges()}
+    events: List[Tuple[int, int]] = []  # (time, +size/-size)
+    for k, ivals in intervals.items():
+        e = by_key[k]
+        for s, t in ivals:
+            # Tokens present at episode start plus everything produced
+            # by src(e) during firings s+1 .. t.
+            produced = sum(
+                e.production
+                for step in range(s, t)
+                if trace.firings[step] == e.source
+            )
+            size = (trace.counts[s][k] + produced) * e.token_size
+            events.append((s, size))
+            events.append((t, -size))
+    # Intervals are half-open: a buffer dying at firing t frees its
+    # memory before anything born at t occupies it, so deaths (negative
+    # deltas) sort first at equal times.
+    events.sort(key=lambda ev: (ev[0], ev[1]))
+    live = 0
+    peak = 0
+    for _, delta in events:
+        live += delta
+        peak = max(peak, live)
+    return peak
+
+
+def assert_deadlock_free(graph: SDFGraph) -> LoopedSchedule:
+    """Prove a consistent graph deadlock-free by constructing a schedule.
+
+    Greedy symbolic execution: repeatedly fire any actor that has enough
+    input tokens and has not yet reached its repetition count.  For SDF
+    this is complete — if the greedy run stalls, *every* schedule
+    deadlocks (class-S algorithm of Lee & Messerschmitt).
+
+    Returns the constructed (generally non-single-appearance) valid
+    schedule as a flat firing list.
+
+    Raises
+    ------
+    InconsistentGraphError
+        With ``kind="deadlock"`` if the graph deadlocks, or
+        ``kind="rate"`` if the balance equations fail.
+    """
+    from .schedule import Firing
+
+    q = repetitions_vector(graph)
+    tokens = {e.key: e.delay for e in graph.edges()}
+    remaining = dict(q)
+    firings: List[str] = []
+
+    def can_fire(a: str) -> bool:
+        return remaining[a] > 0 and all(
+            tokens[e.key] >= e.consumption for e in graph.in_edges(a)
+        )
+
+    ready = [a for a in graph.actor_names() if can_fire(a)]
+    while ready:
+        a = ready.pop()
+        if not can_fire(a):
+            continue
+        _fire(graph, a, tokens)
+        remaining[a] -= 1
+        firings.append(a)
+        if can_fire(a):
+            ready.append(a)
+        for e in graph.out_edges(a):
+            if can_fire(e.sink):
+                ready.append(e.sink)
+    if any(r > 0 for r in remaining.values()):
+        stuck = sorted(a for a, r in remaining.items() if r > 0)
+        raise InconsistentGraphError(
+            f"graph {graph.name!r} deadlocks; actors never enabled: {stuck}",
+            kind="deadlock",
+        )
+    return LoopedSchedule([Firing(a) for a in firings])
+
+
+def has_valid_schedule(graph: SDFGraph) -> bool:
+    """True if ``graph`` is consistent: rates balance and no deadlock."""
+    try:
+        assert_deadlock_free(graph)
+        return True
+    except InconsistentGraphError:
+        return False

@@ -1,0 +1,213 @@
+"""SDF graph transformations (substrate from reference [3]).
+
+Transformations the synthesis flow applies before or around scheduling:
+
+* :func:`apply_blocking_factor` — execute ``J`` periods of the graph as
+  one super-period (vectorization): every actor fires ``J * q`` times
+  per schedule, trading latency and buffer memory for lower loop
+  overhead.  Implemented by scaling production/consumption is *wrong*
+  (it changes semantics); the correct form keeps the graph and scales
+  the repetitions vector, which :func:`blocked_repetitions` provides
+  for schedulers that accept an explicit ``q``.
+* :func:`cluster_actors` — replace a set of actors by one composite
+  actor (hierarchical abstraction), with the induced edge rates; the
+  inverse mapping supports flattening composite firings back into
+  subschedules.
+* :func:`insert_delays` — add initial tokens to an edge (pipelining);
+  delays enable feedback schedulability and shift lifetimes.
+* :func:`normalize_token_sizes` — push vector token sizes into scalar
+  rates (an ``(p, c)`` edge of ``w``-word tokens becomes ``(p*w, c*w)``
+  of 1-word tokens), which some downstream tools prefer; buffer sizes
+  in words are invariant under this transformation.
+"""
+
+from __future__ import annotations
+
+from math import gcd
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..exceptions import GraphStructureError
+from .graph import SDFGraph
+from .repetitions import repetitions_vector
+
+__all__ = [
+    "apply_blocking_factor",
+    "blocked_repetitions",
+    "cluster_actors",
+    "ClusteredActor",
+    "insert_delays",
+    "normalize_token_sizes",
+]
+
+
+def blocked_repetitions(graph: SDFGraph, factor: int) -> Dict[str, int]:
+    """The repetitions vector for a blocking factor of ``factor``."""
+    if factor < 1:
+        raise GraphStructureError("blocking factor must be >= 1")
+    q = repetitions_vector(graph)
+    return {a: n * factor for a, n in q.items()}
+
+
+def apply_blocking_factor(graph: SDFGraph, factor: int) -> SDFGraph:
+    """A graph whose minimal period equals ``factor`` periods of ``graph``.
+
+    Realized by scaling every *source* actor's production and every
+    *sink* actor's consumption is not possible in general; instead the
+    standard construction adds a ``tick`` actor driving every source
+    once per super-period.  Sources produce their whole super-period's
+    tokens per firing of the tick chain, so the minimal repetitions
+    vector becomes ``factor * q`` for all original actors.
+    """
+    if factor < 1:
+        raise GraphStructureError("blocking factor must be >= 1")
+    result = graph.copy()
+    result.name = f"{graph.name}_x{factor}"
+    if factor == 1:
+        return result
+    q = repetitions_vector(graph)
+    result.add_actor("__tick__")
+    for source in graph.sources():
+        # One tick firing enables `factor * q[source]` source firings.
+        result.add_edge("__tick__", source, factor * q[source], 1)
+    if not graph.sources():
+        raise GraphStructureError(
+            "apply_blocking_factor requires at least one source actor"
+        )
+    return result
+
+
+class ClusteredActor:
+    """Bookkeeping for a composite actor produced by :func:`cluster_actors`.
+
+    ``name`` is the composite's name in the clustered graph; ``members``
+    the original actors; ``internal`` the subgraph they induce;
+    ``repetitions`` the firings of each member per composite firing.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        members: List[str],
+        internal: SDFGraph,
+        repetitions: Dict[str, int],
+    ) -> None:
+        self.name = name
+        self.members = members
+        self.internal = internal
+        self.repetitions = repetitions
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ClusteredActor({self.name!r}, members={self.members})"
+
+
+def cluster_actors(
+    graph: SDFGraph,
+    members: Iterable[str],
+    name: str = "composite",
+) -> Tuple[SDFGraph, ClusteredActor]:
+    """Cluster ``members`` into one composite actor.
+
+    The composite fires ``g = gcd(q[m] for m in members)`` times per
+    period; edges between a member and an outside actor become edges of
+    the composite with production/consumption scaled by the member's
+    per-composite-firing count.
+
+    Raises
+    ------
+    GraphStructureError
+        If the member set is empty, contains unknown actors, or the
+        clustering would make the graph cyclic while it was acyclic
+        (introducing false deadlock).
+    """
+    member_list = list(dict.fromkeys(members))
+    if not member_list:
+        raise GraphStructureError("cluster_actors requires members")
+    for m in member_list:
+        if m not in graph:
+            raise GraphStructureError(f"unknown actor {m!r}")
+    if name in graph and name not in member_list:
+        raise GraphStructureError(
+            f"composite name {name!r} collides with an existing actor"
+        )
+    member_set = set(member_list)
+    q = repetitions_vector(graph)
+    g = 0
+    for m in member_list:
+        g = gcd(g, q[m])
+    per_firing = {m: q[m] // g for m in member_list}
+
+    clustered = SDFGraph(f"{graph.name}_clustered")
+    for a in graph.actors():
+        if a.name not in member_set:
+            clustered.add_actor(a.name, a.execution_time)
+    clustered.add_actor(name)
+    for e in graph.edges():
+        src_in = e.source in member_set
+        snk_in = e.sink in member_set
+        if src_in and snk_in:
+            continue
+        if not src_in and not snk_in:
+            clustered.add_edge(
+                e.source, e.sink, e.production, e.consumption,
+                e.delay, e.token_size,
+            )
+        elif src_in:
+            clustered.add_edge(
+                name, e.sink, e.production * per_firing[e.source],
+                e.consumption, e.delay, e.token_size,
+            )
+        else:
+            clustered.add_edge(
+                e.source, name, e.production,
+                e.consumption * per_firing[e.sink], e.delay, e.token_size,
+            )
+    if graph.is_acyclic() and not clustered.is_acyclic():
+        raise GraphStructureError(
+            f"clustering {sorted(member_set)} introduces a cycle "
+            f"(illegal cluster for SAS construction)"
+        )
+    info = ClusteredActor(
+        name=name,
+        members=member_list,
+        internal=graph.subgraph(member_list, name=name),
+        repetitions=per_firing,
+    )
+    return clustered, info
+
+
+def insert_delays(
+    graph: SDFGraph, source: str, sink: str, tokens: int, index: int = 0
+) -> SDFGraph:
+    """A copy of ``graph`` with ``tokens`` extra initial tokens on an edge."""
+    if tokens < 0:
+        raise GraphStructureError("tokens must be >= 0")
+    original = graph.edge(source, sink, index)
+    result = SDFGraph(graph.name)
+    for a in graph.actors():
+        result.add_actor(a.name, a.execution_time)
+    for e in graph.edges():
+        delay = e.delay + tokens if e.key == original.key else e.delay
+        result.add_edge(
+            e.source, e.sink, e.production, e.consumption, delay,
+            e.token_size,
+        )
+    return result
+
+
+def normalize_token_sizes(graph: SDFGraph) -> SDFGraph:
+    """Fold vector token sizes into scalar word rates.
+
+    Buffer sizes in words are invariant; repetitions vectors are too.
+    """
+    result = SDFGraph(graph.name)
+    for a in graph.actors():
+        result.add_actor(a.name, a.execution_time)
+    for e in graph.edges():
+        result.add_edge(
+            e.source, e.sink,
+            e.production * e.token_size,
+            e.consumption * e.token_size,
+            e.delay * e.token_size,
+            1,
+        )
+    return result

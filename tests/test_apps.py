@@ -1,0 +1,138 @@
+"""Tests for the benchmark application graphs."""
+
+import pytest
+
+from repro.exceptions import GraphStructureError
+from repro.sdf.repetitions import is_consistent, repetitions_vector
+from repro.sdf.simulate import has_valid_schedule
+from repro.apps import TABLE1_SYSTEMS, table1_graph
+from repro.apps.filterbanks import (
+    filterbank_by_name,
+    one_sided_filterbank,
+    two_sided_filterbank,
+)
+from repro.apps.homogeneous import (
+    depth_first_order,
+    homogeneous_graph,
+    nonshared_requirement,
+    shared_lower_bound,
+)
+from repro.apps.satellite import SATREC_REPETITIONS, satellite_receiver
+from repro.apps.ptolemy_demos import cd_to_dat
+
+
+class TestFilterbanks:
+    @pytest.mark.parametrize("depth,expected", [(1, 8), (2, 20), (3, 44), (5, 188)])
+    def test_two_sided_node_counts_match_paper(self, depth, expected):
+        """The paper: depth 5, 3, 2 filterbanks have 188, 44, 20 nodes."""
+        assert two_sided_filterbank(depth).num_actors == expected
+
+    @pytest.mark.parametrize("variant", ["12", "23", "235"])
+    @pytest.mark.parametrize("depth", [1, 2, 3])
+    def test_two_sided_consistent(self, variant, depth):
+        g = two_sided_filterbank(depth, variant)
+        assert is_consistent(g)
+        assert g.is_acyclic()
+        assert g.is_connected()
+        assert has_valid_schedule(g)
+
+    @pytest.mark.parametrize("variant", ["12", "23", "235"])
+    def test_one_sided_consistent(self, variant):
+        g = one_sided_filterbank(4, variant)
+        assert is_consistent(g)
+        assert has_valid_schedule(g)
+
+    def test_one_sided_node_count(self):
+        assert one_sided_filterbank(4).num_actors == 26
+
+    def test_by_name(self):
+        g = filterbank_by_name("qmf235_3d")
+        assert g.name == "qmf235_3d"
+        assert g.num_actors == 44
+        g = filterbank_by_name("nqmf23_4d")
+        assert g.num_actors == 26
+
+    def test_by_name_rejects_garbage(self):
+        with pytest.raises(GraphStructureError):
+            filterbank_by_name("foo_3d")
+        with pytest.raises(GraphStructureError):
+            filterbank_by_name("qmf23_x")
+
+    def test_bad_variant(self):
+        with pytest.raises(GraphStructureError):
+            two_sided_filterbank(2, "99")
+
+    def test_bad_depth(self):
+        with pytest.raises(GraphStructureError):
+            two_sided_filterbank(0)
+
+
+class TestSatrec:
+    def test_repetitions_match_published_schedule(self):
+        """The schedule in section 11.1.3 fixes the repetitions vector."""
+        g = satellite_receiver()
+        assert repetitions_vector(g) == SATREC_REPETITIONS
+
+    def test_structure(self):
+        g = satellite_receiver()
+        assert g.num_actors == 22
+        assert g.is_acyclic()
+        assert g.is_connected()
+        assert has_valid_schedule(g)
+
+    def test_published_schedule_is_valid(self):
+        from repro.sdf.schedule import parse_schedule
+        from repro.sdf.simulate import is_valid_schedule
+        g = satellite_receiver()
+        schedule = parse_schedule(
+            "(24(11(4A)B)C G H I(11(4D)E)F K L M 10(N S J T U P))"
+            "(Q R V 240W)"
+        )
+        assert is_valid_schedule(g, schedule)
+
+
+class TestCdDat:
+    def test_repetitions(self):
+        q = repetitions_vector(cd_to_dat())
+        assert q == {"A": 147, "B": 147, "C": 98, "D": 28, "E": 32, "F": 160}
+
+
+class TestHomogeneous:
+    def test_counts(self):
+        g = homogeneous_graph(3, 4)
+        assert g.num_actors == 3 * 4 + 2
+        assert g.num_edges == 3 * 3 + 6
+
+    def test_is_homogeneous(self):
+        assert homogeneous_graph(2, 2).is_homogeneous()
+
+    def test_repetitions_all_one(self):
+        q = repetitions_vector(homogeneous_graph(3, 3))
+        assert set(q.values()) == {1}
+
+    def test_depth_first_order_topological(self):
+        from repro.sdf.topsort import is_topological_order
+        g = homogeneous_graph(4, 5)
+        assert is_topological_order(g, depth_first_order(g))
+
+    def test_bounds(self):
+        assert shared_lower_bound(4, 7) == 5
+        assert nonshared_requirement(4, 7) == 4 * 6 + 8
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(GraphStructureError):
+            homogeneous_graph(0, 3)
+
+
+class TestSuite:
+    @pytest.mark.parametrize("name", sorted(TABLE1_SYSTEMS))
+    def test_every_system_well_formed(self, name):
+        g = table1_graph(name)
+        assert g.num_actors > 5
+        assert g.is_connected()
+        assert g.is_acyclic()
+        assert is_consistent(g)
+
+    def test_unknown_system(self):
+        with pytest.raises(KeyError):
+            table1_graph("nonesuch")

@@ -1,0 +1,114 @@
+"""Tests for the comparison baselines (section 11)."""
+
+import pytest
+
+from repro.sdf.graph import SDFGraph
+from repro.sdf.bounds import min_buffer_any_schedule_edge
+from repro.sdf.random_graphs import random_chain_graph, random_sdf_graph
+from repro.sdf.simulate import validate_schedule
+from repro.baselines.dynamic_scheduler import demand_driven_schedule
+from repro.baselines.flat_sharing import flat_shared_implementation
+from repro.baselines.random_search import random_search
+from repro.scheduling.pipeline import implement_best
+from repro.apps import table1_graph
+
+
+class TestFlatSharing:
+    def test_flat_schedule_is_flat(self):
+        g = table1_graph("16qamModem")
+        result = flat_shared_implementation(g)
+        assert result.schedule.is_flat()
+        validate_schedule(g, result.schedule)
+
+    def test_shared_not_worse_than_nonshared(self):
+        g = table1_graph("16qamModem")
+        result = flat_shared_implementation(g)
+        assert result.shared_total <= result.nonshared_total
+
+    def test_nested_beats_flat_on_satrec(self):
+        """Section 11.1.2's headline: the nested shared implementation
+        beats flat-SAS sharing by a wide margin on satrec."""
+        g = table1_graph("satrec")
+        nested = implement_best(g)
+        flat = flat_shared_implementation(g, order=nested.rpmc.order)
+        assert nested.best_shared < flat.shared_total
+        # The paper reports >100% worse; require at least 50% worse.
+        assert flat.shared_total >= 1.5 * nested.best_shared
+
+
+class TestDynamicScheduler:
+    def test_firing_counts_match_repetitions(self):
+        from repro.sdf.repetitions import repetitions_vector
+        g = random_sdf_graph(10, seed=2)
+        result = demand_driven_schedule(g)
+        q = repetitions_vector(g)
+        counts = {}
+        for a in result.firing_sequence:
+            counts[a] = counts.get(a, 0) + 1
+        assert counts == q
+
+    def test_schedule_is_valid(self):
+        g = random_sdf_graph(10, seed=3)
+        result = demand_driven_schedule(g)
+        validate_schedule(g, result.as_looped_schedule())
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_achieves_per_edge_bound_on_chains(self, seed):
+        """Section 11.1.3: the greedy data-driven scheduler attains the
+        minimum buffer bound on every edge of a chain."""
+        g = random_chain_graph(6, seed=seed)
+        result = demand_driven_schedule(g)
+        for e in g.edges():
+            assert result.peaks[e.key] == min_buffer_any_schedule_edge(e), e
+
+    def test_beats_sas_total_on_chains(self):
+        """Non-SAS schedules can use less buffer than the best SAS."""
+        g = SDFGraph()
+        g.add_actors("AB")
+        g.add_edge("A", "B", 3, 5)
+        result = demand_driven_schedule(g)
+        assert result.peaks[("A", "B", 0)] == 7  # 3 + 5 - 1
+        # BMLB (best SAS) is 15.
+        from repro.sdf.bounds import bmlb
+        assert result.nonshared_total < bmlb(g)
+
+    def test_schedule_length_is_sum_q(self):
+        from repro.sdf.repetitions import repetitions_vector
+        g = table1_graph("satrec")
+        result = demand_driven_schedule(g)
+        assert result.schedule_length == sum(repetitions_vector(g).values())
+
+    def test_delays_respected(self):
+        g = SDFGraph()
+        g.add_actors("AB")
+        g.add_edge("A", "B", 1, 1, delay=3)
+        result = demand_driven_schedule(g)
+        validate_schedule(g, result.as_looped_schedule())
+
+
+class TestRandomSearch:
+    def test_best_by_trial_monotone(self):
+        g = random_sdf_graph(10, seed=5)
+        result = random_search(g, trials=10, seed=0)
+        series = result.best_by_trial
+        assert all(a >= b for a, b in zip(series, series[1:]))
+        assert result.best_total == series[-1]
+
+    def test_trials_to_reach(self):
+        g = random_sdf_graph(10, seed=5)
+        result = random_search(g, trials=10, seed=0)
+        assert result.trials_to_reach(result.best_total) <= 10
+        assert result.trials_to_reach(0) is None
+
+    def test_rejects_zero_trials(self):
+        g = random_sdf_graph(5, seed=0)
+        with pytest.raises(ValueError):
+            random_search(g, trials=0)
+
+    def test_heuristics_hard_to_beat(self):
+        """Section 10.1's conclusion, scaled down: a handful of random
+        sorts should not beat the best heuristic by much."""
+        g = table1_graph("16qamModem")
+        heuristic = implement_best(g).best_shared
+        searched = random_search(g, trials=10, seed=1).best_total
+        assert searched >= 0.7 * heuristic

@@ -1,0 +1,107 @@
+"""Tests for buffer memory lower bounds (BMLB, any-schedule minimum)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sdf.graph import Edge, SDFGraph
+from repro.sdf.bounds import (
+    bmlb,
+    bmlb_edge,
+    min_buffer_any_schedule,
+    min_buffer_any_schedule_edge,
+    tnse,
+    tnse_map,
+)
+from repro.sdf.schedule import parse_schedule
+from repro.sdf.simulate import max_tokens
+from repro.sdf.topsort import all_topological_sorts
+from repro.scheduling.dppo import dppo
+
+
+class TestBMLBFormula:
+    def test_delayless(self):
+        # eta = a*b/gcd(a,b)
+        assert bmlb_edge(Edge("A", "B", 2, 3)) == 6
+        assert bmlb_edge(Edge("A", "B", 4, 6)) == 12
+        assert bmlb_edge(Edge("A", "B", 1, 1)) == 1
+
+    def test_small_delay_adds(self):
+        assert bmlb_edge(Edge("A", "B", 2, 3, delay=2)) == 8
+
+    def test_large_delay_dominates(self):
+        assert bmlb_edge(Edge("A", "B", 2, 3, delay=10)) == 10
+
+    def test_graph_bmlb_sums_words(self):
+        g = SDFGraph()
+        g.add_actors("ABC")
+        g.add_edge("A", "B", 2, 3, token_size=2)
+        g.add_edge("B", "C", 1, 1)
+        assert bmlb(g) == 6 * 2 + 1
+
+
+class TestAnyScheduleBound:
+    def test_delayless(self):
+        # a + b - gcd(a, b)
+        assert min_buffer_any_schedule_edge(Edge("A", "B", 2, 3)) == 4
+        assert min_buffer_any_schedule_edge(Edge("A", "B", 4, 6)) == 8
+        assert min_buffer_any_schedule_edge(Edge("A", "B", 1, 1)) == 1
+
+    def test_delay_mod_gcd(self):
+        # a=4, b=6, c=2, d=3 < 8: bound = 8 + (3 mod 2) = 9
+        assert min_buffer_any_schedule_edge(Edge("A", "B", 4, 6, delay=3)) == 9
+
+    def test_large_delay(self):
+        assert min_buffer_any_schedule_edge(Edge("A", "B", 2, 3, delay=50)) == 50
+
+    def test_never_exceeds_bmlb(self):
+        for a in range(1, 8):
+            for b in range(1, 8):
+                e = Edge("A", "B", a, b)
+                assert min_buffer_any_schedule_edge(e) <= bmlb_edge(e)
+
+    def test_graph_sum(self):
+        g = SDFGraph()
+        g.add_actors("ABC")
+        g.add_edge("A", "B", 2, 3)
+        g.add_edge("B", "C", 3, 2)
+        assert min_buffer_any_schedule(g) == 4 + 4
+
+
+class TestTNSE:
+    def test_tnse_map(self):
+        g = SDFGraph()
+        g.add_actors("ABC")
+        g.add_edge("A", "B", 2, 1)
+        g.add_edge("B", "C", 1, 3)
+        m = tnse_map(g)
+        assert m[("A", "B", 0)] == 6
+        assert m[("B", "C", 0)] == 6
+
+    def test_tnse_single_edge(self):
+        g = SDFGraph()
+        g.add_actors("AB")
+        e = g.add_edge("A", "B", 4, 6)
+        assert tnse(g, e) == 12
+
+
+class TestBMLBIsALowerBound:
+    """BMLB(e) <= max_tokens(e, S) for every valid SAS S (exhaustive on
+    small graphs)."""
+
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_three_actor_chain(self, p1, c1, p2, c2):
+        g = SDFGraph()
+        g.add_actors("ABC")
+        g.add_edge("A", "B", p1, c1)
+        g.add_edge("B", "C", p2, c2)
+        result = dppo(g, ["A", "B", "C"])
+        peaks = max_tokens(g, result.schedule)
+        assert peaks[("A", "B", 0)] >= bmlb_edge(g.edge("A", "B"))
+        assert peaks[("B", "C", 0)] >= bmlb_edge(g.edge("B", "C"))
+        assert result.cost >= bmlb(g)

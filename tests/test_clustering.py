@@ -1,0 +1,100 @@
+"""Tests for the cluster graph substrate used by APGAN."""
+
+import pytest
+
+from repro.exceptions import GraphStructureError
+from repro.sdf.clustering import ClusterGraph
+from repro.sdf.graph import SDFGraph
+
+
+def fork_join():
+    """A -> B, A -> C, B -> D, C -> D with repetitions (1, 2, 3, 6)."""
+    g = SDFGraph()
+    g.add_actors("ABCD")
+    g.add_edge("A", "B", 2, 1)
+    g.add_edge("A", "C", 3, 1)
+    g.add_edge("B", "D", 3, 1)
+    g.add_edge("C", "D", 2, 1)
+    return g
+
+
+class TestBasics:
+    def test_initial_singletons(self):
+        cg = ClusterGraph(fork_join())
+        assert cg.num_clusters() == 4
+        for a in "ABCD":
+            assert cg.cluster(cg.cluster_id_of(a)).members == frozenset([a])
+
+    def test_initial_repetitions(self):
+        cg = ClusterGraph(fork_join())
+        assert cg.cluster(cg.cluster_id_of("D")).repetitions == 6
+
+    def test_adjacent_pairs(self):
+        cg = ClusterGraph(fork_join())
+        pairs = {
+            (min(cg.cluster(a).members), min(cg.cluster(b).members))
+            for a, b in cg.adjacent_pairs()
+        }
+        assert pairs == {("A", "B"), ("A", "C"), ("B", "D"), ("C", "D")}
+
+
+class TestMerging:
+    def test_merge_gcd_repetitions(self):
+        cg = ClusterGraph(fork_join())
+        cid = cg.merge(cg.cluster_id_of("B"), cg.cluster_id_of("D"))
+        assert cg.cluster(cid).repetitions == 2  # gcd(2, 6)
+        assert cg.cluster(cid).members == frozenset("BD")
+        assert cg.num_clusters() == 3
+
+    def test_merge_records_hierarchy(self):
+        cg = ClusterGraph(fork_join())
+        b, d = cg.cluster_id_of("B"), cg.cluster_id_of("D")
+        bn, dn = cg.cluster(b), cg.cluster(d)
+        cid = cg.merge(b, d)
+        assert cg.cluster(cid).hierarchy == (bn, dn)
+
+    def test_merge_self_rejected(self):
+        cg = ClusterGraph(fork_join())
+        with pytest.raises(GraphStructureError):
+            cg.merge(cg.cluster_id_of("A"), cg.cluster_id_of("A"))
+
+    def test_cycle_detection(self):
+        cg = ClusterGraph(fork_join())
+        # Merging A and D would leave B (and C) both downstream of the
+        # merged cluster and upstream of it: a cycle.
+        assert cg.merge_would_create_cycle(
+            cg.cluster_id_of("A"), cg.cluster_id_of("D")
+        )
+        # Merging A and B is fine (the path A->C->D doesn't return to B).
+        assert not cg.merge_would_create_cycle(
+            cg.cluster_id_of("A"), cg.cluster_id_of("B")
+        )
+
+    def test_acyclic_maintained_through_safe_merges(self):
+        cg = ClusterGraph(fork_join())
+        cg.merge(cg.cluster_id_of("A"), cg.cluster_id_of("B"))
+        assert cg.is_acyclic()
+        cg.merge(cg.cluster_id_of("C"), cg.cluster_id_of("D"))
+        assert cg.is_acyclic()
+        assert cg.num_clusters() == 2
+
+    def test_full_merge_to_single_cluster(self):
+        cg = ClusterGraph(fork_join())
+        cg.merge(cg.cluster_id_of("A"), cg.cluster_id_of("B"))
+        cg.merge(cg.cluster_id_of("C"), cg.cluster_id_of("D"))
+        cg.merge(cg.cluster_id_of("A"), cg.cluster_id_of("C"))
+        assert cg.num_clusters() == 1
+        root = cg.cluster(cg.cluster_ids()[0])
+        assert root.members == frozenset("ABCD")
+        assert root.repetitions == 1
+
+    def test_leaf_helpers(self):
+        cg = ClusterGraph(fork_join())
+        node = cg.cluster(cg.cluster_id_of("A"))
+        assert node.is_leaf()
+        assert node.sole_member() == "A"
+        cid = cg.merge(cg.cluster_id_of("A"), cg.cluster_id_of("B"))
+        merged = cg.cluster(cid)
+        assert not merged.is_leaf()
+        with pytest.raises(GraphStructureError):
+            merged.sole_member()

@@ -1,0 +1,221 @@
+"""Tests for C emission and the shared-memory execution checker."""
+
+import pytest
+
+from repro.exceptions import CodegenError
+from repro.sdf.graph import SDFGraph
+from repro.sdf.random_graphs import random_sdf_graph
+from repro.lifetimes.intervals import extract_lifetimes
+from repro.allocation.first_fit import Allocation, ffdur
+from repro.allocation.intersection_graph import build_intersection_graph
+from repro.codegen.c_emitter import emit_c
+from repro.codegen.vm import SharedMemoryVM, run_shared_memory_check
+from repro.scheduling.pipeline import implement
+from repro.apps import table1_graph
+
+
+def implemented(name_or_graph):
+    g = (
+        table1_graph(name_or_graph)
+        if isinstance(name_or_graph, str)
+        else name_or_graph
+    )
+    result = implement(g, "rpmc")
+    return g, result
+
+
+class TestEmitC:
+    def test_contains_pool_and_buffers(self):
+        g, result = implemented("16qamModem")
+        code = emit_c(g, result.lifetimes, result.allocation)
+        assert f"static token_t memory[{result.allocation.total}];" in code
+        assert "#define BUF_BITS_MAPPER" in code
+        assert "void run_one_period(void)" in code
+        assert "int main(void)" in code
+
+    def test_every_actor_fired(self):
+        g, result = implemented("4pamxmitrec")
+        code = emit_c(g, result.lifetimes, result.allocation)
+        for actor in g.actor_names():
+            assert f"fire_{actor}(" in code
+
+    def test_loop_structure_present(self):
+        g, result = implemented("satrec")
+        code = emit_c(g, result.lifetimes, result.allocation)
+        assert "for (int i" in code
+
+    def test_delay_handling(self):
+        g = SDFGraph()
+        g.add_actors("AB")
+        g.add_edge("A", "B", 1, 1, delay=2)
+        result = implement(g, "natural")
+        code = emit_c(g, result.lifetimes, result.allocation)
+        assert "init_delays" in code
+        assert "%" in code  # circular cursor arithmetic
+
+    def test_missing_allocation_raises(self):
+        g, result = implemented("4pamxmitrec")
+        bad = Allocation(offsets={}, total=0, order=[], graph=result.allocation.graph)
+        with pytest.raises(CodegenError):
+            emit_c(g, result.lifetimes, bad)
+
+    def test_balanced_braces(self):
+        g, result = implemented("blockVox")
+        code = emit_c(g, result.lifetimes, result.allocation)
+        assert code.count("{") == code.count("}")
+
+
+class TestSharedMemoryVM:
+    def test_runs_clean_on_correct_allocation(self):
+        g, result = implemented("overAddFFT")
+        fires = run_shared_memory_check(g, result.lifetimes, result.allocation)
+        assert fires > 0
+
+    def test_detects_corrupted_allocation(self):
+        """Colocating overlapping buffers must be caught as corruption.
+
+        The coarse lifetime model is conservative, so not every
+        coarse-overlapping pair conflicts at access granularity (an
+        actor's reads complete before its writes within one firing) —
+        but in a loop-interleaved schedule most pairs must.  Try every
+        overlapping pair and require that most are detected.
+        """
+        g, result = implemented("qmf23_2d")
+        buffers = result.lifetimes.as_list()
+        wig = build_intersection_graph(buffers)
+        detected = 0
+        tried = 0
+        for i in range(len(buffers)):
+            for j in wig.neighbors[i]:
+                if j < i or not buffers[i].size or not buffers[j].size:
+                    continue
+                tried += 1
+                offsets = dict(result.allocation.offsets)
+                offsets[buffers[j].name] = offsets[buffers[i].name]
+                bad = Allocation(
+                    offsets=offsets,
+                    total=max(offsets[b.name] + b.size for b in buffers),
+                    order=result.allocation.order,
+                    graph=wig,
+                )
+                vm = SharedMemoryVM(g, result.lifetimes, bad)
+                try:
+                    vm.run(periods=1)
+                except CodegenError:
+                    detected += 1
+        assert tried > 0
+        assert detected >= tried // 2, (
+            f"only {detected} of {tried} colocated pairs detected"
+        )
+
+    def test_multiple_periods(self):
+        g, result = implemented("16qamModem")
+        run_shared_memory_check(g, result.lifetimes, result.allocation, periods=3)
+
+    def test_delayed_graph_execution(self):
+        g = SDFGraph()
+        g.add_actors("ABC")
+        g.add_edge("A", "B", 2, 1, delay=1)
+        g.add_edge("B", "C", 1, 3)
+        result = implement(g, "natural")
+        run_shared_memory_check(g, result.lifetimes, result.allocation, periods=3)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_graphs_execute(self, seed):
+        g = random_sdf_graph(10, seed=200 + seed)
+        result = implement(g, "apgan")
+        run_shared_memory_check(g, result.lifetimes, result.allocation, periods=2)
+
+    def test_token_sizes_respected(self):
+        g = SDFGraph()
+        g.add_actors("AB")
+        g.add_edge("A", "B", 2, 1, token_size=3)
+        result = implement(g, "natural")
+        assert result.allocation.total >= 6
+        run_shared_memory_check(g, result.lifetimes, result.allocation)
+
+
+import shutil
+import subprocess
+
+requires_gcc = pytest.mark.skipif(
+    shutil.which("gcc") is None, reason="no C compiler available"
+)
+
+
+def _compile_and_run(code, tmp_path, name="gen"):
+    source = tmp_path / f"{name}.c"
+    source.write_text(code)
+    exe = tmp_path / name
+    compile_result = subprocess.run(
+        ["gcc", "-O2", "-Wall", "-Werror", "-o", str(exe), str(source)],
+        capture_output=True,
+        text=True,
+    )
+    assert compile_result.returncode == 0, compile_result.stderr
+    return subprocess.run(
+        [str(exe)], capture_output=True, text=True, timeout=60
+    )
+
+
+@requires_gcc
+class TestGeneratedCSelfCheck:
+    """The emitted C, compiled with gcc, proves the allocation on metal."""
+
+    @pytest.mark.parametrize(
+        "name", ["qmf23_2d", "satrec", "blockVox", "overAddFFT", "phasedArray"]
+    )
+    def test_practical_system_self_checks(self, name, tmp_path):
+        g, result = implemented(name)
+        code = emit_c(
+            g, result.lifetimes, result.allocation, instrument=True, periods=3
+        )
+        run = _compile_and_run(code, tmp_path, name)
+        assert run.returncode == 0, run.stderr
+        assert "SELFCHECK OK" in run.stdout
+
+    def test_delayed_edges_self_check(self, tmp_path):
+        g = SDFGraph()
+        g.add_actors("ABC")
+        g.add_edge("A", "B", 2, 1, delay=1)
+        g.add_edge("B", "C", 1, 3, delay=2)
+        result = implement(g, "natural")
+        code = emit_c(
+            g, result.lifetimes, result.allocation, instrument=True, periods=4
+        )
+        run = _compile_and_run(code, tmp_path, "delayed")
+        assert run.returncode == 0, run.stderr
+        assert "SELFCHECK OK" in run.stdout
+
+    def test_corrupted_allocation_fails_in_c(self, tmp_path):
+        """The compiled self-check catches an unsafe overlay, like the VM."""
+        g, result = implemented("qmf23_2d")
+        buffers = result.lifetimes.as_list()
+        wig = build_intersection_graph(buffers)
+        failed = 0
+        tried = 0
+        for i in range(len(buffers)):
+            for j in sorted(wig.neighbors[i]):
+                if j < i or not buffers[i].size or not buffers[j].size:
+                    continue
+                tried += 1
+                offsets = dict(result.allocation.offsets)
+                offsets[buffers[j].name] = offsets[buffers[i].name]
+                bad = Allocation(
+                    offsets=offsets,
+                    total=max(offsets[b.name] + b.size for b in buffers),
+                    order=result.allocation.order,
+                    graph=wig,
+                )
+                code = emit_c(
+                    g, result.lifetimes, bad, instrument=True, periods=1
+                )
+                run = _compile_and_run(code, tmp_path, f"bad{i}_{j}")
+                if run.returncode != 0 and "SELFCHECK FAIL" in run.stderr:
+                    failed += 1
+                if tried >= 6:
+                    break
+            if tried >= 6:
+                break
+        assert tried > 0
+        assert failed >= tried // 2

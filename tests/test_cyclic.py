@@ -1,0 +1,139 @@
+"""Tests for cyclic-graph scheduling via SCC clustering."""
+
+import pytest
+
+from repro.exceptions import InconsistentGraphError
+from repro.sdf.graph import SDFGraph
+from repro.sdf.simulate import validate_schedule
+from repro.scheduling.cyclic import (
+    cluster_cycles,
+    schedule_cyclic,
+    strongly_connected_components,
+)
+
+
+def feedback_graph():
+    """A -> B <-> C -> D with one delay on the feedback edge."""
+    g = SDFGraph("cyc")
+    g.add_actors("ABCD")
+    g.add_edge("A", "B", 2, 1)
+    g.add_edge("B", "C", 1, 1)
+    g.add_edge("C", "B", 1, 1, delay=1)
+    g.add_edge("C", "D", 3, 2)
+    return g
+
+
+class TestSCC:
+    def test_acyclic_graph_all_singletons(self):
+        g = SDFGraph()
+        g.add_actors("ABC")
+        g.add_edge("A", "B", 1, 1)
+        g.add_edge("B", "C", 1, 1)
+        comps = strongly_connected_components(g)
+        assert sorted(len(c) for c in comps) == [1, 1, 1]
+
+    def test_feedback_pair_detected(self):
+        comps = strongly_connected_components(feedback_graph())
+        multi = [c for c in comps if len(c) > 1]
+        assert len(multi) == 1
+        assert sorted(multi[0]) == ["B", "C"]
+
+    def test_whole_graph_cycle(self):
+        g = SDFGraph()
+        g.add_actors("ABC")
+        g.add_edge("A", "B", 1, 1)
+        g.add_edge("B", "C", 1, 1)
+        g.add_edge("C", "A", 1, 1, delay=1)
+        comps = strongly_connected_components(g)
+        assert len(comps) == 1
+        assert sorted(comps[0]) == ["A", "B", "C"]
+
+    def test_reverse_topological_order(self):
+        comps = strongly_connected_components(feedback_graph())
+        position = {frozenset(c): i for i, c in enumerate(comps)}
+        # D's component must appear before B/C's (reverse topological).
+        assert position[frozenset(["D"])] < position[frozenset(["B", "C"])]
+
+
+class TestClusterCycles:
+    def test_quotient_is_acyclic_and_consistent(self):
+        from repro.sdf.repetitions import is_consistent
+        clustered = cluster_cycles(feedback_graph())
+        assert clustered.quotient.is_acyclic()
+        assert is_consistent(clustered.quotient)
+
+    def test_members_partition_actors(self):
+        clustered = cluster_cycles(feedback_graph())
+        all_members = [a for m in clustered.members.values() for a in m]
+        assert sorted(all_members) == ["A", "B", "C", "D"]
+
+    def test_subschedule_only_for_multi_actor_sccs(self):
+        clustered = cluster_cycles(feedback_graph())
+        assert len(clustered.subschedules) == 1
+        (name, sub), = clustered.subschedules.items()
+        assert sorted(sub.firings_per_actor()) == ["B", "C"]
+
+    def test_deadlocked_scc_rejected(self):
+        g = SDFGraph()
+        g.add_actors("AB")
+        g.add_edge("A", "B", 1, 1)
+        g.add_edge("B", "A", 1, 1)  # no delay: deadlock
+        with pytest.raises(InconsistentGraphError) as exc:
+            cluster_cycles(g)
+        assert exc.value.kind == "deadlock"
+
+    def test_self_loop_actor(self):
+        g = SDFGraph()
+        g.add_actors("AB")
+        g.add_edge("A", "A", 2, 2, delay=2)
+        g.add_edge("A", "B", 1, 1)
+        clustered = cluster_cycles(g)
+        assert clustered.quotient.is_acyclic()
+
+
+class TestScheduleCyclic:
+    def test_feedback_schedule_valid(self):
+        g = feedback_graph()
+        result = schedule_cyclic(g)
+        validate_schedule(g, result.schedule)
+
+    def test_acyclic_passthrough(self):
+        g = SDFGraph()
+        g.add_actors("ABC")
+        g.add_edge("A", "B", 2, 1)
+        g.add_edge("B", "C", 1, 3)
+        result = schedule_cyclic(g)
+        validate_schedule(g, result.schedule)
+        # No composites: quotient schedule == expanded schedule.
+        assert result.schedule.firing_list() == (
+            result.quotient_schedule.firing_list()
+        )
+
+    def test_nonshared_objective(self):
+        g = feedback_graph()
+        result = schedule_cyclic(g, shared=False)
+        validate_schedule(g, result.schedule)
+
+    def test_multirate_feedback(self):
+        """Feedback with rate changes: B fires 3x per C, delay covers it."""
+        g = SDFGraph()
+        g.add_actors("SBCT")
+        g.add_edge("S", "B", 3, 1)
+        g.add_edge("B", "C", 1, 3)
+        g.add_edge("C", "B", 3, 1, delay=3)
+        g.add_edge("C", "T", 1, 1)
+        result = schedule_cyclic(g)
+        validate_schedule(g, result.schedule)
+
+    def test_two_independent_cycles(self):
+        g = SDFGraph()
+        g.add_actors(["a1", "a2", "b1", "b2", "mid"])
+        g.add_edge("a1", "a2", 1, 1)
+        g.add_edge("a2", "a1", 1, 1, delay=1)
+        g.add_edge("a2", "mid", 1, 1)
+        g.add_edge("mid", "b1", 1, 1)
+        g.add_edge("b1", "b2", 1, 1)
+        g.add_edge("b2", "b1", 1, 1, delay=1)
+        result = schedule_cyclic(g)
+        validate_schedule(g, result.schedule)
+        assert len(result.clustered.subschedules) == 2

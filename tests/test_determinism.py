@@ -1,0 +1,56 @@
+"""Determinism guarantees: identical inputs produce identical results.
+
+Every number in EXPERIMENTS.md relies on the flow being a pure function
+of (graph, seed); these tests pin that property so a future change that
+introduces hidden iteration-order or randomness dependence fails loudly.
+"""
+
+import pytest
+
+from repro.sdf.random_graphs import random_sdf_graph
+from repro.scheduling.pipeline import implement, implement_best
+from repro.baselines.random_search import random_search
+from repro.apps import table1_graph
+
+
+class TestFlowDeterminism:
+    @pytest.mark.parametrize("method", ["rpmc", "apgan", "natural"])
+    def test_implement_reproducible(self, method):
+        g1 = table1_graph("16qamModem")
+        g2 = table1_graph("16qamModem")
+        r1 = implement(g1, method, seed=3)
+        r2 = implement(g2, method, seed=3)
+        assert r1.order == r2.order
+        assert str(r1.sdppo_schedule) == str(r2.sdppo_schedule)
+        assert r1.allocation.offsets == r2.allocation.offsets
+        assert (r1.dppo_cost, r1.mco, r1.mcp) == (r2.dppo_cost, r2.mco, r2.mcp)
+
+    def test_best_result_reproducible(self):
+        a = implement_best(table1_graph("satrec"))
+        b = implement_best(table1_graph("satrec"))
+        assert a.best_shared == b.best_shared
+        assert a.best_nonshared == b.best_nonshared
+        assert a.rpmc.order == b.rpmc.order
+
+    def test_random_graph_flow_reproducible(self):
+        for seed in (0, 17):
+            g1 = random_sdf_graph(20, seed=seed)
+            g2 = random_sdf_graph(20, seed=seed)
+            r1 = implement(g1, "rpmc", seed=seed, verify=False)
+            r2 = implement(g2, "rpmc", seed=seed, verify=False)
+            assert r1.allocation.offsets == r2.allocation.offsets
+
+    def test_random_search_reproducible(self):
+        g = table1_graph("4pamxmitrec")
+        s1 = random_search(g, trials=8, seed=5)
+        s2 = random_search(g, trials=8, seed=5)
+        assert s1.best_by_trial == s2.best_by_trial
+        assert s1.best_order == s2.best_order
+
+    def test_different_seeds_can_differ(self):
+        g = table1_graph("4pamxmitrec")
+        s1 = random_search(g, trials=8, seed=5)
+        s2 = random_search(g, trials=8, seed=6)
+        # The orders explored differ (totals may coincide on tiny graphs).
+        assert s1.best_order == s1.best_order
+        assert isinstance(s2.best_total, int)

@@ -1,0 +1,82 @@
+"""Tests for the exact optimal-SAS search and optimality-gap harness."""
+
+import pytest
+
+from repro.exceptions import GraphStructureError
+from repro.sdf.graph import SDFGraph
+from repro.sdf.random_graphs import random_sdf_graph
+from repro.sdf.simulate import buffer_memory_nonshared, validate_schedule
+from repro.scheduling.dppo import dppo
+from repro.scheduling.exhaustive import optimal_sas
+from repro.experiments.optimality_gap import format_gap, run_optimality_gap
+
+
+class TestOptimalSAS:
+    def test_unique_sort_equals_dppo(self):
+        g = SDFGraph()
+        g.add_actors("ABC")
+        g.add_edge("A", "B", 2, 1)
+        g.add_edge("B", "C", 1, 3)
+        exact = optimal_sas(g)
+        assert exact.sorts_examined == 1
+        assert exact.cost == dppo(g, ["A", "B", "C"]).cost
+
+    def test_schedule_is_valid_and_costed(self):
+        g = random_sdf_graph(6, seed=11)
+        exact = optimal_sas(g)
+        validate_schedule(g, exact.schedule)
+        assert exact.cost == buffer_memory_nonshared(g, exact.schedule)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_no_single_sort_beats_it(self, seed):
+        from repro.sdf.topsort import all_topological_sorts
+        g = random_sdf_graph(6, seed=seed)
+        exact = optimal_sas(g)
+        for order in all_topological_sorts(g):
+            assert dppo(g, order).cost >= exact.cost
+
+    def test_shared_objective(self):
+        g = random_sdf_graph(5, seed=3)
+        exact = optimal_sas(g, objective="shared")
+        assert exact.objective == "shared"
+        assert exact.cost >= 0
+        validate_schedule(g, exact.schedule)
+
+    def test_unknown_objective(self):
+        g = random_sdf_graph(4, seed=0)
+        with pytest.raises(GraphStructureError):
+            optimal_sas(g, objective="bogus")
+
+    def test_too_many_sorts_rejected(self):
+        g = SDFGraph()
+        g.add_actors([f"n{i}" for i in range(10)])  # 10! sorts
+        with pytest.raises(GraphStructureError):
+            optimal_sas(g, max_sorts=100)
+
+
+class TestOptimalityGap:
+    def test_gaps_non_negative(self):
+        rows = run_optimality_gap(seeds=range(5), num_actors=6)
+        assert rows
+        for r in rows:
+            assert r.rpmc >= r.optimal
+            assert r.apgan >= r.optimal
+
+    def test_apgan_nonshared_optimality_class(self):
+        """APGAN provably minimizes the non-shared metric for a broad
+        class of graphs [3]; it should hit the optimum on most small
+        random graphs."""
+        rows = run_optimality_gap(
+            seeds=range(8), num_actors=7, objective="nonshared"
+        )
+        optimal_hits = sum(1 for r in rows if r.apgan == r.optimal)
+        assert optimal_hits >= len(rows) // 2
+
+    def test_formatting(self):
+        rows = run_optimality_gap(seeds=range(3), num_actors=5)
+        text = format_gap(rows)
+        assert "mean gaps" in text
+        assert "optimal on" in text
+
+    def test_empty_rows_formatting(self):
+        assert "no graphs" in format_gap([])

@@ -1,0 +1,138 @@
+"""Tests for the experiment harnesses (paper evaluation section)."""
+
+import pytest
+
+from repro.experiments.table1 import (
+    PAPER_REFERENCE,
+    Table1Row,
+    format_table1,
+    run_table1,
+)
+from repro.experiments.fig25 import format_fig25, improvement_series
+from repro.experiments.random_graphs import (
+    format_fig27,
+    run_random_graph_experiment,
+)
+from repro.experiments.homogeneous_exp import (
+    format_fig26,
+    run_homogeneous_experiment,
+)
+from repro.experiments.satrec_comparison import format_satrec, run_satrec_comparison
+from repro.experiments.cddat_io import input_buffering, run_cddat_io
+
+QUICK_SYSTEMS = ["qmf23_2d", "satrec", "16qamModem", "overAddFFT"]
+
+
+@pytest.fixture(scope="module")
+def quick_rows():
+    return run_table1(QUICK_SYSTEMS)
+
+
+class TestTable1:
+    def test_rows_complete(self, quick_rows):
+        assert [r.system for r in quick_rows] == QUICK_SYSTEMS
+        for r in quick_rows:
+            assert r.best_shared <= r.best_nonshared
+            assert r.dppo_r >= r.bmlb
+            assert r.mco_r <= r.mcp_r
+            assert r.mco_a <= r.mcp_a
+
+    def test_improvement_band(self, quick_rows):
+        """The paper's headline: improvements average > 50% with every
+        practical system at >= 31%."""
+        avg = sum(r.improvement for r in quick_rows) / len(quick_rows)
+        assert avg >= 40.0
+        for r in quick_rows:
+            assert r.improvement >= 25.0, r.system
+
+    def test_formatting(self, quick_rows):
+        text = format_table1(quick_rows)
+        assert "qmf23_2d" in text
+        assert "average improvement" in text
+        assert "%" in text
+
+    def test_reference_values_recorded(self):
+        assert PAPER_REFERENCE["qmf23_2d"]["dppo_r"] == 60
+        assert PAPER_REFERENCE["satrec"]["shared_best"] == 991
+
+
+class TestFig25:
+    def test_series_matches_rows(self, quick_rows):
+        series = improvement_series(quick_rows)
+        assert [s for s, _ in series] == QUICK_SYSTEMS
+        for (_, v), r in zip(series, quick_rows):
+            assert v == r.improvement
+
+    def test_chart_renders(self, quick_rows):
+        text = format_fig25(improvement_series(quick_rows))
+        assert "#" in text
+        assert "average" in text
+
+
+class TestFig26:
+    def test_suite_achieves_m_plus_one(self):
+        """Section 10.2: the complete suite allocates exactly M + 1."""
+        for r in run_homogeneous_experiment(points=((2, 3), (3, 4), (5, 5))):
+            assert r.suite_allocation == r.lower_bound
+            assert r.depth_first_allocation == r.lower_bound
+            assert r.nonshared == r.m * (r.n - 1) + 2 * r.m
+
+    def test_vector_tokens_scale(self):
+        for r in run_homogeneous_experiment(points=((3, 4),), token_size=16):
+            assert r.suite_allocation == 4 * 16
+            assert r.nonshared == (3 * 3 + 6) * 16
+
+    def test_formatting(self):
+        text = format_fig26(run_homogeneous_experiment(points=((2, 2),)))
+        assert "M+1" in text or "bound" in text
+
+
+class TestFig27:
+    def test_small_sweep_shapes(self):
+        stats = run_random_graph_experiment(
+            sizes=(15, 30), graphs_per_size=6, seed=2
+        )
+        assert len(stats) == 2
+        for s in stats:
+            assert s.num_graphs == 6
+            # Sharing always helps on these sparse graphs.
+            assert s.improvement_pct > 0
+            # Allocation sits at or above its optimistic bound.
+            assert s.alloc_over_mco_pct >= 0
+            assert 0.0 <= s.rpmc_wins_fraction <= 1.0
+
+    def test_formatting(self):
+        stats = run_random_graph_experiment(sizes=(10,), graphs_per_size=3)
+        text = format_fig27(stats)
+        assert "(a)" in text and "(f)" in text
+
+
+class TestSatrecComparison:
+    def test_shapes(self):
+        c = run_satrec_comparison()
+        # Nested sharing beats flat sharing decisively (section 11.1.2).
+        assert c.nested_shared < c.flat_shared
+        # The dynamic schedule is long (sum of repetitions).
+        assert c.dynamic_schedule_length == 4515
+        # Dynamic per-edge peaks beat the SAS total (section 11.1.3).
+        assert c.dynamic_nonshared != c.nested_nonshared
+        text = format_satrec(c)
+        assert "nested SAS" in text
+
+
+class TestCdDatIO:
+    def test_nested_beats_flat(self):
+        """Section 11.1.3: nested SAS needs far less input buffering."""
+        r = run_cddat_io()
+        assert r.period_samples == 147
+        assert r.nested_backlog < r.flat_backlog
+
+    def test_custom_execution_times(self):
+        times = {"A": 10, "B": 20, "C": 20, "D": 25, "E": 25, "F": 15}
+        r = run_cddat_io(execution_times=times)
+        assert r.nested_backlog < r.flat_backlog
+
+    def test_input_buffering_flat_spike(self):
+        """The flat SAS's backlog approaches a full period of samples."""
+        r = run_cddat_io()
+        assert r.flat_backlog > r.period_samples // 2

@@ -1,0 +1,251 @@
+"""Tests for the section 11.1.4 / section 12 extension features."""
+
+import pytest
+
+from repro.exceptions import GraphStructureError
+from repro.sdf.graph import SDFGraph
+from repro.sdf.repetitions import repetitions_vector
+from repro.sdf.simulate import is_valid_schedule, validate_schedule
+from repro.scheduling.pipeline import implement
+from repro.codegen.vm import SharedMemoryVM
+from repro.apps import table1_graph
+from repro.extensions.buffer_merging import (
+    find_merge_candidates,
+    merged_allocation,
+)
+from repro.extensions.higher_order import (
+    SubgraphTemplate,
+    chain_expand,
+    fir_graph,
+)
+from repro.extensions.nas import two_appearance_search
+from repro.extensions.regularity import (
+    compress_firing_sequence,
+    optimal_looping,
+    strip_instance_suffix,
+)
+
+
+class TestOptimalLooping:
+    def test_simple_repeat(self):
+        assert str(optimal_looping(list("GAGAGA"))) == "(3G A)"
+
+    def test_prefix_plus_repeat(self):
+        assert str(optimal_looping(list("GGAGAGA"))) == "G(3G A)"
+
+    def test_no_structure(self):
+        s = optimal_looping(list("ABCABD"))
+        assert s.firing_list() == list("ABCABD")
+
+    def test_nested_repetition(self):
+        # AABAAB AABAAB -> (2(2A)B) twice -> (4? no: (2 (2A) B) x2
+        s = optimal_looping(list("AABAABAABAAB"))
+        assert s.firing_list() == list("AABAABAABAAB")
+        # Minimum appearances: (4(2A)B) uses 2.
+        assert sum(s.appearances().values()) == 2
+
+    def test_single_actor_runs(self):
+        assert str(optimal_looping(["A"] * 7)) == "(7A)"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            optimal_looping([])
+
+    @pytest.mark.parametrize(
+        "seq",
+        [
+            list("ABAB"), list("AAAA"), list("ABBA"),
+            list("XYZXYZXY"), list("AABBAABB"),
+        ],
+    )
+    def test_firing_sequence_preserved(self, seq):
+        assert optimal_looping(seq).firing_list() == seq
+
+    def test_appearance_count_never_worse_than_flat(self):
+        import random
+        rng = random.Random(0)
+        for _ in range(20):
+            seq = [rng.choice("ABC") for _ in range(rng.randint(1, 12))]
+            s = optimal_looping(seq)
+            assert s.firing_list() == seq
+            # Run-length encoding is always available, so appearances
+            # can't exceed the number of maximal runs.
+            runs = 1 + sum(1 for a, b in zip(seq, seq[1:]) if a != b)
+            assert sum(s.appearances().values()) <= runs
+
+
+class TestRegularityFIR:
+    def test_strip_instance_suffix(self):
+        assert strip_instance_suffix("G12") == "G"
+        assert strip_instance_suffix("add3") == "add"
+        assert strip_instance_suffix("A") == "A"
+        assert strip_instance_suffix("42") == "42"
+
+    def test_fir_pattern_collapses(self):
+        """Section 12: G0 G1 A0 G2 A1 ... -> G (n (G A))."""
+        seq = ["G0"]
+        for i in range(1, 6):
+            seq += [f"G{i}", f"A{i - 1}"]
+        s = compress_firing_sequence(seq)
+        assert str(s) == "G(5G A)"
+
+    def test_fir_graph_schedule_collapses(self):
+        """End to end: expand the Chain actor, schedule, compress."""
+        graph = fir_graph(6)
+        result = implement(graph, "natural")
+        seq = result.sdppo_schedule.firing_list()
+        compressed = compress_firing_sequence(seq)
+        # Label-collapapsed appearances: far fewer than the 14 actors.
+        assert sum(compressed.appearances().values()) <= 8
+
+
+class TestHigherOrder:
+    def test_fir_graph_structure(self):
+        g = fir_graph(4)
+        assert g.num_actors == 2 + 2 * 4
+        assert g.is_acyclic()
+        assert set(repetitions_vector(g).values()) == {1}
+
+    def test_chain_expand_wiring(self):
+        g = SDFGraph()
+        g.add_actors(["src", "snk"])
+        t = SubgraphTemplate(
+            name="stage",
+            actors={"f": 1},
+            edges=[],
+            chain_in="f",
+            chain_out="f",
+        )
+        chain_expand(g, t, 3, "src", "snk")
+        assert g.has_edge("src", "f0")
+        assert g.has_edge("f0", "f1")
+        assert g.has_edge("f1", "f2")
+        assert g.has_edge("f2", "snk")
+
+    def test_template_validation(self):
+        with pytest.raises(GraphStructureError):
+            SubgraphTemplate(
+                name="bad", actors={"f": 1}, edges=[],
+                chain_in="zzz", chain_out="f",
+            )
+        with pytest.raises(GraphStructureError):
+            SubgraphTemplate(
+                name="bad", actors={"f": 1}, edges=[("f", "g", 1, 1)],
+                chain_in="f", chain_out="f",
+            )
+
+    def test_chain_expand_validation(self):
+        g = SDFGraph()
+        g.add_actor("src")
+        t = SubgraphTemplate(
+            name="s", actors={"f": 1}, edges=[], chain_in="f", chain_out="f"
+        )
+        with pytest.raises(GraphStructureError):
+            chain_expand(g, t, 0, "src", "src")
+        with pytest.raises(GraphStructureError):
+            chain_expand(g, t, 2, "src", "missing")
+
+    def test_broadcast_requires_source(self):
+        g = SDFGraph()
+        g.add_actors(["a", "b"])
+        t = SubgraphTemplate(
+            name="s", actors={"f": 1}, edges=[],
+            chain_in="f", chain_out="f", broadcast_in="f",
+        )
+        with pytest.raises(GraphStructureError):
+            chain_expand(g, t, 2, "a", "b")
+
+    def test_fir_rejects_zero_taps(self):
+        with pytest.raises(GraphStructureError):
+            fir_graph(0)
+
+
+class TestBufferMerging:
+    @pytest.mark.parametrize(
+        "name", ["overAddFFT", "16qamModem", "satrec", "blockVox", "qmf23_2d"]
+    )
+    def test_merged_allocation_executes(self, name):
+        """In-place merging must survive token-level execution."""
+        g = table1_graph(name)
+        result = implement(g, "rpmc")
+        alloc, applied = merged_allocation(g, result.lifetimes)
+        vm = SharedMemoryVM(g, result.lifetimes, alloc)
+        vm.run(periods=2)
+
+    def test_candidates_respect_rate_condition(self):
+        g = table1_graph("satrec")
+        result = implement(g, "rpmc")
+        for c in find_merge_candidates(g, result.lifetimes):
+            e_in = next(e for e in g.edges() if e.key == c.input_edge)
+            e_out = next(e for e in g.edges() if e.key == c.output_edge)
+            assert e_out.production * e_out.token_size <= (
+                e_in.consumption * e_in.token_size
+            )
+            assert e_in.sink == c.actor == e_out.source
+
+    def test_each_buffer_merged_once(self):
+        g = table1_graph("blockVox")
+        result = implement(g, "rpmc")
+        candidates = find_merge_candidates(g, result.lifetimes)
+        seen = set()
+        for c in candidates:
+            assert c.input_edge not in seen
+            assert c.output_edge not in seen
+            seen.add(c.input_edge)
+            seen.add(c.output_edge)
+
+    def test_merging_can_save_memory(self):
+        g = table1_graph("blockVox")
+        result = implement(g, "rpmc")
+        alloc, applied = merged_allocation(g, result.lifetimes)
+        assert applied
+        assert alloc.total <= result.allocation.total
+
+    def test_expander_not_merged(self):
+        """An actor producing more words than it consumes per firing
+        cannot overlay its output on its input."""
+        g = SDFGraph()
+        g.add_actors("ABC")
+        g.add_edge("A", "B", 1, 1)
+        g.add_edge("B", "C", 4, 4)   # B expands 1 -> 4
+        result = implement(g, "natural")
+        candidates = find_merge_candidates(g, result.lifetimes)
+        assert all(c.actor != "B" for c in candidates)
+
+
+class TestTwoAppearance:
+    def test_schedule_always_valid(self):
+        g = table1_graph("4pamxmitrec")
+        result = two_appearance_search(g)
+        validate_schedule(g, result.schedule)
+
+    def test_never_worse_than_sas(self):
+        for name in ("16qamModem", "overAddFFT"):
+            result = two_appearance_search(table1_graph(name))
+            assert result.cost <= result.sas_cost
+
+    def test_split_reduces_buffering(self):
+        """The classic win: splitting the middle actor of an expander/
+        contractor chain halves the peak."""
+        g = SDFGraph()
+        g.add_actors("ABC")
+        g.add_edge("A", "B", 1, 1)
+        g.add_edge("B", "C", 1, 4)
+        # q = (4, 4, 1); SAS (4A)(4B)C holds 4 on both edges.
+        result = two_appearance_search(g)
+        assert result.cost <= result.sas_cost
+        if result.split_actor is not None:
+            assert result.schedule.appearances()[result.split_actor] == 2
+
+    def test_metric_validation(self):
+        g = table1_graph("4pamxmitrec")
+        with pytest.raises(ValueError):
+            two_appearance_search(g, metric="bogus")
+
+    def test_shared_metric_runs(self):
+        g = SDFGraph()
+        g.add_actors("AB")
+        g.add_edge("A", "B", 2, 1)
+        result = two_appearance_search(g, metric="shared")
+        assert result.metric == "shared"
+        validate_schedule(g, result.schedule)

@@ -1,0 +1,211 @@
+"""Tests for the SDF graph model (repro.sdf.graph)."""
+
+import pytest
+
+from repro.exceptions import GraphStructureError
+from repro.sdf.graph import Actor, Edge, SDFGraph
+
+
+def simple_chain():
+    g = SDFGraph("chain")
+    g.add_actors("ABC")
+    g.add_edge("A", "B", 2, 1)
+    g.add_edge("B", "C", 1, 3)
+    return g
+
+
+class TestActor:
+    def test_requires_name(self):
+        with pytest.raises(GraphStructureError):
+            Actor("")
+
+    def test_rejects_negative_execution_time(self):
+        with pytest.raises(GraphStructureError):
+            Actor("A", execution_time=-1)
+
+    def test_default_execution_time(self):
+        assert Actor("A").execution_time == 1
+
+
+class TestEdge:
+    def test_rejects_nonpositive_rates(self):
+        with pytest.raises(GraphStructureError):
+            Edge("A", "B", 0, 1)
+        with pytest.raises(GraphStructureError):
+            Edge("A", "B", 1, -2)
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(GraphStructureError):
+            Edge("A", "B", 1, 1, delay=-1)
+
+    def test_rejects_nonpositive_token_size(self):
+        with pytest.raises(GraphStructureError):
+            Edge("A", "B", 1, 1, token_size=0)
+
+    def test_self_loop_detection(self):
+        assert Edge("A", "A", 1, 1, delay=1).is_self_loop()
+        assert not Edge("A", "B", 1, 1).is_self_loop()
+
+    def test_key_includes_index(self):
+        assert Edge("A", "B", 1, 1, index=2).key == ("A", "B", 2)
+
+
+class TestConstruction:
+    def test_duplicate_actor_rejected(self):
+        g = SDFGraph()
+        g.add_actor("A")
+        with pytest.raises(GraphStructureError):
+            g.add_actor("A")
+
+    def test_edge_requires_existing_actors(self):
+        g = SDFGraph()
+        g.add_actor("A")
+        with pytest.raises(GraphStructureError):
+            g.add_edge("A", "B", 1, 1)
+
+    def test_parallel_edges_get_indices(self):
+        g = SDFGraph()
+        g.add_actors("AB")
+        e0 = g.add_edge("A", "B", 1, 1)
+        e1 = g.add_edge("A", "B", 2, 2)
+        assert e0.index == 0
+        assert e1.index == 1
+        assert g.num_edges == 2
+        assert g.edge("A", "B", 1).production == 2
+
+    def test_add_chain(self):
+        g = SDFGraph()
+        edges = g.add_chain(["X", "Y", "Z"], [(2, 3), (1, 1)], delays=[1, 0])
+        assert g.num_actors == 3
+        assert edges[0].delay == 1
+        assert edges[1].production == 1
+
+    def test_add_chain_length_mismatch(self):
+        g = SDFGraph()
+        with pytest.raises(GraphStructureError):
+            g.add_chain(["X", "Y"], [])
+
+
+class TestQueries:
+    def test_len_and_contains(self):
+        g = simple_chain()
+        assert len(g) == 3
+        assert "A" in g
+        assert "Z" not in g
+
+    def test_successors_predecessors(self):
+        g = simple_chain()
+        assert g.successors("A") == ["B"]
+        assert g.predecessors("C") == ["B"]
+        assert g.predecessors("A") == []
+
+    def test_sources_and_sinks(self):
+        g = simple_chain()
+        assert g.sources() == ["A"]
+        assert g.sinks() == ["C"]
+
+    def test_unknown_actor_raises(self):
+        g = simple_chain()
+        with pytest.raises(GraphStructureError):
+            g.actor("Q")
+        with pytest.raises(GraphStructureError):
+            g.edge("A", "C")
+
+    def test_has_edge(self):
+        g = simple_chain()
+        assert g.has_edge("A", "B")
+        assert not g.has_edge("A", "C")
+
+    def test_successors_deduplicate_parallel_edges(self):
+        g = SDFGraph()
+        g.add_actors("AB")
+        g.add_edge("A", "B", 1, 1)
+        g.add_edge("A", "B", 2, 2)
+        assert g.successors("A") == ["B"]
+
+
+class TestStructure:
+    def test_is_connected(self):
+        g = simple_chain()
+        assert g.is_connected()
+        g.add_actor("isolated")
+        assert not g.is_connected()
+
+    def test_empty_graph_connected(self):
+        assert SDFGraph().is_connected()
+
+    def test_is_acyclic(self):
+        g = simple_chain()
+        assert g.is_acyclic()
+        g.add_edge("C", "A", 1, 1)
+        assert not g.is_acyclic()
+
+    def test_is_homogeneous(self):
+        g = SDFGraph()
+        g.add_actors("AB")
+        g.add_edge("A", "B", 2, 2)
+        assert g.is_homogeneous()
+        g.add_edge("A", "B", 1, 3)
+        assert not g.is_homogeneous()
+
+    def test_chain_order(self):
+        g = simple_chain()
+        assert g.chain_order() == ["A", "B", "C"]
+        assert g.is_chain()
+
+    def test_chain_order_rejects_branching(self):
+        g = simple_chain()
+        g.add_actor("D")
+        g.add_edge("A", "D", 1, 1)
+        assert g.chain_order() is None
+
+    def test_chain_order_single_actor(self):
+        g = SDFGraph()
+        g.add_actor("A")
+        assert g.chain_order() == ["A"]
+
+    def test_topological_order_deterministic(self):
+        g = SDFGraph()
+        g.add_actors("ABCD")
+        g.add_edge("A", "C", 1, 1)
+        g.add_edge("B", "C", 1, 1)
+        g.add_edge("C", "D", 1, 1)
+        assert g.topological_order() == ["A", "B", "C", "D"]
+
+    def test_topological_order_cycle_raises(self):
+        g = simple_chain()
+        g.add_edge("C", "A", 1, 1)
+        with pytest.raises(GraphStructureError):
+            g.topological_order()
+
+
+class TestDerivedGraphs:
+    def test_subgraph(self):
+        g = simple_chain()
+        sub = g.subgraph(["A", "B"])
+        assert sub.num_actors == 2
+        assert sub.num_edges == 1
+        assert sub.edge("A", "B").production == 2
+
+    def test_subgraph_unknown_actor(self):
+        g = simple_chain()
+        with pytest.raises(GraphStructureError):
+            g.subgraph(["A", "Q"])
+
+    def test_copy_is_independent(self):
+        g = simple_chain()
+        c = g.copy()
+        c.add_actor("D")
+        assert "D" not in g
+
+    def test_reversed(self):
+        g = simple_chain()
+        r = g.reversed()
+        assert r.has_edge("B", "A")
+        e = r.edge("B", "A")
+        assert (e.production, e.consumption) == (1, 2)
+
+    def test_copy_preserves_execution_time(self):
+        g = SDFGraph()
+        g.add_actor("A", execution_time=7)
+        assert g.copy().actor("A").execution_time == 7

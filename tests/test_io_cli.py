@@ -1,0 +1,145 @@
+"""Tests for graph serialization and the command-line interface."""
+
+import io
+import json
+
+import pytest
+
+from repro.exceptions import GraphStructureError
+from repro.sdf.graph import SDFGraph
+from repro.sdf.io import from_json, load_graph, save_graph, to_dot, to_json
+from repro.cli import main
+
+
+def sample_graph():
+    g = SDFGraph("sample")
+    g.add_actor("A", execution_time=3)
+    g.add_actor("B")
+    g.add_edge("A", "B", 2, 1, delay=1, token_size=4)
+    return g
+
+
+class TestJson:
+    def test_round_trip(self):
+        g = sample_graph()
+        again = from_json(to_json(g))
+        assert again.name == "sample"
+        assert again.actor("A").execution_time == 3
+        e = again.edge("A", "B")
+        assert (e.production, e.consumption, e.delay, e.token_size) == (2, 1, 1, 4)
+
+    def test_file_round_trip(self, tmp_path):
+        path = str(tmp_path / "g.json")
+        save_graph(sample_graph(), path)
+        g = load_graph(path)
+        assert g.num_actors == 2
+        assert g.num_edges == 1
+
+    def test_stream_round_trip(self):
+        buf = io.StringIO()
+        save_graph(sample_graph(), buf)
+        buf.seek(0)
+        assert load_graph(buf).num_actors == 2
+
+    def test_parallel_edges_preserved(self):
+        g = SDFGraph()
+        g.add_actors("AB")
+        g.add_edge("A", "B", 1, 1)
+        g.add_edge("A", "B", 2, 2)
+        again = from_json(to_json(g))
+        assert again.num_edges == 2
+
+    def test_malformed_document(self):
+        with pytest.raises(GraphStructureError):
+            from_json({"actors": [{"nope": 1}], "edges": []})
+        with pytest.raises(GraphStructureError):
+            from_json({"actors": [], "edges": [{"source": "A"}]})
+
+    def test_defaults_optional(self):
+        g = from_json(
+            {
+                "actors": [{"name": "A"}, {"name": "B"}],
+                "edges": [
+                    {"source": "A", "sink": "B",
+                     "production": 1, "consumption": 1}
+                ],
+            }
+        )
+        assert g.edge("A", "B").delay == 0
+
+
+class TestDot:
+    def test_contains_annotations(self):
+        text = to_dot(sample_graph())
+        assert '"A" -> "B"' in text
+        assert "2/1" in text
+        assert "1D" in text
+        assert "x4w" in text
+
+    def test_plain_edge_label(self):
+        g = SDFGraph()
+        g.add_actors("AB")
+        g.add_edge("A", "B", 3, 5)
+        text = to_dot(g)
+        assert "3/5" in text
+        assert "D" not in text.split("label")[1].split("]")[0]
+
+
+class TestCLI:
+    def test_systems(self, capsys):
+        assert main(["systems"]) == 0
+        out = capsys.readouterr().out
+        assert "satrec" in out
+        assert "qmf12_5d" in out
+
+    def test_compile_system(self, capsys):
+        assert main(["compile", "4pamxmitrec", "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "shared:" in out
+        assert "execution check: OK" in out
+
+    def test_compile_json_file(self, tmp_path, capsys):
+        path = str(tmp_path / "g.json")
+        save_graph(sample_graph(), path)
+        assert main(["compile", path]) == 0
+        assert "non-shared:" in capsys.readouterr().out
+
+    def test_compile_emit_c(self, tmp_path, capsys):
+        target = str(tmp_path / "out.c")
+        assert main(["compile", "4pamxmitrec", "--emit-c", target]) == 0
+        with open(target) as handle:
+            assert "run_one_period" in handle.read()
+
+    def test_compile_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["compile", "no_such_system"])
+
+    def test_table1_subset(self, capsys):
+        assert main(["table1", "--systems", "4pamxmitrec"]) == 0
+        out = capsys.readouterr().out
+        assert "4pamxmitrec" in out
+        assert "average improvement" in out
+
+    def test_fig25(self, capsys):
+        assert main(["fig25", "--systems", "4pamxmitrec"]) == 0
+        assert "#" in capsys.readouterr().out
+
+    def test_fig26(self, capsys):
+        assert main(["fig26", "--points", "2x3"]) == 0
+        assert "bound" in capsys.readouterr().out
+
+    def test_fig27(self, capsys):
+        assert main(["fig27", "--sizes", "10", "--count", "2"]) == 0
+        assert "(a)" in capsys.readouterr().out
+
+    def test_satrec(self, capsys):
+        assert main(["satrec"]) == 0
+        assert "nested SAS" in capsys.readouterr().out
+
+    def test_cddat(self, capsys):
+        assert main(["cddat"]) == 0
+        assert "147" in capsys.readouterr().out
+
+    def test_dot(self, capsys):
+        assert main(["dot", "overAddFFT"]) == 0
+        assert "digraph" in capsys.readouterr().out

@@ -1,0 +1,221 @@
+"""Tests for periodic buffer lifetimes (section 8.4, figures 17–18)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import SDFError
+from repro.lifetimes.periodic import PeriodicLifetime
+
+
+def fig17_ab():
+    """Buffer AB of figure 17: start 0, dur 2, a = (4, 9), loops (2, 2).
+
+    Live intervals [0,2], [4,6], [9,11], [13,15].
+    """
+    return PeriodicLifetime(
+        name="A->B", size=3, start=0, duration=2,
+        periods=((4, 2), (9, 2)), total_span=18,
+    )
+
+
+class TestConstruction:
+    def test_rejects_negative_size(self):
+        with pytest.raises(SDFError):
+            PeriodicLifetime("b", -1, 0, 1)
+
+    def test_rejects_zero_duration(self):
+        with pytest.raises(SDFError):
+            PeriodicLifetime("b", 1, 0, 0)
+
+    def test_rejects_unit_loop_entries(self):
+        with pytest.raises(SDFError):
+            PeriodicLifetime("b", 1, 0, 1, periods=((4, 1),))
+
+    def test_rejects_non_nested_periods(self):
+        with pytest.raises(SDFError):
+            # a1*(l1-1) = 5*3 = 15 > a2 = 7
+            PeriodicLifetime("b", 1, 0, 1, periods=((5, 4), (7, 2)))
+
+
+class TestFigure17:
+    def test_occurrence_starts(self):
+        b = fig17_ab()
+        assert list(b.occurrence_starts()) == [0, 4, 9, 13]
+
+    def test_live_intervals(self):
+        b = fig17_ab()
+        assert list(b.intervals()) == [(0, 2), (4, 6), (9, 11), (13, 15)]
+
+    def test_live_at(self):
+        b = fig17_ab()
+        live_times = {t for t in range(18) if b.live_at(t)}
+        assert live_times == {0, 1, 4, 5, 9, 10, 13, 14}
+
+    def test_not_live_before_start(self):
+        assert not fig17_ab().live_at(-1)
+
+    def test_num_occurrences(self):
+        assert fig17_ab().num_occurrences == 4
+
+    def test_last_stop(self):
+        assert fig17_ab().last_stop == 15
+
+
+class TestPaperMixedRadixExample:
+    """Section 8.4's worked example: basis (2,2,2), a = (28,13,4),
+    digits (0,1,1) = 17; incrementing gives (1,0,0) = 28."""
+
+    def lifetime(self):
+        return PeriodicLifetime(
+            name="x", size=1, start=0, duration=2,
+            periods=((4, 2), (13, 2), (28, 2)), total_span=56,
+        )
+
+    def test_value_17_is_an_occurrence(self):
+        assert 17 in list(self.lifetime().occurrence_starts())
+
+    def test_next_after_17_interval(self):
+        b = self.lifetime()
+        # The next occurrence strictly after 17's interval [17, 19).
+        assert b.next_start(19) == 28
+
+    def test_all_occurrences(self):
+        b = self.lifetime()
+        expected = sorted(
+            p1 * 4 + p2 * 13 + p3 * 28
+            for p1 in (0, 1) for p2 in (0, 1) for p3 in (0, 1)
+        )
+        assert list(b.occurrence_starts()) == expected
+
+
+class TestNextStart:
+    def test_before_start(self):
+        assert fig17_ab().next_start(-5) == 0
+
+    def test_at_occurrence(self):
+        assert fig17_ab().next_start(4) == 4
+
+    def test_between_occurrences(self):
+        assert fig17_ab().next_start(5) == 9
+        assert fig17_ab().next_start(2) == 4
+
+    def test_after_last(self):
+        assert fig17_ab().next_start(14) is None
+        assert fig17_ab().next_start(100) is None
+
+    def test_non_periodic(self):
+        b = PeriodicLifetime("b", 1, 5, 3)
+        assert b.next_start(0) == 5
+        assert b.next_start(5) == 5
+        assert b.next_start(6) is None
+
+
+class TestSolid:
+    def test_solid_envelope(self):
+        s = fig17_ab().solid()
+        assert s.start == 0
+        assert s.duration == 15
+        assert s.periods == ()
+
+    def test_solid_of_non_periodic_is_self(self):
+        b = PeriodicLifetime("b", 1, 5, 3)
+        assert b.solid() is b
+
+
+class TestOverlaps:
+    def test_disjoint_periodic_pair_fig17(self):
+        """AB and CD of figure 17 interleave without intersecting."""
+        ab = fig17_ab()
+        cd = PeriodicLifetime(
+            name="C->D", size=2, start=2, duration=2,
+            periods=((4, 2), (9, 2)), total_span=18,
+        )
+        assert not ab.overlaps(cd)
+        assert not cd.overlaps(ab)
+
+    def test_overlapping_pair(self):
+        ab = fig17_ab()
+        other = PeriodicLifetime("o", 1, 1, 2, total_span=18)
+        assert ab.overlaps(other)
+        assert other.overlaps(ab)
+
+    def test_boundary_touch_is_not_overlap(self):
+        a = PeriodicLifetime("a", 1, 0, 2)
+        b = PeriodicLifetime("b", 1, 2, 2)
+        assert not a.overlaps(b)
+        assert not b.overlaps(a)
+
+    def test_solid_fallback_is_pessimistic(self):
+        ab = fig17_ab()
+        cd = PeriodicLifetime(
+            name="C->D", size=2, start=2, duration=2,
+            periods=((4, 2), (9, 2)), total_span=18,
+        )
+        # With the cap forcing solid envelopes they appear to overlap.
+        assert ab.overlaps(cd, occurrence_cap=1)
+
+
+def naive_live_at(b: PeriodicLifetime, t: int) -> bool:
+    return any(s <= t < s + b.duration for s in b.occurrence_starts())
+
+
+def naive_overlap(a: PeriodicLifetime, b: PeriodicLifetime) -> bool:
+    return any(
+        sa < sb + b.duration and sb < sa + a.duration
+        for sa in a.occurrence_starts()
+        for sb in b.occurrence_starts()
+    )
+
+
+@st.composite
+def lifetimes(draw):
+    """Random nested-period lifetimes as built from schedule trees."""
+    duration = draw(st.integers(min_value=1, max_value=4))
+    start = draw(st.integers(min_value=0, max_value=6))
+    levels = draw(st.integers(min_value=0, max_value=3))
+    periods = []
+    span = max(duration, 1)
+    for _ in range(levels):
+        loop = draw(st.integers(min_value=2, max_value=3))
+        a = span + draw(st.integers(min_value=0, max_value=3))
+        periods.append((a, loop))
+        span = a * loop
+    return PeriodicLifetime(
+        name="b", size=draw(st.integers(min_value=1, max_value=5)),
+        start=start, duration=duration,
+        periods=tuple(periods), total_span=start + span,
+    )
+
+
+class TestProperties:
+    @given(lifetimes(), st.integers(min_value=-5, max_value=200))
+    @settings(max_examples=150, deadline=None)
+    def test_live_at_matches_enumeration(self, b, t):
+        assert b.live_at(t) == naive_live_at(b, t)
+
+    @given(lifetimes(), st.integers(min_value=-5, max_value=200))
+    @settings(max_examples=150, deadline=None)
+    def test_next_start_matches_enumeration(self, b, t):
+        expected = min(
+            (s for s in b.occurrence_starts() if s >= t), default=None
+        )
+        assert b.next_start(t) == expected
+
+    @given(lifetimes(), lifetimes())
+    @settings(max_examples=150, deadline=None)
+    def test_overlap_matches_enumeration(self, a, b):
+        assert a.overlaps(b) == naive_overlap(a, b)
+
+    @given(lifetimes())
+    @settings(max_examples=80, deadline=None)
+    def test_occurrences_sorted_and_counted(self, b):
+        starts = list(b.occurrence_starts())
+        assert starts == sorted(starts)
+        assert len(starts) == b.num_occurrences
+
+    @given(lifetimes())
+    @settings(max_examples=80, deadline=None)
+    def test_solid_covers_all_occurrences(self, b):
+        s = b.solid()
+        for lo, hi in b.intervals():
+            assert s.start <= lo and hi <= s.start + s.duration

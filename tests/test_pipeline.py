@@ -1,0 +1,101 @@
+"""End-to-end tests of the figure 21 flow (repro.scheduling.pipeline)."""
+
+import pytest
+
+from repro.exceptions import GraphStructureError
+from repro.sdf.graph import SDFGraph
+from repro.sdf.random_graphs import random_sdf_graph
+from repro.sdf.simulate import validate_schedule
+from repro.scheduling.pipeline import implement, implement_best
+from repro.allocation.verify import verify_allocation
+from repro.codegen.vm import run_shared_memory_check
+from repro.apps import table1_graph
+
+SMALL_SYSTEMS = [
+    "qmf23_2d", "qmf12_2d", "satrec", "16qamModem",
+    "4pamxmitrec", "blockVox", "overAddFFT", "phasedArray", "nqmf23_4d",
+]
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("name", SMALL_SYSTEMS)
+    def test_practical_systems_all_invariants(self, name):
+        g = table1_graph(name)
+        best = implement_best(g)
+        for result in (best.rpmc, best.apgan):
+            # Schedules are valid single appearance schedules.
+            validate_schedule(g, result.dppo_schedule)
+            validate_schedule(g, result.sdppo_schedule)
+            assert result.sdppo_schedule.is_single_appearance()
+            # Non-shared DPPO cost cannot beat the BMLB.
+            assert result.dppo_cost >= result.bmlb
+            # The allocation is feasible and bounded below by the
+            # optimistic clique weight.
+            buffers = result.lifetimes.as_list()
+            verify_allocation(buffers, result.allocation)
+            assert result.allocation.total >= result.mco
+            # mco <= mcp always.
+            assert result.mco <= result.mcp
+            # Sharing never loses to the non-shared implementation.
+            assert result.best_shared_total <= result.dppo_cost
+
+    @pytest.mark.parametrize("name", SMALL_SYSTEMS)
+    def test_shared_memory_execution(self, name):
+        """The allocation must survive actual execution (two periods)."""
+        g = table1_graph(name)
+        result = implement(g, "rpmc")
+        run_shared_memory_check(g, result.lifetimes, result.allocation, periods=2)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_graphs_all_invariants(self, seed):
+        g = random_sdf_graph(12, seed=seed)
+        result = implement(g, "rpmc", seed=seed)
+        validate_schedule(g, result.sdppo_schedule)
+        buffers = result.lifetimes.as_list()
+        verify_allocation(buffers, result.allocation)
+        assert result.allocation.total >= result.mco
+        run_shared_memory_check(g, result.lifetimes, result.allocation, periods=2)
+
+
+class TestMethods:
+    def test_unknown_method_rejected(self):
+        g = random_sdf_graph(5, seed=0)
+        with pytest.raises(GraphStructureError):
+            implement(g, "magic")
+
+    def test_explicit_order(self):
+        g = random_sdf_graph(8, seed=1)
+        order = g.topological_order()
+        result = implement(g, order=order)
+        assert result.method == "given"
+        assert result.order == order
+
+    def test_natural_method(self):
+        g = random_sdf_graph(8, seed=1)
+        result = implement(g, "natural")
+        assert result.order == g.topological_order()
+
+    def test_chain_uses_precise_dp(self):
+        g = SDFGraph()
+        g.add_actors("ABC")
+        g.add_edge("A", "B", 4, 2)
+        g.add_edge("B", "C", 2, 4)
+        with_dp = implement(g, use_chain_dp=True)
+        without = implement(g, use_chain_dp=False)
+        # Both valid; the precise DP can only do better or equal.
+        assert with_dp.best_shared_total <= without.best_shared_total + 1
+
+
+class TestBestResult:
+    def test_improvement_formula(self):
+        g = table1_graph("qmf23_2d")
+        best = implement_best(g)
+        expected = 100.0 * (best.best_nonshared - best.best_shared) / best.best_nonshared
+        assert abs(best.improvement_percent - expected) < 1e-9
+
+    def test_practical_improvement_band(self):
+        """Every practical system improves by at least 25% (the paper's
+        smallest practical improvement is ~31%)."""
+        for name in ("qmf23_2d", "satrec", "blockVox", "overAddFFT"):
+            best = implement_best(table1_graph(name))
+            assert best.improvement_percent >= 25.0, name

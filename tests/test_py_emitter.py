@@ -1,0 +1,157 @@
+"""Tests for the executable Python code emitter."""
+
+import pytest
+
+from repro.exceptions import CodegenError
+from repro.sdf.graph import SDFGraph
+from repro.scheduling.pipeline import implement
+from repro.codegen.py_emitter import compile_python, emit_python
+from repro.extensions.higher_order import fir_graph
+
+
+def passthrough_actors(graph):
+    """Actors that forward token values (copying input 0 round-robin)."""
+
+    def make(name):
+        out_edges = graph.out_edges(name)
+        in_edges = graph.in_edges(name)
+
+        def fire(inputs):
+            pool = [v for tokens in inputs for v in tokens]
+            outputs = []
+            cursor = 0
+            for e in out_edges:
+                need = e.production * e.token_size
+                tokens = []
+                for _ in range(need):
+                    tokens.append(pool[cursor % len(pool)] if pool else 1)
+                    cursor += 1
+                outputs.append(tokens)
+            return outputs
+
+        return fire
+
+    return {a: make(a) for a in graph.actor_names()}
+
+
+class TestEmission:
+    def test_module_structure(self):
+        g = SDFGraph()
+        g.add_actors("AB")
+        g.add_edge("A", "B", 2, 1)
+        r = implement(g, "natural")
+        source = emit_python(g, r.lifetimes, r.allocation)
+        assert "POOL_SIZE" in source
+        assert "def run_period" in source
+        assert "def _fire_A" in source
+        compile(source, "<test>", "exec")  # syntactically valid
+
+    def test_missing_allocation(self):
+        from repro.allocation.first_fit import Allocation
+
+        g = SDFGraph()
+        g.add_actors("AB")
+        g.add_edge("A", "B", 1, 1)
+        r = implement(g, "natural")
+        bad = Allocation(offsets={}, total=0, order=[],
+                         graph=r.allocation.graph)
+        with pytest.raises(CodegenError):
+            emit_python(g, r.lifetimes, bad)
+
+
+class TestExecution:
+    def test_runs_multirate_chain(self):
+        g = SDFGraph()
+        g.add_actors("ABC")
+        g.add_edge("A", "B", 2, 1)
+        g.add_edge("B", "C", 1, 3)
+        r = implement(g, "natural")
+        mod = compile_python(g, r.lifetimes, r.allocation)
+        memory = mod["run"](passthrough_actors(g), periods=2)
+        assert len(memory) == max(r.allocation.total, 1)
+
+    def test_output_arity_checked(self):
+        g = SDFGraph()
+        g.add_actors("AB")
+        g.add_edge("A", "B", 1, 1)
+        r = implement(g, "natural")
+        mod = compile_python(g, r.lifetimes, r.allocation)
+
+        def bad_a(inputs):
+            return []  # must return one output list
+
+        actors = passthrough_actors(g)
+        actors["A"] = bad_a
+        with pytest.raises(ValueError):
+            mod["run"](actors, periods=1)
+
+    def test_output_size_checked(self):
+        g = SDFGraph()
+        g.add_actors("AB")
+        g.add_edge("A", "B", 3, 1)
+        r = implement(g, "natural")
+        mod = compile_python(g, r.lifetimes, r.allocation)
+        actors = passthrough_actors(g)
+        actors["A"] = lambda inputs: [[1]]  # needs 3 tokens
+        with pytest.raises(ValueError):
+            mod["run"](actors, periods=1)
+
+    def test_fir_computes_correct_result(self):
+        """The flagship check: generated code computes a real FIR."""
+        taps = 5
+        graph = fir_graph(taps)
+        r = implement(graph, "natural")
+        mod = compile_python(graph, r.lifetimes, r.allocation)
+        coeffs = [1, 2, 3, 4, 5]
+        sample = 7
+        outputs = []
+
+        def actor(name):
+            def fire(inputs):
+                if name == "in":
+                    return [[sample] for _ in graph.out_edges("in")]
+                if name.startswith("gain"):
+                    k = int(name[4:])
+                    return [[inputs[0][0] * coeffs[k]]]
+                if name.startswith("add"):
+                    return [[sum(v[0] for v in inputs)]]
+                outputs.append(inputs[0][0])
+                return []
+            return fire
+
+        mod["run"]({a: actor(a) for a in graph.actor_names()}, periods=3)
+        expected = sample + sample * sum(coeffs)
+        assert outputs == [expected] * 3
+
+    def test_delays_preloaded(self):
+        g = SDFGraph()
+        g.add_actors("AB")
+        g.add_edge("A", "B", 1, 1, delay=2)
+        r = implement(g, "natural")
+        mod = compile_python(g, r.lifetimes, r.allocation)
+        seen = []
+
+        def a_fire(inputs):
+            return [[100]]
+
+        def b_fire(inputs):
+            seen.append(inputs[0][0])
+            return []
+
+        key = ("A", "B", 0)
+        mod["run"](
+            {"A": a_fire, "B": b_fire},
+            periods=2,
+            preloads={key: [7, 8]},
+        )
+        # B consumes the two preloaded tokens first (FIFO).
+        assert seen[0] == 7
+
+    def test_matches_vm_on_practical_system(self):
+        """Generated code and the VM agree the allocation is usable."""
+        from repro.apps import table1_graph
+
+        g = table1_graph("4pamxmitrec")
+        r = implement(g, "rpmc")
+        mod = compile_python(g, r.lifetimes, r.allocation)
+        mod["run"](passthrough_actors(g), periods=2)

@@ -1,0 +1,74 @@
+"""Tests for the random SDF graph generators."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sdf.random_graphs import random_chain_graph, random_sdf_graph
+from repro.sdf.repetitions import is_consistent
+from repro.sdf.simulate import has_valid_schedule
+
+
+class TestRandomSDF:
+    def test_rejects_zero_actors(self):
+        with pytest.raises(ValueError):
+            random_sdf_graph(0)
+
+    def test_single_actor(self):
+        g = random_sdf_graph(1, seed=0)
+        assert g.num_actors == 1
+        assert g.num_edges == 0
+
+    def test_deterministic_for_seed(self):
+        a = random_sdf_graph(30, seed=99)
+        b = random_sdf_graph(30, seed=99)
+        assert [e.key for e in a.edges()] == [e.key for e in b.edges()]
+        assert [
+            (e.production, e.consumption) for e in a.edges()
+        ] == [(e.production, e.consumption) for e in b.edges()]
+
+    def test_different_seeds_differ(self):
+        a = random_sdf_graph(30, seed=1)
+        b = random_sdf_graph(30, seed=2)
+        assert [e.key for e in a.edges()] != [e.key for e in b.edges()]
+
+    @given(st.integers(min_value=2, max_value=60), st.integers(min_value=0, max_value=5000))
+    @settings(max_examples=40, deadline=None)
+    def test_always_connected_acyclic_consistent(self, n, seed):
+        g = random_sdf_graph(n, seed=seed)
+        assert g.num_actors == n
+        assert g.is_connected()
+        assert g.is_acyclic()
+        assert is_consistent(g)
+
+    def test_schedulable(self):
+        for seed in range(5):
+            g = random_sdf_graph(20, seed=seed)
+            assert has_valid_schedule(g)
+
+    def test_extra_edges_increase_density(self):
+        sparse = random_sdf_graph(40, seed=5, extra_edge_fraction=0.0)
+        dense = random_sdf_graph(40, seed=5, extra_edge_fraction=1.0)
+        assert sparse.num_edges == 39  # spanning tree only
+        assert dense.num_edges > sparse.num_edges
+
+
+class TestRandomChain:
+    def test_is_chain(self):
+        g = random_chain_graph(10, seed=0)
+        assert g.chain_order() is not None
+        assert g.num_edges == 9
+
+    def test_consistent(self):
+        for seed in range(5):
+            assert is_consistent(random_chain_graph(8, seed=seed))
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            random_chain_graph(0)
+
+    def test_deterministic(self):
+        a = random_chain_graph(12, seed=4)
+        b = random_chain_graph(12, seed=4)
+        assert [
+            (e.production, e.consumption) for e in a.edges()
+        ] == [(e.production, e.consumption) for e in b.edges()]

@@ -1,0 +1,115 @@
+"""Tests for the rendering utilities and the report generator."""
+
+import pytest
+
+from repro.sdf.graph import SDFGraph
+from repro.sdf.schedule import parse_schedule
+from repro.lifetimes.intervals import extract_lifetimes
+from repro.lifetimes.render import (
+    render_memory_map,
+    render_occupancy,
+    render_schedule_tree,
+    render_timeline,
+)
+from repro.lifetimes.schedule_tree import ScheduleTree
+from repro.scheduling.pipeline import implement
+from repro.apps import table1_graph
+
+
+@pytest.fixture(scope="module")
+def modem():
+    g = table1_graph("16qamModem")
+    return g, implement(g, "rpmc")
+
+
+class TestRenderTimeline:
+    def test_one_row_per_buffer(self, modem):
+        g, result = modem
+        text = render_timeline(result.lifetimes)
+        assert text.count("|") == 2 * g.num_edges
+        for e in g.edges():
+            assert f"{e.source}->{e.sink}" in text
+
+    def test_bars_present(self, modem):
+        _, result = modem
+        assert "#" in render_timeline(result.lifetimes)
+
+    def test_width_respected(self, modem):
+        _, result = modem
+        text = render_timeline(result.lifetimes, width=20)
+        for line in text.splitlines()[1:]:
+            bar = line.split("|")[1]
+            assert len(bar) == 20
+
+
+class TestRenderMemoryMap:
+    def test_addresses_within_pool(self, modem):
+        _, result = modem
+        text = render_memory_map(result.lifetimes, result.allocation)
+        assert f"({result.allocation.total} words)" in text
+
+    def test_sorted_by_offset(self, modem):
+        _, result = modem
+        lines = render_memory_map(
+            result.lifetimes, result.allocation
+        ).splitlines()[1:]
+        offsets = [int(l.split("[")[1].split("..")[0]) for l in lines]
+        assert offsets == sorted(offsets)
+
+
+class TestRenderOccupancy:
+    def test_reports_peak(self, modem):
+        _, result = modem
+        text = render_occupancy(result.lifetimes)
+        assert "peak" in text
+        assert "#" in text
+
+    def test_empty_lifetimes(self):
+        g = SDFGraph()
+        g.add_actors("AB")
+        g.add_edge("A", "B", 1, 1)
+        ls = extract_lifetimes(g, parse_schedule("A B"))
+        # Non-empty graph always has occupancy; just ensure no crash.
+        assert "peak" in render_occupancy(ls)
+
+
+class TestRenderScheduleTree:
+    def test_structure_visible(self):
+        tree = ScheduleTree(parse_schedule("(2(2A B)(3C))"))
+        text = render_schedule_tree(tree)
+        assert "loop x2" in text
+        assert "3C" in text
+        assert "start=" in text
+
+
+class TestReport:
+    def test_report_generates(self):
+        from repro.experiments.report import generate_report
+
+        text = generate_report(
+            systems=["4pamxmitrec", "16qamModem"],
+            random_sizes=(10,),
+            random_count=2,
+        )
+        assert "# Evaluation report" in text
+        assert "Table 1" in text
+        assert "Figure 26" in text
+        assert "Ablations" in text
+        assert "Average improvement" in text
+
+    def test_cli_report_to_file(self, tmp_path, capsys):
+        import repro.experiments.report as report_module
+        from repro import cli
+
+        def tiny_report(seed=0):
+            return "# Evaluation report\n(tiny)\n"
+
+        original = report_module.generate_report
+        report_module.generate_report = tiny_report
+        try:
+            target = str(tmp_path / "REPORT.md")
+            assert cli.main(["report", "-o", target]) == 0
+            with open(target) as handle:
+                assert "Evaluation report" in handle.read()
+        finally:
+            report_module.generate_report = original

@@ -1,0 +1,139 @@
+"""Tests for balance equations and repetitions vectors."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import InconsistentGraphError
+from repro.sdf.graph import SDFGraph
+from repro.sdf.random_graphs import random_sdf_graph
+from repro.sdf.repetitions import (
+    is_consistent,
+    repetitions_vector,
+    total_tokens_exchanged,
+)
+
+
+def figure1_graph():
+    """Paper figure 1: A -2/1-> B (1 delay), B -1/3-> C."""
+    g = SDFGraph("fig1")
+    g.add_actors("ABC")
+    g.add_edge("A", "B", 2, 1, delay=1)
+    g.add_edge("B", "C", 1, 3)
+    return g
+
+
+class TestPaperExamples:
+    def test_figure1_repetitions(self):
+        assert repetitions_vector(figure1_graph()) == {"A": 3, "B": 6, "C": 2}
+
+    def test_tnse_figure1(self):
+        g = figure1_graph()
+        q = repetitions_vector(g)
+        assert total_tokens_exchanged(g.edge("A", "B"), q) == 6
+        assert total_tokens_exchanged(g.edge("B", "C"), q) == 6
+
+
+class TestBasics:
+    def test_single_actor(self):
+        g = SDFGraph()
+        g.add_actor("A")
+        assert repetitions_vector(g) == {"A": 1}
+
+    def test_homogeneous_graph_all_ones(self):
+        g = SDFGraph()
+        g.add_actors("ABCD")
+        g.add_edge("A", "B", 1, 1)
+        g.add_edge("B", "C", 1, 1)
+        g.add_edge("C", "D", 1, 1)
+        assert set(repetitions_vector(g).values()) == {1}
+
+    def test_disconnected_components_normalized_independently(self):
+        g = SDFGraph()
+        g.add_actors("ABCD")
+        g.add_edge("A", "B", 2, 1)
+        g.add_edge("C", "D", 3, 1)
+        q = repetitions_vector(g)
+        assert (q["A"], q["B"]) == (1, 2)
+        assert (q["C"], q["D"]) == (1, 3)
+
+    def test_minimality(self):
+        g = SDFGraph()
+        g.add_actors("AB")
+        g.add_edge("A", "B", 4, 6)
+        # 4 qA = 6 qB -> minimal (3, 2)
+        assert repetitions_vector(g) == {"A": 3, "B": 2}
+
+    def test_delay_does_not_affect_repetitions(self):
+        g = SDFGraph()
+        g.add_actors("AB")
+        g.add_edge("A", "B", 2, 3, delay=100)
+        assert repetitions_vector(g) == {"A": 3, "B": 2}
+
+
+class TestInconsistency:
+    def test_rate_inconsistent_cycle(self):
+        g = SDFGraph()
+        g.add_actors("AB")
+        g.add_edge("A", "B", 2, 1)
+        g.add_edge("B", "A", 1, 1)
+        # qB = 2 qA but return edge forces qA = qB.
+        with pytest.raises(InconsistentGraphError) as exc:
+            repetitions_vector(g)
+        assert exc.value.kind == "rate"
+
+    def test_rate_inconsistent_undirected_cycle(self):
+        g = SDFGraph()
+        g.add_actors("ABC")
+        g.add_edge("A", "B", 2, 1)
+        g.add_edge("A", "C", 1, 1)
+        g.add_edge("C", "B", 1, 1)
+        assert not is_consistent(g)
+
+    def test_parallel_edge_mismatch(self):
+        g = SDFGraph()
+        g.add_actors("AB")
+        g.add_edge("A", "B", 1, 1)
+        g.add_edge("A", "B", 2, 1)
+        assert not is_consistent(g)
+
+    def test_self_loop_rate_mismatch(self):
+        g = SDFGraph()
+        g.add_actor("A")
+        g.add_edge("A", "A", 2, 1, delay=5)
+        with pytest.raises(InconsistentGraphError):
+            repetitions_vector(g)
+
+    def test_self_loop_deadlock(self):
+        g = SDFGraph()
+        g.add_actor("A")
+        g.add_edge("A", "A", 3, 3, delay=1)
+        with pytest.raises(InconsistentGraphError) as exc:
+            repetitions_vector(g)
+        assert exc.value.kind == "deadlock"
+
+    def test_self_loop_with_sufficient_delay_ok(self):
+        g = SDFGraph()
+        g.add_actor("A")
+        g.add_edge("A", "A", 2, 2, delay=2)
+        assert repetitions_vector(g) == {"A": 1}
+
+
+class TestBalanceProperty:
+    @given(st.integers(min_value=2, max_value=40), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_random_graphs_satisfy_balance(self, n, seed):
+        g = random_sdf_graph(n, seed=seed)
+        q = repetitions_vector(g)
+        for e in g.edges():
+            assert e.production * q[e.source] == e.consumption * q[e.sink]
+
+    @given(st.integers(min_value=2, max_value=30), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_repetitions_minimal(self, n, seed):
+        from math import gcd
+        g = random_sdf_graph(n, seed=seed)
+        q = repetitions_vector(g)
+        acc = 0
+        for v in q.values():
+            acc = gcd(acc, v)
+        assert acc == 1

@@ -1,0 +1,190 @@
+"""Tests for looped schedule syntax trees and the schedule parser."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ScheduleError
+from repro.sdf.schedule import (
+    Firing,
+    Loop,
+    LoopedSchedule,
+    flat_single_appearance_schedule,
+    parse_schedule,
+)
+
+
+class TestNodes:
+    def test_firing_rejects_nonpositive_count(self):
+        with pytest.raises(ScheduleError):
+            Firing("A", 0)
+
+    def test_loop_rejects_empty_body(self):
+        with pytest.raises(ScheduleError):
+            Loop(2, ())
+
+    def test_loop_rejects_nonpositive_count(self):
+        with pytest.raises(ScheduleError):
+            Loop(0, (Firing("A"),))
+
+    def test_schedule_rejects_empty(self):
+        with pytest.raises(ScheduleError):
+            LoopedSchedule([])
+
+
+class TestParser:
+    def test_paper_notation_2b(self):
+        # "2B represents the firing sequence BB"
+        assert parse_schedule("2B").firing_list() == ["B", "B"]
+
+    def test_paper_notation_nested(self):
+        # "2(B(2C)) represents ... BCCBCC"
+        assert parse_schedule("2(B(2C))").firing_list() == list("BCCBCC")
+
+    def test_flat_sas(self):
+        s = parse_schedule("(3A)(6B)(2C)")
+        assert s.firings_per_actor() == {"A": 3, "B": 6, "C": 2}
+        assert s.is_single_appearance()
+        assert s.is_flat()
+
+    def test_multichar_actor_names(self):
+        s = parse_schedule("(2 src pre0)(3 lo0)")
+        assert s.firings_per_actor() == {"src": 2, "pre0": 2, "lo0": 3}
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(ScheduleError):
+            parse_schedule("(2A")
+        with pytest.raises(ScheduleError):
+            parse_schedule("2A)")
+
+    def test_dangling_count(self):
+        with pytest.raises(ScheduleError):
+            parse_schedule("(2A)3")
+
+    def test_empty_loop(self):
+        with pytest.raises(ScheduleError):
+            parse_schedule("()")
+
+    def test_satrec_schedule_parses(self):
+        text = "(24(11(4A)B)C G H I(11(4D)E)F K L M 10(N S J T U P))(Q R V 240W)"
+        s = parse_schedule(text)
+        counts = s.firings_per_actor()
+        assert counts["A"] == 1056
+        assert counts["B"] == 264
+        assert counts["N"] == 240
+        assert counts["Q"] == 1
+        assert counts["W"] == 240
+
+
+class TestPrinting:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "(3A)(6B)(2C)",
+            "(3A(2B))(2C)",
+            "2(B(2C))",
+            "(24(11(4A)B)C G H I)(Q R V 240W)",
+            "(2 src pre0)(3 lo0 hi0)",
+        ],
+    )
+    def test_round_trip(self, text):
+        s = parse_schedule(text)
+        again = parse_schedule(str(s))
+        assert again.firing_list() == s.firing_list()
+
+    def test_multichar_names_not_glued(self):
+        s = LoopedSchedule([Loop(2, (Firing("src"), Firing("pre0")))])
+        assert "srcpre0" not in str(s)
+
+
+class TestQueries:
+    def test_lexical_order(self):
+        # lexorder((2(3B)(5C))(7A)) = (B, C, A)  [paper section 4]
+        s = parse_schedule("(2(3B)(5C))(7A)")
+        assert s.lexical_order() == ["B", "C", "A"]
+
+    def test_appearances(self):
+        s = parse_schedule("A B A")
+        assert s.appearances() == {"A": 2, "B": 1}
+        assert not s.is_single_appearance()
+
+    def test_depth(self):
+        assert parse_schedule("A B").depth() == 0
+        assert parse_schedule("(2A)").depth() == 0  # folded into Firing
+        assert parse_schedule("(2A B)").depth() == 1
+        assert parse_schedule("(2(3A B)C)").depth() == 2
+
+    def test_is_flat(self):
+        assert parse_schedule("(3A)(6B)").is_flat()
+        assert not parse_schedule("(3A(2B))").is_flat()
+
+    def test_num_firings(self):
+        assert parse_schedule("(3A(2B))(2C)").num_firings() == 3 + 6 + 2
+
+
+class TestNormalization:
+    def test_unit_loops_collapse(self):
+        s = LoopedSchedule([Loop(1, (Firing("A"), Firing("B")))])
+        n = s.normalized()
+        assert n.body == (Firing("A"), Firing("B"))
+
+    def test_nested_single_child_merges(self):
+        s = LoopedSchedule([Loop(2, (Loop(3, (Firing("A"), Firing("B"))),))])
+        n = s.normalized()
+        assert n.body == (Loop(6, (Firing("A"), Firing("B"))),)
+
+    def test_loop_around_single_firing_folds(self):
+        s = LoopedSchedule([Loop(4, (Firing("A", 2),))])
+        n = s.normalized()
+        assert n.body == (Firing("A", 8),)
+
+    def test_normalization_preserves_firing_sequence(self):
+        s = parse_schedule("(1(2(1A(3B))))(1C)")
+        assert s.normalized().firing_list() == s.firing_list()
+
+
+class TestFlatSAS:
+    def test_construction(self):
+        s = flat_single_appearance_schedule(["A", "B"], {"A": 3, "B": 2})
+        assert str(s) == "(3A)(2B)"
+
+    def test_missing_actor_raises(self):
+        with pytest.raises(ScheduleError):
+            flat_single_appearance_schedule(["A", "B"], {"A": 3})
+
+
+@st.composite
+def schedule_trees(draw, actors=("A", "B", "C", "D")):
+    """Random schedule AST over a fixed actor set."""
+    depth = draw(st.integers(min_value=0, max_value=3))
+
+    def node(d):
+        if d == 0 or draw(st.booleans()):
+            return Firing(draw(st.sampled_from(actors)),
+                          draw(st.integers(min_value=1, max_value=4)))
+        body = tuple(
+            node(d - 1)
+            for _ in range(draw(st.integers(min_value=1, max_value=3)))
+        )
+        return Loop(draw(st.integers(min_value=1, max_value=4)), body)
+
+    return LoopedSchedule([node(depth) for _ in range(draw(st.integers(1, 3)))])
+
+
+class TestProperties:
+    @given(schedule_trees())
+    @settings(max_examples=60, deadline=None)
+    def test_print_parse_round_trip(self, schedule):
+        text = str(schedule)
+        assert parse_schedule(text).firing_list() == schedule.firing_list()
+
+    @given(schedule_trees())
+    @settings(max_examples=60, deadline=None)
+    def test_firings_per_actor_matches_sequence(self, schedule):
+        seq = schedule.firing_list()
+        counts = schedule.firings_per_actor()
+        assert counts == {a: seq.count(a) for a in set(seq)}
+
+    @given(schedule_trees())
+    @settings(max_examples=60, deadline=None)
+    def test_normalized_equivalence(self, schedule):
+        assert schedule.normalized().firing_list() == schedule.firing_list()

@@ -1,0 +1,110 @@
+"""Tests for topological sort utilities."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import GraphStructureError
+from repro.sdf.graph import SDFGraph
+from repro.sdf.random_graphs import random_sdf_graph
+from repro.sdf.topsort import (
+    all_topological_sorts,
+    count_topological_sorts,
+    is_topological_order,
+    random_topological_sort,
+)
+
+
+def diamond():
+    g = SDFGraph()
+    g.add_actors("ABCD")
+    g.add_edge("A", "B", 1, 1)
+    g.add_edge("A", "C", 1, 1)
+    g.add_edge("B", "D", 1, 1)
+    g.add_edge("C", "D", 1, 1)
+    return g
+
+
+class TestIsTopologicalOrder:
+    def test_accepts_valid(self):
+        assert is_topological_order(diamond(), ["A", "B", "C", "D"])
+        assert is_topological_order(diamond(), ["A", "C", "B", "D"])
+
+    def test_rejects_violations(self):
+        assert not is_topological_order(diamond(), ["B", "A", "C", "D"])
+
+    def test_rejects_wrong_actor_set(self):
+        assert not is_topological_order(diamond(), ["A", "B", "C"])
+        assert not is_topological_order(diamond(), ["A", "B", "C", "C"])
+
+
+class TestRandomSort:
+    def test_always_topological(self):
+        g = random_sdf_graph(25, seed=7)
+        rng = random.Random(42)
+        for _ in range(20):
+            assert is_topological_order(g, random_topological_sort(g, rng))
+
+    def test_reaches_multiple_sorts(self):
+        g = diamond()
+        rng = random.Random(0)
+        seen = {tuple(random_topological_sort(g, rng)) for _ in range(50)}
+        assert len(seen) == 2  # ABCD and ACBD
+
+    def test_cycle_raises(self):
+        g = SDFGraph()
+        g.add_actors("AB")
+        g.add_edge("A", "B", 1, 1)
+        g.add_edge("B", "A", 1, 1)
+        with pytest.raises(GraphStructureError):
+            random_topological_sort(g, random.Random(0))
+
+
+class TestAllSorts:
+    def test_diamond_has_two(self):
+        sorts = list(all_topological_sorts(diamond()))
+        assert len(sorts) == 2
+        assert ["A", "B", "C", "D"] in sorts
+        assert ["A", "C", "B", "D"] in sorts
+
+    def test_chain_has_one(self):
+        g = SDFGraph()
+        g.add_actors("ABC")
+        g.add_edge("A", "B", 1, 1)
+        g.add_edge("B", "C", 1, 1)
+        assert list(all_topological_sorts(g)) == [["A", "B", "C"]]
+
+    def test_independent_actors_factorial(self):
+        g = SDFGraph()
+        g.add_actors("ABC")
+        assert len(list(all_topological_sorts(g))) == 6
+
+    def test_all_results_topological(self):
+        g = random_sdf_graph(7, seed=3)
+        sorts = list(all_topological_sorts(g))
+        assert sorts
+        for s in sorts:
+            assert is_topological_order(g, s)
+        # no duplicates
+        assert len({tuple(s) for s in sorts}) == len(sorts)
+
+
+class TestCounting:
+    def test_matches_enumeration(self):
+        for seed in range(5):
+            g = random_sdf_graph(7, seed=seed)
+            assert count_topological_sorts(g) == len(
+                list(all_topological_sorts(g))
+            )
+
+    def test_empty_graph(self):
+        assert count_topological_sorts(SDFGraph()) == 1
+
+    def test_cycle_raises(self):
+        g = SDFGraph()
+        g.add_actors("AB")
+        g.add_edge("A", "B", 1, 1)
+        g.add_edge("B", "A", 1, 1)
+        with pytest.raises(GraphStructureError):
+            count_topological_sorts(g)

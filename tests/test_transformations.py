@@ -1,0 +1,163 @@
+"""Tests for SDF graph transformations."""
+
+import pytest
+
+from repro.exceptions import GraphStructureError
+from repro.sdf.graph import SDFGraph
+from repro.sdf.repetitions import repetitions_vector
+from repro.sdf.simulate import has_valid_schedule, validate_schedule
+from repro.sdf.transformations import (
+    apply_blocking_factor,
+    blocked_repetitions,
+    cluster_actors,
+    insert_delays,
+    normalize_token_sizes,
+)
+from repro.scheduling.dppo import dppo
+
+
+def rate_chain():
+    g = SDFGraph("chain")
+    g.add_actors("ABC")
+    g.add_edge("A", "B", 2, 1)
+    g.add_edge("B", "C", 1, 3)
+    return g
+
+
+class TestBlocking:
+    def test_blocked_repetitions(self):
+        g = rate_chain()
+        q = repetitions_vector(g)
+        blocked = blocked_repetitions(g, 4)
+        assert blocked == {a: 4 * n for a, n in q.items()}
+
+    def test_invalid_factor(self):
+        with pytest.raises(GraphStructureError):
+            blocked_repetitions(rate_chain(), 0)
+
+    def test_apply_blocking_scales_period(self):
+        g = rate_chain()
+        q = repetitions_vector(g)
+        blocked = apply_blocking_factor(g, 3)
+        bq = repetitions_vector(blocked)
+        assert bq["__tick__"] == 1
+        for a, n in q.items():
+            assert bq[a] == 3 * n
+
+    def test_factor_one_is_copy(self):
+        g = rate_chain()
+        blocked = apply_blocking_factor(g, 1)
+        assert "__tick__" not in blocked
+        assert blocked.num_actors == g.num_actors
+
+    def test_blocked_graph_schedulable(self):
+        blocked = apply_blocking_factor(rate_chain(), 2)
+        assert has_valid_schedule(blocked)
+
+    def test_blocked_dppo_cost_at_least_original(self):
+        """Vectorized periods move at least as many tokens."""
+        g = rate_chain()
+        base = dppo(g, g.topological_order()).cost
+        blocked = apply_blocking_factor(g, 4)
+        cost = dppo(blocked, blocked.topological_order()).cost
+        assert cost >= base
+
+
+class TestClusterActors:
+    def test_rates_scaled_by_member_repetitions(self):
+        g = rate_chain()  # q = (3, 6, 2)
+        clustered, info = cluster_actors(g, ["A", "B"], name="AB")
+        # gcd(3, 6) = 3; per composite firing A fires 1, B fires 2.
+        assert info.repetitions == {"A": 1, "B": 2}
+        q = repetitions_vector(clustered)
+        assert q["AB"] == 3
+        e = clustered.edge("AB", "C")
+        assert e.production == 2  # B produces 1 x 2 firings
+        assert e.consumption == 3
+
+    def test_clustered_graph_consistent(self):
+        g = rate_chain()
+        clustered, _ = cluster_actors(g, ["B", "C"], name="BC")
+        assert has_valid_schedule(clustered)
+
+    def test_internal_subgraph(self):
+        g = rate_chain()
+        _, info = cluster_actors(g, ["A", "B"], name="AB")
+        assert sorted(info.internal.actor_names()) == ["A", "B"]
+        assert info.internal.num_edges == 1
+
+    def test_illegal_cycle_rejected(self):
+        g = SDFGraph()
+        g.add_actors("ABC")
+        g.add_edge("A", "B", 1, 1)
+        g.add_edge("B", "C", 1, 1)
+        g.add_edge("A", "C", 1, 1)
+        # Clustering {A, C} puts B both downstream and upstream.
+        with pytest.raises(GraphStructureError):
+            cluster_actors(g, ["A", "C"])
+
+    def test_unknown_member(self):
+        with pytest.raises(GraphStructureError):
+            cluster_actors(rate_chain(), ["A", "Z"])
+
+    def test_empty_members(self):
+        with pytest.raises(GraphStructureError):
+            cluster_actors(rate_chain(), [])
+
+    def test_name_collision(self):
+        with pytest.raises(GraphStructureError):
+            cluster_actors(rate_chain(), ["A", "B"], name="C")
+
+    def test_delay_preserved_on_boundary(self):
+        g = SDFGraph()
+        g.add_actors("ABC")
+        g.add_edge("A", "B", 1, 1, delay=2)
+        g.add_edge("B", "C", 1, 1)
+        clustered, _ = cluster_actors(g, ["B", "C"], name="BC")
+        assert clustered.edge("A", "BC").delay == 2
+
+
+class TestInsertDelays:
+    def test_adds_tokens(self):
+        g = rate_chain()
+        modified = insert_delays(g, "A", "B", 5)
+        assert modified.edge("A", "B").delay == 5
+        assert g.edge("A", "B").delay == 0  # original untouched
+
+    def test_negative_rejected(self):
+        with pytest.raises(GraphStructureError):
+            insert_delays(rate_chain(), "A", "B", -1)
+
+    def test_enables_feedback(self):
+        g = SDFGraph()
+        g.add_actors("AB")
+        g.add_edge("A", "B", 1, 1)
+        g.add_edge("B", "A", 1, 1)
+        assert not has_valid_schedule(g)
+        assert has_valid_schedule(insert_delays(g, "B", "A", 1))
+
+
+class TestNormalizeTokenSizes:
+    def test_word_rates(self):
+        g = SDFGraph()
+        g.add_actors("AB")
+        g.add_edge("A", "B", 2, 1, delay=1, token_size=4)
+        n = normalize_token_sizes(g)
+        e = n.edge("A", "B")
+        assert (e.production, e.consumption, e.delay, e.token_size) == (8, 4, 4, 1)
+
+    def test_repetitions_invariant(self):
+        g = SDFGraph()
+        g.add_actors("ABC")
+        g.add_edge("A", "B", 2, 1, token_size=3)
+        g.add_edge("B", "C", 1, 3, token_size=2)
+        assert repetitions_vector(normalize_token_sizes(g)) == repetitions_vector(g)
+
+    def test_buffer_words_invariant(self):
+        from repro.sdf.bounds import bmlb
+        g = SDFGraph()
+        g.add_actors("AB")
+        g.add_edge("A", "B", 2, 3, token_size=5)
+        # BMLB in words: eta(2,3) = 6 tokens * 5 words = 30;
+        # normalized: eta(10, 15) = 30 words.
+        assert bmlb(g) == bmlb(normalize_token_sizes(g)) == 30
