@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full report examples clean
+.PHONY: install test bench bench-pytest bench-full report examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -11,6 +11,10 @@ test:
 	$(PYTHON) -m pytest tests/
 
 bench:
+	$(PYTHON) benchmarks/perf_suite.py --out BENCH_PR1.json \
+		--baseline benchmarks/seed_baseline.json
+
+bench-pytest:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 bench-full:

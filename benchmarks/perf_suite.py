@@ -1,0 +1,189 @@
+"""Timed perf suite: writes the ``BENCH_PR1.json`` perf trajectory file.
+
+Runs a reduced-scale set of the paper's hottest end-to-end flows and
+records wall-clock times in a machine-readable report at the repo root,
+one row per benchmark::
+
+    {"bench": name, "wall_s": float, "meta": {...}}
+
+Subsequent perf PRs diff their own ``BENCH_PRn.json`` against this
+baseline.  Usage::
+
+    python benchmarks/perf_suite.py --out BENCH_PR1.json
+    python benchmarks/perf_suite.py --out BENCH_PR1.json --baseline seed.json
+
+``--baseline`` merges a previous run of the same suite (e.g. captured on
+the seed implementation) into each row's ``meta`` as ``seed_wall_s`` and
+``speedup``, so the report carries its own before/after evidence.
+
+The main rows run serially (``jobs=1``) so they compare like-for-like
+against serial baselines regardless of ``REPRO_JOBS``; when the machine
+has more than one core the suite appends ``*_parallel`` rows that
+exercise the process-pool runner on the two fan-out drivers.  Each
+bench is repeated (``--repeat``, default 3) and the minimum wall time
+recorded, which filters scheduler/VM jitter out of the trajectory.  The
+configuration is intentionally small enough to finish in about a minute.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.apps import table1_graph  # noqa: E402
+from repro.baselines.random_search import random_search  # noqa: E402
+from repro.experiments.random_graphs import run_random_graph_experiment  # noqa: E402
+from repro.experiments.runner import TimingReport  # noqa: E402
+from repro.scheduling.pipeline import implement_best  # noqa: E402
+
+
+def _bench(report, name, fn, repeat, **meta):
+    """Record ``name`` as the min wall time of ``repeat`` runs of ``fn``.
+
+    ``fn`` returns a dict of result metadata (identical across repeats —
+    every bench is deterministic); merged into the row's meta.
+    """
+    best = None
+    result = {}
+    for _ in range(max(1, repeat)):
+        t0 = time.perf_counter()
+        result = fn()
+        wall = time.perf_counter() - t0
+        if best is None or wall < best:
+            best = wall
+    return report.record(name, best, **{**meta, **result})
+
+
+def run_suite(repeat: int = 3):
+    """Run every benchmark; returns a list of report rows."""
+    report = TimingReport()
+
+    for system in ("satrec", "qmf12_3d"):
+        graph = table1_graph(system)
+        _bench(
+            report,
+            f"implement_best_{system}",
+            lambda graph=graph: {
+                "best_shared": implement_best(graph, verify=False).best_shared
+            },
+            repeat,
+            actors=graph.num_actors,
+        )
+
+    graph = table1_graph("satrec")
+    trials = 200
+    row = _bench(
+        report,
+        "random_search_satrec_200",
+        lambda: {
+            "best_total": random_search(
+                graph, trials=trials, seed=0, jobs=1
+            ).best_total
+        },
+        repeat,
+        trials=trials,
+    )
+    if row["wall_s"] > 0:
+        row["meta"]["trials_per_s"] = round(trials / row["wall_s"], 2)
+
+    sizes, count = (20, 50), 8
+
+    def _fig27(jobs):
+        stats = run_random_graph_experiment(
+            sizes=sizes, graphs_per_size=count, seed=0, jobs=jobs
+        )
+        return {
+            "improvement_pct": [round(s.improvement_pct, 3) for s in stats]
+        }
+
+    _bench(
+        report,
+        "fig27_sweep_reduced",
+        lambda: _fig27(jobs=1),
+        repeat,
+        sizes=list(sizes),
+        graphs_per_size=count,
+    )
+
+    cores = os.cpu_count() or 1
+    if cores > 1:
+        jobs = min(cores, 4)
+        _bench(
+            report,
+            "random_search_satrec_200_parallel",
+            lambda: {
+                "best_total": random_search(
+                    graph, trials=trials, seed=0, jobs=jobs
+                ).best_total
+            },
+            repeat,
+            trials=trials,
+            jobs=jobs,
+        )
+        _bench(
+            report,
+            "fig27_sweep_reduced_parallel",
+            lambda: _fig27(jobs=jobs),
+            repeat,
+            sizes=list(sizes),
+            graphs_per_size=count,
+            jobs=jobs,
+        )
+
+    return report.rows
+
+
+def merge_baseline(rows, baseline_rows):
+    by_name = {row["bench"]: row for row in baseline_rows}
+    for row in rows:
+        seed = by_name.get(row["bench"])
+        if seed is None:
+            continue
+        row["meta"]["seed_wall_s"] = seed["wall_s"]
+        if row["wall_s"] > 0:
+            row["meta"]["speedup"] = round(seed["wall_s"] / row["wall_s"], 2)
+    return rows
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_PR1.json")
+    parser.add_argument("--baseline", default=None,
+                        help="previous run to merge as seed_wall_s/speedup")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="runs per bench; the minimum wall time is kept")
+    args = parser.parse_args(argv)
+
+    baseline_rows = None
+    if args.baseline:
+        # Read before the (minutes-long) suite so a bad path fails fast.
+        try:
+            with open(args.baseline) as fh:
+                baseline_rows = json.load(fh)
+        except (OSError, ValueError) as exc:
+            parser.error(f"cannot read baseline {args.baseline!r}: {exc}")
+
+    rows = run_suite(repeat=args.repeat)
+    if baseline_rows is not None:
+        rows = merge_baseline(rows, baseline_rows)
+    with open(args.out, "w") as fh:
+        json.dump(rows, fh, indent=2)
+        fh.write("\n")
+    for row in rows:
+        extra = ""
+        if "speedup" in row["meta"]:
+            extra = (
+                f"  (seed {row['meta']['seed_wall_s']:.3f}s, "
+                f"{row['meta']['speedup']:.2f}x)"
+            )
+        print(f"{row['bench']:>33}: {row['wall_s']:8.3f}s{extra}")
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

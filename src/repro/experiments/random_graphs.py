@@ -20,11 +20,12 @@ counts are parameters so the benchmark can trade time for precision.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..sdf.random_graphs import random_sdf_graph
 from ..scheduling.pipeline import implement_best
+from .runner import parallel_map
 
 __all__ = [
     "RandomGraphStats",
@@ -54,19 +55,60 @@ class RandomGraphStats:
     rpmc_wins_fraction: float
 
 
+def _fig27_task(task: Tuple[int, int, int]) -> Tuple[int, ...]:
+    """Compile one random graph; return the raw Table-style integers.
+
+    Runs in a worker process (or inline on the serial path), so it only
+    receives plain data and returns plain data: ``(nonshared, shared,
+    winner_mco, winner_mcp, winner_alloc, best_sdppo, r_total,
+    a_total)``.  All percentage math stays in the parent so the parallel
+    and serial paths aggregate bit-identically.
+    """
+    size, graph_seed, occurrence_cap = task
+    graph = random_sdf_graph(size, seed=graph_seed)
+    best = implement_best(graph, occurrence_cap=occurrence_cap, verify=False)
+    winner = (
+        best.rpmc
+        if best.rpmc.best_shared_total <= best.apgan.best_shared_total
+        else best.apgan
+    )
+    return (
+        best.best_nonshared,
+        best.best_shared,
+        winner.mco,
+        winner.mcp,
+        winner.best_shared_total,
+        min(best.rpmc.sdppo_cost, best.apgan.sdppo_cost),
+        best.rpmc.best_shared_total,
+        best.apgan.best_shared_total,
+    )
+
+
 def run_random_graph_experiment(
     sizes: Sequence[int] = (20, 50, 100, 150),
     graphs_per_size: int = 100,
     seed: int = 0,
     occurrence_cap: int = 4096,
+    jobs: Optional[int] = None,
 ) -> List[RandomGraphStats]:
     """Reproduce the figure 27 sweep.
 
     Deterministic for a given ``seed``: graph ``g`` of size ``s`` uses
-    seed ``seed * 1_000_003 + s * 1_000 + g``.
+    seed ``seed * 1_000_003 + s * 1_000 + g``.  ``jobs`` (default: the
+    ``REPRO_JOBS`` environment variable, else serial) distributes the
+    per-graph compilations over worker processes; the aggregation order
+    is fixed by the task list, so the statistics are identical on every
+    path.
     """
+    tasks = [
+        (size, seed * 1_000_003 + size * 1_000 + g_index, occurrence_cap)
+        for size in sizes
+        for g_index in range(graphs_per_size)
+    ]
+    raw = parallel_map(_fig27_task, tasks, jobs=jobs)
+
     results = []
-    for size in sizes:
+    for s_index, size in enumerate(sizes):
         improvements: List[float] = []
         over_mco: List[float] = []
         mcp_over: List[float] = []
@@ -74,31 +116,25 @@ def run_random_graph_experiment(
         rpmc_margin: List[float] = []
         rpmc_wins = 0
         decided = 0
-        for g_index in range(graphs_per_size):
-            graph = random_sdf_graph(
-                size, seed=seed * 1_000_003 + size * 1_000 + g_index
-            )
-            best = implement_best(
-                graph, occurrence_cap=occurrence_cap, verify=False
-            )
-            nonshared = best.best_nonshared
-            shared = best.best_shared
+        start = s_index * graphs_per_size
+        for row in raw[start : start + graphs_per_size]:
+            (
+                nonshared,
+                shared,
+                mco,
+                mcp,
+                alloc,
+                best_sdppo,
+                r_total,
+                a_total,
+            ) = row
             if nonshared > 0:
                 improvements.append(100.0 * (nonshared - shared) / nonshared)
-            winner = (
-                best.rpmc
-                if best.rpmc.best_shared_total <= best.apgan.best_shared_total
-                else best.apgan
-            )
-            alloc = winner.best_shared_total
-            if winner.mco > 0:
-                over_mco.append(100.0 * (alloc - winner.mco) / winner.mco)
+            if mco > 0:
+                over_mco.append(100.0 * (alloc - mco) / mco)
             if alloc > 0:
-                mcp_over.append(100.0 * (winner.mcp - alloc) / alloc)
-                best_sdppo = min(best.rpmc.sdppo_cost, best.apgan.sdppo_cost)
+                mcp_over.append(100.0 * (mcp - alloc) / alloc)
                 vs_sdppo.append(100.0 * abs(alloc - best_sdppo) / alloc)
-            r_total = best.rpmc.best_shared_total
-            a_total = best.apgan.best_shared_total
             if a_total > 0:
                 rpmc_margin.append(100.0 * (a_total - r_total) / a_total)
             if r_total != a_total:

@@ -1,0 +1,146 @@
+"""Parallel experiment runner: deterministic fan-out over worker processes.
+
+The paper's evaluation is embarrassingly parallel — 400 random graphs
+in the figure 27 sweep, hundreds of independent trials per random
+search — but every statistic must stay a pure function of (inputs,
+seed).  This module provides the one primitive both drivers use:
+
+* :func:`parallel_map` — an order-preserving ``map`` over a
+  ``ProcessPoolExecutor``, with deterministic chunking and a serial
+  fallback.  Tasks carry their own seeds (the caller derives them
+  before fanning out), results come back in task order, and all
+  aggregation happens in the parent — so the parallel and serial paths
+  produce bit-identical statistics.
+
+* :class:`TimingReport` — a machine-readable wall-time report
+  (``{"bench": ..., "wall_s": ..., "meta": {...}}`` rows) that
+  ``make bench`` serializes to ``BENCH_PR1.json``, seeding the perf
+  trajectory that later PRs diff against.
+
+Parallelism is controlled by the ``REPRO_JOBS`` environment variable
+(or an explicit ``jobs=`` argument): unset or ``1`` runs serially in
+the calling process, ``N`` uses N worker processes, and ``0`` uses all
+available cores.  When a pool cannot be created at all (restricted
+environments without fork/spawn), the runner degrades to the serial
+path instead of failing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["effective_jobs", "parallel_map", "TimingReport"]
+
+
+def effective_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve the worker count: explicit argument, then ``REPRO_JOBS``.
+
+    ``0`` (either form) means "all cores"; anything unset means serial.
+    """
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        if not env:
+            return 1
+        try:
+            jobs = int(env)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_JOBS must be an integer, got {env!r}"
+            ) from None
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return max(1, jobs)
+
+
+def parallel_map(
+    fn: Callable[[Any], Any],
+    tasks: Sequence[Any],
+    jobs: Optional[int] = None,
+    chunksize: Optional[int] = None,
+    initializer: Optional[Callable[..., None]] = None,
+    initargs: Tuple[Any, ...] = (),
+) -> List[Any]:
+    """Map ``fn`` over ``tasks``, preserving order, optionally in parallel.
+
+    ``fn`` and the tasks must be picklable (module-level function, plain
+    data).  ``initializer`` runs once per worker (and once in-process on
+    the serial path) — use it to build per-worker state such as a
+    compilation session instead of shipping it with every task.
+
+    The serial path runs when ``effective_jobs`` resolves to 1, when
+    there are fewer than two tasks, or when the process pool cannot be
+    created; exceptions raised by ``fn`` itself always propagate.
+    """
+    tasks = list(tasks)
+    n_jobs = effective_jobs(jobs)
+    if n_jobs <= 1 or len(tasks) <= 1:
+        return _serial_map(fn, tasks, initializer, initargs)
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+        executor = ProcessPoolExecutor(
+            max_workers=min(n_jobs, len(tasks)),
+            initializer=initializer,
+            initargs=initargs,
+        )
+    except (ImportError, NotImplementedError, OSError, PermissionError):
+        return _serial_map(fn, tasks, initializer, initargs)
+    try:
+        with executor:
+            if chunksize is None:
+                chunksize = max(1, len(tasks) // (4 * n_jobs))
+            return list(executor.map(fn, tasks, chunksize=chunksize))
+    except _pool_failures():
+        # The pool died (fork refused, worker killed) without a result;
+        # the work itself is side-effect free, so redo it serially.
+        return _serial_map(fn, tasks, initializer, initargs)
+
+
+def _serial_map(fn, tasks, initializer, initargs) -> List[Any]:
+    if initializer is not None:
+        initializer(*initargs)
+    return [fn(task) for task in tasks]
+
+
+def _pool_failures() -> Tuple[type, ...]:
+    from concurrent.futures.process import BrokenProcessPool
+
+    return (BrokenProcessPool, OSError, PermissionError)
+
+
+@dataclass
+class TimingReport:
+    """Accumulates named wall-time measurements; serializes to JSON rows.
+
+    Each row is ``{"bench": name, "wall_s": seconds, "meta": {...}}`` —
+    the schema of the repo-root ``BENCH_*.json`` perf-trajectory files.
+    """
+
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+
+    def record(self, bench: str, wall_s: float, **meta: Any) -> Dict[str, Any]:
+        row = {"bench": bench, "wall_s": round(wall_s, 4), "meta": dict(meta)}
+        self.rows.append(row)
+        return row
+
+    @contextmanager
+    def stage(self, bench: str, **meta: Any) -> Iterator[Dict[str, Any]]:
+        """Time a ``with`` block and record it as one row.
+
+        The yielded dict is the row's ``meta``; mutate it inside the
+        block to attach results (counts, totals) to the measurement.
+        """
+        row_meta = dict(meta)
+        start = time.perf_counter()
+        yield row_meta
+        wall = time.perf_counter() - start
+        self.record(bench, wall, **row_meta)
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.rows, fh, indent=2)
+            fh.write("\n")

@@ -32,7 +32,9 @@ boundary tie in the safe direction.)
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 from ..exceptions import SDFError
@@ -93,18 +95,25 @@ class PeriodicLifetime:
                     )
 
     # ------------------------------------------------------------------
-    @property
+    # Derived quantities are cached on the instance (lifetimes are
+    # frozen); the WIG build queries them once per candidate pair.
+    @cached_property
     def num_occurrences(self) -> int:
         n = 1
         for _, loop in self.periods:
             n *= loop
         return n
 
-    @property
+    @cached_property
     def last_stop(self) -> int:
         """End of the final occurrence: the solid-interval upper bound."""
         offset = sum(a * (loop - 1) for a, loop in self.periods)
         return self.start + offset + self.duration
+
+    @cached_property
+    def _starts(self) -> List[int]:
+        """All occurrence starts, materialized once for pair testing."""
+        return list(self.occurrence_starts())
 
     def solid(self) -> "PeriodicLifetime":
         """The pessimistic non-periodic envelope (periodicity ignored)."""
@@ -140,17 +149,20 @@ class PeriodicLifetime:
     def occurrence_starts(self) -> Iterator[int]:
         """All occurrence start times, ascending."""
         digits = [0] * len(self.periods)
+        value = self.start
         while True:
-            yield self.start + sum(
-                d * a for d, (a, _) in zip(digits, self.periods)
-            )
-            # mixed-radix increment, least significant (smallest a) first
+            yield value
+            # mixed-radix increment, least significant (smallest a) first,
+            # tracking the weighted value alongside the digits
             i = 0
             while i < len(digits):
+                a, loop = self.periods[i]
                 digits[i] += 1
-                if digits[i] < self.periods[i][1]:
+                value += a
+                if digits[i] < loop:
                     break
                 digits[i] = 0
+                value -= a * loop
                 i += 1
             else:
                 return
@@ -171,25 +183,25 @@ class PeriodicLifetime:
             digits.append(k)
             remainder -= k * a
         digits.reverse()  # now aligned with self.periods (ascending a)
-        candidate = self.start + sum(
-            d * a for d, (a, _) in zip(digits, self.periods)
-        )
+        # sum(d_i * a_i) is exactly what the greedy extraction removed
+        # from t, so the floor candidate is time minus the remainder.
+        candidate = time - remainder
         while candidate < time:
             # increment in the mixed basis; repeated in the (tree-built
             # lifetimes never hit it) corner case where weakly nested
             # periods make one increment insufficient
             i = 0
             while i < len(digits):
+                a, loop = self.periods[i]
                 digits[i] += 1
-                if digits[i] < self.periods[i][1]:
+                candidate += a
+                if digits[i] < loop:
                     break
                 digits[i] = 0
+                candidate -= a * loop
                 i += 1
             else:
                 return None
-            candidate = self.start + sum(
-                d * a for d, (a, _) in zip(digits, self.periods)
-            )
         return candidate
 
     def overlaps(self, other: "PeriodicLifetime", occurrence_cap: int = 4096) -> bool:
@@ -204,13 +216,44 @@ class PeriodicLifetime:
         a, b = (self, other) if self.num_occurrences <= other.num_occurrences else (other, self)
         if a.num_occurrences > occurrence_cap:
             a, b = a.solid(), b.solid()
-        for s in a.occurrence_starts():
-            end = s + a.duration
+        if a.start >= b.last_stop or b.start >= a.last_stop:
+            return False  # disjoint solid envelopes
+        starts = a._starts
+        n = len(starts)
+        dur = a.duration
+        idx = 0
+        if b.num_occurrences <= occurrence_cap:
+            # Both sides enumerable: decide each a-occurrence with two
+            # binary searches over b's cached starts (the arrays are
+            # shared across every pair test of a WIG build).
+            b_starts = b._starts
+            nb = len(b_starts)
+            b_dur = b.duration
+            while idx < n:
+                s = starts[idx]
+                j = bisect_right(b_starts, s)
+                if j and b_starts[j - 1] + b_dur > s:
+                    return True  # a b-interval covers s
+                if j == nb:
+                    return False  # no b-interval starts after s
+                nxt = b_starts[j]
+                if nxt < s + dur:
+                    return True
+                # b has no live interval in [s, nxt): skip every
+                # a-occurrence that ends inside that dead space.
+                idx = bisect_right(starts, nxt - dur, idx + 1)
+            return False
+        # b too dense to enumerate: query it analytically (figure 18).
+        while idx < n:
+            s = starts[idx]
             if b.live_at(s):
                 return True
             nxt = b.next_start(s)
-            if nxt is not None and nxt < end:
+            if nxt is None:
+                return False
+            if nxt < s + dur:
                 return True
+            idx = bisect_right(starts, nxt - dur, idx + 1)
         return False
 
     def intervals(self) -> Iterator[Tuple[int, int]]:

@@ -6,6 +6,7 @@ from .sdppo import SDPPOResult, sdppo
 from .chain_sdppo import ChainSDPPOResult, CostTriple, chain_sdppo, combine_triples
 from .apgan import APGANResult, apgan
 from .rpmc import RPMCResult, rpmc
+from .session import CompilationSession
 from .pipeline import BestResult, ImplementationResult, implement, implement_best
 from .cyclic import (
     CyclicScheduleResult,
@@ -37,6 +38,7 @@ __all__ = [
     "apgan",
     "RPMCResult",
     "rpmc",
+    "CompilationSession",
     "ImplementationResult",
     "BestResult",
     "implement",

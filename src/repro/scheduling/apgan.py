@@ -63,37 +63,56 @@ def apgan(graph: SDFGraph, q: Optional[Dict[str, int]] = None) -> APGANResult:
     if q is None:
         q = repetitions_vector(graph)
 
-    cluster_graph = ClusterGraph(graph)
+    cluster_graph = ClusterGraph(graph, q)
 
-    # Rank for deterministic tie-breaks: total tokens per period over
-    # all edges joining the pair, then edge insertion order.
-    edge_rank: Dict[Tuple[str, str], Tuple[int, int]] = {}
+    # Rank per adjacent cluster pair, maintained incrementally across
+    # merges: total tokens per period over all edges joining the pair
+    # (the deterministic tie-break), then earliest edge insertion order.
+    # Distinct pairs aggregate disjoint edge sets, so their min ranks —
+    # and hence their scores — are strictly distinct.
+    pair_rank: Dict[Tuple[int, int], Tuple[int, int]] = {}
     for rank, e in enumerate(graph.edges()):
-        key = (e.source, e.sink)
-        tokens, first = edge_rank.get(key, (0, rank))
-        edge_rank[key] = (tokens + total_tokens_exchanged(e, q), first)
+        key = (
+            cluster_graph.cluster_id_of(e.source),
+            cluster_graph.cluster_id_of(e.sink),
+        )
+        tokens, first = pair_rank.get(key, (0, rank))
+        pair_rank[key] = (tokens + total_tokens_exchanged(e, q), first)
 
     while cluster_graph.num_clusters() > 1:
-        best: Optional[Tuple[int, int, int, int]] = None  # score tuple
+        # The merge winner is the max-score pair whose merge keeps the
+        # cluster graph acyclic; scan candidates best-first so the DFS
+        # cycle check usually runs once.
+        candidates = [
+            (
+                (
+                    gcd(
+                        cluster_graph.cluster(cu).repetitions,
+                        cluster_graph.cluster(cv).repetitions,
+                    ),
+                    tokens,
+                    -first,
+                ),
+                cu,
+                cv,
+            )
+            for (cu, cv), (tokens, first) in pair_rank.items()
+        ]
         best_pair: Optional[Tuple[int, int]] = None
-        for cu, cv in cluster_graph.adjacent_pairs():
-            ru = cluster_graph.cluster(cu).repetitions
-            rv = cluster_graph.cluster(cv).repetitions
-            pair_gcd = gcd(ru, rv)
-            tokens = 0
-            first = 1 << 60
-            for a in cluster_graph.cluster(cu).members:
-                for b in cluster_graph.cluster(cv).members:
-                    if (a, b) in edge_rank:
-                        t, f = edge_rank[(a, b)]
-                        tokens += t
-                        first = min(first, f)
-            score = (pair_gcd, tokens, -first)
-            if best is None or score > best:
-                if cluster_graph.merge_would_create_cycle(cu, cv):
-                    continue
-                best = score
+        # The max-score pair almost always passes the cycle check; only
+        # sort the full candidate list when it does not.  (No candidates
+        # at all means the graph is disconnected — fall through to the
+        # stall guard below.)
+        if candidates:
+            _score, cu, cv = max(candidates)
+            if not cluster_graph.merge_would_create_cycle(cu, cv):
                 best_pair = (cu, cv)
+            else:
+                candidates.sort(reverse=True)
+                for _score, cu, cv in candidates:
+                    if not cluster_graph.merge_would_create_cycle(cu, cv):
+                        best_pair = (cu, cv)
+                        break
         if best_pair is None:
             # A connected DAG always admits some cycle-free adjacent
             # merge (e.g. a source with a single successor subtree), but
@@ -101,7 +120,22 @@ def apgan(graph: SDFGraph, q: Optional[Dict[str, int]] = None) -> APGANResult:
             raise GraphStructureError(
                 f"apgan stalled on {graph.name!r}; is the graph connected?"
             )
-        cluster_graph.merge(*best_pair)
+        cid = cluster_graph.merge(*best_pair)
+        merged = set(best_pair)
+        folded: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        for (cu, cv), (tokens, first) in pair_rank.items():
+            if cu in merged:
+                if cv in merged:
+                    continue  # internalised by the merge
+                cu = cid
+            elif cv in merged:
+                cv = cid
+            prev = folded.get((cu, cv))
+            if prev is not None:
+                tokens += prev[0]
+                first = first if first < prev[1] else prev[1]
+            folded[(cu, cv)] = (tokens, first)
+        pair_rank = folded
 
     root_id = cluster_graph.cluster_ids()[0]
     root = cluster_graph.cluster(root_id)

@@ -23,12 +23,43 @@ from math import gcd
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..exceptions import GraphStructureError, ScheduleError
-from ..sdf.graph import Edge, SDFGraph
+from ..sdf.graph import SDFGraph
 from ..sdf.repetitions import repetitions_vector, total_tokens_exchanged
 from ..sdf.schedule import Firing, Loop, LoopedSchedule, ScheduleNode
 from ..sdf.topsort import is_topological_order
 
-__all__ = ["ChainContext", "build_schedule_from_splits", "SplitTable"]
+try:  # optional acceleration; every algorithm has a pure-Python path
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+__all__ = [
+    "ChainContext",
+    "build_schedule_from_splits",
+    "SplitTable",
+    "aggregate_pair_weights",
+    "dp_over_context",
+]
+
+
+def aggregate_pair_weights(
+    graph: SDFGraph, q: Dict[str, int]
+) -> Dict[Tuple[str, str], Tuple[int, int]]:
+    """Per actor pair: total (TNSE words, delay words), parallel edges summed.
+
+    Order-invariant, so a compilation session computes it once per graph
+    and every per-order :class:`ChainContext` reuses it.
+    """
+    weights: Dict[Tuple[str, str], Tuple[int, int]] = {}
+    for e in graph.edges():
+        tw = total_tokens_exchanged(e, q) * e.token_size
+        dw = e.delay * e.token_size
+        prev = weights.get((e.source, e.sink))
+        if prev is not None:
+            tw += prev[0]
+            dw += prev[1]
+        weights[(e.source, e.sink)] = (tw, dw)
+    return weights
 
 
 class ChainContext:
@@ -42,6 +73,15 @@ class ChainContext:
         order topological; this is checked unless ``trusted=True``.
     order:
         The lexical order (a topological sort of the actors).
+    trusted:
+        Skip the O(n·e) topological re-validation.  Safe for orders our
+        own generators produced (RPMC, APGAN, the topsort samplers); a
+        :class:`~repro.scheduling.session.CompilationSession` sets this
+        for every trial of a search.
+    pair_weights:
+        Precomputed ``(source, sink) -> (tnse words, delay words)`` with
+        parallel edges aggregated, as built once per graph by a
+        compilation session; computed here when absent.
     """
 
     def __init__(
@@ -50,6 +90,7 @@ class ChainContext:
         order: Sequence[str],
         q: Optional[Dict[str, int]] = None,
         trusted: bool = False,
+        pair_weights: Optional[Dict[Tuple[str, str], Tuple[int, int]]] = None,
     ) -> None:
         if sorted(order) != sorted(graph.actor_names()):
             raise GraphStructureError(
@@ -78,27 +119,86 @@ class ChainContext:
                 row[j] = acc
             self._g.append(row)
 
-        # Per-edge data keyed by (source position, sink position), with
-        # parallel edges aggregated.  tnse_w is in words.
-        self._edges_by_pos: Dict[Tuple[int, int], List[Edge]] = {}
-        for e in graph.edges():
-            ps, pt = self.position[e.source], self.position[e.sink]
-            self._edges_by_pos.setdefault((ps, pt), []).append(e)
+        if pair_weights is None:
+            pair_weights = aggregate_pair_weights(graph, self.q)
 
-        # Outgoing / incoming edge positions for incremental crossing sums.
-        self._out_pos: List[List[Tuple[int, int, int]]] = [
-            [] for _ in range(self.n)
-        ]  # per source position: (sink position, tnse_w, delay_w)
-        self._in_pos: List[List[Tuple[int, int, int]]] = [
-            [] for _ in range(self.n)
-        ]  # per sink position: (source position, tnse_w, delay_w)
-        for (ps, pt), edges in self._edges_by_pos.items():
-            tw = sum(
-                total_tokens_exchanged(e, self.q) * e.token_size for e in edges
-            )
-            dw = sum(e.delay * e.token_size for e in edges)
-            self._out_pos[ps].append((pt, tw, dw))
-            self._in_pos[pt].append((ps, tw, dw))
+        # 2D prefix sums over (source position, sink position) of the
+        # edge count, TNSE words and delay words, so crossing sums are
+        # O(1) rectangle queries.  Summing TNSE before dividing by the
+        # window gcd is exact: g_ij divides q(src) for every source in
+        # the window and TNSE(e) is a multiple of q(src), so each
+        # tw // g term divides evenly.
+        m = self.n + 1
+        cnt = [[0] * m for _ in range(m)]
+        tws = [[0] * m for _ in range(m)]
+        dws = [[0] * m for _ in range(m)]
+        for (src, snk), (tw, dw) in pair_weights.items():
+            ps, pt = self.position[src], self.position[snk]
+            cnt[ps + 1][pt + 1] += 1
+            tws[ps + 1][pt + 1] += tw
+            dws[ps + 1][pt + 1] += dw
+        for grid in (cnt, tws, dws):
+            for r in range(1, m):
+                row, prev = grid[r], grid[r - 1]
+                acc = 0
+                for c in range(1, m):
+                    acc += row[c]
+                    row[c] = acc + prev[c]
+        self._cnt_prefix = cnt
+        self._tw_prefix = tws
+        self._dw_prefix = dws
+        self._scan_arrays: Optional[tuple] = None
+        self._np_state: Optional[tuple] = None
+        # The vectorized DP stores prefix sums in int64; bail out to the
+        # pure-Python path (exact big ints) if DP accumulations could
+        # overflow: costs are bounded by the total weight times the
+        # nesting depth.  Below ~30 actors the per-length array overhead
+        # exceeds the win, so small chains stay pure Python.
+        total_w = tws[self.n][self.n] + dws[self.n][self.n]
+        self.use_numpy = (
+            _np is not None
+            and self.n >= 30
+            and (total_w + 1) * (self.n + 2) < 2**62
+        )
+        # Window -> crossing-cost list, shared by the DPPO/SDPPO pair
+        # running over this same context (the lists are never mutated).
+        self._window_costs: List[List[Optional[List[int]]]] = [
+            [None] * self.n for _ in range(self.n)
+        ]
+
+    def _scan_state(self) -> tuple:
+        """Column-combined arrays for the pure-Python window cost scan.
+
+        Per prefix column jj, fold the transposed prefix with its
+        diagonal (T = twT - diag_t, D = dwT - diag_d, A = T + D), and
+        per row the tw/dw prefix sum, so the scan zips two (gcd 1) or
+        four contiguous slices instead of six.  Built lazily — the
+        vectorized DP never needs them.
+        """
+        if self._scan_arrays is None:
+            tws, dws = self._tw_prefix, self._dw_prefix
+            m = self.n + 1
+            diag_t = [tws[r][r] for r in range(m)]
+            diag_d = [dws[r][r] for r in range(m)]
+            colT = [[x - d for x, d in zip(col, diag_t)] for col in zip(*tws)]
+            colD = [[x - d for x, d in zip(col, diag_d)] for col in zip(*dws)]
+            colA = [
+                [x + y for x, y in zip(ct, cd)] for ct, cd in zip(colT, colD)
+            ]
+            sum_prefix = [
+                [a + b for a, b in zip(rt, rd)] for rt, rd in zip(tws, dws)
+            ]
+            self._scan_arrays = (colT, colD, colA, sum_prefix)
+        return self._scan_arrays
+
+    def _numpy_state(self) -> tuple:
+        """int64 copies of the prefix/gcd tables for the vectorized DP."""
+        if self._np_state is None:
+            Pt = _np.asarray(self._tw_prefix, dtype=_np.int64)
+            Pd = _np.asarray(self._dw_prefix, dtype=_np.int64)
+            G = _np.asarray(self._g, dtype=_np.int64) if self.n else None
+            self._np_state = (Pt, Pd, G)
+        return self._np_state
 
     # ------------------------------------------------------------------
     def window_gcd(self, i: int, j: int) -> int:
@@ -111,6 +211,15 @@ class ChainContext:
     def rep(self, i: int) -> int:
         return self.q[self.order[i]]
 
+    def _rect(self, grid: List[List[int]], r0: int, r1: int, c0: int, c1: int) -> int:
+        """Sum of ``grid`` entries with source in [r0, r1], sink in [c0, c1]."""
+        return (
+            grid[r1 + 1][c1 + 1]
+            - grid[r0][c1 + 1]
+            - grid[r1 + 1][c0]
+            + grid[r0][c0]
+        )
+
     def crossing_cost(self, i: int, j: int, k: int) -> int:
         """``c_ij[k]`` (EQ 3): buffer words on edges crossing split ``k``.
 
@@ -120,34 +229,47 @@ class ChainContext:
         its ``del(e)`` tokens at the peak).
         """
         g = self._g[i][j]
-        total = 0
-        for ps in range(i, k + 1):
-            for pt, tw, dw in self._out_pos[ps]:
-                if k + 1 <= pt <= j:
-                    total += tw // g + dw
-        return total
+        tw = self._rect(self._tw_prefix, i, k, k + 1, j)
+        dw = self._rect(self._dw_prefix, i, k, k + 1, j)
+        return tw // g + dw
 
     def crossing_costs_for_window(self, i: int, j: int) -> List[int]:
-        """``[c_ij[k] for k in i..j-1]`` computed incrementally in O(deg)."""
+        """``[c_ij[k] for k in i..j-1]``, one rectangle query per split.
+
+        The returned list is cached per window (and must be treated as
+        read-only): DPPO and SDPPO over the same context walk the same
+        windows, so the second DP reuses every list.
+        """
+        cached = self._window_costs[i][j]
+        if cached is not None:
+            return cached
+        colT, colD, colA, sum_prefix = self._scan_state()
         g = self._g[i][j]
-        costs = []
-        current = 0
-        # k = i: edges leaving position i into (i, j].
-        for pt, tw, dw in self._out_pos[i]:
-            if i < pt <= j:
-                current += tw // g + dw
-        costs.append(current)
-        for k in range(i + 1, j):
-            # Window's split advances from k-1 to k: edges out of k that
-            # land in (k, j] start crossing; edges into k from [i, k)
-            # stop crossing.
-            for pt, tw, dw in self._out_pos[k]:
-                if k < pt <= j:
-                    current += tw // g + dw
-            for ps, tw, dw in self._in_pos[k]:
-                if i <= ps < k:
-                    current -= tw // g + dw
-            costs.append(current)
+        jj = j + 1
+        lo = i + 1
+        # Rectangle query at split k, with r = k + 1 the prefix row just
+        # below the sources [i, k] and columns (k, j] the sinks:
+        # tw = P[r][jj] - P[i][jj] - P[r][r] + P[i][r], likewise dw —
+        # regrouped through the folded column arrays.
+        if g == 1:
+            s_row = sum_prefix[i]
+            sj = s_row[jj]
+            costs = [
+                a + p - sj for a, p in zip(colA[jj][lo:jj], s_row[lo:jj])
+            ]
+        else:
+            top_t, top_d = self._tw_prefix[i], self._dw_prefix[i]
+            tj, dj = top_t[jj], top_d[jj]
+            costs = [
+                (at + pt - tj) // g + ad + pd - dj
+                for at, ad, pt, pd in zip(
+                    colT[jj][lo:jj],
+                    colD[jj][lo:jj],
+                    top_t[lo:jj],
+                    top_d[lo:jj],
+                )
+            ]
+        self._window_costs[i][j] = costs
         return costs
 
     def has_crossing_edge(self, i: int, j: int, k: int) -> bool:
@@ -156,20 +278,80 @@ class ChainContext:
         These are the *internal edges* of the merge in the factoring
         heuristic of section 5.1.
         """
-        for ps in range(i, k + 1):
-            for pt, _, _ in self._out_pos[ps]:
-                if k + 1 <= pt <= j:
-                    return True
-        return False
+        return self._rect(self._cnt_prefix, i, k, k + 1, j) > 0
 
     def single_crossing_edge_cost(self, i: int, j: int, k: int) -> int:
         """Crossing cost when the graph is a chain: the one edge (k, k+1)."""
         g = self._g[i][j]
-        total = 0
-        for pt, tw, dw in self._out_pos[k]:
-            if pt == k + 1:
-                total += tw // g + dw
-        return total
+        tw = self._rect(self._tw_prefix, k, k, k + 1, k + 1)
+        dw = self._rect(self._dw_prefix, k, k, k + 1, k + 1)
+        return tw // g + dw
+
+
+def dp_over_context(
+    context: ChainContext,
+    shared: bool,
+    factoring: str = "auto",
+) -> Tuple[List[List[int]], Dict[Tuple[int, int], int], Dict[Tuple[int, int], bool]]:
+    """Vectorized EQ 2 / EQ 5 DP over ``context`` (requires numpy).
+
+    Processes one window length per step: all windows of that length
+    are strided views into the DP table and the weight prefix sums, so
+    each anti-diagonal costs a constant number of array operations.
+    Returns ``(b, split, factored)`` with ``b`` the dense cost table
+    (rows of plain ints), matching the pure-Python DP bit for bit —
+    ``argmin`` and ``list.index`` both take the first minimum, and all
+    arithmetic is exact int64 (guarded by ``context.use_numpy``).
+
+    ``shared`` selects the combiner: ``max`` of the halves (EQ 5) or
+    their sum (EQ 2).  ``factored`` is only meaningful for the shared
+    DP, where ``factoring`` applies the section 5.1 policy; the
+    non-shared DP always factors.
+    """
+    np = _np
+    n = context.n
+    Pt, Pd, G = context._numpy_state()
+    s0, s1 = Pt.strides
+    b = np.zeros((n, n), dtype=np.int64)
+    bs0, bs1 = b.strides
+    split: Dict[Tuple[int, int], int] = {}
+    factored: Dict[Tuple[int, int], bool] = {}
+    strided = np.lib.stride_tricks.as_strided
+    for L in range(2, n + 1):
+        W = n - L + 1  # windows of this length
+        K = L - 1  # splits per window; d = k - i below
+        rows = np.arange(W)
+        # left[i, d] = b[i, i+d]; right[i, d] = b[i+d+1, i+L-1].
+        left = strided(b, shape=(W, K), strides=(bs0 + bs1, bs1))
+        right = strided(b[1:, L - 1:], shape=(W, K), strides=(bs0 + bs1, bs0))
+        # Crossing cost rectangles with r = i+d+1, jj = i+L:
+        # tw = P[r][jj] - P[i][jj] - P[r][r] + P[i][r], likewise dw.
+        tw = (
+            strided(Pt[1:, L:], shape=(W, K), strides=(s0 + s1, s0))
+            - np.diagonal(Pt, offset=L)[:W, None]
+            - strided(Pt[1:, 1:], shape=(W, K), strides=(s0 + s1, s0 + s1))
+            + strided(Pt[:, 1:], shape=(W, K), strides=(s0 + s1, s1))
+        )
+        dw = (
+            strided(Pd[1:, L:], shape=(W, K), strides=(s0 + s1, s0))
+            - np.diagonal(Pd, offset=L)[:W, None]
+            - strided(Pd[1:, 1:], shape=(W, K), strides=(s0 + s1, s0 + s1))
+            + strided(Pd[:, 1:], shape=(W, K), strides=(s0 + s1, s1))
+        )
+        g = np.diagonal(G, offset=L - 1)[:W, None]  # g[i][i+L-1]
+        cost = tw // g + dw
+        total = (np.maximum(left, right) if shared else left + right) + cost
+        kd = np.argmin(total, axis=1)
+        b[rows, rows + K] = total[rows, kd]
+        keys = list(zip(rows.tolist(), (rows + K).tolist()))
+        split.update(zip(keys, (rows + kd).tolist()))
+        if shared:
+            if factoring == "auto":
+                flags = (cost[rows, kd] > 0).tolist()
+            else:
+                flags = [factoring == "always"] * W
+            factored.update(zip(keys, flags))
+    return b.tolist(), split, factored
 
 
 @dataclass

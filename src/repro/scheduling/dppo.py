@@ -24,7 +24,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..sdf.graph import SDFGraph
 from ..sdf.schedule import LoopedSchedule
-from .common import ChainContext, SplitTable, build_schedule_from_splits
+from .common import (
+    ChainContext,
+    SplitTable,
+    build_schedule_from_splits,
+    dp_over_context,
+)
 
 __all__ = ["DPPOResult", "dppo"]
 
@@ -43,23 +48,35 @@ class DPPOResult:
         The lexical order the optimization was performed over.
     table:
         The full DP cost table ``b[(i, j)]`` (useful for diagnostics and
-        for the optimality proofs exercised in tests).
+        for the optimality proofs exercised in tests); derived on demand
+        from the raw DP rows so the hot path never pays for it.
     """
 
     cost: int
     schedule: LoopedSchedule
     order: List[str]
-    table: Dict[Tuple[int, int], int]
+    b: List[List[int]]
+
+    @property
+    def table(self) -> Dict[Tuple[int, int], int]:
+        n = len(self.b)
+        return {
+            (i, j): self.b[i][j] for i in range(n) for j in range(i, n)
+        }
 
 
 def dppo(
     graph: SDFGraph,
     order: Sequence[str],
     q: Optional[Dict[str, int]] = None,
+    context: Optional[ChainContext] = None,
 ) -> DPPOResult:
     """Order-optimal SAS under the non-shared buffer model.
 
     Runs in O(n^3) time for ``n`` actors (plus edge bookkeeping).
+    ``context`` supplies a prebuilt :class:`ChainContext` for ``order``
+    (e.g. from a compilation session) so DPPO and SDPPO runs over the
+    same order share one precomputation.
 
     Examples
     --------
@@ -77,33 +94,39 @@ def dppo(
         >>> str(result.schedule)
         '(3A)(5(3B)(2C))'
     """
-    context = ChainContext(graph, order, q)
+    if context is None:
+        context = ChainContext(graph, order, q)
     n = context.n
-    b: Dict[Tuple[int, int], int] = {}
-    split: Dict[Tuple[int, int], int] = {}
-    for i in range(n):
-        b[(i, i)] = 0
-    for length in range(2, n + 1):
-        for i in range(0, n - length + 1):
-            j = i + length - 1
-            costs = context.crossing_costs_for_window(i, j)
-            best = None
-            best_k = i
-            for k in range(i, j):
-                candidate = b[(i, k)] + b[(k + 1, j)] + costs[k - i]
-                if best is None or candidate < best:
-                    best = candidate
-                    best_k = k
-            b[(i, j)] = best if best is not None else 0
-            split[(i, j)] = best_k
+    if context.use_numpy:
+        b, split, _ = dp_over_context(context, shared=False)
+    else:
+        # b[i][j] = optimal cost of window (i, j), kept both row-major
+        # and transposed so the split scan zips two contiguous slices:
+        # the left halves b[i][i..j-1] and the right halves b[i+1..j][j].
+        b = [[0] * n for _ in range(n)]
+        bT = [[0] * n for _ in range(n)]
+        split = {}
+        for length in range(2, n + 1):
+            for i in range(0, n - length + 1):
+                j = i + length - 1
+                costs = context.crossing_costs_for_window(i, j)
+                bi = b[i]
+                candidates = [
+                    x + y + c
+                    for x, y, c in zip(bi[i:j], bT[j][i + 1 : j + 1], costs)
+                ]
+                best = min(candidates)
+                bi[j] = best
+                bT[j][i] = best
+                split[(i, j)] = i + candidates.index(best)
 
     factored = {key: True for key in split}
     schedule = build_schedule_from_splits(
         context, SplitTable(split=split, factored=factored)
     )
     return DPPOResult(
-        cost=b[(0, n - 1)],
+        cost=b[0][n - 1],
         schedule=schedule,
         order=list(order),
-        table=b,
+        b=b,
     )

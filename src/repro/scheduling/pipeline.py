@@ -22,9 +22,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..exceptions import GraphStructureError
-from ..sdf.bounds import bmlb
 from ..sdf.graph import SDFGraph
-from ..sdf.repetitions import repetitions_vector
 from ..sdf.schedule import LoopedSchedule
 from ..lifetimes.intervals import LifetimeSet, extract_lifetimes
 from ..allocation.clique import mcw_optimistic, mcw_pessimistic
@@ -32,10 +30,10 @@ from ..allocation.first_fit import Allocation, ffdur, ffstart
 from ..allocation.intersection_graph import build_intersection_graph
 from ..allocation.verify import verify_allocation
 from .apgan import apgan
-from .chain_sdppo import chain_sdppo
 from .dppo import dppo
 from .rpmc import rpmc
 from .sdppo import sdppo
+from .session import CompilationSession
 
 __all__ = ["ImplementationResult", "implement", "implement_best", "BestResult"]
 
@@ -76,12 +74,12 @@ class ImplementationResult:
 
 
 def _topological_order_for(
-    graph: SDFGraph, method: str, seed: int
+    graph: SDFGraph, method: str, seed: int, q: Optional[Dict[str, int]] = None
 ) -> List[str]:
     if method == "rpmc":
-        return rpmc(graph, seed=seed).order
+        return rpmc(graph, q=q, seed=seed).order
     if method == "apgan":
-        return apgan(graph).order
+        return apgan(graph, q=q).order
     if method == "natural":
         return graph.topological_order()
     raise GraphStructureError(
@@ -98,6 +96,8 @@ def implement(
     use_chain_dp: bool = True,
     occurrence_cap: int = 4096,
     verify: bool = True,
+    session: Optional[CompilationSession] = None,
+    trusted_order: bool = False,
 ) -> ImplementationResult:
     """Run the full flow with one topological-sort method.
 
@@ -114,20 +114,34 @@ def implement(
         Cap on periodic-occurrence enumeration in intersection tests.
     verify:
         Independently verify the winning allocation (definition 5).
+    session:
+        A :class:`CompilationSession` for ``graph``, so repeated calls
+        (search trials, the RPMC/APGAN pair) share the graph-level
+        precomputation.  A fresh session is created when absent.
+    trusted_order:
+        Declare an explicitly supplied ``order`` topological by
+        construction, skipping re-validation.  Orders generated here
+        (``method=...``) are always trusted; leave False for orders
+        from outside the package's own generators.
     """
-    q = repetitions_vector(graph)
+    if session is None:
+        session = CompilationSession(graph)
+    q = session.q
     if order is not None:
         chosen = list(order)
         method = "given"
+        trusted = trusted_order
     else:
-        chosen = _topological_order_for(graph, method, seed)
+        chosen = _topological_order_for(graph, method, seed, q)
+        trusted = True
 
-    dppo_result = dppo(graph, chosen, q)
-    if use_chain_dp and graph.chain_order() is not None:
-        chain_result = chain_sdppo(graph, q=q)
+    context = session.context_for(chosen, trusted=trusted)
+    dppo_result = dppo(graph, chosen, q, context=context)
+    if use_chain_dp and session.chain_order is not None:
+        chain_result = session.chain_sdppo_result()
         sdppo_cost, sdppo_schedule = chain_result.cost, chain_result.schedule
     else:
-        sdppo_result = sdppo(graph, chosen, q)
+        sdppo_result = sdppo(graph, chosen, q, context=context)
         sdppo_cost, sdppo_schedule = sdppo_result.cost, sdppo_result.schedule
 
     lifetimes = extract_lifetimes(graph, sdppo_schedule, q)
@@ -152,7 +166,7 @@ def implement(
         ffdur_total=alloc_dur.total,
         ffstart_total=alloc_start.total,
         allocation=best,
-        bmlb=bmlb(graph),
+        bmlb=session.bmlb(),
     )
 
 
@@ -193,15 +207,23 @@ def implement_best(
     use_chain_dp: bool = True,
     occurrence_cap: int = 4096,
     verify: bool = True,
+    session: Optional[CompilationSession] = None,
 ) -> BestResult:
-    """Run both topological-sort methods; the Table 1 row for a system."""
+    """Run both topological-sort methods; the Table 1 row for a system.
+
+    Both flows share one compilation session, so the graph-level
+    precomputation (repetitions vector, edge weights, chain DP, BMLB)
+    is paid once rather than per method.
+    """
+    if session is None:
+        session = CompilationSession(graph)
     return BestResult(
         rpmc=implement(
             graph, "rpmc", seed=seed, use_chain_dp=use_chain_dp,
-            occurrence_cap=occurrence_cap, verify=verify,
+            occurrence_cap=occurrence_cap, verify=verify, session=session,
         ),
         apgan=implement(
             graph, "apgan", seed=seed, use_chain_dp=use_chain_dp,
-            occurrence_cap=occurrence_cap, verify=verify,
+            occurrence_cap=occurrence_cap, verify=verify, session=session,
         ),
     )

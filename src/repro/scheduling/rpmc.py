@@ -113,6 +113,18 @@ def _rpmc_order(
     for _ in range(num_random_orders):
         orders.append(random_topological_sort(graph, rng))
 
+    # Per-actor aggregates so the prefix sweep below touches each edge a
+    # constant number of times per order instead of re-building Edge
+    # lists: total outgoing weight, and (source, weight) pairs in.
+    out_sum: Dict[str, int] = {a: 0 for a in graph.actor_names()}
+    in_pairs: Dict[str, List[Tuple[str, int]]] = {
+        a: [] for a in graph.actor_names()
+    }
+    for e in graph.edges():
+        w = weight[e.key]
+        out_sum[e.source] += w
+        in_pairs[e.sink].append((e.source, w))
+
     best_cost: Optional[int] = None
     best_left: Optional[Set[str]] = None
     for order in orders:
@@ -123,11 +135,10 @@ def _rpmc_order(
         # Edge contributes while source placed and sink not.
         for p in range(1, n):
             a = order[p - 1]
-            for e in graph.out_edges(a):
-                cost += weight[e.key]
-            for e in graph.in_edges(a):
-                if position[e.source] < p - 1:
-                    cost -= weight[e.key]
+            cost += out_sum[a]
+            for src, w in in_pairs[a]:
+                if position[src] < p - 1:
+                    cost -= w
             # `a` itself just moved left; subtract edges into `a` from the left.
             if lo <= p <= hi and (best_cost is None or cost < best_cost):
                 best_cost = cost
@@ -204,17 +215,17 @@ def _improve_cut(
 
     A node may move right if none of its successors is in the left set;
     it may move left if all of its predecessors are.  Each pass applies
-    the single best strictly improving move until none exists.
+    the single best strictly improving move until none exists.  A move's
+    cost delta touches only the moved node's own edges, so it is
+    evaluated in O(deg) rather than by recomputing the whole cut.
     """
+    out_w: Dict[str, List[Tuple[str, int]]] = {a: [] for a in graph.actor_names()}
+    in_w: Dict[str, List[Tuple[str, int]]] = {a: [] for a in graph.actor_names()}
+    for e in graph.edges():
+        w = weight[e.key]
+        out_w[e.source].append((e.sink, w))
+        in_w[e.sink].append((e.source, w))
 
-    def cut_cost(current: Set[str]) -> int:
-        return sum(
-            weight[e.key]
-            for e in graph.edges()
-            if e.source in current and e.sink not in current
-        )
-
-    cost = cut_cost(left)
     for _ in range(max_passes):
         best_delta = 0
         best_move: Optional[Tuple[str, bool]] = None  # (actor, to_left)
@@ -222,22 +233,26 @@ def _improve_cut(
             if a in left:
                 if len(left) - 1 < lo:
                     continue
-                if any(s in left for s in graph.successors(a)):
+                if any(s in left for s, _ in out_w[a]):
                     continue
-                trial = set(left)
-                trial.discard(a)
-                delta = cut_cost(trial) - cost
+                # All of a's out-edges stop crossing; in-edges from the
+                # remaining left set start crossing.
+                delta = sum(w for p, w in in_w[a] if p in left) - sum(
+                    w for _, w in out_w[a]
+                )
                 if delta < best_delta:
                     best_delta = delta
                     best_move = (a, False)
             else:
                 if len(left) + 1 > hi:
                     continue
-                if any(p not in left for p in graph.predecessors(a)):
+                if any(p not in left for p, _ in in_w[a]):
                     continue
-                trial = set(left)
-                trial.add(a)
-                delta = cut_cost(trial) - cost
+                # All of a's in-edges stop crossing; out-edges to the
+                # right start crossing.
+                delta = sum(w for s, w in out_w[a] if s not in left) - sum(
+                    w for _, w in in_w[a]
+                )
                 if delta < best_delta:
                     best_delta = delta
                     best_move = (a, True)
@@ -248,5 +263,4 @@ def _improve_cut(
             left.add(actor)
         else:
             left.discard(actor)
-        cost += best_delta
     return left

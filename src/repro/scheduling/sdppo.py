@@ -31,7 +31,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..sdf.graph import SDFGraph
 from ..sdf.schedule import LoopedSchedule
-from .common import ChainContext, SplitTable, build_schedule_from_splits
+from .common import (
+    ChainContext,
+    SplitTable,
+    build_schedule_from_splits,
+    dp_over_context,
+)
 
 __all__ = ["SDPPOResult", "sdppo"]
 
@@ -41,15 +46,23 @@ class SDPPOResult:
     """Outcome of an SDPPO run.
 
     ``cost`` is the shared-model buffer memory *estimate* in words;
-    ``schedule`` the chosen nested SAS; ``table`` the DP cost table;
-    ``factored`` the per-window factoring decisions.
+    ``schedule`` the chosen nested SAS; ``table`` the DP cost table
+    (derived on demand from the raw DP rows ``b``); ``factored`` the
+    per-window factoring decisions.
     """
 
     cost: int
     schedule: LoopedSchedule
     order: List[str]
-    table: Dict[Tuple[int, int], int]
+    b: List[List[int]]
     factored: Dict[Tuple[int, int], bool]
+
+    @property
+    def table(self) -> Dict[Tuple[int, int], int]:
+        n = len(self.b)
+        return {
+            (i, j): self.b[i][j] for i in range(n) for j in range(i, n)
+        }
 
 
 def sdppo(
@@ -57,6 +70,7 @@ def sdppo(
     order: Sequence[str],
     q: Optional[Dict[str, int]] = None,
     factoring: str = "auto",
+    context: Optional[ChainContext] = None,
 ) -> SDPPOResult:
     """Shared-buffer-optimized SAS over a fixed lexical order (EQ 5).
 
@@ -86,47 +100,54 @@ def sdppo(
     """
     if factoring not in ("auto", "always", "never"):
         raise ValueError(f"unknown factoring policy {factoring!r}")
-    context = ChainContext(graph, order, q)
+    if context is None:
+        context = ChainContext(graph, order, q)
     n = context.n
-    b: Dict[Tuple[int, int], int] = {}
-    split: Dict[Tuple[int, int], int] = {}
-    factored: Dict[Tuple[int, int], bool] = {}
-    for i in range(n):
-        b[(i, i)] = 0
-    for length in range(2, n + 1):
-        for i in range(0, n - length + 1):
-            j = i + length - 1
-            costs = context.crossing_costs_for_window(i, j)
-            best = None
-            best_k = i
-            best_factored = True
-            for k in range(i, j):
-                cross = costs[k - i]
-                candidate = max(b[(i, k)], b[(k + 1, j)]) + cross
-                if best is None or candidate < best:
-                    best = candidate
-                    best_k = k
-                    # Section 5.1 heuristic: factor iff the merge has
-                    # internal edges.  Crossing costs are strictly
-                    # positive whenever a crossing edge exists, so a
-                    # zero cost means the halves are independent; keep
-                    # them unfactored so their buffers stay disjoint
-                    # (figure 7(a) vs 7(b)).
-                    if factoring == "auto":
-                        best_factored = cross > 0
-                    else:
-                        best_factored = factoring == "always"
-            b[(i, j)] = best if best is not None else 0
-            split[(i, j)] = best_k
-            factored[(i, j)] = best_factored
+    if context.use_numpy:
+        # Section 5.1 heuristic ("auto"): factor iff the merge has
+        # internal edges — crossing cost positive at the chosen split.
+        b, split, factored = dp_over_context(
+            context, shared=True, factoring=factoring
+        )
+    else:
+        # b[i][j] = optimal cost of window (i, j), kept both row-major
+        # and transposed so the split scan zips two contiguous slices:
+        # the left halves b[i][i..j-1] and the right halves b[i+1..j][j].
+        b = [[0] * n for _ in range(n)]
+        bT = [[0] * n for _ in range(n)]
+        split = {}
+        factored = {}
+        for length in range(2, n + 1):
+            for i in range(0, n - length + 1):
+                j = i + length - 1
+                costs = context.crossing_costs_for_window(i, j)
+                bi = b[i]
+                candidates = [
+                    (x if x > y else y) + c
+                    for x, y, c in zip(bi[i:j], bT[j][i + 1 : j + 1], costs)
+                ]
+                best = min(candidates)
+                best_k = i + candidates.index(best)
+                bi[j] = best
+                bT[j][i] = best
+                split[(i, j)] = best_k
+                # Section 5.1 heuristic: factor iff the merge has
+                # internal edges.  Crossing costs are strictly positive
+                # whenever a crossing edge exists, so a zero cost means
+                # the halves are independent; keep them unfactored so
+                # their buffers stay disjoint (figure 7(a) vs 7(b)).
+                if factoring == "auto":
+                    factored[(i, j)] = costs[best_k - i] > 0
+                else:
+                    factored[(i, j)] = factoring == "always"
 
     schedule = build_schedule_from_splits(
         context, SplitTable(split=split, factored=factored)
     )
     return SDPPOResult(
-        cost=b[(0, n - 1)],
+        cost=b[0][n - 1],
         schedule=schedule,
         order=list(order),
-        table=b,
+        b=b,
         factored=factored,
     )

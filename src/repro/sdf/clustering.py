@@ -63,14 +63,16 @@ class ClusterGraph:
       clusters introduce a directed cycle among clusters?
     * :meth:`merge` — perform the merge, combining repetitions by gcd.
 
-    Reachability is recomputed on demand with a DFS over the current
-    cluster adjacency; for the graph sizes in the paper's benchmark set
-    (≤ ~200 actors) this is far from the bottleneck.
+    Cluster adjacency (successor/predecessor sets) is maintained
+    incrementally across merges; the cycle check is a DFS over those
+    cached sets.
     """
 
-    def __init__(self, graph: SDFGraph) -> None:
+    def __init__(
+        self, graph: SDFGraph, q: Optional[Dict[str, int]] = None
+    ) -> None:
         self.graph = graph
-        self.q = repetitions_vector(graph)
+        self.q = q if q is not None else repetitions_vector(graph)
         self._clusters: Dict[int, ClusterNode] = {}
         self._cluster_of: Dict[str, int] = {}
         self._next_id = 0
@@ -79,6 +81,15 @@ class ClusterGraph:
             self._next_id += 1
             self._clusters[cid] = ClusterNode(frozenset([a]), self.q[a])
             self._cluster_of[a] = cid
+        # Cluster adjacency, maintained incrementally across merges so
+        # the cycle-check DFS never re-derives it from member edges.
+        self._succ: Dict[int, Set[int]] = {c: set() for c in self._clusters}
+        self._pred: Dict[int, Set[int]] = {c: set() for c in self._clusters}
+        for e in graph.edges():
+            cu, cv = self._cluster_of[e.source], self._cluster_of[e.sink]
+            if cu != cv:
+                self._succ[cu].add(cv)
+                self._pred[cv].add(cu)
 
     # ------------------------------------------------------------------
     def cluster_ids(self) -> List[int]:
@@ -105,13 +116,8 @@ class ClusterGraph:
         return pairs
 
     def successors(self, cid: int) -> Set[int]:
-        result: Set[int] = set()
-        for a in self._clusters[cid].members:
-            for e in self.graph.out_edges(a):
-                other = self._cluster_of[e.sink]
-                if other != cid:
-                    result.add(other)
-        return result
+        """The clusters reachable from ``cid`` by one edge (read-only)."""
+        return self._succ[cid]
 
     def _reachable(self, start: int, target: int, skip: Set[int]) -> bool:
         """DFS from ``start`` to ``target`` avoiding clusters in ``skip``."""
@@ -165,6 +171,20 @@ class ClusterGraph:
         del self._clusters[cid_b]
         for actor in merged.members:
             self._cluster_of[actor] = cid
+        succ = (self._succ.pop(cid_a) | self._succ.pop(cid_b)) - {cid_a, cid_b}
+        pred = (self._pred.pop(cid_a) | self._pred.pop(cid_b)) - {cid_a, cid_b}
+        self._succ[cid] = succ
+        self._pred[cid] = pred
+        for p in pred:
+            s = self._succ[p]
+            s.discard(cid_a)
+            s.discard(cid_b)
+            s.add(cid)
+        for t in succ:
+            p = self._pred[t]
+            p.discard(cid_a)
+            p.discard(cid_b)
+            p.add(cid)
         return cid
 
     def is_acyclic(self) -> bool:

@@ -105,6 +105,12 @@ class LoopedSchedule:
         if not body:
             raise ScheduleError("schedule must be non-empty")
         self.body: Tuple[ScheduleNode, ...] = tuple(body)
+        # Memoized flattenings.  A schedule's body is an immutable tuple
+        # of frozen dataclasses, so these never need invalidation; the
+        # pipeline (validate -> max_tokens -> simulate) re-walks the same
+        # tree several times and shares the flat list instead.
+        self._flat: Optional[List[str]] = None
+        self._firings_per_actor: Optional[Dict[str, int]] = None
 
     # ------------------------------------------------------------------
     # constructors
@@ -121,25 +127,41 @@ class LoopedSchedule:
     # queries
     # ------------------------------------------------------------------
     def firing_sequence(self) -> Iterator[str]:
-        """Yield actor names in execution order (may be long)."""
+        """Yield actor names in execution order (may be long).
 
-        def walk(node: ScheduleNode) -> Iterator[str]:
-            if isinstance(node, Firing):
-                for _ in range(node.count):
-                    yield node.actor
-            else:
-                for _ in range(node.count):
-                    for child in node.body:
-                        yield from walk(child)
-
-        for node in self.body:
-            yield from walk(node)
+        The flattening is memoized on first use (schedules are immutable
+        after construction), so repeated consumers — validation, token
+        counting, simulation — walk the tree once between them.
+        """
+        return iter(self._flat_cached())
 
     def firing_list(self) -> List[str]:
-        return list(self.firing_sequence())
+        return list(self._flat_cached())
+
+    def _flat_cached(self) -> List[str]:
+        if self._flat is None:
+            flat: List[str] = []
+
+            def walk(node: ScheduleNode) -> None:
+                if isinstance(node, Firing):
+                    flat.extend([node.actor] * node.count)
+                else:
+                    start = len(flat)
+                    for child in node.body:
+                        walk(child)
+                    body = flat[start:]
+                    for _ in range(node.count - 1):
+                        flat.extend(body)
+
+            for node in self.body:
+                walk(node)
+            self._flat = flat
+        return self._flat
 
     def firings_per_actor(self) -> Dict[str, int]:
         """Total firing count of each actor in one schedule period."""
+        if self._firings_per_actor is not None:
+            return dict(self._firings_per_actor)
         counts: Dict[str, int] = {}
 
         def walk(node: ScheduleNode, multiplier: int) -> None:
@@ -153,7 +175,8 @@ class LoopedSchedule:
 
         for node in self.body:
             walk(node, 1)
-        return counts
+        self._firings_per_actor = counts
+        return dict(counts)
 
     def appearances(self) -> Dict[str, int]:
         """Number of lexical appearances of each actor."""

@@ -18,8 +18,8 @@ tracking the token count of every edge, and derives:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..exceptions import InconsistentGraphError, ScheduleError
 from .graph import Edge, SDFGraph
@@ -145,41 +145,230 @@ def buffer_memory_nonshared(graph: SDFGraph, schedule: LoopedSchedule) -> int:
     return sum(peaks[k] * by_key[k].token_size for k in peaks)
 
 
-@dataclass
+#: Full-state snapshots are kept every this many firings; states between
+#: checkpoints are reconstructed by replaying the per-firing deltas.
+_CHECKPOINT_STRIDE = 64
+
+
+class _CountsView(Sequence):
+    """Read-only sequence of per-step token states, built on demand.
+
+    Presents the historical ``trace.counts`` interface — ``counts[t]``
+    is a dict of token counts after the ``t``-th firing — while the
+    trace itself stores only deltas.  Random access replays at most
+    ``_CHECKPOINT_STRIDE`` deltas from the nearest checkpoint; sequential
+    iteration replays each delta once.
+    """
+
+    def __init__(self, trace: "TokenTrace") -> None:
+        self._trace = trace
+
+    def __len__(self) -> int:
+        return len(self._trace._deltas) + 1
+
+    def __getitem__(self, t: int) -> Dict[Tuple[str, str, int], int]:
+        n = len(self)
+        if isinstance(t, slice):
+            return [self[i] for i in range(*t.indices(n))]
+        if t < 0:
+            t += n
+        if not 0 <= t < n:
+            raise IndexError(f"trace step {t} out of range")
+        trace = self._trace
+        base = t // _CHECKPOINT_STRIDE
+        state = dict(trace._checkpoints[base])
+        for step in range(base * _CHECKPOINT_STRIDE, t):
+            state.update(trace._deltas[step])
+        return state
+
+    def __iter__(self) -> Iterator[Dict[Tuple[str, str, int], int]]:
+        state = dict(self._trace._checkpoints[0])
+        yield dict(state)
+        for delta in self._trace._deltas:
+            state.update(delta)
+            yield dict(state)
+
+
 class TokenTrace:
     """Token counts of every edge after each firing of a schedule.
 
     ``counts[t]`` is the token state after the ``t``-th firing;
     ``counts[0]`` is the initial state (delays).  ``firings[t]`` is the
     actor fired at step ``t`` (1-based alignment with ``counts``).
+
+    Storage is delta-based: each step records only the edges the firing
+    touched (plus a full checkpoint every ``_CHECKPOINT_STRIDE`` steps),
+    so a trace costs O(firings x degree) instead of O(firings x edges).
+    Per-edge peaks and the summed-token peak are computed while the
+    trace is recorded, so :meth:`peak` and :meth:`total_peak` are O(1).
     """
 
-    edge_keys: List[Tuple[str, str, int]]
-    firings: List[str]
-    counts: List[Dict[Tuple[str, str, int], int]] = field(default_factory=list)
+    def __init__(
+        self,
+        edge_keys: Sequence[Tuple[str, str, int]],
+        initial: Dict[Tuple[str, str, int], int],
+    ) -> None:
+        self.edge_keys: List[Tuple[str, str, int]] = list(edge_keys)
+        self.firings: List[str] = []
+        self._deltas: List[Tuple[Tuple[Tuple[str, str, int], int], ...]] = []
+        self._checkpoints: List[Dict[Tuple[str, str, int], int]] = [dict(initial)]
+        self._peaks: Dict[Tuple[str, str, int], int] = dict(initial)
+        self._total = sum(initial.values())
+        self._total_peak = self._total
+
+    @property
+    def counts(self) -> _CountsView:
+        return _CountsView(self)
+
+    def _record(
+        self,
+        actor: str,
+        touched: Dict[Tuple[str, str, int], int],
+        state: Dict[Tuple[str, str, int], int],
+    ) -> None:
+        """Append one firing: ``touched`` maps edge key -> new count."""
+        self.firings.append(actor)
+        delta = tuple(touched.items())
+        for key, value in delta:
+            if value > self._peaks[key]:
+                self._peaks[key] = value
+        self._deltas.append(delta)
+        if len(self._deltas) % _CHECKPOINT_STRIDE == 0:
+            self._checkpoints.append(dict(state))
 
     def peak(self, key: Tuple[str, str, int]) -> int:
-        return max(state[key] for state in self.counts)
+        return self._peaks[key]
 
     def total_peak(self) -> int:
         """Peak over time of the summed live tokens (all edges)."""
-        return max(sum(state.values()) for state in self.counts)
+        return self._total_peak
 
 
 def simulate_schedule(graph: SDFGraph, schedule: LoopedSchedule) -> TokenTrace:
-    """Run ``schedule`` and record the full token trace.
+    """Run ``schedule`` and record the token trace (delta-encoded).
 
-    The trace length is the number of firings plus one; use only for
-    moderately sized schedules (tests, small experiments).
+    The trace exposes the same interface as a full per-step snapshot
+    list but stores only the edges each firing touches, which keeps the
+    188-node filterbanks and the full-scale figure 26/27 sweeps
+    tractable.
     """
     tokens = {e.key: e.delay for e in graph.edges()}
-    trace = TokenTrace(edge_keys=[e.key for e in graph.edges()], firings=[])
-    trace.counts.append(dict(tokens))
+    trace = TokenTrace([e.key for e in graph.edges()], tokens)
+    in_edges = {a: graph.in_edges(a) for a in graph.actor_names()}
+    out_edges = {a: graph.out_edges(a) for a in graph.actor_names()}
     for actor in schedule.firing_sequence():
-        _fire(graph, actor, tokens)
-        trace.firings.append(actor)
-        trace.counts.append(dict(tokens))
+        ins = in_edges.get(actor)
+        if ins is None:
+            ins = graph.in_edges(actor)  # raises for unknown actors
+        touched: Dict[Tuple[str, str, int], int] = {}
+        total_change = 0
+        for e in ins:
+            value = tokens[e.key] - e.consumption
+            if value < 0:
+                raise ScheduleError(
+                    f"firing {actor!r} drives edge {e} to {value} tokens"
+                )
+            tokens[e.key] = value
+            touched[e.key] = value
+            total_change -= e.consumption
+        for e in out_edges[actor]:
+            value = tokens[e.key] + e.production
+            tokens[e.key] = value
+            touched[e.key] = value
+            total_change += e.production
+        trace._total += total_change
+        if trace._total > trace._total_peak:
+            trace._total_peak = trace._total
+        trace._record(actor, touched, tokens)
     return trace
+
+
+@dataclass
+class _EpisodeScan:
+    """One streaming simulation's coarse-model episode data.
+
+    ``intervals`` are the per-edge live episodes; ``episodes`` flattens
+    them to ``(edge key, start, stop, array words)`` with the array size
+    being everything transferred during the episode (the coarse model's
+    buffer) — both derived in a single pass over the firing sequence.
+    """
+
+    intervals: Dict[Tuple[str, str, int], List[Tuple[int, int]]]
+    episodes: List[Tuple[Tuple[str, str, int], int, int, int]]
+
+
+def _scan_episodes(graph: SDFGraph, schedule: LoopedSchedule) -> _EpisodeScan:
+    """Simulate once, streaming out live episodes and their array sizes.
+
+    Replaces the historical two-full-trace pipeline (simulate, then
+    re-simulate for intervals, then walk O(firings x edges) snapshots):
+    liveness can only change on the edges a firing touches, so one pass
+    tracking per-edge open episodes suffices.
+    """
+    by_key = {e.key: e for e in graph.edges()}
+    tokens = {k: e.delay for k, e in by_key.items()}
+    in_edges = {a: graph.in_edges(a) for a in graph.actor_names()}
+    out_edges = {a: graph.out_edges(a) for a in graph.actor_names()}
+
+    intervals: Dict[Tuple[str, str, int], List[Tuple[int, int]]] = {
+        k: [] for k in by_key
+    }
+    episodes: List[Tuple[Tuple[str, str, int], int, int, int]] = []
+    # Per-edge open episode state: start step, tokens present at the
+    # start, and tokens produced by src(e) since (through the current
+    # firing).  Edges with initial tokens start live at step 0.
+    open_at: Dict[Tuple[str, str, int], Optional[int]] = {}
+    start_count: Dict[Tuple[str, str, int], int] = {}
+    produced: Dict[Tuple[str, str, int], int] = {}
+    for k, e in by_key.items():
+        open_at[k] = 0 if e.delay > 0 else None
+        start_count[k] = e.delay
+        produced[k] = 0
+
+    t = 0
+    for actor in schedule.firing_sequence():
+        t += 1
+        ins = in_edges.get(actor)
+        if ins is None:
+            ins = graph.in_edges(actor)  # raises for unknown actors
+        for e in ins:
+            value = tokens[e.key] - e.consumption
+            if value < 0:
+                raise ScheduleError(
+                    f"firing {actor!r} drives edge {e} to {value} tokens"
+                )
+            tokens[e.key] = value
+        outs = out_edges[actor]
+        for e in outs:
+            tokens[e.key] += e.production
+        # Liveness transitions, evaluated on the post-firing state (the
+        # only state the coarse model sees; a self-loop that transits
+        # zero mid-firing does not end its episode).
+        for e in outs:
+            k = e.key
+            if open_at[k] is None:
+                # Production on a dead edge always revives it.
+                open_at[k] = t - 1
+                start_count[k] = 0
+                produced[k] = e.production
+            else:
+                produced[k] += e.production
+        for e in ins:
+            k = e.key
+            if tokens[k] == 0 and open_at[k] is not None:
+                s = open_at[k]
+                intervals[k].append((s, t))
+                size = (start_count[k] + produced[k]) * e.token_size
+                episodes.append((k, s, t, size))
+                open_at[k] = None
+                produced[k] = 0
+    for k, e in by_key.items():
+        if open_at[k] is not None:
+            s = open_at[k]
+            intervals[k].append((s, t))
+            size = (start_count[k] + produced[k]) * e.token_size
+            episodes.append((k, s, t, size))
+    return _EpisodeScan(intervals=intervals, episodes=episodes)
 
 
 def coarse_live_intervals(
@@ -195,28 +384,9 @@ def coarse_live_intervals(
     including the state after firing ``t`` (with 0 = initial state).
 
     Used by tests to cross-check the schedule-tree lifetime extraction.
+    Computed in one streaming pass (no trace materialization).
     """
-    trace = simulate_schedule(graph, schedule)
-    intervals: Dict[Tuple[str, str, int], List[Tuple[int, int]]] = {
-        k: [] for k in trace.edge_keys
-    }
-    open_at: Dict[Tuple[str, str, int], Optional[int]] = {}
-    for k in trace.edge_keys:
-        open_at[k] = 0 if trace.counts[0][k] > 0 else None
-    for t in range(1, len(trace.counts)):
-        state = trace.counts[t]
-        for k in trace.edge_keys:
-            live = state[k] > 0
-            if live and open_at[k] is None:
-                # Became live at this firing: the producer fired at step t.
-                open_at[k] = t - 1
-            elif not live and open_at[k] is not None:
-                intervals[k].append((open_at[k], t))
-                open_at[k] = None
-    for k in trace.edge_keys:
-        if open_at[k] is not None:
-            intervals[k].append((open_at[k], len(trace.counts) - 1))
-    return intervals
+    return _scan_episodes(graph, schedule).intervals
 
 
 def max_live_tokens(graph: SDFGraph, schedule: LoopedSchedule) -> int:
@@ -228,24 +398,16 @@ def max_live_tokens(graph: SDFGraph, schedule: LoopedSchedule) -> int:
     drains).  This sums, per time step, the episode array sizes of the
     edges whose episodes cover that step — ground truth against which the
     schedule-tree lifetime extraction and the allocators are checked.
+
+    A single simulation produces both the episodes and their sizes (the
+    historical implementation simulated the same schedule three times
+    and walked full per-step snapshots).
     """
-    trace = simulate_schedule(graph, schedule)
-    intervals = coarse_live_intervals(graph, schedule)
-    by_key = {e.key: e for e in graph.edges()}
+    scan = _scan_episodes(graph, schedule)
     events: List[Tuple[int, int]] = []  # (time, +size/-size)
-    for k, ivals in intervals.items():
-        e = by_key[k]
-        for s, t in ivals:
-            # Tokens present at episode start plus everything produced
-            # by src(e) during firings s+1 .. t.
-            produced = sum(
-                e.production
-                for step in range(s, t)
-                if trace.firings[step] == e.source
-            )
-            size = (trace.counts[s][k] + produced) * e.token_size
-            events.append((s, size))
-            events.append((t, -size))
+    for _, s, t, size in scan.episodes:
+        events.append((s, size))
+        events.append((t, -size))
     # Intervals are half-open: a buffer dying at firing t frees its
     # memory before anything born at t occupies it, so deaths (negative
     # deltas) sort first at equal times.

@@ -51,8 +51,12 @@ def random_topological_sort(
     """
     rng = rng or random.Random()
     indeg = {a: 0 for a in graph.actor_names()}
-    for e in graph.edges():
-        indeg[e.sink] += 1
+    # Walk raw adjacency keys (key[1] is the sink) — this sampler sits
+    # inside RPMC's per-level loop, so avoid materializing Edge lists.
+    out_keys = graph._out
+    for keys in out_keys.values():
+        for k in keys:
+            indeg[k[1]] += 1
     ready = [a for a, d in indeg.items() if d == 0]
     order: List[str] = []
     while ready:
@@ -60,10 +64,12 @@ def random_topological_sort(
         ready[idx], ready[-1] = ready[-1], ready[idx]
         a = ready.pop()
         order.append(a)
-        for e in graph.out_edges(a):
-            indeg[e.sink] -= 1
-            if indeg[e.sink] == 0:
-                ready.append(e.sink)
+        for k in out_keys[a]:
+            s = k[1]
+            d = indeg[s] - 1
+            indeg[s] = d
+            if d == 0:
+                ready.append(s)
     if len(order) != graph.num_actors:
         raise GraphStructureError(f"graph {graph.name!r} contains a cycle")
     return order
@@ -122,24 +128,30 @@ def count_topological_sorts(graph: SDFGraph, limit: int = 10 ** 7) -> int:
             "count_topological_sorts supports at most 62 actors"
         )
 
-    from functools import lru_cache
-
     full = (1 << len(names)) - 1
     states = 0
+    # Explicit memo keyed on the placed-set mask; masks are only
+    # meaningful within one graph's count, so the table lives here
+    # rather than in a decorator rebuilt per call.
+    memo: Dict[int, int] = {}
 
-    @lru_cache(maxsize=None)
     def count(placed: int) -> int:
         nonlocal states
+        cached = memo.get(placed)
+        if cached is not None:
+            return cached
         states += 1
         if states > limit:
             raise GraphStructureError("too many states while counting sorts")
         if placed == full:
+            memo[placed] = 1
             return 1
         total = 0
         for i in range(len(names)):
             bit = 1 << i
             if not placed & bit and (preds_mask[i] & placed) == preds_mask[i]:
                 total += count(placed | bit)
+        memo[placed] = total
         return total
 
     if not names:

@@ -1,0 +1,167 @@
+"""Incremental simulator vs. the straightforward reference implementation.
+
+``repro.sdf.simulate`` records a delta-encoded token trace and computes
+``max_tokens`` / ``coarse_live_intervals`` / ``max_live_tokens`` in one
+streaming pass.  These tests pin it against an independent reference
+that materializes the full per-firing token state (the original
+implementation) on the Table 1 systems and on random graphs, so any
+divergence between the fast path and the obvious semantics fails loudly.
+"""
+
+from typing import Dict, List, Optional, Tuple
+
+import pytest
+
+from repro.apps import table1_graph
+from repro.scheduling.pipeline import implement
+from repro.sdf.random_graphs import random_sdf_graph
+from repro.sdf.simulate import (
+    coarse_live_intervals,
+    max_live_tokens,
+    max_tokens,
+    simulate_schedule,
+)
+
+SYSTEMS = [
+    "satrec",
+    "qmf12_3d",
+    "16qamModem",
+    "4pamxmitrec",
+    "blockVox",
+    "nqmf23_4d",
+    "qmf23_2d",
+]
+
+
+# ---------------------------------------------------------------------------
+# Reference implementation: full dict-per-firing trace, quadratic scans.
+
+def _ref_fire(graph, actor, tokens):
+    for e in graph.in_edges(actor):
+        tokens[e.key] -= e.consumption
+        assert tokens[e.key] >= 0
+    for e in graph.out_edges(actor):
+        tokens[e.key] += e.production
+
+
+def _ref_trace(graph, schedule):
+    tokens = {e.key: e.delay for e in graph.edges()}
+    firings: List[str] = []
+    counts = [dict(tokens)]
+    for actor in schedule.firing_sequence():
+        _ref_fire(graph, actor, tokens)
+        firings.append(actor)
+        counts.append(dict(tokens))
+    return firings, counts
+
+
+def _ref_max_tokens(graph, schedule):
+    peaks = {e.key: e.delay for e in graph.edges()}
+    tokens = {e.key: e.delay for e in graph.edges()}
+    for actor in schedule.firing_sequence():
+        _ref_fire(graph, actor, tokens)
+        for e in graph.out_edges(actor):
+            if tokens[e.key] > peaks[e.key]:
+                peaks[e.key] = tokens[e.key]
+    return peaks
+
+
+def _ref_coarse_live_intervals(graph, schedule):
+    firings, counts = _ref_trace(graph, schedule)
+    edge_keys = [e.key for e in graph.edges()]
+    intervals: Dict[Tuple[str, str, int], List[Tuple[int, int]]] = {
+        k: [] for k in edge_keys
+    }
+    open_at: Dict[Tuple[str, str, int], Optional[int]] = {}
+    for k in edge_keys:
+        open_at[k] = 0 if counts[0][k] > 0 else None
+    for t in range(1, len(counts)):
+        state = counts[t]
+        for k in edge_keys:
+            live = state[k] > 0
+            if live and open_at[k] is None:
+                open_at[k] = t - 1
+            elif not live and open_at[k] is not None:
+                intervals[k].append((open_at[k], t))
+                open_at[k] = None
+    for k in edge_keys:
+        if open_at[k] is not None:
+            intervals[k].append((open_at[k], len(counts) - 1))
+    return intervals
+
+
+def _ref_max_live_tokens(graph, schedule):
+    firings, counts = _ref_trace(graph, schedule)
+    intervals = _ref_coarse_live_intervals(graph, schedule)
+    by_key = {e.key: e for e in graph.edges()}
+    events: List[Tuple[int, int]] = []
+    for k, ivals in intervals.items():
+        e = by_key[k]
+        for s, t in ivals:
+            produced = sum(
+                e.production
+                for step in range(s, t)
+                if firings[step] == e.source
+            )
+            size = (counts[s][k] + produced) * e.token_size
+            events.append((s, size))
+            events.append((t, -size))
+    events.sort(key=lambda ev: (ev[0], ev[1]))
+    live = 0
+    peak = 0
+    for _, delta in events:
+        live += delta
+        peak = max(peak, live)
+    return peak
+
+
+# ---------------------------------------------------------------------------
+
+def _schedules(graph):
+    result = implement(graph, "apgan", verify=False)
+    return [result.dppo_schedule, result.sdppo_schedule]
+
+
+def _graphs():
+    for name in SYSTEMS:
+        yield name, table1_graph(name)
+    for seed in (1, 9):
+        yield f"random20_{seed}", random_sdf_graph(20, seed=seed)
+
+
+@pytest.mark.parametrize("name,graph", list(_graphs()))
+class TestIncrementalSimulatorEquivalence:
+    def test_trace_counts_match_reference(self, name, graph):
+        for schedule in _schedules(graph):
+            firings, counts = _ref_trace(graph, schedule)
+            trace = simulate_schedule(graph, schedule)
+            assert trace.firings == firings
+            assert len(trace.counts) == len(counts)
+            # Random access (checkpoint + delta replay), negative
+            # indexing, and sequential iteration all agree.
+            for t in (0, 1, len(counts) // 2, len(counts) - 1, -1):
+                assert trace.counts[t] == counts[t]
+            assert list(trace.counts) == counts
+            for key in trace.edge_keys:
+                assert trace.peak(key) == max(c[key] for c in counts)
+            assert trace.total_peak() == max(
+                sum(c.values()) for c in counts
+            )
+
+    def test_max_tokens_matches_reference(self, name, graph):
+        for schedule in _schedules(graph):
+            assert max_tokens(graph, schedule) == _ref_max_tokens(
+                graph, schedule
+            )
+
+    def test_coarse_intervals_match_reference(self, name, graph):
+        for schedule in _schedules(graph):
+            assert coarse_live_intervals(
+                graph, schedule
+            ) == _ref_coarse_live_intervals(graph, schedule)
+
+    def test_max_live_tokens_matches_reference(self, name, graph):
+        for schedule in _schedules(graph):
+            assert max_live_tokens(graph, schedule) == _ref_max_live_tokens(
+                graph, schedule
+            )
