@@ -2,13 +2,21 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-pytest bench-full report examples clean
+.PHONY: install test check bench bench-pytest bench-full report examples clean
 
 install:
 	$(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Tier-1 suite plus the differential checking harness (25 random
+# graphs through every cross-layer oracle, fault-injection self-test
+# included).  Wall time lands in BENCH_PR2.json.
+check:
+	$(PYTHON) -m pytest tests/ -x -q
+	PYTHONPATH=src $(PYTHON) -m repro check --trials 25 --inject \
+		--bench-out BENCH_PR2.json
 
 bench:
 	$(PYTHON) benchmarks/perf_suite.py --out BENCH_PR1.json \

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..exceptions import AllocationError
-from ..lifetimes.periodic import PeriodicLifetime
+from ..lifetimes.periodic import DEFAULT_OCCURRENCE_CAP, PeriodicLifetime
 from .intersection_graph import IntersectionGraph, build_intersection_graph
 
 __all__ = ["Allocation", "first_fit", "ffdur", "ffstart"]
@@ -48,7 +48,7 @@ def first_fit(
     buffers: Sequence[PeriodicLifetime],
     order: Optional[Sequence[int]] = None,
     graph: Optional[IntersectionGraph] = None,
-    occurrence_cap: int = 4096,
+    occurrence_cap: int = DEFAULT_OCCURRENCE_CAP,
 ) -> Allocation:
     """First-fit allocation of an enumerated instance (figure 19).
 
@@ -103,7 +103,7 @@ def first_fit(
 def ffdur(
     buffers: Sequence[PeriodicLifetime],
     graph: Optional[IntersectionGraph] = None,
-    occurrence_cap: int = 4096,
+    occurrence_cap: int = DEFAULT_OCCURRENCE_CAP,
 ) -> Allocation:
     """First-fit ordered by decreasing duration (ties: larger size first).
 
@@ -121,7 +121,7 @@ def ffdur(
 def ffstart(
     buffers: Sequence[PeriodicLifetime],
     graph: Optional[IntersectionGraph] = None,
-    occurrence_cap: int = 4096,
+    occurrence_cap: int = DEFAULT_OCCURRENCE_CAP,
 ) -> Allocation:
     """First-fit ordered by increasing earliest start time."""
     order = sorted(

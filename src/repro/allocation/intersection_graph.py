@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Set
 
-from ..lifetimes.periodic import PeriodicLifetime
+from ..lifetimes.periodic import DEFAULT_OCCURRENCE_CAP, PeriodicLifetime
 
 __all__ = ["IntersectionGraph", "build_intersection_graph"]
 
@@ -41,7 +41,7 @@ class IntersectionGraph:
 
 def build_intersection_graph(
     buffers: Sequence[PeriodicLifetime],
-    occurrence_cap: int = 4096,
+    occurrence_cap: int = DEFAULT_OCCURRENCE_CAP,
 ) -> IntersectionGraph:
     """Build the WIG of an enumerated instance of buffer lifetimes.
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from ..lifetimes.periodic import PeriodicLifetime
+from ..lifetimes.periodic import DEFAULT_OCCURRENCE_CAP, PeriodicLifetime
 from .first_fit import Allocation, ffdur
 from .intersection_graph import IntersectionGraph, build_intersection_graph
 
@@ -33,7 +33,7 @@ __all__ = ["optimal_allocation"]
 def optimal_allocation(
     buffers: Sequence[PeriodicLifetime],
     graph: Optional[IntersectionGraph] = None,
-    occurrence_cap: int = 4096,
+    occurrence_cap: int = DEFAULT_OCCURRENCE_CAP,
     node_limit: int = 2_000_000,
 ) -> Allocation:
     """The minimum-extent allocation of a (small) lifetime instance.

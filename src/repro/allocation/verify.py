@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Dict, List, Sequence, Tuple
 
 from ..exceptions import AllocationError
-from ..lifetimes.periodic import PeriodicLifetime
+from ..lifetimes.periodic import DEFAULT_OCCURRENCE_CAP, PeriodicLifetime
 from .first_fit import Allocation
 
 __all__ = ["verify_allocation", "find_conflicts"]
@@ -22,15 +22,20 @@ __all__ = ["verify_allocation", "find_conflicts"]
 def find_conflicts(
     buffers: Sequence[PeriodicLifetime],
     offsets: Dict[str, int],
-    occurrence_cap: int = 4096,
+    occurrence_cap: int = DEFAULT_OCCURRENCE_CAP,
 ) -> List[Tuple[str, str]]:
     """All pairs that overlap in time *and* in memory."""
     conflicts: List[Tuple[str, str]] = []
     items = list(buffers)
+    # Validate every name up front: the pair loop below reads the offset
+    # of the *second* buffer of each pair before that buffer's own outer
+    # iteration runs, so a missing offset must not surface as a KeyError
+    # (or, for a zero-size buffer, be skipped entirely).
+    for b in items:
+        if b.name not in offsets:
+            raise AllocationError(f"buffer {b.name!r} has no offset")
     for i in range(len(items)):
         bi = items[i]
-        if bi.name not in offsets:
-            raise AllocationError(f"buffer {bi.name!r} has no offset")
         for j in range(i + 1, len(items)):
             bj = items[j]
             if bj.size == 0 or bi.size == 0:
@@ -47,7 +52,7 @@ def find_conflicts(
 def verify_allocation(
     buffers: Sequence[PeriodicLifetime],
     allocation: Allocation,
-    occurrence_cap: int = 4096,
+    occurrence_cap: int = DEFAULT_OCCURRENCE_CAP,
 ) -> None:
     """Raise :class:`AllocationError` unless ``allocation`` is feasible.
 

@@ -26,6 +26,7 @@ from ..sdf.repetitions import repetitions_vector
 from ..sdf.schedule import LoopedSchedule, flat_single_appearance_schedule
 from ..sdf.simulate import buffer_memory_nonshared
 from ..lifetimes.intervals import extract_lifetimes
+from ..lifetimes.periodic import DEFAULT_OCCURRENCE_CAP
 from ..allocation.first_fit import Allocation, ffdur, ffstart
 from ..allocation.intersection_graph import build_intersection_graph
 
@@ -46,7 +47,7 @@ class FlatSharingResult:
 def flat_shared_implementation(
     graph: SDFGraph,
     order: Optional[Sequence[str]] = None,
-    occurrence_cap: int = 4096,
+    occurrence_cap: int = DEFAULT_OCCURRENCE_CAP,
 ) -> FlatSharingResult:
     """Share buffers over a *flat* single appearance schedule.
 

@@ -25,6 +25,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..sdf.graph import SDFGraph
 from ..sdf.topsort import random_topological_sort
+from ..lifetimes.periodic import DEFAULT_OCCURRENCE_CAP
 from ..scheduling.pipeline import implement
 from ..scheduling.session import CompilationSession
 from ..experiments.runner import effective_jobs, parallel_map
@@ -60,7 +61,7 @@ class RandomSearchResult:
 # its chunk.
 _WORKER_GRAPH: Optional[SDFGraph] = None
 _WORKER_SESSION: Optional[CompilationSession] = None
-_WORKER_CAP: int = 4096
+_WORKER_CAP: int = DEFAULT_OCCURRENCE_CAP
 
 
 def _init_search_worker(graph: SDFGraph, occurrence_cap: int) -> None:
@@ -86,7 +87,7 @@ def random_search(
     graph: SDFGraph,
     trials: int = 100,
     seed: int = 0,
-    occurrence_cap: int = 4096,
+    occurrence_cap: int = DEFAULT_OCCURRENCE_CAP,
     session: Optional[CompilationSession] = None,
     jobs: Optional[int] = None,
 ) -> RandomSearchResult:

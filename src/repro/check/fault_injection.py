@@ -1,0 +1,367 @@
+"""Mutation-kill self-test: prove the oracles can actually fail.
+
+A checking harness that never fires is indistinguishable from one that
+works.  Each mutation class below corrupts one artifact the way a real
+bug in that layer would — a misplaced offset, a dropped intersection
+edge, a skewed loop bound, a tampered delta checkpoint, an understated
+pool total, a shrunk buffer — and asserts the corresponding oracle
+*catches* it.  A mutation that survives means an oracle has gone blind,
+and ``python -m repro check --inject`` exits nonzero.
+
+Each injector returns ``None`` when the sampled artifacts cannot host
+its mutation (e.g. no two buffers ever overlap in time); the self-test
+then tries the next graph seed, so every class is exercised on graphs
+where it is meaningful.
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..exceptions import SDFError
+from ..sdf.random_graphs import random_sdf_graph
+from ..sdf.schedule import Firing, Loop, LoopedSchedule, ScheduleNode
+from ..sdf.simulate import simulate_schedule, validate_schedule
+from ..allocation.first_fit import Allocation, first_fit
+from ..allocation.verify import verify_allocation
+from ..codegen.vm import SharedMemoryVM
+from .oracles import CHECK_STRIDE, PipelineArtifacts, build_artifacts, compare_trace
+
+__all__ = [
+    "InjectionOutcome",
+    "InjectionReport",
+    "MUTATION_CLASSES",
+    "run_injection_selftest",
+]
+
+
+@dataclass
+class InjectionOutcome:
+    """One mutation applied to one compiled graph."""
+
+    mutation: str
+    graph_seed: int
+    caught: bool
+    detail: str
+
+
+@dataclass
+class InjectionReport:
+    """The self-test verdict across all mutation classes."""
+
+    outcomes: List[InjectionOutcome] = field(default_factory=list)
+
+    @property
+    def all_caught(self) -> bool:
+        return bool(self.outcomes) and all(o.caught for o in self.outcomes)
+
+    def summary_lines(self) -> List[str]:
+        lines = []
+        for o in self.outcomes:
+            verdict = "caught" if o.caught else "MISSED"
+            lines.append(
+                f"{o.mutation:>18}  seed {o.graph_seed:>5}  {verdict}: "
+                f"{o.detail}"
+            )
+        return lines
+
+
+def _overlapping_pair(art: PipelineArtifacts):
+    """Two sized buffers whose lifetimes intersect, or ``None``."""
+    buffers = [b for b in art.result.lifetimes.as_list() if b.size > 0]
+    for i in range(len(buffers)):
+        for j in range(i + 1, len(buffers)):
+            if buffers[i].overlaps(
+                buffers[j], occurrence_cap=art.occurrence_cap
+            ):
+                return buffers[i], buffers[j]
+    return None
+
+
+def _verify_catches(art: PipelineArtifacts, allocation: Allocation) -> bool:
+    try:
+        verify_allocation(
+            art.result.lifetimes.as_list(), allocation, art.occurrence_cap
+        )
+    except SDFError:
+        return True
+    return False
+
+
+def inject_offset(
+    art: PipelineArtifacts, rng: random.Random
+) -> Optional[InjectionOutcome]:
+    """Move one buffer onto a time-overlapping neighbour's address."""
+    pair = _overlapping_pair(art)
+    if pair is None:
+        return None
+    victim, neighbour = pair
+    alloc = art.result.allocation
+    offsets = dict(alloc.offsets)
+    offsets[victim.name] = offsets[neighbour.name]
+    mutated = Allocation(
+        offsets=offsets,
+        total=max(offsets[n] + b.size for n, b in (
+            (b.name, b) for b in art.result.lifetimes.as_list()
+        )),
+        order=alloc.order,
+        graph=alloc.graph,
+    )
+    caught = _verify_catches(art, mutated)
+    return InjectionOutcome(
+        mutation="offset",
+        graph_seed=art.seed,
+        caught=caught,
+        detail=(
+            f"placed {victim.name!r} on top of {neighbour.name!r} "
+            f"at offset {offsets[victim.name]}"
+        ),
+    )
+
+
+def inject_wig_edge(
+    art: PipelineArtifacts, rng: random.Random
+) -> Optional[InjectionOutcome]:
+    """Drop an intersection-graph edge and re-run first-fit.
+
+    The allocator, blinded to one genuine conflict, may now overlay the
+    pair; Definition-5 verification (which re-derives intersection from
+    the lifetimes, not the WIG) must notice.  Only edges whose removal
+    actually changes the placement into an overlap count — dropping an
+    edge the allocator never relied on is not a fault.
+    """
+    buffers = art.result.lifetimes.as_list()
+    wig = art.result.allocation.graph
+    candidates = [
+        (i, j)
+        for i in range(len(buffers))
+        for j in wig.neighbors[i]
+        if i < j and buffers[i].size > 0 and buffers[j].size > 0
+    ]
+    rng.shuffle(candidates)
+    for i, j in candidates:
+        neighbors = [set(n) for n in wig.neighbors]
+        neighbors[i].discard(j)
+        neighbors[j].discard(i)
+        pruned = type(wig)(buffers=list(wig.buffers), neighbors=neighbors)
+        alloc = first_fit(
+            buffers, graph=pruned, occurrence_cap=art.occurrence_cap
+        )
+        oi, oj = alloc.offsets[buffers[i].name], alloc.offsets[buffers[j].name]
+        disjoint = (
+            oi + buffers[i].size <= oj or oj + buffers[j].size <= oi
+        )
+        if disjoint:
+            continue  # allocator got lucky; this drop is harmless
+        caught = _verify_catches(art, alloc)
+        return InjectionOutcome(
+            mutation="wig_edge",
+            graph_seed=art.seed,
+            caught=caught,
+            detail=(
+                f"dropped WIG edge ({buffers[i].name!r}, "
+                f"{buffers[j].name!r}); first-fit overlaid them at "
+                f"{oi}/{oj}"
+            ),
+        )
+    return None
+
+
+def _skew_one_loop(
+    node: ScheduleNode, rng: random.Random
+) -> Optional[ScheduleNode]:
+    """Rebuild ``node`` with one nested loop/firing count bumped by one.
+
+    Only *inner* counts are touched: scaling the whole schedule uniformly
+    would be a legal blocking-factor change, not a fault.
+    """
+    if isinstance(node, Firing):
+        return Firing(node.actor, node.count + 1)
+    body = list(node.body)
+    k = rng.randrange(len(body))
+    skewed = _skew_one_loop(body[k], rng)
+    if skewed is None:
+        return None
+    body[k] = skewed
+    return Loop(node.count, tuple(body))
+
+
+def inject_loop_bound(
+    art: PipelineArtifacts, rng: random.Random
+) -> Optional[InjectionOutcome]:
+    """Skew one loop bound of the SDPPO schedule; validation must fail.
+
+    A graph with one actor has every count change absorbed into the
+    blocking factor, so the mutation needs at least two actors (always
+    true for harness graphs).
+    """
+    schedule = art.result.sdppo_schedule
+    if len(art.graph.actor_names()) < 2:
+        return None
+    body = list(schedule.body)
+    k = rng.randrange(len(body))
+    skewed = _skew_one_loop(body[k], rng)
+    if skewed is None:
+        return None
+    body[k] = skewed
+    mutated = LoopedSchedule(body)
+    try:
+        validate_schedule(art.graph, mutated)
+        caught = False
+    except SDFError:
+        caught = True
+    return InjectionOutcome(
+        mutation="loop_bound",
+        graph_seed=art.seed,
+        caught=caught,
+        detail=f"skewed {schedule} into {mutated}",
+    )
+
+
+def inject_delta_checkpoint(
+    art: PipelineArtifacts, rng: random.Random
+) -> Optional[InjectionOutcome]:
+    """Corrupt a non-initial trace checkpoint; replay must expose it."""
+    schedule = art.result.sdppo_schedule
+    trace = simulate_schedule(
+        art.graph, schedule, checkpoint_stride=CHECK_STRIDE
+    )
+    if len(trace._checkpoints) < 2:
+        return None
+    k = rng.randrange(1, len(trace._checkpoints))
+    checkpoint = trace._checkpoints[k]
+    key = rng.choice(sorted(checkpoint))
+    checkpoint[key] += 1
+    violations = compare_trace(art.graph, schedule, trace)
+    return InjectionOutcome(
+        mutation="delta_checkpoint",
+        graph_seed=art.seed,
+        caught=bool(violations),
+        detail=(
+            f"bumped edge {key} in checkpoint {k}; "
+            f"{len(violations)} violation(s) reported"
+        ),
+    )
+
+
+def inject_total(
+    art: PipelineArtifacts, rng: random.Random
+) -> Optional[InjectionOutcome]:
+    """Understate the allocation's reported pool extent by one word."""
+    alloc = art.result.allocation
+    if alloc.total < 1:
+        return None
+    mutated = Allocation(
+        offsets=dict(alloc.offsets),
+        total=alloc.total - 1,
+        order=alloc.order,
+        graph=alloc.graph,
+    )
+    caught = _verify_catches(art, mutated)
+    return InjectionOutcome(
+        mutation="total",
+        graph_seed=art.seed,
+        caught=caught,
+        detail=f"reported total {alloc.total - 1} instead of {alloc.total}",
+    )
+
+
+def inject_buffer_size(
+    art: PipelineArtifacts, rng: random.Random
+) -> Optional[InjectionOutcome]:
+    """Shrink one linear buffer below its episode transfer size.
+
+    The VM's cursor discipline writes exactly ``size`` words per episode
+    into a non-circular buffer, so a size understated by one word must
+    overrun (or corrupt a neighbour) at run time.
+    """
+    lifetimes = copy.deepcopy(art.result.lifetimes)
+    candidates = [
+        k
+        for k, lt in lifetimes.lifetimes.items()
+        if lt.size > 1 and art.graph.edge(*k).delay == 0
+    ]
+    if not candidates:
+        return None
+    key = rng.choice(sorted(candidates))
+    victim = lifetimes.lifetimes[key]
+    lifetimes.lifetimes[key] = type(victim)(
+        name=victim.name,
+        size=victim.size - 1,
+        start=victim.start,
+        duration=victim.duration,
+        periods=victim.periods,
+        total_span=victim.total_span,
+    )
+    try:
+        vm = SharedMemoryVM(art.graph, lifetimes, art.result.allocation)
+        vm.run(periods=2)
+        caught = False
+    except SDFError:
+        caught = True
+    return InjectionOutcome(
+        mutation="buffer_size",
+        graph_seed=art.seed,
+        caught=caught,
+        detail=(
+            f"shrank buffer {victim.name!r} from {victim.size} to "
+            f"{victim.size - 1} words"
+        ),
+    )
+
+
+MUTATION_CLASSES: Dict[
+    str, Callable[[PipelineArtifacts, random.Random], Optional[InjectionOutcome]]
+] = {
+    "offset": inject_offset,
+    "wig_edge": inject_wig_edge,
+    "loop_bound": inject_loop_bound,
+    "delta_checkpoint": inject_delta_checkpoint,
+    "total": inject_total,
+    "buffer_size": inject_buffer_size,
+}
+
+
+def run_injection_selftest(
+    seed: int = 0,
+    max_attempts: int = 40,
+    graph_factory: Optional[Callable[[int], PipelineArtifacts]] = None,
+) -> InjectionReport:
+    """Apply every mutation class to compiled random graphs.
+
+    Each class retries across graph seeds until its mutation is
+    applicable (at most ``max_attempts`` graphs); an inapplicable class
+    after all attempts is recorded as missed — the self-test must not
+    silently skip a mutation.
+    """
+    rng = random.Random(seed)
+    if graph_factory is None:
+        def graph_factory(graph_seed: int) -> PipelineArtifacts:
+            graph = random_sdf_graph(
+                rng.randint(3, 7), seed=graph_seed, max_repetition=6
+            )
+            return build_artifacts(graph, method="rpmc", seed=graph_seed)
+
+    report = InjectionReport()
+    cache: Dict[int, PipelineArtifacts] = {}
+    for name, inject in MUTATION_CLASSES.items():
+        outcome: Optional[InjectionOutcome] = None
+        for attempt in range(max_attempts):
+            graph_seed = seed * 1000 + attempt
+            if graph_seed not in cache:
+                cache[graph_seed] = graph_factory(graph_seed)
+            outcome = inject(cache[graph_seed], rng)
+            if outcome is not None:
+                break
+        if outcome is None:
+            outcome = InjectionOutcome(
+                mutation=name,
+                graph_seed=-1,
+                caught=False,
+                detail=f"no applicable instance in {max_attempts} graphs",
+            )
+        report.outcomes.append(outcome)
+    return report

@@ -1,0 +1,153 @@
+"""Counterexample shrinking: minimize a failing graph, keep the failure.
+
+Given a graph and a predicate ("does the differential check still
+fail?"), repeatedly try structure- and parameter-reducing edits — drop
+an actor, drop an edge, zero a delay, unscale rates, shrink token
+sizes — keeping each edit only if the predicate still holds.  The
+result is the greedy local minimum: every single remaining reduction
+makes the failure disappear, which is exactly the graph you want in a
+regression test.
+
+The predicate is a black box and may legitimately throw for candidates
+that are no longer compilable (disconnected after an edge drop, say);
+any exception counts as "failure not preserved" and the edit is
+reverted.
+"""
+
+from __future__ import annotations
+
+from math import gcd
+from typing import Callable, List, Optional, Tuple
+
+from ..sdf.graph import Edge, SDFGraph
+
+__all__ = ["shrink_graph"]
+
+EdgeKey = Tuple[str, str, int]
+
+
+def _rebuild(
+    graph: SDFGraph,
+    drop_actor: Optional[str] = None,
+    drop_edge: Optional[EdgeKey] = None,
+    replace_edge: Optional[Edge] = None,
+) -> SDFGraph:
+    """A copy of ``graph`` with one edit applied.
+
+    Edge indices are reassigned by insertion order, so dropping one of
+    several parallel edges renumbers the rest — predicates must not
+    depend on edge indices surviving a shrink step.
+    """
+    out = SDFGraph(graph.name)
+    for a in graph.actors():
+        if a.name != drop_actor:
+            out.add_actor(a.name, a.execution_time)
+    for e in graph.edges():
+        if drop_actor is not None and drop_actor in (e.source, e.sink):
+            continue
+        if e.key == drop_edge:
+            continue
+        if replace_edge is not None and e.key == replace_edge.key:
+            e = replace_edge
+        out.add_edge(
+            e.source, e.sink, e.production, e.consumption,
+            e.delay, e.token_size,
+        )
+    return out
+
+
+def _still_fails(
+    predicate: Callable[[SDFGraph], bool], candidate: SDFGraph
+) -> bool:
+    if candidate.num_actors == 0:
+        return False
+    try:
+        return bool(predicate(candidate))
+    except Exception:
+        return False
+
+
+def _edge_edits(e: Edge) -> List[Edge]:
+    """Parameter reductions for one edge, most aggressive first."""
+    edits: List[Edge] = []
+
+    def variant(**changes) -> Edge:
+        fields = dict(
+            source=e.source, sink=e.sink, production=e.production,
+            consumption=e.consumption, delay=e.delay,
+            token_size=e.token_size, index=e.index,
+        )
+        fields.update(changes)
+        return Edge(**fields)
+
+    common = gcd(e.production, e.consumption)
+    if common > 1:
+        edits.append(
+            variant(
+                production=e.production // common,
+                consumption=e.consumption // common,
+            )
+        )
+    if e.production > 1 or e.consumption > 1:
+        edits.append(variant(production=1, consumption=1))
+    if e.delay > 0:
+        edits.append(variant(delay=0))
+        if e.delay > 1:
+            edits.append(variant(delay=1))
+    if e.token_size > 1:
+        edits.append(variant(token_size=1))
+    return edits
+
+
+def shrink_graph(
+    graph: SDFGraph,
+    predicate: Callable[[SDFGraph], bool],
+    max_rounds: int = 20,
+) -> SDFGraph:
+    """Greedily minimize ``graph`` while ``predicate`` keeps holding.
+
+    ``predicate(g)`` must return True iff the failure of interest still
+    reproduces on ``g``; it is never called on the empty graph.  The
+    original graph is returned unchanged if the predicate does not hold
+    on it (nothing to shrink).
+    """
+    if not _still_fails(predicate, graph):
+        return graph
+    current = graph
+    for _ in range(max_rounds):
+        progressed = False
+
+        # Pass 1: drop whole actors (with their incident edges), largest
+        # reduction first.
+        for name in list(current.actor_names()):
+            if current.num_actors <= 1:
+                break
+            candidate = _rebuild(current, drop_actor=name)
+            if _still_fails(predicate, candidate):
+                current = candidate
+                progressed = True
+
+        # Pass 2: drop individual edges.
+        for key in [e.key for e in current.edges()]:
+            candidate = _rebuild(current, drop_edge=key)
+            if _still_fails(predicate, candidate):
+                current = candidate
+                progressed = True
+                break  # keys were renumbered; restart edge pass next round
+
+        # Pass 3: shrink per-edge parameters.
+        for key in [e.key for e in current.edges()]:
+            try:
+                e = current.edge(*key)
+            except Exception:
+                continue
+            for edit in _edge_edits(e):
+                candidate = _rebuild(current, replace_edge=edit)
+                if _still_fails(predicate, candidate):
+                    current = candidate
+                    progressed = True
+                    break
+
+        if not progressed:
+            break
+    return current

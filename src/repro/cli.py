@@ -7,6 +7,11 @@ Commands
     report the schedule, memory figures, and (optionally) generated C.
 ``table1`` / ``fig25`` / ``fig26`` / ``fig27`` / ``satrec`` / ``cddat``
     Regenerate an evaluation table/figure on stdout.
+``check``
+    Differential cross-layer checking harness: random graphs through
+    the full pipeline, every layer pair cross-checked, failures shrunk
+    to minimal counterexamples (``--inject`` adds the mutation-kill
+    self-test).
 ``systems``
     List the built-in benchmark systems.
 ``dot``
@@ -19,12 +24,14 @@ Examples
     python -m repro compile satrec --method apgan
     python -m repro compile mygraph.json --emit-c out.c
     python -m repro table1 --systems qmf23_2d satrec
-    python -m repro fig27 --sizes 20 50 --count 10
+    python -m repro fig27 --sizes 20 50 --count 10 --jobs 4
+    python -m repro check --trials 25 --seed 0 --inject
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -33,6 +40,28 @@ from .sdf.graph import SDFGraph
 from .sdf.io import load_graph, to_dot
 
 __all__ = ["main"]
+
+
+def _apply_jobs(args: argparse.Namespace) -> Optional[int]:
+    """Resolve the ``--jobs`` flag with flag > ``REPRO_JOBS`` precedence.
+
+    Validates the value eagerly (so ``--jobs -2`` fails with a clean
+    error before any work) and exports it to ``REPRO_JOBS`` for the
+    rest of the process, so every nested ``parallel_map`` — including
+    ones the subcommand does not thread ``jobs`` into explicitly —
+    sees the same setting.
+    """
+    jobs = getattr(args, "jobs", None)
+    if jobs is None:
+        return None
+    from .experiments.runner import effective_jobs
+
+    try:
+        effective_jobs(jobs)
+    except ValueError as exc:
+        raise SystemExit(f"--jobs: {exc}")
+    os.environ["REPRO_JOBS"] = str(jobs)
+    return jobs
 
 
 def _resolve_graph(spec: str) -> SDFGraph:
@@ -58,6 +87,7 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     from .scheduling.pipeline import implement
     from .codegen import emit_c, run_shared_memory_check
 
+    _apply_jobs(args)
     graph = _resolve_graph(args.graph)
     result = implement(graph, args.method, seed=args.seed)
     print(f"graph:      {graph.name} ({graph.num_actors} actors)")
@@ -82,10 +112,11 @@ def _cmd_compile(args: argparse.Namespace) -> int:
 def _cmd_table1(args: argparse.Namespace) -> int:
     from .experiments.table1 import format_table1, run_table1
 
+    jobs = _apply_jobs(args)
     systems = args.systems or [
         n for n in TABLE1_SYSTEMS if not n.endswith("5d")
     ]
-    print(format_table1(run_table1(systems, seed=args.seed)))
+    print(format_table1(run_table1(systems, seed=args.seed, jobs=jobs)))
     return 0
 
 
@@ -120,12 +151,14 @@ def _cmd_fig27(args: argparse.Namespace) -> int:
         run_random_graph_experiment,
     )
 
+    jobs = _apply_jobs(args)
     print(
         format_fig27(
             run_random_graph_experiment(
                 sizes=tuple(args.sizes),
                 graphs_per_size=args.count,
                 seed=args.seed,
+                jobs=jobs,
             )
         )
     )
@@ -151,6 +184,37 @@ def _cmd_cddat(_: argparse.Namespace) -> int:
     print(f"  nested SAS: {r.nested_backlog} samples")
     print(f"  nested schedule: {r.nested_schedule}")
     return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .check import run_check
+    from .experiments.runner import TimingReport
+
+    timing = TimingReport()
+    with timing.stage(
+        "check_differential",
+        trials=args.trials,
+        seed=args.seed,
+        inject=args.inject,
+    ) as meta:
+        report = run_check(
+            trials=args.trials,
+            seed=args.seed,
+            inject=args.inject,
+            shrink=not args.no_shrink,
+        )
+        meta["failures"] = len(report.failures)
+        meta["ok"] = report.ok
+    for line in report.summary_lines():
+        print(line)
+    if args.bench_out:
+        timing.write_json(args.bench_out)
+        print(f"timing written to {args.bench_out}")
+    if report.ok:
+        print("check: OK")
+        return 0
+    print("check: FAILED", file=sys.stderr)
+    return 1
 
 
 def _cmd_dot(args: argparse.Namespace) -> int:
@@ -195,11 +259,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--check", action="store_true",
         help="execute the schedule against the allocation",
     )
+    p.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes (overrides REPRO_JOBS; 0 = all cores)",
+    )
     p.set_defaults(func=_cmd_compile)
 
     p = sub.add_parser("table1", help="regenerate Table 1")
     p.add_argument("--systems", nargs="*", default=None)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes (overrides REPRO_JOBS; 0 = all cores)",
+    )
     p.set_defaults(func=_cmd_table1)
 
     p = sub.add_parser("fig25", help="regenerate figure 25")
@@ -218,6 +290,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sizes", nargs="*", type=int, default=[20, 50])
     p.add_argument("--count", type=int, default=10)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes (overrides REPRO_JOBS; 0 = all cores)",
+    )
     p.set_defaults(func=_cmd_fig27)
 
     p = sub.add_parser("satrec", help="satellite receiver comparison")
@@ -225,6 +301,37 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("cddat", help="CD-DAT input buffering comparison")
     p.set_defaults(func=_cmd_cddat)
+
+    p = sub.add_parser(
+        "check",
+        help="differential cross-layer checking harness",
+        description=(
+            "Generate random consistent SDF graphs, run the full "
+            "compilation pipeline on each, and cross-check every layer "
+            "pair (interpreter vs VM vs generated Python, delta-trace "
+            "vs full-trace, predicted vs realized costs, first-fit vs "
+            "verifier vs optimal, serial vs parallel runner).  Failing "
+            "graphs are shrunk to minimal counterexamples.  With "
+            "--inject, also runs the mutation-kill self-test: seeded "
+            "faults are planted in intermediate artifacts and each must "
+            "be caught downstream."
+        ),
+    )
+    p.add_argument("--trials", type=int, default=25)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--inject", action="store_true",
+        help="also run the fault-injection self-test",
+    )
+    p.add_argument(
+        "--no-shrink", action="store_true",
+        help="report failing graphs without minimizing them",
+    )
+    p.add_argument(
+        "--bench-out", metavar="FILE", default=None,
+        help="write wall-time rows as BENCH_*.json",
+    )
+    p.set_defaults(func=_cmd_check)
 
     p = sub.add_parser("dot", help="emit Graphviz DOT for a graph")
     p.add_argument("graph", help="system name or .json graph file")

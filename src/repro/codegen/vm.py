@@ -86,6 +86,14 @@ class SharedMemoryVM:
                 lp = lifetimes.tree.least_parent(e.source, e.sink)
                 self._reset_at.setdefault(id(lp), []).append(state)
         self.firings = 0
+        #: Per-actor firing counts, for differential comparison against
+        #: the schedule interpreter's flattened firing sequence.
+        self.firings_per_actor: Dict[str, int] = {
+            a: 0 for a in graph.actor_names()
+        }
+        #: One past the highest memory word ever written — must never
+        #: exceed ``allocation.total`` (checked by the harness).
+        self.peak_address = 0
 
     # ------------------------------------------------------------------
     def preload_delays(self) -> None:
@@ -122,6 +130,7 @@ class SharedMemoryVM:
 
     def _fire(self, actor: str) -> None:
         self.firings += 1
+        self.firings_per_actor[actor] += 1
         for e in self.graph.in_edges(actor):
             state = self._edges[e.key]
             for _ in range(e.consumption):
@@ -148,6 +157,9 @@ class SharedMemoryVM:
             self.memory[state.base + state.write_cursor + w] = token
         state.write_cursor += words
         state.produced += 1
+        top = state.base + state.write_cursor
+        if top > self.peak_address:
+            self.peak_address = top
 
     def _read_token(self, state: _EdgeState) -> None:
         e = state.edge

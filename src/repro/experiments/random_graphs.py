@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..sdf.random_graphs import random_sdf_graph
+from ..lifetimes.periodic import DEFAULT_OCCURRENCE_CAP
 from ..scheduling.pipeline import implement_best
 from .runner import parallel_map
 
@@ -88,7 +89,7 @@ def run_random_graph_experiment(
     sizes: Sequence[int] = (20, 50, 100, 150),
     graphs_per_size: int = 100,
     seed: int = 0,
-    occurrence_cap: int = 4096,
+    occurrence_cap: int = DEFAULT_OCCURRENCE_CAP,
     jobs: Optional[int] = None,
 ) -> List[RandomGraphStats]:
     """Reproduce the figure 27 sweep.

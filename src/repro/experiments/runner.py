@@ -41,6 +41,8 @@ def effective_jobs(jobs: Optional[int] = None) -> int:
     """Resolve the worker count: explicit argument, then ``REPRO_JOBS``.
 
     ``0`` (either form) means "all cores"; anything unset means serial.
+    Negative counts are rejected the same way non-integer values are —
+    silently clamping them to 1 would mask a configuration error.
     """
     if jobs is None:
         env = os.environ.get("REPRO_JOBS", "").strip()
@@ -52,9 +54,11 @@ def effective_jobs(jobs: Optional[int] = None) -> int:
             raise ValueError(
                 f"REPRO_JOBS must be an integer, got {env!r}"
             ) from None
+    if jobs < 0:
+        raise ValueError(f"job count must be >= 0, got {jobs}")
     if jobs == 0:
         return os.cpu_count() or 1
-    return max(1, jobs)
+    return jobs
 
 
 def parallel_map(

@@ -21,10 +21,11 @@ EXPERIMENTS.md discusses per-system agreement.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..apps import TABLE1_SYSTEMS, table1_graph
 from ..scheduling.pipeline import BestResult, implement_best
+from .runner import parallel_map
 
 __all__ = ["Table1Row", "run_table1", "format_table1", "PAPER_REFERENCE"]
 
@@ -94,23 +95,34 @@ class Table1Row:
         return min(self.ffdur_r, self.ffstart_r, self.ffdur_a, self.ffstart_a)
 
 
+def _table1_task(task: Tuple[str, int, bool]) -> Table1Row:
+    """Compile one benchmark system; runs in a worker process.
+
+    Receives and returns only plain data (the row is a dataclass of
+    ints), so the parallel and serial paths are interchangeable.
+    """
+    name, seed, verify = task
+    graph = table1_graph(name)
+    result = implement_best(graph, seed=seed, verify=verify)
+    return Table1Row.from_result(name, result)
+
+
 def run_table1(
     systems: Optional[Sequence[str]] = None,
     seed: int = 0,
     verify: bool = True,
+    jobs: Optional[int] = None,
 ) -> List[Table1Row]:
     """Run the full flow over the benchmark suite.
 
     ``systems`` defaults to every Table 1 system; pass a subset for
-    quick runs (the depth-5 filterbanks dominate the runtime).
+    quick runs (the depth-5 filterbanks dominate the runtime).  Systems
+    are independent, so ``jobs`` (or ``REPRO_JOBS``) fans them out over
+    worker processes; row order always follows ``systems``.
     """
     names = list(systems) if systems is not None else list(TABLE1_SYSTEMS)
-    rows = []
-    for name in names:
-        graph = table1_graph(name)
-        result = implement_best(graph, seed=seed, verify=verify)
-        rows.append(Table1Row.from_result(name, result))
-    return rows
+    tasks = [(name, seed, verify) for name in names]
+    return parallel_map(_table1_task, tasks, jobs=jobs)
 
 
 def format_table1(rows: Sequence[Table1Row]) -> str:

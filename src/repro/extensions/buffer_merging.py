@@ -36,7 +36,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..sdf.graph import Edge, SDFGraph
 from ..lifetimes.intervals import LifetimeSet
-from ..lifetimes.periodic import PeriodicLifetime
+from ..lifetimes.periodic import DEFAULT_OCCURRENCE_CAP, PeriodicLifetime
 from ..allocation.first_fit import Allocation, ffdur, ffstart
 from ..allocation.intersection_graph import build_intersection_graph
 
@@ -120,7 +120,7 @@ def merged_allocation(
     graph: SDFGraph,
     lifetimes: LifetimeSet,
     candidates: Optional[Sequence[MergeCandidate]] = None,
-    occurrence_cap: int = 4096,
+    occurrence_cap: int = DEFAULT_OCCURRENCE_CAP,
 ) -> Tuple[Allocation, List[MergeCandidate]]:
     """First-fit allocation with merge groups packed as single nodes.
 

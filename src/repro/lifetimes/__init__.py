@@ -1,11 +1,12 @@
 """Lifetime analysis: schedule trees, periodic intervals, extraction."""
 
-from .periodic import PeriodicLifetime
+from .periodic import DEFAULT_OCCURRENCE_CAP, PeriodicLifetime
 from .schedule_tree import ScheduleTree, ScheduleTreeNode
 from .intervals import LifetimeSet, extract_lifetimes, lifetime_for_edge
 from .granularity import fine_grained_peak, granularity_levels
 
 __all__ = [
+    "DEFAULT_OCCURRENCE_CAP",
     "fine_grained_peak",
     "granularity_levels",
     "PeriodicLifetime",

@@ -39,7 +39,16 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 
 from ..exceptions import SDFError
 
-__all__ = ["PeriodicLifetime"]
+__all__ = ["DEFAULT_OCCURRENCE_CAP", "PeriodicLifetime"]
+
+#: Default cap on periodic-occurrence enumeration in intersection tests
+#: (:meth:`PeriodicLifetime.overlaps`).  Lifetime pairs where both sides
+#: exceed the cap fall back to comparing solid envelopes — pessimistic,
+#: hence safe for allocation.  Every layer that performs intersection
+#: tests (WIG construction, first-fit, verification, the exact optimum)
+#: defaults to this one constant so the fast path and the oracles agree
+#: on when the fallback engages.
+DEFAULT_OCCURRENCE_CAP = 4096
 
 
 @dataclass(frozen=True)
@@ -204,7 +213,11 @@ class PeriodicLifetime:
                 return None
         return candidate
 
-    def overlaps(self, other: "PeriodicLifetime", occurrence_cap: int = 4096) -> bool:
+    def overlaps(
+        self,
+        other: "PeriodicLifetime",
+        occurrence_cap: int = DEFAULT_OCCURRENCE_CAP,
+    ) -> bool:
         """True if any live interval of self intersects one of ``other``.
 
         Enumerates the occurrence starts of the sparser lifetime and

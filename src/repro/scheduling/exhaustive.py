@@ -30,6 +30,7 @@ from ..exceptions import GraphStructureError
 from ..sdf.graph import SDFGraph
 from ..sdf.schedule import LoopedSchedule
 from ..sdf.topsort import all_topological_sorts, count_topological_sorts
+from ..lifetimes.periodic import DEFAULT_OCCURRENCE_CAP
 from .dppo import dppo
 from .pipeline import implement
 
@@ -51,7 +52,7 @@ def optimal_sas(
     graph: SDFGraph,
     objective: str = "nonshared",
     max_sorts: int = 50_000,
-    occurrence_cap: int = 4096,
+    occurrence_cap: int = DEFAULT_OCCURRENCE_CAP,
 ) -> OptimalSASResult:
     """Minimize ``objective`` over every topological sort of ``graph``.
 

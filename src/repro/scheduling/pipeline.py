@@ -25,6 +25,7 @@ from ..exceptions import GraphStructureError
 from ..sdf.graph import SDFGraph
 from ..sdf.schedule import LoopedSchedule
 from ..lifetimes.intervals import LifetimeSet, extract_lifetimes
+from ..lifetimes.periodic import DEFAULT_OCCURRENCE_CAP
 from ..allocation.clique import mcw_optimistic, mcw_pessimistic
 from ..allocation.first_fit import Allocation, ffdur, ffstart
 from ..allocation.intersection_graph import build_intersection_graph
@@ -94,7 +95,7 @@ def implement(
     order: Optional[Sequence[str]] = None,
     seed: int = 0,
     use_chain_dp: bool = True,
-    occurrence_cap: int = 4096,
+    occurrence_cap: int = DEFAULT_OCCURRENCE_CAP,
     verify: bool = True,
     session: Optional[CompilationSession] = None,
     trusted_order: bool = False,
@@ -205,7 +206,7 @@ def implement_best(
     graph: SDFGraph,
     seed: int = 0,
     use_chain_dp: bool = True,
-    occurrence_cap: int = 4096,
+    occurrence_cap: int = DEFAULT_OCCURRENCE_CAP,
     verify: bool = True,
     session: Optional[CompilationSession] = None,
 ) -> BestResult:

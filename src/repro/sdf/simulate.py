@@ -147,6 +147,9 @@ def buffer_memory_nonshared(graph: SDFGraph, schedule: LoopedSchedule) -> int:
 
 #: Full-state snapshots are kept every this many firings; states between
 #: checkpoints are reconstructed by replaying the per-firing deltas.
+#: Overridable per trace (``checkpoint_stride=``) so tests and the
+#: differential harness can force multiple checkpoints on short
+#: schedules.
 _CHECKPOINT_STRIDE = 64
 
 
@@ -175,9 +178,10 @@ class _CountsView(Sequence):
         if not 0 <= t < n:
             raise IndexError(f"trace step {t} out of range")
         trace = self._trace
-        base = t // _CHECKPOINT_STRIDE
+        stride = trace._stride
+        base = t // stride
         state = dict(trace._checkpoints[base])
-        for step in range(base * _CHECKPOINT_STRIDE, t):
+        for step in range(base * stride, t):
             state.update(trace._deltas[step])
         return state
 
@@ -207,8 +211,12 @@ class TokenTrace:
         self,
         edge_keys: Sequence[Tuple[str, str, int]],
         initial: Dict[Tuple[str, str, int], int],
+        checkpoint_stride: int = _CHECKPOINT_STRIDE,
     ) -> None:
+        if checkpoint_stride < 1:
+            raise ValueError("checkpoint_stride must be >= 1")
         self.edge_keys: List[Tuple[str, str, int]] = list(edge_keys)
+        self._stride = checkpoint_stride
         self.firings: List[str] = []
         self._deltas: List[Tuple[Tuple[Tuple[str, str, int], int], ...]] = []
         self._checkpoints: List[Dict[Tuple[str, str, int], int]] = [dict(initial)]
@@ -233,7 +241,7 @@ class TokenTrace:
             if value > self._peaks[key]:
                 self._peaks[key] = value
         self._deltas.append(delta)
-        if len(self._deltas) % _CHECKPOINT_STRIDE == 0:
+        if len(self._deltas) % self._stride == 0:
             self._checkpoints.append(dict(state))
 
     def peak(self, key: Tuple[str, str, int]) -> int:
@@ -244,16 +252,25 @@ class TokenTrace:
         return self._total_peak
 
 
-def simulate_schedule(graph: SDFGraph, schedule: LoopedSchedule) -> TokenTrace:
+def simulate_schedule(
+    graph: SDFGraph,
+    schedule: LoopedSchedule,
+    checkpoint_stride: int = _CHECKPOINT_STRIDE,
+) -> TokenTrace:
     """Run ``schedule`` and record the token trace (delta-encoded).
 
     The trace exposes the same interface as a full per-step snapshot
     list but stores only the edges each firing touches, which keeps the
     188-node filterbanks and the full-scale figure 26/27 sweeps
-    tractable.
+    tractable.  ``checkpoint_stride`` controls how often a full snapshot
+    is kept (tests and the differential harness lower it to exercise
+    checkpoint replay on short schedules).
     """
     tokens = {e.key: e.delay for e in graph.edges()}
-    trace = TokenTrace([e.key for e in graph.edges()], tokens)
+    trace = TokenTrace(
+        [e.key for e in graph.edges()], tokens,
+        checkpoint_stride=checkpoint_stride,
+    )
     in_edges = {a: graph.in_edges(a) for a in graph.actor_names()}
     out_edges = {a: graph.out_edges(a) for a in graph.actor_names()}
     for actor in schedule.firing_sequence():

@@ -155,6 +155,69 @@ class TestVerify:
             find_conflicts(buffers, {})
 
 
+class TestVerifyAdversarial:
+    """Hand-built infeasible allocations the verifier must refuse.
+
+    Each case targets a specific blind spot: a plausible-looking
+    ``Allocation`` that an allocator bug could emit and that a naive
+    checker (trusting totals, skipping degenerate buffers) would wave
+    through.
+    """
+
+    def test_understated_total_with_valid_offsets(self):
+        # Offsets themselves are conflict-free; only the reported total
+        # lies.  Consumers size the memory segment from `total`, so this
+        # must fail even though no pair overlaps.
+        buffers = [solid("a", 4, 0, 5), solid("b", 4, 5, 5)]
+        bad = Allocation(
+            offsets={"a": 0, "b": 4}, total=7, order=["a", "b"],
+            graph=build_intersection_graph(buffers),
+        )
+        with pytest.raises(AllocationError, match="extends past"):
+            verify_allocation(buffers, bad)
+
+    def test_negative_offset_rejected(self):
+        # A negative offset can make `offset + size <= total` hold while
+        # addressing memory before the segment base.
+        buffers = [solid("a", 4, 0, 5)]
+        bad = Allocation(
+            offsets={"a": -2}, total=4, order=["a"],
+            graph=build_intersection_graph(buffers),
+        )
+        with pytest.raises(AllocationError, match="negative offset"):
+            verify_allocation(buffers, bad)
+
+    def test_missing_offset_second_of_pair(self):
+        # 'b' appears only as the second element of the (a, b) pair; the
+        # pair scan reads its offset before b's own outer iteration, so
+        # the lookup must surface as AllocationError, never KeyError.
+        buffers = [solid("a", 4, 0, 5), solid("b", 4, 2, 5)]
+        with pytest.raises(AllocationError):
+            find_conflicts(buffers, {"a": 0})
+
+    def test_missing_offset_zero_size_buffer(self):
+        # Zero-size buffers can never conflict, but an absent offset is
+        # still a malformed allocation — it must not be skipped silently.
+        buffers = [solid("a", 4, 0, 5), solid("z", 0, 0, 5)]
+        with pytest.raises(AllocationError):
+            find_conflicts(buffers, {"a": 0})
+
+    def test_zero_size_buffers_share_address(self):
+        # Two zero-size buffers at the same live address range occupy no
+        # words; this is feasible and must produce no conflicts.
+        buffers = [
+            solid("a", 4, 0, 5),
+            solid("y", 0, 0, 5),
+            solid("z", 0, 0, 5),
+        ]
+        alloc = Allocation(
+            offsets={"a": 0, "y": 2, "z": 2}, total=4, order=["a", "y", "z"],
+            graph=build_intersection_graph(buffers),
+        )
+        assert find_conflicts(buffers, alloc.offsets) == []
+        verify_allocation(buffers, alloc)
+
+
 class TestCliqueBounds:
     def test_clique_weight_at(self):
         buffers = [solid("a", 3, 0, 5), solid("b", 4, 2, 5), solid("c", 5, 10, 2)]

@@ -1,0 +1,180 @@
+"""The differential checking harness checks itself.
+
+Three layers: the oracle battery stays clean on known-good graphs (the
+benchmark systems and the harness's own random trials), the mutation
+self-test proves every oracle can actually fire, and the shrinker
+reliably minimizes while preserving the failure predicate.
+"""
+
+import pytest
+
+from repro.apps import table1_graph
+from repro.sdf.graph import SDFGraph
+from repro.sdf.random_graphs import random_sdf_graph
+from repro.check import (
+    MUTATION_CLASSES,
+    run_check,
+    run_injection_selftest,
+    shrink_graph,
+)
+from repro.check.fault_injection import InjectionOutcome
+from repro.check.harness import describe_graph, runner_oracles, trial_graph
+from repro.check.oracles import build_artifacts, run_oracles
+from repro.check.reference import (
+    full_trace,
+    reference_max_tokens,
+    reference_peak_token_words,
+)
+
+
+def chain(n: int, **edge_kwargs) -> SDFGraph:
+    g = SDFGraph(f"chain{n}")
+    for i in range(n):
+        g.add_actor(f"a{i}")
+    for i in range(n - 1):
+        g.add_edge(f"a{i}", f"a{i + 1}", 1, 1, **edge_kwargs)
+    return g
+
+
+class TestOracleBattery:
+    @pytest.mark.parametrize("system", ["qmf23_2d", "4pamxmitrec"])
+    @pytest.mark.parametrize("method", ["rpmc", "apgan"])
+    def test_benchmark_systems_clean(self, system, method):
+        art = build_artifacts(table1_graph(system), method=method)
+        assert run_oracles(art) == []
+
+    def test_random_trial_graphs_clean(self):
+        # The same generator run_check uses, including delay/token-size
+        # decoration; a handful of seeds keeps the test fast.
+        for graph_seed in (100000, 100001, 100002):
+            art = build_artifacts(trial_graph(graph_seed), method="apgan")
+            assert run_oracles(art) == []
+
+    def test_run_check_clean(self):
+        report = run_check(trials=4, seed=0, inject=False)
+        assert report.ok
+        assert report.failures == []
+        assert report.runner_violations == []
+        assert "0 failure(s)" in report.summary_lines()[0]
+
+    def test_trial_graph_deterministic(self):
+        assert describe_graph(trial_graph(7)) == describe_graph(trial_graph(7))
+
+    def test_runner_serial_parallel_agree(self):
+        assert runner_oracles(seed=3, tasks=3) == []
+
+
+class TestReferenceImplementations:
+    def test_full_trace_matches_balance(self):
+        g = chain(3)
+        art = build_artifacts(g)
+        snapshots = full_trace(g, art.result.sdppo_schedule)
+        # Initial state plus one snapshot per firing; final state drained.
+        firings = sum(art.q.values())
+        assert len(snapshots) == firings + 1
+        assert all(count == 0 for count in snapshots[-1].values())
+
+    def test_reference_max_tokens_simple_chain(self):
+        g = chain(2)
+        art = build_artifacts(g)
+        peaks = reference_max_tokens(g, art.result.sdppo_schedule)
+        assert peaks == {("a0", "a1", 0): 1}
+
+    def test_peak_token_words_counts_words(self):
+        g = chain(2, token_size=3)
+        art = build_artifacts(g)
+        assert reference_peak_token_words(g, art.result.sdppo_schedule) == 3
+
+
+class TestFaultInjection:
+    def test_all_mutation_classes_caught(self):
+        report = run_injection_selftest(seed=0)
+        assert {o.mutation for o in report.outcomes} == set(MUTATION_CLASSES)
+        missed = [o for o in report.outcomes if not o.caught]
+        assert not missed, [
+            f"{o.mutation}: {o.detail}" for o in missed
+        ]
+        assert report.all_caught
+
+    def test_at_least_five_mutation_classes(self):
+        assert len(MUTATION_CLASSES) >= 5
+
+    def test_blind_oracle_fails_the_selftest(self, monkeypatch):
+        # A mutation nothing catches must make the report (and therefore
+        # `repro check --inject`) fail — the self-test cannot go blind
+        # silently.
+        from repro.check import fault_injection
+
+        def blind(art, rng):
+            return InjectionOutcome(
+                mutation="blind", graph_seed=art.seed,
+                caught=False, detail="no oracle looks at this artifact",
+            )
+
+        mutations = dict(MUTATION_CLASSES)
+        mutations["blind"] = blind
+        monkeypatch.setattr(fault_injection, "MUTATION_CLASSES", mutations)
+        report = run_injection_selftest(seed=0)
+        assert not report.all_caught
+        full = run_check(trials=1, seed=0, inject=True)
+        assert not full.ok
+
+    def test_inapplicable_class_is_reported_missed(self, monkeypatch):
+        from repro.check import fault_injection
+
+        monkeypatch.setattr(
+            fault_injection, "MUTATION_CLASSES",
+            {"never": lambda art, rng: None},
+        )
+        report = run_injection_selftest(seed=0, max_attempts=2)
+        assert not report.all_caught
+        assert "no applicable instance" in report.outcomes[0].detail
+
+
+class TestShrinker:
+    def test_shrinks_to_minimal_edge(self):
+        g = chain(5, token_size=2, delay=1)
+        shrunk = shrink_graph(g, lambda c: c.num_edges >= 1)
+        assert shrunk.num_actors == 2
+        assert shrunk.num_edges == 1
+        e = shrunk.edge_list()[0]
+        assert (e.production, e.consumption) == (1, 1)
+        assert e.delay == 0
+        assert e.token_size == 1
+
+    def test_preserves_predicate(self):
+        g = trial_graph(42)
+        target = max(
+            (e.production for e in g.edge_list()), default=1
+        )
+
+        def pred(c):
+            return any(e.production == target for e in c.edge_list())
+
+        shrunk = shrink_graph(g, pred)
+        assert pred(shrunk)
+        assert shrunk.num_actors <= g.num_actors
+
+    def test_non_failing_graph_unchanged(self):
+        g = chain(3)
+        assert shrink_graph(g, lambda c: False) is g
+
+    def test_raising_predicate_treated_as_pass(self):
+        g = chain(3)
+
+        calls = {"n": 0}
+
+        def flaky(c):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                return True  # original graph "fails"
+            raise RuntimeError("candidate crashed the pipeline")
+
+        # Every candidate crashes, so nothing can be removed.
+        shrunk = shrink_graph(g, flaky)
+        assert describe_graph(shrunk) == describe_graph(g)
+
+    def test_shrinks_random_graph_for_structural_predicate(self):
+        g = random_sdf_graph(8, seed=13)
+        shrunk = shrink_graph(g, lambda c: c.num_actors >= 3)
+        assert shrunk.num_actors == 3

@@ -1,0 +1,115 @@
+"""Shrunk counterexamples found by ``python -m repro check``.
+
+Each case below is a minimal graph the counterexample shrinker produced
+from a failing random trial.  Both expose the same modelling boundary:
+the *coarse* live-array model (``max_live_tokens``, and the EQ 5 SDPPO
+recurrence built on it) sizes every live episode as all words
+transferred during it, while lifetime extraction sizes delayed edges as
+*circular* buffers at peak occupancy — which is smaller.  On delayless
+graphs the two agree and the oracles assert it; with delays the coarse
+figures may exceed (or, for the EQ 5 split, undershoot) the realized
+allocation, and only the occupancy bound holds unconditionally.
+
+These tests pin (a) the gap itself, so a future change to either model
+is noticed, and (b) the facts that make the implementation safe despite
+it: occupancy never exceeds the allocation, the VM executes the
+placement with full token integrity, and Definition-5 verification
+accepts it.  The oracle battery must stay clean on both graphs.
+"""
+
+from repro.sdf.graph import SDFGraph
+from repro.sdf.simulate import max_live_tokens
+from repro.allocation.verify import verify_allocation
+from repro.codegen.vm import SharedMemoryVM
+from repro.check.oracles import build_artifacts, run_oracles
+from repro.check.reference import reference_peak_token_words
+
+
+def delayed_words_chain() -> SDFGraph:
+    """Shrunk from check-harness seed 100000 (trial 0 of --seed 1)."""
+    g = SDFGraph("chain_delay_words")
+    for n in ("n0", "n1", "n2"):
+        g.add_actor(n)
+    g.add_edge("n0", "n1", 1, 1, delay=1)
+    g.add_edge("n1", "n2", 1, 2)
+    return g
+
+
+def internal_delay_chain() -> SDFGraph:
+    """Shrunk from check-harness seed 0 (trial 0 of --seed 0)."""
+    g = SDFGraph("chain_internal_delay")
+    for n in ("n4", "n0", "n2", "n5"):
+        g.add_actor(n)
+    g.add_edge("n4", "n0", 1, 1)
+    g.add_edge("n0", "n2", 1, 1)
+    g.add_edge("n2", "n5", 1, 1, delay=1)
+    return g
+
+
+class TestCoarseModelExceedsCircularAllocation:
+    """3-actor chain: ``max_live_tokens`` > ``allocation.total``.
+
+    The delayed edge's coarse episode holds initial + produced tokens
+    (3 words) but its circular buffer peaks at 2 tokens, so the shared
+    allocation (4) is smaller than the coarse live total (5) — and
+    still correct.
+    """
+
+    def test_gap_is_present(self):
+        g = delayed_words_chain()
+        art = build_artifacts(g, method="rpmc")
+        mlt = max_live_tokens(g, art.result.sdppo_schedule)
+        assert mlt == 5
+        assert art.result.allocation.total == 4
+        assert mlt > art.result.allocation.total
+
+    def test_allocation_is_nevertheless_feasible(self):
+        g = delayed_words_chain()
+        art = build_artifacts(g, method="rpmc")
+        # The unconditional bound: peak simultaneous token words.
+        occ = reference_peak_token_words(g, art.result.sdppo_schedule)
+        assert occ == 3
+        assert occ <= art.result.allocation.total
+        verify_allocation(
+            art.result.lifetimes.as_list(), art.result.allocation
+        )
+        vm = SharedMemoryVM(g, art.result.lifetimes, art.result.allocation)
+        vm.run(periods=2)
+
+    def test_oracle_battery_clean(self):
+        assert run_oracles(build_artifacts(delayed_words_chain())) == []
+
+
+class TestEq5UndershootsOnInternalDelay:
+    """4-actor chain: ``sdppo_cost`` < ``max_live_tokens``.
+
+    EQ 5's ``max(left, right)`` combiner assumes the two halves of a
+    split never hold memory simultaneously; a delayed edge internal to
+    one half is live from step 0 (whole-period envelope), overlapping
+    the other half.  The DP is exact for delayless graphs only — an
+    estimate here, and the realized allocation (4) covers the true
+    requirement regardless.
+    """
+
+    def test_gap_is_present(self):
+        g = internal_delay_chain()
+        art = build_artifacts(g, method="rpmc")
+        mlt = max_live_tokens(g, art.result.sdppo_schedule)
+        assert art.result.sdppo_cost == 3
+        assert mlt == 4
+        assert art.result.sdppo_cost < mlt
+
+    def test_allocation_covers_true_requirement(self):
+        g = internal_delay_chain()
+        art = build_artifacts(g, method="rpmc")
+        assert art.result.allocation.total == 4
+        occ = reference_peak_token_words(g, art.result.sdppo_schedule)
+        assert occ <= art.result.allocation.total
+        verify_allocation(
+            art.result.lifetimes.as_list(), art.result.allocation
+        )
+        vm = SharedMemoryVM(g, art.result.lifetimes, art.result.allocation)
+        vm.run(periods=2)
+
+    def test_oracle_battery_clean(self):
+        assert run_oracles(build_artifacts(internal_delay_chain())) == []

@@ -107,6 +107,17 @@ class TestParallelSerialIdentity:
         monkeypatch.setenv("REPRO_JOBS", "7")
         assert effective_jobs(2) == 2
 
+    def test_effective_jobs_rejects_negative(self, monkeypatch):
+        # Negative counts are configuration errors, not "serial please";
+        # both the argument and environment forms must refuse them.
+        with pytest.raises(ValueError):
+            effective_jobs(-1)
+        with pytest.raises(ValueError):
+            effective_jobs(-17)
+        monkeypatch.setenv("REPRO_JOBS", "-2")
+        with pytest.raises(ValueError):
+            effective_jobs()
+
 
 def _negate(x):
     return -x

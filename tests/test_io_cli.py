@@ -2,6 +2,7 @@
 
 import io
 import json
+import os
 
 import pytest
 
@@ -143,3 +144,74 @@ class TestCLI:
     def test_dot(self, capsys):
         assert main(["dot", "overAddFFT"]) == 0
         assert "digraph" in capsys.readouterr().out
+
+
+class TestJobsFlag:
+    def test_table1_jobs(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert main(["table1", "--systems", "4pamxmitrec",
+                     "--jobs", "2"]) == 0
+        assert "4pamxmitrec" in capsys.readouterr().out
+
+    def test_fig27_jobs(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert main(["fig27", "--sizes", "10", "--count", "2",
+                     "--jobs", "2"]) == 0
+        assert "(a)" in capsys.readouterr().out
+
+    def test_negative_jobs_rejected(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        with pytest.raises(SystemExit):
+            main(["table1", "--systems", "4pamxmitrec", "--jobs", "-1"])
+
+    def test_flag_beats_environment(self, capsys, monkeypatch):
+        # REPRO_JOBS is invalid; the explicit flag must win (and then
+        # rewrite the environment for any nested fan-out).
+        monkeypatch.setenv("REPRO_JOBS", "notanumber")
+        assert main(["compile", "4pamxmitrec", "--jobs", "1"]) == 0
+        assert os.environ["REPRO_JOBS"] == "1"
+        assert "shared:" in capsys.readouterr().out
+
+
+class TestCheckCLI:
+    def test_check_clean_run_exits_zero(self, capsys):
+        assert main(["check", "--trials", "2", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "0 failure(s)" in out
+        assert "check: OK" in out
+
+    def test_check_inject_exits_zero_when_all_caught(self, capsys):
+        assert main(["check", "--trials", "1", "--inject"]) == 0
+        out = capsys.readouterr().out
+        assert "fault injection" in out
+        assert "all caught" in out
+
+    def test_check_inject_exits_nonzero_on_missed_mutation(
+        self, capsys, monkeypatch
+    ):
+        # Disarm one mutation class: the self-test must notice that the
+        # planted fault went uncaught and fail the whole command.
+        from repro.check import fault_injection
+
+        monkeypatch.setattr(
+            fault_injection, "MUTATION_CLASSES",
+            {"disarmed": lambda art, rng: fault_injection.InjectionOutcome(
+                mutation="disarmed", graph_seed=art.seed,
+                caught=False, detail="mutation applied, no oracle fired",
+            )},
+        )
+        assert main(["check", "--trials", "1", "--inject"]) == 1
+        captured = capsys.readouterr()
+        assert "MUTATIONS MISSED" in captured.out
+        assert "check: FAILED" in captured.err
+
+    def test_check_bench_out(self, tmp_path, capsys):
+        target = str(tmp_path / "bench.json")
+        assert main(["check", "--trials", "1", "--no-shrink",
+                     "--bench-out", target]) == 0
+        with open(target) as handle:
+            rows = json.load(handle)
+        assert rows[0]["bench"] == "check_differential"
+        assert rows[0]["wall_s"] > 0
+        assert rows[0]["meta"]["trials"] == 1
+        assert rows[0]["meta"]["ok"] is True
