@@ -21,6 +21,7 @@ check:
 bench:
 	$(PYTHON) benchmarks/perf_suite.py --out BENCH_PR1.json \
 		--baseline benchmarks/seed_baseline.json
+	$(PYTHON) benchmarks/bench_symbolic.py --out BENCH_PR3.json
 
 bench-pytest:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

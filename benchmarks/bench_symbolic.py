@@ -1,0 +1,161 @@
+"""Rate-scaling benchmark: symbolic engine vs firing interpreter.
+
+Writes the ``BENCH_PR3.json`` perf trajectory file.  Two graph
+families, each swept across repetition-vector scales:
+
+* ``updown_xS`` — the 3-actor up/down-sampler chain
+  ``A -S/1-> B -1/S-> C`` under the SAS ``A(S B)C``: the minimal graph
+  whose firing count (``S + 2``) grows without bound while the schedule
+  tree stays 5 nodes.  ``S`` sweeps x10 ... x10^6.
+* ``cddat_xJ`` — the paper's CD-to-DAT converter under blocking factor
+  ``J`` (q sums to 612 J), post-optimized by DPPO: a realistic deep
+  chain with nested loops and thousands of coarse episodes.
+
+Each row times the four interpreter observables (``max_tokens``,
+``coarse_live_intervals``, ``max_live_tokens``, ``validate_schedule``)
+under ``backend="symbolic"``; where the flattened schedule stays under
+``MAX_INTERP_FIRINGS`` firings the same observables are also timed
+under ``backend="interpreter"``, asserted bit-identical, and the
+speedup recorded in the row's meta.  Larger scales record the
+interpreter as timed out — running it would take minutes to hours,
+which is the point of the engine.
+
+Usage::
+
+    python benchmarks/bench_symbolic.py --out BENCH_PR3.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.apps.ptolemy_demos import cd_to_dat  # noqa: E402
+from repro.experiments.runner import TimingReport  # noqa: E402
+from repro.scheduling.dppo import dppo  # noqa: E402
+from repro.sdf.graph import SDFGraph  # noqa: E402
+from repro.sdf.repetitions import repetitions_vector  # noqa: E402
+from repro.sdf.schedule import parse_schedule  # noqa: E402
+from repro.sdf.simulate import (  # noqa: E402
+    coarse_live_intervals,
+    max_live_tokens,
+    max_tokens,
+    validate_schedule,
+)
+from repro.sdf.symbolic import SymbolicTrace  # noqa: E402
+from repro.sdf.transformations import apply_blocking_factor  # noqa: E402
+
+#: Interpreter cost is linear in flattened firings; past this the row
+#: records a timeout instead of burning minutes on a foregone result.
+MAX_INTERP_FIRINGS = 200_000
+
+OBSERVABLES = (
+    max_tokens,
+    coarse_live_intervals,
+    max_live_tokens,
+    validate_schedule,
+)
+
+
+def _run_all(graph, schedule, backend):
+    return tuple(fn(graph, schedule, backend=backend) for fn in OBSERVABLES)
+
+
+def _time_backend(graph, schedule, backend, repeat):
+    best = None
+    result = None
+    for _ in range(max(1, repeat)):
+        t0 = time.perf_counter()
+        result = _run_all(graph, schedule, backend)
+        wall = time.perf_counter() - t0
+        if best is None or wall < best:
+            best = wall
+    return best, result
+
+
+def updown_chain(scale: int) -> SDFGraph:
+    g = SDFGraph(f"updown_x{scale}")
+    g.add_actors("ABC")
+    g.add_edge("A", "B", scale, 1)
+    g.add_edge("B", "C", 1, scale)
+    return g
+
+
+def bench_case(report, name, graph, schedule, repeat, **meta):
+    trace = SymbolicTrace.try_build(graph, schedule)
+    assert trace is not None, f"{name}: symbolic support expected"
+    firings = trace.tree.total_firings()
+    sym_wall, sym_result = _time_backend(graph, schedule, "symbolic", repeat)
+    meta.update(firings=firings, peak_words=sym_result[2])
+    if firings <= MAX_INTERP_FIRINGS:
+        interp_wall, interp_result = _time_backend(
+            graph, schedule, "interpreter", repeat
+        )
+        assert sym_result == interp_result, f"{name}: backends disagree"
+        meta.update(
+            interpreter_wall_s=round(interp_wall, 6),
+            identical=True,
+            speedup=round(interp_wall / sym_wall, 2) if sym_wall > 0 else None,
+        )
+    else:
+        meta.update(
+            interpreter_wall_s=None,
+            interpreter=f"timed out (skipped, > {MAX_INTERP_FIRINGS} firings)",
+        )
+    return report.record(name, sym_wall, **meta)
+
+
+def run_suite(repeat: int = 5):
+    report = TimingReport()
+
+    for scale in (10, 100, 1_000, 10_000, 100_000, 1_000_000):
+        graph = updown_chain(scale)
+        schedule = parse_schedule(f"A({scale}B)C")
+        bench_case(
+            report, f"updown_x{scale}", graph, schedule, repeat, scale=scale
+        )
+
+    base = cd_to_dat()
+    for factor in (1, 100, 10_000):
+        graph = apply_blocking_factor(base, factor)
+        order = graph.topological_order()
+        schedule = dppo(graph, order, repetitions_vector(graph)).schedule
+        bench_case(
+            report, f"cddat_x{factor}", graph, schedule, repeat,
+            blocking_factor=factor,
+        )
+
+    return report.rows
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_PR3.json")
+    parser.add_argument("--repeat", type=int, default=5,
+                        help="runs per bench; the minimum wall time is kept")
+    args = parser.parse_args(argv)
+
+    rows = run_suite(repeat=args.repeat)
+    with open(args.out, "w") as fh:
+        json.dump(rows, fh, indent=2)
+        fh.write("\n")
+    for row in rows:
+        meta = row["meta"]
+        if meta.get("interpreter_wall_s") is not None:
+            extra = (
+                f"  (interpreter {meta['interpreter_wall_s']:.3f}s, "
+                f"{meta['speedup']:.1f}x)"
+            )
+        else:
+            extra = "  (interpreter timed out)"
+        print(f"{row['bench']:>18}: {row['wall_s']:9.5f}s{extra}")
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

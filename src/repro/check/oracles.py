@@ -46,6 +46,7 @@ __all__ = [
     "run_oracles",
     "trace_oracles",
     "schedule_oracles",
+    "symbolic_oracles",
     "execution_oracles",
     "allocation_oracles",
     "compare_trace",
@@ -212,8 +213,38 @@ def schedule_oracles(art: PipelineArtifacts) -> List[str]:
 
 
 # ----------------------------------------------------------------------
-# execution layer: interpreter vs VM vs generated Python
+# symbolic layer: loop-compressed closed forms vs the firing interpreter
 # ----------------------------------------------------------------------
+def symbolic_oracles(graph: SDFGraph, schedule: LoopedSchedule) -> List[str]:
+    """Forced-symbolic vs forced-interpreter observables, bit-for-bit.
+
+    The symbolic engine only claims coverage of delayless self-loop-free
+    graphs under full topological single appearance schedules; on
+    anything else ``try_build`` declines, ``backend="auto"`` falls back
+    to the interpreter, and there is nothing to compare.  Where it does
+    claim coverage, every observable must match the interpreter exactly
+    — the ``trace:`` oracles then tie the interpreter itself to the
+    naive references, closing the symbolic/interpreter/VM triangle.
+    """
+    from ..sdf.symbolic import SymbolicTrace
+
+    if SymbolicTrace.try_build(graph, schedule) is None:
+        return []
+    bad: List[str] = []
+    for label, fn in (
+        ("max_tokens", max_tokens),
+        ("coarse_live_intervals", coarse_live_intervals),
+        ("max_live_tokens", max_live_tokens),
+        ("validate_schedule", validate_schedule),
+    ):
+        sym = fn(graph, schedule, backend="symbolic")
+        itp = fn(graph, schedule, backend="interpreter")
+        if sym != itp:
+            bad.append(
+                f"symb: {label} symbolic result disagrees with "
+                f"interpreter: {sym} != {itp}"
+            )
+    return bad
 def _sequence_actors(graph: SDFGraph):
     """Actor callables for generated modules that check token integrity.
 
@@ -418,6 +449,8 @@ def run_oracles(art: PipelineArtifacts) -> List[str]:
     bad.extend(schedule_oracles(art))
     bad.extend(trace_oracles(art.graph, art.result.sdppo_schedule))
     bad.extend(trace_oracles(art.graph, art.result.dppo_schedule))
+    bad.extend(symbolic_oracles(art.graph, art.result.sdppo_schedule))
+    bad.extend(symbolic_oracles(art.graph, art.result.dppo_schedule))
     bad.extend(execution_oracles(art))
     bad.extend(allocation_oracles(art))
     return bad

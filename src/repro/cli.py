@@ -89,13 +89,28 @@ def _cmd_compile(args: argparse.Namespace) -> int:
 
     _apply_jobs(args)
     graph = _resolve_graph(args.graph)
-    result = implement(graph, args.method, seed=args.seed)
+    report = None
+    if args.profile:
+        from .experiments.runner import TimingReport
+
+        report = TimingReport()
+    result = implement(graph, args.method, seed=args.seed, report=report)
     print(f"graph:      {graph.name} ({graph.num_actors} actors)")
     print(f"order:      {' '.join(result.order)}")
     print(f"schedule:   {result.sdppo_schedule}")
     print(f"non-shared: {result.dppo_cost} words")
     print(f"shared:     {result.allocation.total} words "
           f"(mco {result.mco}, mcp {result.mcp})")
+    if report is not None:
+        total = sum(row["wall_s"] for row in report.rows)
+        print("profile:")
+        for row in report.rows:
+            extra = ""
+            if row["meta"]:
+                pairs = ", ".join(f"{k}={v}" for k, v in row["meta"].items())
+                extra = f"  ({pairs})"
+            print(f"  {row['bench']:>10}: {row['wall_s']:8.4f}s{extra}")
+        print(f"  {'total':>10}: {total:8.4f}s")
     if args.check:
         firings = run_shared_memory_check(
             graph, result.lifetimes, result.allocation, periods=2
@@ -258,6 +273,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--check", action="store_true",
         help="execute the schedule against the allocation",
+    )
+    p.add_argument(
+        "--profile", action="store_true",
+        help="print per-stage wall time (session, topsort, DPPO, "
+             "SDPPO, lifetimes, WIG, first-fit, verify)",
     )
     p.add_argument(
         "--jobs", type=int, default=None, metavar="N",

@@ -103,6 +103,33 @@ class PeriodicLifetime:
                         f"nesting property ({a} * {loop - 1} > {nxt})"
                     )
 
+    @classmethod
+    def from_basis(
+        cls,
+        name: str,
+        size: int,
+        start: int,
+        duration: int,
+        basis: Sequence[Tuple[int, int]],
+        total_span: int = 0,
+    ) -> "PeriodicLifetime":
+        """Build a lifetime from a raw parent-set basis.
+
+        ``basis`` is ``(a_i, loop_i)`` pairs in any order, unit loops
+        included — exactly what a walk over a schedule tree's parent
+        set produces (section 8.4), on either the schedule-step or the
+        flat-firing clock.  Unit loops are dropped (they contribute no
+        occurrences) and the rest sorted ascending by ``a_i``, which is
+        the constructor's normal form.
+        """
+        periods = tuple(
+            sorted((p for p in basis if p[1] > 1), key=lambda p: p[0])
+        )
+        return cls(
+            name=name, size=size, start=start, duration=duration,
+            periods=periods, total_span=total_span,
+        )
+
     # ------------------------------------------------------------------
     # Derived quantities are cached on the instance (lifetimes are
     # frozen); the WIG build queries them once per candidate pair.

@@ -18,6 +18,7 @@ exactly the comparison columns of Table 1.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -89,6 +90,19 @@ def _topological_order_for(
     )
 
 
+def _timed(report, name: str):
+    """``report.stage(name)`` when profiling, else a no-op context.
+
+    ``report`` is anything with a ``TimingReport``-shaped ``stage``
+    context manager (kept duck-typed: importing
+    ``repro.experiments.runner`` here would cycle through the
+    experiments package back into scheduling).
+    """
+    if report is None:
+        return nullcontext({})
+    return report.stage(name)
+
+
 def implement(
     graph: SDFGraph,
     method: str = "rpmc",
@@ -99,6 +113,7 @@ def implement(
     verify: bool = True,
     session: Optional[CompilationSession] = None,
     trusted_order: bool = False,
+    report=None,
 ) -> ImplementationResult:
     """Run the full flow with one topological-sort method.
 
@@ -124,35 +139,49 @@ def implement(
         construction, skipping re-validation.  Orders generated here
         (``method=...``) are always trusted; leave False for orders
         from outside the package's own generators.
+    report:
+        A ``TimingReport`` (duck-typed) to receive one wall-time row
+        per pipeline stage — the ``repro compile --profile`` hook.
     """
     if session is None:
-        session = CompilationSession(graph)
+        with _timed(report, "session"):
+            session = CompilationSession(graph)
     q = session.q
     if order is not None:
         chosen = list(order)
         method = "given"
         trusted = trusted_order
     else:
-        chosen = _topological_order_for(graph, method, seed, q)
+        with _timed(report, "topsort") as meta:
+            chosen = _topological_order_for(graph, method, seed, q)
+            meta["method"] = method
         trusted = True
 
     context = session.context_for(chosen, trusted=trusted)
-    dppo_result = dppo(graph, chosen, q, context=context)
-    if use_chain_dp and session.chain_order is not None:
-        chain_result = session.chain_sdppo_result()
-        sdppo_cost, sdppo_schedule = chain_result.cost, chain_result.schedule
-    else:
-        sdppo_result = sdppo(graph, chosen, q, context=context)
-        sdppo_cost, sdppo_schedule = sdppo_result.cost, sdppo_result.schedule
+    with _timed(report, "dppo"):
+        dppo_result = dppo(graph, chosen, q, context=context)
+    with _timed(report, "sdppo") as meta:
+        if use_chain_dp and session.chain_order is not None:
+            meta["dp"] = "chain"
+            chain_result = session.chain_sdppo_result()
+            sdppo_cost, sdppo_schedule = chain_result.cost, chain_result.schedule
+        else:
+            meta["dp"] = "eq5"
+            sdppo_result = sdppo(graph, chosen, q, context=context)
+            sdppo_cost, sdppo_schedule = sdppo_result.cost, sdppo_result.schedule
 
-    lifetimes = extract_lifetimes(graph, sdppo_schedule, q)
+    with _timed(report, "lifetimes"):
+        lifetimes = extract_lifetimes(graph, sdppo_schedule, q)
     buffers = lifetimes.as_list()
-    wig = build_intersection_graph(buffers, occurrence_cap=occurrence_cap)
-    alloc_dur = ffdur(buffers, graph=wig, occurrence_cap=occurrence_cap)
-    alloc_start = ffstart(buffers, graph=wig, occurrence_cap=occurrence_cap)
-    best = alloc_dur if alloc_dur.total <= alloc_start.total else alloc_start
+    with _timed(report, "wig"):
+        wig = build_intersection_graph(buffers, occurrence_cap=occurrence_cap)
+    with _timed(report, "first_fit"):
+        alloc_dur = ffdur(buffers, graph=wig, occurrence_cap=occurrence_cap)
+        alloc_start = ffstart(buffers, graph=wig, occurrence_cap=occurrence_cap)
+        best = alloc_dur if alloc_dur.total <= alloc_start.total else alloc_start
     if verify:
-        verify_allocation(buffers, best, occurrence_cap=occurrence_cap)
+        with _timed(report, "verify"):
+            verify_allocation(buffers, best, occurrence_cap=occurrence_cap)
 
     return ImplementationResult(
         method=method,

@@ -143,6 +143,19 @@ class SDFGraph:
         # adjacency: actor -> list of edge keys
         self._out: Dict[str, List[Tuple[str, str, int]]] = {}
         self._in: Dict[str, List[Tuple[str, str, int]]] = {}
+        # Memoized repetitions-vector solve (populated by
+        # repro.sdf.repetitions.repetitions_vector, dropped on mutation).
+        self._q_cache: Optional[Dict[str, int]] = None
+
+    def invalidate_caches(self) -> None:
+        """Drop derived-result caches; called on every graph mutation.
+
+        ``add_actor``/``add_edge`` are the only mutation points (edges
+        and actors are frozen dataclasses and nothing removes them), so
+        structural caches like the repetitions-vector solve stay valid
+        between mutations.
+        """
+        self._q_cache = None
 
     # ------------------------------------------------------------------
     # construction
@@ -155,6 +168,7 @@ class SDFGraph:
         self._actors[name] = actor
         self._out[name] = []
         self._in[name] = []
+        self.invalidate_caches()
         return actor
 
     def add_actors(self, names: Iterable[str]) -> List[Actor]:
@@ -188,6 +202,7 @@ class SDFGraph:
         self._edges[edge.key] = edge
         self._out[source].append(edge.key)
         self._in[sink].append(edge.key)
+        self.invalidate_caches()
         return edge
 
     def add_chain(

@@ -90,7 +90,16 @@ def repetitions_vector(graph: SDFGraph) -> Dict[str, int]:
         >>> _ = g.add_edge("B", "C", 1, 3)
         >>> repetitions_vector(g) == {"A": 3, "B": 6, "C": 2}
         True
+
+    The solve is memoized on the graph (``graph._q_cache``, dropped by
+    :meth:`~repro.sdf.graph.SDFGraph.invalidate_caches` on mutation),
+    so repeated ``bounds``/``simulate``/pipeline calls on one graph pay
+    for the balance equations once.  Callers get a fresh dict each time
+    — mutating the returned vector cannot poison the cache.
     """
+    cached = getattr(graph, "_q_cache", None)
+    if cached is not None:
+        return dict(cached)
     check_self_loops(graph)
     ratio: Dict[str, Fraction] = {}
     component: Dict[str, int] = {}
@@ -161,6 +170,7 @@ def repetitions_vector(graph: SDFGraph) -> Dict[str, int]:
                 f"{e.production}*{q[e.source]} != {e.consumption}*{q[e.sink]}",
                 kind="rate",
             )
+    graph._q_cache = dict(q)
     return q
 
 

@@ -27,6 +27,7 @@ from .repetitions import repetitions_vector
 from .schedule import LoopedSchedule
 
 __all__ = [
+    "BACKENDS",
     "validate_schedule",
     "is_valid_schedule",
     "max_tokens",
@@ -38,6 +39,39 @@ __all__ = [
     "assert_deadlock_free",
     "has_valid_schedule",
 ]
+
+
+#: Recognized values of the ``backend`` parameter accepted by
+#: :func:`validate_schedule`, :func:`max_tokens`,
+#: :func:`coarse_live_intervals` and :func:`max_live_tokens`.
+#: ``"auto"`` uses the loop-compressed symbolic engine
+#: (:mod:`repro.sdf.symbolic`) whenever its closed forms apply —
+#: bit-identical results in time independent of the firing count — and
+#: falls back to the firing interpreter otherwise (delays, self-loops,
+#: non-SAS or non-topological schedules).
+BACKENDS = ("auto", "interpreter", "symbolic")
+
+
+def _try_symbolic(graph: SDFGraph, schedule: LoopedSchedule, backend: str):
+    """Resolve ``backend`` to a SymbolicTrace, None (interpret), or raise."""
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    if backend == "interpreter":
+        return None
+    # Function-level import: repro.sdf.__init__ imports this module, and
+    # symbolic pulls in repro.lifetimes which imports repro.sdf.
+    from .symbolic import SymbolicTrace
+
+    trace = SymbolicTrace.try_build(graph, schedule)
+    if trace is None and backend == "symbolic":
+        raise ScheduleError(
+            "symbolic backend does not support this graph/schedule "
+            "(needs a delayless, self-loop-free graph under a full "
+            "topological single appearance schedule)"
+        )
+    return trace
 
 
 def _fire(
@@ -57,10 +91,17 @@ def _fire(
         tokens[e.key] += e.production
 
 
-def validate_schedule(graph: SDFGraph, schedule: LoopedSchedule) -> Dict[str, int]:
+def validate_schedule(
+    graph: SDFGraph,
+    schedule: LoopedSchedule,
+    backend: str = "auto",
+) -> Dict[str, int]:
     """Check that ``schedule`` is a valid schedule for ``graph``.
 
-    Returns the per-actor firing counts on success.
+    Returns the per-actor firing counts on success.  With the default
+    ``backend="auto"``, schedules the symbolic engine covers are proved
+    valid from the schedule tree (the closed forms guarantee no
+    underflow and per-period balance) without the O(firings) replay.
 
     Raises
     ------
@@ -96,6 +137,14 @@ def validate_schedule(graph: SDFGraph, schedule: LoopedSchedule) -> Dict[str, in
                 f"expected {blocking})"
             )
 
+    if _try_symbolic(graph, schedule, backend) is not None:
+        # The symbolic preconditions hold: within each least-parent
+        # iteration all production precedes all consumption and balances
+        # it exactly, so no edge underflows and every edge returns to
+        # its initial (zero) token count.  The replay below would find
+        # nothing.
+        return counts
+
     tokens = {e.key: e.delay for e in graph.edges()}
     for actor in schedule.firing_sequence():
         _fire(graph, actor, tokens)
@@ -116,11 +165,19 @@ def is_valid_schedule(graph: SDFGraph, schedule: LoopedSchedule) -> bool:
         return False
 
 
-def max_tokens(graph: SDFGraph, schedule: LoopedSchedule) -> Dict[Tuple[str, str, int], int]:
+def max_tokens(
+    graph: SDFGraph,
+    schedule: LoopedSchedule,
+    backend: str = "auto",
+) -> Dict[Tuple[str, str, int], int]:
     """``max_tokens(e, S)`` for every edge: the peak token count.
 
     This is the size of the buffer needed for each edge when each edge
-    gets its own, non-shared buffer.  Includes initial tokens.
+    gets its own, non-shared buffer.  Includes initial tokens.  With
+    the default ``backend="auto"`` the peaks of supported schedules
+    come from the closed forms of :mod:`repro.sdf.symbolic` (cost
+    independent of the firing count) and are bit-identical to the
+    firing interpreter's.
 
     Examples
     --------
@@ -128,6 +185,9 @@ def max_tokens(graph: SDFGraph, schedule: LoopedSchedule) -> Dict[Tuple[str, str
     ``max_tokens((A,B)) == 7`` (one delay plus six produced) and for
     S2 = (3A(2B))(2C) it is 3.
     """
+    symbolic = _try_symbolic(graph, schedule, backend)
+    if symbolic is not None:
+        return symbolic.max_tokens()
     peaks = {e.key: e.delay for e in graph.edges()}
     tokens = {e.key: e.delay for e in graph.edges()}
     for actor in schedule.firing_sequence():
@@ -389,7 +449,9 @@ def _scan_episodes(graph: SDFGraph, schedule: LoopedSchedule) -> _EpisodeScan:
 
 
 def coarse_live_intervals(
-    graph: SDFGraph, schedule: LoopedSchedule
+    graph: SDFGraph,
+    schedule: LoopedSchedule,
+    backend: str = "auto",
 ) -> Dict[Tuple[str, str, int], List[Tuple[int, int]]]:
     """Ground-truth coarse-grained liveness intervals per edge.
 
@@ -401,12 +463,22 @@ def coarse_live_intervals(
     including the state after firing ``t`` (with 0 = initial state).
 
     Used by tests to cross-check the schedule-tree lifetime extraction.
-    Computed in one streaming pass (no trace materialization).
+    Computed in one streaming pass (no trace materialization); with the
+    default ``backend="auto"``, supported schedules skip the pass and
+    enumerate the episodes from their mixed-radix closed form instead
+    (output-sized rather than firing-count-sized).
     """
+    symbolic = _try_symbolic(graph, schedule, backend)
+    if symbolic is not None:
+        return symbolic.coarse_live_intervals()
     return _scan_episodes(graph, schedule).intervals
 
 
-def max_live_tokens(graph: SDFGraph, schedule: LoopedSchedule) -> int:
+def max_live_tokens(
+    graph: SDFGraph,
+    schedule: LoopedSchedule,
+    backend: str = "auto",
+) -> int:
     """Peak of the coarse-model live-array total over the schedule.
 
     Under the coarse model each live episode of an edge's buffer requires
@@ -418,8 +490,14 @@ def max_live_tokens(graph: SDFGraph, schedule: LoopedSchedule) -> int:
 
     A single simulation produces both the episodes and their sizes (the
     historical implementation simulated the same schedule three times
-    and walked full per-step snapshots).
+    and walked full per-step snapshots).  With the default
+    ``backend="auto"``, supported schedules instead resolve the peak by
+    a hierarchical range-max over the schedule tree — no simulation and
+    no episode enumeration at all.
     """
+    symbolic = _try_symbolic(graph, schedule, backend)
+    if symbolic is not None:
+        return symbolic.max_live_tokens()
     scan = _scan_episodes(graph, schedule)
     events: List[Tuple[int, int]] = []  # (time, +size/-size)
     for _, s, t, size in scan.episodes:

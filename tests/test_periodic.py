@@ -219,3 +219,75 @@ class TestProperties:
         s = b.solid()
         for lo, hi in b.intervals():
             assert s.start <= lo and hi <= s.start + s.duration
+
+
+class TestOverlapBranchesAgainstBruteForce:
+    """Every :meth:`overlaps` code path agrees with naive enumeration.
+
+    The default cap (4096) means the random lifetimes above only ever
+    exercise the both-sides-enumerable binary-search path.  Here a
+    mid-range ``occurrence_cap`` — between the two occurrence counts —
+    forces the analytic figure-18 path (``live_at``/``next_start``
+    against the dense side), which must still be *exact*, while a cap
+    below both counts forces the solid-envelope fallback, which must be
+    pessimistic but never optimistic.
+    """
+
+    @given(lifetimes(), lifetimes())
+    @settings(max_examples=150, deadline=None)
+    def test_analytic_branch_is_exact(self, a, b):
+        lo = min(a.num_occurrences, b.num_occurrences)
+        hi = max(a.num_occurrences, b.num_occurrences)
+        if lo == hi:
+            return  # no cap separates the pair; branch unreachable
+        # sparse side enumerable, dense side strictly over the cap
+        cap = hi - 1
+        assert cap >= lo
+        assert a.overlaps(b, occurrence_cap=cap) == naive_overlap(a, b)
+        assert b.overlaps(a, occurrence_cap=cap) == naive_overlap(b, a)
+
+    @given(lifetimes(), lifetimes())
+    @settings(max_examples=150, deadline=None)
+    def test_solid_fallback_never_misses_an_overlap(self, a, b):
+        if min(a.num_occurrences, b.num_occurrences) <= 1:
+            return  # cap of 0/(-1) is meaningless; fallback unreachable
+        cap = min(a.num_occurrences, b.num_occurrences) - 1
+        got = a.overlaps(b, occurrence_cap=cap)
+        if naive_overlap(a, b):
+            assert got  # pessimistic: a real overlap is never dropped
+        assert got == naive_overlap(a.solid(), b.solid())
+
+    @given(lifetimes(), st.integers(min_value=1, max_value=64))
+    @settings(max_examples=100, deadline=None)
+    def test_self_overlap_under_any_cap(self, a, cap):
+        assert a.overlaps(a, occurrence_cap=cap)
+
+
+class TestFromBasis:
+    @given(lifetimes())
+    @settings(max_examples=100, deadline=None)
+    def test_round_trip_with_shuffled_unit_padded_basis(self, b):
+        # A raw parent-set walk yields the periods in arbitrary order
+        # with unit loops interleaved; from_basis must normalise that
+        # back to the same lifetime.
+        basis = list(b.periods)[::-1]
+        basis[1:1] = [(1, 1), (b.duration + 7, 1)]
+        rebuilt = PeriodicLifetime.from_basis(
+            b.name, b.size, b.start, b.duration, basis,
+            total_span=b.total_span,
+        )
+        assert rebuilt == b
+        assert list(rebuilt.intervals()) == list(b.intervals())
+
+    def test_unit_loops_dropped(self):
+        b = PeriodicLifetime.from_basis("b", 1, 0, 2, [(3, 1), (4, 2)])
+        assert b.periods == ((4, 2),)
+
+    def test_sorts_ascending(self):
+        b = PeriodicLifetime.from_basis("b", 1, 0, 2, [(9, 2), (4, 2)])
+        assert b.periods == ((4, 2), (9, 2))
+
+    def test_still_validates_nesting(self):
+        from repro.exceptions import SDFError
+        with pytest.raises(SDFError):
+            PeriodicLifetime.from_basis("b", 1, 0, 1, [(7, 2), (5, 4)])

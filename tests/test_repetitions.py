@@ -137,3 +137,55 @@ class TestBalanceProperty:
         for v in q.values():
             acc = gcd(acc, v)
         assert acc == 1
+
+
+class TestSolveCache:
+    """The repetitions solve is memoized on the graph object."""
+
+    def figure1(self):
+        g = SDFGraph()
+        g.add_actors("ABC")
+        g.add_edge("A", "B", 2, 1)
+        g.add_edge("B", "C", 1, 3)
+        return g
+
+    def test_cache_populated_and_reused(self):
+        g = self.figure1()
+        assert g._q_cache is None
+        q1 = repetitions_vector(g)
+        assert g._q_cache == q1
+        # Second call returns the cached solution (same value, and the
+        # solver is not consulted: poisoning the cache shows up).
+        g._q_cache = {"A": 30, "B": 60, "C": 20}
+        assert repetitions_vector(g) == {"A": 30, "B": 60, "C": 20}
+
+    def test_returned_dict_is_a_copy(self):
+        g = self.figure1()
+        q1 = repetitions_vector(g)
+        q1["A"] = 999
+        assert repetitions_vector(g)["A"] == 3
+
+    def test_add_edge_invalidates(self):
+        g = self.figure1()
+        assert repetitions_vector(g) == {"A": 3, "B": 6, "C": 2}
+        g.add_edge("C", "A", 1, 1, delay=10)  # q must now equalize A and C
+        assert g._q_cache is None
+        with pytest.raises(InconsistentGraphError):
+            repetitions_vector(g)
+
+    def test_add_actor_invalidates(self):
+        g = self.figure1()
+        repetitions_vector(g)
+        g.add_actor("D")
+        assert g._q_cache is None
+        assert repetitions_vector(g)["D"] == 1
+
+    def test_inconsistent_graph_never_cached(self):
+        g = SDFGraph()
+        g.add_actors("AB")
+        g.add_edge("A", "B", 2, 1)
+        g.add_edge("A", "B", 1, 1)
+        for _ in range(2):
+            with pytest.raises(InconsistentGraphError):
+                repetitions_vector(g)
+        assert g._q_cache is None
