@@ -22,6 +22,7 @@ bench:
 	$(PYTHON) benchmarks/perf_suite.py --out BENCH_PR1.json \
 		--baseline benchmarks/seed_baseline.json
 	$(PYTHON) benchmarks/bench_symbolic.py --out BENCH_PR3.json
+	$(PYTHON) benchmarks/bench_obs.py --out BENCH_PR4.json
 
 bench-pytest:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

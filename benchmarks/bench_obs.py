@@ -1,0 +1,126 @@
+"""Observability overhead: tracing must be free when disabled.
+
+Writes the ``BENCH_PR4.json`` perf trajectory file.  The workload is
+the PR 1 random-search benchmark (satrec, serial), run three ways:
+
+* ``bare`` — ``recorder=None``: the instrumentation call sites take
+  their ``is None`` fast path; this is the pre-observability baseline.
+* ``null`` — an explicit :class:`repro.obs.NullRecorder`: the disabled
+  recorder a caller passes when tracing is wired up but switched off.
+  ``obs.active`` collapses it to the bare path at the pipeline entry;
+  this is the configuration the 2% budget applies to — disabled
+  tracing may not tax the pipeline.
+* ``traced`` — a full :class:`repro.obs.TraceRecorder`; its wall time
+  and recording volume are reported for information only.
+
+The three modes are interleaved round-robin and the minimum wall per
+mode is kept, so a background hiccup cannot charge one mode for noise
+another mode escaped.
+
+Usage::
+
+    python benchmarks/bench_obs.py --out BENCH_PR4.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import obs  # noqa: E402
+from repro.apps import table1_graph  # noqa: E402
+from repro.baselines.random_search import random_search  # noqa: E402
+from repro.experiments.runner import TimingReport  # noqa: E402
+
+#: Disabled-recorder overhead budget: null may cost at most 2% over bare.
+MAX_OVERHEAD = 1.02
+
+
+def _workload(graph, trials, recorder):
+    return random_search(graph, trials=trials, seed=0, recorder=recorder)
+
+
+def _timed(graph, trials, recorder):
+    t0 = time.perf_counter()
+    result = _workload(graph, trials, recorder)
+    return time.perf_counter() - t0, result
+
+
+def run_suite(system="satrec", trials=200, repeat=7):
+    graph = table1_graph(system)
+    modes = ("bare", "null", "traced")
+    best = dict.fromkeys(modes)
+    totals = {}
+    trace_rec = None
+    for _ in range(max(1, repeat)):
+        for mode in modes:
+            if mode == "bare":
+                recorder = None
+            elif mode == "null":
+                recorder = obs.NullRecorder()
+            else:
+                recorder = obs.TraceRecorder()
+            wall, result = _timed(graph, trials, recorder)
+            totals.setdefault(mode, result.best_total)
+            # Tracing must never change the search outcome.
+            assert result.best_total == totals["bare"], mode
+            if best[mode] is None or wall < best[mode]:
+                best[mode] = wall
+                if mode == "traced":
+                    trace_rec = recorder
+
+    overhead = best["null"] / best["bare"] if best["bare"] > 0 else 1.0
+    counters = trace_rec.counter_totals()
+    spans = sum(1 for _ in trace_rec.iter_spans())
+
+    report = TimingReport()
+    report.record(
+        f"random_search_{system}_bare", best["bare"],
+        trials=trials, recorder="none", best_total=totals["bare"],
+    )
+    report.record(
+        f"random_search_{system}_null", best["null"],
+        trials=trials, recorder="null",
+        overhead_vs_bare=round(overhead, 4), budget=MAX_OVERHEAD,
+    )
+    report.record(
+        f"random_search_{system}_traced", best["traced"],
+        trials=trials, recorder="trace", spans=spans,
+        counter_totals=counters,
+    )
+    return report.rows, overhead
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_PR4.json")
+    parser.add_argument("--system", default="satrec")
+    parser.add_argument("--trials", type=int, default=200)
+    parser.add_argument("--repeat", type=int, default=7,
+                        help="interleaved rounds; the minimum wall is kept")
+    args = parser.parse_args(argv)
+
+    rows, overhead = run_suite(
+        system=args.system, trials=args.trials, repeat=args.repeat
+    )
+    with open(args.out, "w") as fh:
+        json.dump(rows, fh, indent=2)
+        fh.write("\n")
+    for row in rows:
+        print(f"{row['bench']:>30}: {row['wall_s']:9.5f}s")
+    print(f"disabled-recorder overhead: {overhead:.4f}x "
+          f"(budget {MAX_OVERHEAD}x)")
+    print(f"wrote {args.out}")
+    assert overhead <= MAX_OVERHEAD, (
+        f"NullRecorder overhead {overhead:.4f}x exceeds "
+        f"{MAX_OVERHEAD}x budget"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,642 @@
+/* Generated shared-memory implementation of 'qmf12_3d'.
+ * Schedule: (2(2(2src pre0)lo0 hi0)(2pre0L)lo0L hi0L)(2pre0LL)lo0LL hi0LL ulo0LL uhi0LL(2add0LL)(2pre0LH)lo0LH hi0LH(2ulo0L)ulo0LH uhi0LH(2add0LH)(2uhi0L(2add0L ulo0))(2(2pre0H)lo0H hi0H)(2pre0HL)lo0HL hi0HL ulo0HL uhi0HL(2add0HL)(2pre0HH)lo0HH hi0HH ulo0HH uhi0HH(2add0HH)(2ulo0H uhi0H(2add0H)(2uhi0(2add0 snk)))
+ * Pool size: 21 words.
+ */
+
+#include <stddef.h>
+
+typedef int token_t;
+
+static token_t memory[21];
+
+#define BUF_SRC_PRE0 (memory + 14)  /* 1 words, lifetime src->pre0: size=1 start=0 dur=2 periods=(2x2, 6x2, 15x2) */
+#define BUF_PRE0_LO0 (memory + 12)  /* 2 words, lifetime pre0->lo0: size=2 start=1 dur=4 periods=(6x2, 15x2) */
+#define BUF_PRE0_HI0 (memory + 10)  /* 2 words, lifetime pre0->hi0: size=2 start=1 dur=5 periods=(6x2, 15x2) */
+#define BUF_LO0_PRE0L (memory + 8)  /* 2 words, lifetime lo0->pre0L: size=2 start=4 dur=9 periods=(15x2) */
+#define BUF_PRE0L_LO0L (memory + 12)  /* 2 words, lifetime pre0L->lo0L: size=2 start=12 dur=2 periods=(15x2) */
+#define BUF_PRE0L_HI0L (memory + 10)  /* 2 words, lifetime pre0L->hi0L: size=2 start=12 dur=3 periods=(15x2) */
+#define BUF_LO0L_PRE0LL (memory + 6)  /* 2 words, lifetime lo0L->pre0LL: size=2 [13, 31) */
+#define BUF_PRE0LL_LO0LL (memory + 10)  /* 2 words, lifetime pre0LL->lo0LL: size=2 [30, 32) */
+#define BUF_PRE0LL_HI0LL (memory + 8)  /* 2 words, lifetime pre0LL->hi0LL: size=2 [30, 33) */
+#define BUF_LO0LL_ULO0LL (memory + 6)  /* 1 words, lifetime lo0LL->ulo0LL: size=1 [31, 34) */
+#define BUF_HI0LL_UHI0LL (memory + 7)  /* 1 words, lifetime hi0LL->uhi0LL: size=1 [32, 35) */
+#define BUF_ULO0LL_ADD0LL (memory + 8)  /* 2 words, lifetime ulo0LL->add0LL: size=2 [33, 36) */
+#define BUF_UHI0LL_ADD0LL (memory + 10)  /* 2 words, lifetime uhi0LL->add0LL: size=2 [34, 36) */
+#define BUF_HI0L_PRE0LH (memory + 4)  /* 2 words, lifetime hi0L->pre0LH: size=2 [14, 37) */
+#define BUF_PRE0LH_LO0LH (memory + 10)  /* 2 words, lifetime pre0LH->lo0LH: size=2 [36, 38) */
+#define BUF_PRE0LH_HI0LH (memory + 8)  /* 2 words, lifetime pre0LH->hi0LH: size=2 [36, 39) */
+#define BUF_LO0LH_ULO0LH (memory + 4)  /* 1 words, lifetime lo0LH->ulo0LH: size=1 [37, 41) */
+#define BUF_HI0LH_UHI0LH (memory + 5)  /* 1 words, lifetime hi0LH->uhi0LH: size=1 [38, 42) */
+#define BUF_ULO0LH_ADD0LH (memory + 6)  /* 2 words, lifetime ulo0LH->add0LH: size=2 [40, 43) */
+#define BUF_UHI0LH_ADD0LH (memory + 8)  /* 2 words, lifetime uhi0LH->add0LH: size=2 [41, 43) */
+#define BUF_ADD0LL_ULO0L (memory + 6)  /* 2 words, lifetime add0LL->ulo0L: size=2 [35, 40) */
+#define BUF_ADD0LH_UHI0L (memory + 16)  /* 2 words, lifetime add0LH->uhi0L: size=2 [42, 49) */
+#define BUF_ULO0L_ADD0L (memory + 12)  /* 4 words, lifetime ulo0L->add0L: size=4 [39, 52) */
+#define BUF_UHI0L_ADD0L (memory + 18)  /* 2 words, lifetime uhi0L->add0L: size=2 start=43 dur=4 periods=(5x2) */
+#define BUF_HI0_PRE0H (memory + 0)  /* 4 words, lifetime hi0->pre0H: size=4 [5, 57) */
+#define BUF_PRE0H_LO0H (memory + 18)  /* 2 words, lifetime pre0H->lo0H: size=2 start=53 dur=2 periods=(3x2) */
+#define BUF_PRE0H_HI0H (memory + 16)  /* 2 words, lifetime pre0H->hi0H: size=2 start=53 dur=3 periods=(3x2) */
+#define BUF_LO0H_PRE0HL (memory + 14)  /* 2 words, lifetime lo0H->pre0HL: size=2 [54, 60) */
+#define BUF_PRE0HL_LO0HL (memory + 2)  /* 2 words, lifetime pre0HL->lo0HL: size=2 [59, 61) */
+#define BUF_PRE0HL_HI0HL (memory + 0)  /* 2 words, lifetime pre0HL->hi0HL: size=2 [59, 62) */
+#define BUF_LO0HL_ULO0HL (memory + 14)  /* 1 words, lifetime lo0HL->ulo0HL: size=1 [60, 63) */
+#define BUF_HI0HL_UHI0HL (memory + 15)  /* 1 words, lifetime hi0HL->uhi0HL: size=1 [61, 64) */
+#define BUF_ULO0HL_ADD0HL (memory + 2)  /* 2 words, lifetime ulo0HL->add0HL: size=2 [62, 65) */
+#define BUF_UHI0HL_ADD0HL (memory + 16)  /* 2 words, lifetime uhi0HL->add0HL: size=2 [63, 65) */
+#define BUF_HI0H_PRE0HH (memory + 12)  /* 2 words, lifetime hi0H->pre0HH: size=2 [55, 66) */
+#define BUF_PRE0HH_LO0HH (memory + 15)  /* 2 words, lifetime pre0HH->lo0HH: size=2 [65, 67) */
+#define BUF_PRE0HH_HI0HH (memory + 2)  /* 2 words, lifetime pre0HH->hi0HH: size=2 [65, 68) */
+#define BUF_LO0HH_ULO0HH (memory + 14)  /* 1 words, lifetime lo0HH->ulo0HH: size=1 [66, 69) */
+#define BUF_HI0HH_UHI0HH (memory + 15)  /* 1 words, lifetime hi0HH->uhi0HH: size=1 [67, 70) */
+#define BUF_ULO0HH_ADD0HH (memory + 12)  /* 2 words, lifetime ulo0HH->add0HH: size=2 [68, 71) */
+#define BUF_UHI0HH_ADD0HH (memory + 16)  /* 2 words, lifetime uhi0HH->add0HH: size=2 [69, 71) */
+#define BUF_ADD0HL_ULO0H (memory + 0)  /* 2 words, lifetime add0HL->ulo0H: size=2 [64, 85) */
+#define BUF_ADD0HH_UHI0H (memory + 2)  /* 2 words, lifetime add0HH->uhi0H: size=2 [70, 86) */
+#define BUF_ULO0H_ADD0H (memory + 14)  /* 2 words, lifetime ulo0H->add0H: size=2 start=71 dur=3 periods=(13x2) */
+#define BUF_UHI0H_ADD0H (memory + 16)  /* 2 words, lifetime uhi0H->add0H: size=2 start=72 dur=2 periods=(13x2) */
+#define BUF_ADD0L_ULO0 (memory + 20)  /* 1 words, lifetime add0L->ulo0: size=1 start=44 dur=2 periods=(2x2, 5x2) */
+#define BUF_ADD0H_UHI0 (memory + 12)  /* 2 words, lifetime add0H->uhi0: size=2 start=73 dur=7 periods=(13x2) */
+#define BUF_ULO0_ADD0 (memory + 4)  /* 8 words, lifetime ulo0->add0: size=8 [45, 96) */
+#define BUF_UHI0_ADD0 (memory + 14)  /* 2 words, lifetime uhi0->add0: size=2 start=74 dur=4 periods=(5x2, 13x2) */
+#define BUF_ADD0_SNK (memory + 16)  /* 1 words, lifetime add0->snk: size=1 start=75 dur=2 periods=(2x2, 5x2, 13x2) */
+
+static size_t wr_src_pre0 = 0;
+static size_t rd_src_pre0 = 0;
+static size_t wr_pre0_lo0 = 0;
+static size_t rd_pre0_lo0 = 0;
+static size_t wr_pre0_hi0 = 0;
+static size_t rd_pre0_hi0 = 0;
+static size_t wr_lo0_pre0L = 0;
+static size_t rd_lo0_pre0L = 0;
+static size_t wr_pre0L_lo0L = 0;
+static size_t rd_pre0L_lo0L = 0;
+static size_t wr_pre0L_hi0L = 0;
+static size_t rd_pre0L_hi0L = 0;
+static size_t wr_lo0L_pre0LL = 0;
+static size_t rd_lo0L_pre0LL = 0;
+static size_t wr_pre0LL_lo0LL = 0;
+static size_t rd_pre0LL_lo0LL = 0;
+static size_t wr_pre0LL_hi0LL = 0;
+static size_t rd_pre0LL_hi0LL = 0;
+static size_t wr_lo0LL_ulo0LL = 0;
+static size_t rd_lo0LL_ulo0LL = 0;
+static size_t wr_hi0LL_uhi0LL = 0;
+static size_t rd_hi0LL_uhi0LL = 0;
+static size_t wr_ulo0LL_add0LL = 0;
+static size_t rd_ulo0LL_add0LL = 0;
+static size_t wr_uhi0LL_add0LL = 0;
+static size_t rd_uhi0LL_add0LL = 0;
+static size_t wr_hi0L_pre0LH = 0;
+static size_t rd_hi0L_pre0LH = 0;
+static size_t wr_pre0LH_lo0LH = 0;
+static size_t rd_pre0LH_lo0LH = 0;
+static size_t wr_pre0LH_hi0LH = 0;
+static size_t rd_pre0LH_hi0LH = 0;
+static size_t wr_lo0LH_ulo0LH = 0;
+static size_t rd_lo0LH_ulo0LH = 0;
+static size_t wr_hi0LH_uhi0LH = 0;
+static size_t rd_hi0LH_uhi0LH = 0;
+static size_t wr_ulo0LH_add0LH = 0;
+static size_t rd_ulo0LH_add0LH = 0;
+static size_t wr_uhi0LH_add0LH = 0;
+static size_t rd_uhi0LH_add0LH = 0;
+static size_t wr_add0LL_ulo0L = 0;
+static size_t rd_add0LL_ulo0L = 0;
+static size_t wr_add0LH_uhi0L = 0;
+static size_t rd_add0LH_uhi0L = 0;
+static size_t wr_ulo0L_add0L = 0;
+static size_t rd_ulo0L_add0L = 0;
+static size_t wr_uhi0L_add0L = 0;
+static size_t rd_uhi0L_add0L = 0;
+static size_t wr_hi0_pre0H = 0;
+static size_t rd_hi0_pre0H = 0;
+static size_t wr_pre0H_lo0H = 0;
+static size_t rd_pre0H_lo0H = 0;
+static size_t wr_pre0H_hi0H = 0;
+static size_t rd_pre0H_hi0H = 0;
+static size_t wr_lo0H_pre0HL = 0;
+static size_t rd_lo0H_pre0HL = 0;
+static size_t wr_pre0HL_lo0HL = 0;
+static size_t rd_pre0HL_lo0HL = 0;
+static size_t wr_pre0HL_hi0HL = 0;
+static size_t rd_pre0HL_hi0HL = 0;
+static size_t wr_lo0HL_ulo0HL = 0;
+static size_t rd_lo0HL_ulo0HL = 0;
+static size_t wr_hi0HL_uhi0HL = 0;
+static size_t rd_hi0HL_uhi0HL = 0;
+static size_t wr_ulo0HL_add0HL = 0;
+static size_t rd_ulo0HL_add0HL = 0;
+static size_t wr_uhi0HL_add0HL = 0;
+static size_t rd_uhi0HL_add0HL = 0;
+static size_t wr_hi0H_pre0HH = 0;
+static size_t rd_hi0H_pre0HH = 0;
+static size_t wr_pre0HH_lo0HH = 0;
+static size_t rd_pre0HH_lo0HH = 0;
+static size_t wr_pre0HH_hi0HH = 0;
+static size_t rd_pre0HH_hi0HH = 0;
+static size_t wr_lo0HH_ulo0HH = 0;
+static size_t rd_lo0HH_ulo0HH = 0;
+static size_t wr_hi0HH_uhi0HH = 0;
+static size_t rd_hi0HH_uhi0HH = 0;
+static size_t wr_ulo0HH_add0HH = 0;
+static size_t rd_ulo0HH_add0HH = 0;
+static size_t wr_uhi0HH_add0HH = 0;
+static size_t rd_uhi0HH_add0HH = 0;
+static size_t wr_add0HL_ulo0H = 0;
+static size_t rd_add0HL_ulo0H = 0;
+static size_t wr_add0HH_uhi0H = 0;
+static size_t rd_add0HH_uhi0H = 0;
+static size_t wr_ulo0H_add0H = 0;
+static size_t rd_ulo0H_add0H = 0;
+static size_t wr_uhi0H_add0H = 0;
+static size_t rd_uhi0H_add0H = 0;
+static size_t wr_add0L_ulo0 = 0;
+static size_t rd_add0L_ulo0 = 0;
+static size_t wr_add0H_uhi0 = 0;
+static size_t rd_add0H_uhi0 = 0;
+static size_t wr_ulo0_add0 = 0;
+static size_t rd_ulo0_add0 = 0;
+static size_t wr_uhi0_add0 = 0;
+static size_t rd_uhi0_add0 = 0;
+static size_t wr_add0_snk = 0;
+static size_t rd_add0_snk = 0;
+
+#define fire_src(p0) /* actor code block */
+#define fire_snk(p0) /* actor code block */
+#define fire_pre0(p0, p1, p2) /* actor code block */
+#define fire_lo0(p0, p1) /* actor code block */
+#define fire_hi0(p0, p1) /* actor code block */
+#define fire_ulo0(p0, p1) /* actor code block */
+#define fire_uhi0(p0, p1) /* actor code block */
+#define fire_add0(p0, p1, p2) /* actor code block */
+#define fire_pre0L(p0, p1, p2) /* actor code block */
+#define fire_lo0L(p0, p1) /* actor code block */
+#define fire_hi0L(p0, p1) /* actor code block */
+#define fire_ulo0L(p0, p1) /* actor code block */
+#define fire_uhi0L(p0, p1) /* actor code block */
+#define fire_add0L(p0, p1, p2) /* actor code block */
+#define fire_pre0LL(p0, p1, p2) /* actor code block */
+#define fire_lo0LL(p0, p1) /* actor code block */
+#define fire_hi0LL(p0, p1) /* actor code block */
+#define fire_ulo0LL(p0, p1) /* actor code block */
+#define fire_uhi0LL(p0, p1) /* actor code block */
+#define fire_add0LL(p0, p1, p2) /* actor code block */
+#define fire_pre0LH(p0, p1, p2) /* actor code block */
+#define fire_lo0LH(p0, p1) /* actor code block */
+#define fire_hi0LH(p0, p1) /* actor code block */
+#define fire_ulo0LH(p0, p1) /* actor code block */
+#define fire_uhi0LH(p0, p1) /* actor code block */
+#define fire_add0LH(p0, p1, p2) /* actor code block */
+#define fire_pre0H(p0, p1, p2) /* actor code block */
+#define fire_lo0H(p0, p1) /* actor code block */
+#define fire_hi0H(p0, p1) /* actor code block */
+#define fire_ulo0H(p0, p1) /* actor code block */
+#define fire_uhi0H(p0, p1) /* actor code block */
+#define fire_add0H(p0, p1, p2) /* actor code block */
+#define fire_pre0HL(p0, p1, p2) /* actor code block */
+#define fire_lo0HL(p0, p1) /* actor code block */
+#define fire_hi0HL(p0, p1) /* actor code block */
+#define fire_ulo0HL(p0, p1) /* actor code block */
+#define fire_uhi0HL(p0, p1) /* actor code block */
+#define fire_add0HL(p0, p1, p2) /* actor code block */
+#define fire_pre0HH(p0, p1, p2) /* actor code block */
+#define fire_lo0HH(p0, p1) /* actor code block */
+#define fire_hi0HH(p0, p1) /* actor code block */
+#define fire_ulo0HH(p0, p1) /* actor code block */
+#define fire_uhi0HH(p0, p1) /* actor code block */
+#define fire_add0HH(p0, p1, p2) /* actor code block */
+
+void run_one_period(void)
+{
+    {
+        wr_lo0L_pre0LL = 0;
+        rd_lo0L_pre0LL = 0;
+        wr_hi0L_pre0LH = 0;
+        rd_hi0L_pre0LH = 0;
+        wr_hi0_pre0H = 0;
+        rd_hi0_pre0H = 0;
+        for (int i2 = 0; i2 < 2; ++i2) {
+            wr_lo0_pre0L = 0;
+            rd_lo0_pre0L = 0;
+            for (int i3 = 0; i3 < 2; ++i3) {
+                wr_pre0_lo0 = 0;
+                rd_pre0_lo0 = 0;
+                wr_pre0_hi0 = 0;
+                rd_pre0_hi0 = 0;
+                for (int i4 = 0; i4 < 2; ++i4) {
+                    wr_src_pre0 = 0;
+                    rd_src_pre0 = 0;
+                    {
+                        fire_src(BUF_SRC_PRE0 + wr_src_pre0);
+                        wr_src_pre0 += 1;
+                    }
+                    {
+                        fire_pre0(BUF_SRC_PRE0 + rd_src_pre0, BUF_PRE0_LO0 + wr_pre0_lo0, BUF_PRE0_HI0 + wr_pre0_hi0);
+                        rd_src_pre0 += 1;
+                        wr_pre0_lo0 += 1;
+                        wr_pre0_hi0 += 1;
+                    }
+                }
+                {
+                    {
+                        fire_lo0(BUF_PRE0_LO0 + rd_pre0_lo0, BUF_LO0_PRE0L + wr_lo0_pre0L);
+                        rd_pre0_lo0 += 2;
+                        wr_lo0_pre0L += 1;
+                    }
+                    {
+                        fire_hi0(BUF_PRE0_HI0 + rd_pre0_hi0, BUF_HI0_PRE0H + wr_hi0_pre0H);
+                        rd_pre0_hi0 += 2;
+                        wr_hi0_pre0H += 1;
+                    }
+                }
+            }
+            {
+                wr_pre0L_lo0L = 0;
+                rd_pre0L_lo0L = 0;
+                wr_pre0L_hi0L = 0;
+                rd_pre0L_hi0L = 0;
+                for (int r = 0; r < 2; ++r) {
+                    fire_pre0L(BUF_LO0_PRE0L + rd_lo0_pre0L, BUF_PRE0L_LO0L + wr_pre0L_lo0L, BUF_PRE0L_HI0L + wr_pre0L_hi0L);
+                    rd_lo0_pre0L += 1;
+                    wr_pre0L_lo0L += 1;
+                    wr_pre0L_hi0L += 1;
+                }
+                {
+                    {
+                        fire_lo0L(BUF_PRE0L_LO0L + rd_pre0L_lo0L, BUF_LO0L_PRE0LL + wr_lo0L_pre0LL);
+                        rd_pre0L_lo0L += 2;
+                        wr_lo0L_pre0LL += 1;
+                    }
+                    {
+                        fire_hi0L(BUF_PRE0L_HI0L + rd_pre0L_hi0L, BUF_HI0L_PRE0LH + wr_hi0L_pre0LH);
+                        rd_pre0L_hi0L += 2;
+                        wr_hi0L_pre0LH += 1;
+                    }
+                }
+            }
+        }
+        {
+            wr_pre0LL_lo0LL = 0;
+            rd_pre0LL_lo0LL = 0;
+            wr_pre0LL_hi0LL = 0;
+            rd_pre0LL_hi0LL = 0;
+            for (int r = 0; r < 2; ++r) {
+                fire_pre0LL(BUF_LO0L_PRE0LL + rd_lo0L_pre0LL, BUF_PRE0LL_LO0LL + wr_pre0LL_lo0LL, BUF_PRE0LL_HI0LL + wr_pre0LL_hi0LL);
+                rd_lo0L_pre0LL += 1;
+                wr_pre0LL_lo0LL += 1;
+                wr_pre0LL_hi0LL += 1;
+            }
+            {
+                wr_lo0LL_ulo0LL = 0;
+                rd_lo0LL_ulo0LL = 0;
+                {
+                    fire_lo0LL(BUF_PRE0LL_LO0LL + rd_pre0LL_lo0LL, BUF_LO0LL_ULO0LL + wr_lo0LL_ulo0LL);
+                    rd_pre0LL_lo0LL += 2;
+                    wr_lo0LL_ulo0LL += 1;
+                }
+                {
+                    wr_hi0LL_uhi0LL = 0;
+                    rd_hi0LL_uhi0LL = 0;
+                    {
+                        fire_hi0LL(BUF_PRE0LL_HI0LL + rd_pre0LL_hi0LL, BUF_HI0LL_UHI0LL + wr_hi0LL_uhi0LL);
+                        rd_pre0LL_hi0LL += 2;
+                        wr_hi0LL_uhi0LL += 1;
+                    }
+                    {
+                        wr_ulo0LL_add0LL = 0;
+                        rd_ulo0LL_add0LL = 0;
+                        {
+                            fire_ulo0LL(BUF_LO0LL_ULO0LL + rd_lo0LL_ulo0LL, BUF_ULO0LL_ADD0LL + wr_ulo0LL_add0LL);
+                            rd_lo0LL_ulo0LL += 1;
+                            wr_ulo0LL_add0LL += 2;
+                        }
+                        {
+                            wr_uhi0LL_add0LL = 0;
+                            rd_uhi0LL_add0LL = 0;
+                            {
+                                fire_uhi0LL(BUF_HI0LL_UHI0LL + rd_hi0LL_uhi0LL, BUF_UHI0LL_ADD0LL + wr_uhi0LL_add0LL);
+                                rd_hi0LL_uhi0LL += 1;
+                                wr_uhi0LL_add0LL += 2;
+                            }
+                            {
+                                wr_add0LL_ulo0L = 0;
+                                rd_add0LL_ulo0L = 0;
+                                for (int r = 0; r < 2; ++r) {
+                                    fire_add0LL(BUF_ULO0LL_ADD0LL + rd_ulo0LL_add0LL, BUF_UHI0LL_ADD0LL + rd_uhi0LL_add0LL, BUF_ADD0LL_ULO0L + wr_add0LL_ulo0L);
+                                    rd_ulo0LL_add0LL += 1;
+                                    rd_uhi0LL_add0LL += 1;
+                                    wr_add0LL_ulo0L += 1;
+                                }
+                                {
+                                    wr_pre0LH_lo0LH = 0;
+                                    rd_pre0LH_lo0LH = 0;
+                                    wr_pre0LH_hi0LH = 0;
+                                    rd_pre0LH_hi0LH = 0;
+                                    for (int r = 0; r < 2; ++r) {
+                                        fire_pre0LH(BUF_HI0L_PRE0LH + rd_hi0L_pre0LH, BUF_PRE0LH_LO0LH + wr_pre0LH_lo0LH, BUF_PRE0LH_HI0LH + wr_pre0LH_hi0LH);
+                                        rd_hi0L_pre0LH += 1;
+                                        wr_pre0LH_lo0LH += 1;
+                                        wr_pre0LH_hi0LH += 1;
+                                    }
+                                    {
+                                        wr_lo0LH_ulo0LH = 0;
+                                        rd_lo0LH_ulo0LH = 0;
+                                        {
+                                            fire_lo0LH(BUF_PRE0LH_LO0LH + rd_pre0LH_lo0LH, BUF_LO0LH_ULO0LH + wr_lo0LH_ulo0LH);
+                                            rd_pre0LH_lo0LH += 2;
+                                            wr_lo0LH_ulo0LH += 1;
+                                        }
+                                        {
+                                            wr_hi0LH_uhi0LH = 0;
+                                            rd_hi0LH_uhi0LH = 0;
+                                            {
+                                                fire_hi0LH(BUF_PRE0LH_HI0LH + rd_pre0LH_hi0LH, BUF_HI0LH_UHI0LH + wr_hi0LH_uhi0LH);
+                                                rd_pre0LH_hi0LH += 2;
+                                                wr_hi0LH_uhi0LH += 1;
+                                            }
+                                            {
+                                                wr_ulo0L_add0L = 0;
+                                                rd_ulo0L_add0L = 0;
+                                                for (int r = 0; r < 2; ++r) {
+                                                    fire_ulo0L(BUF_ADD0LL_ULO0L + rd_add0LL_ulo0L, BUF_ULO0L_ADD0L + wr_ulo0L_add0L);
+                                                    rd_add0LL_ulo0L += 1;
+                                                    wr_ulo0L_add0L += 2;
+                                                }
+                                                {
+                                                    wr_ulo0LH_add0LH = 0;
+                                                    rd_ulo0LH_add0LH = 0;
+                                                    {
+                                                        fire_ulo0LH(BUF_LO0LH_ULO0LH + rd_lo0LH_ulo0LH, BUF_ULO0LH_ADD0LH + wr_ulo0LH_add0LH);
+                                                        rd_lo0LH_ulo0LH += 1;
+                                                        wr_ulo0LH_add0LH += 2;
+                                                    }
+                                                    {
+                                                        wr_uhi0LH_add0LH = 0;
+                                                        rd_uhi0LH_add0LH = 0;
+                                                        {
+                                                            fire_uhi0LH(BUF_HI0LH_UHI0LH + rd_hi0LH_uhi0LH, BUF_UHI0LH_ADD0LH + wr_uhi0LH_add0LH);
+                                                            rd_hi0LH_uhi0LH += 1;
+                                                            wr_uhi0LH_add0LH += 2;
+                                                        }
+                                                        {
+                                                            wr_add0LH_uhi0L = 0;
+                                                            rd_add0LH_uhi0L = 0;
+                                                            for (int r = 0; r < 2; ++r) {
+                                                                fire_add0LH(BUF_ULO0LH_ADD0LH + rd_ulo0LH_add0LH, BUF_UHI0LH_ADD0LH + rd_uhi0LH_add0LH, BUF_ADD0LH_UHI0L + wr_add0LH_uhi0L);
+                                                                rd_ulo0LH_add0LH += 1;
+                                                                rd_uhi0LH_add0LH += 1;
+                                                                wr_add0LH_uhi0L += 1;
+                                                            }
+                                                            {
+                                                                wr_ulo0_add0 = 0;
+                                                                rd_ulo0_add0 = 0;
+                                                                for (int i16 = 0; i16 < 2; ++i16) {
+                                                                    wr_uhi0L_add0L = 0;
+                                                                    rd_uhi0L_add0L = 0;
+                                                                    {
+                                                                        fire_uhi0L(BUF_ADD0LH_UHI0L + rd_add0LH_uhi0L, BUF_UHI0L_ADD0L + wr_uhi0L_add0L);
+                                                                        rd_add0LH_uhi0L += 1;
+                                                                        wr_uhi0L_add0L += 2;
+                                                                    }
+                                                                    for (int i17 = 0; i17 < 2; ++i17) {
+                                                                        wr_add0L_ulo0 = 0;
+                                                                        rd_add0L_ulo0 = 0;
+                                                                        {
+                                                                            fire_add0L(BUF_ULO0L_ADD0L + rd_ulo0L_add0L, BUF_UHI0L_ADD0L + rd_uhi0L_add0L, BUF_ADD0L_ULO0 + wr_add0L_ulo0);
+                                                                            rd_ulo0L_add0L += 1;
+                                                                            rd_uhi0L_add0L += 1;
+                                                                            wr_add0L_ulo0 += 1;
+                                                                        }
+                                                                        {
+                                                                            fire_ulo0(BUF_ADD0L_ULO0 + rd_add0L_ulo0, BUF_ULO0_ADD0 + wr_ulo0_add0);
+                                                                            rd_add0L_ulo0 += 1;
+                                                                            wr_ulo0_add0 += 2;
+                                                                        }
+                                                                    }
+                                                                }
+                                                                {
+                                                                    wr_lo0H_pre0HL = 0;
+                                                                    rd_lo0H_pre0HL = 0;
+                                                                    wr_hi0H_pre0HH = 0;
+                                                                    rd_hi0H_pre0HH = 0;
+                                                                    for (int i17 = 0; i17 < 2; ++i17) {
+                                                                        wr_pre0H_lo0H = 0;
+                                                                        rd_pre0H_lo0H = 0;
+                                                                        wr_pre0H_hi0H = 0;
+                                                                        rd_pre0H_hi0H = 0;
+                                                                        for (int r = 0; r < 2; ++r) {
+                                                                            fire_pre0H(BUF_HI0_PRE0H + rd_hi0_pre0H, BUF_PRE0H_LO0H + wr_pre0H_lo0H, BUF_PRE0H_HI0H + wr_pre0H_hi0H);
+                                                                            rd_hi0_pre0H += 1;
+                                                                            wr_pre0H_lo0H += 1;
+                                                                            wr_pre0H_hi0H += 1;
+                                                                        }
+                                                                        {
+                                                                            {
+                                                                                fire_lo0H(BUF_PRE0H_LO0H + rd_pre0H_lo0H, BUF_LO0H_PRE0HL + wr_lo0H_pre0HL);
+                                                                                rd_pre0H_lo0H += 2;
+                                                                                wr_lo0H_pre0HL += 1;
+                                                                            }
+                                                                            {
+                                                                                fire_hi0H(BUF_PRE0H_HI0H + rd_pre0H_hi0H, BUF_HI0H_PRE0HH + wr_hi0H_pre0HH);
+                                                                                rd_pre0H_hi0H += 2;
+                                                                                wr_hi0H_pre0HH += 1;
+                                                                            }
+                                                                        }
+                                                                    }
+                                                                    {
+                                                                        wr_pre0HL_lo0HL = 0;
+                                                                        rd_pre0HL_lo0HL = 0;
+                                                                        wr_pre0HL_hi0HL = 0;
+                                                                        rd_pre0HL_hi0HL = 0;
+                                                                        for (int r = 0; r < 2; ++r) {
+                                                                            fire_pre0HL(BUF_LO0H_PRE0HL + rd_lo0H_pre0HL, BUF_PRE0HL_LO0HL + wr_pre0HL_lo0HL, BUF_PRE0HL_HI0HL + wr_pre0HL_hi0HL);
+                                                                            rd_lo0H_pre0HL += 1;
+                                                                            wr_pre0HL_lo0HL += 1;
+                                                                            wr_pre0HL_hi0HL += 1;
+                                                                        }
+                                                                        {
+                                                                            wr_lo0HL_ulo0HL = 0;
+                                                                            rd_lo0HL_ulo0HL = 0;
+                                                                            {
+                                                                                fire_lo0HL(BUF_PRE0HL_LO0HL + rd_pre0HL_lo0HL, BUF_LO0HL_ULO0HL + wr_lo0HL_ulo0HL);
+                                                                                rd_pre0HL_lo0HL += 2;
+                                                                                wr_lo0HL_ulo0HL += 1;
+                                                                            }
+                                                                            {
+                                                                                wr_hi0HL_uhi0HL = 0;
+                                                                                rd_hi0HL_uhi0HL = 0;
+                                                                                {
+                                                                                    fire_hi0HL(BUF_PRE0HL_HI0HL + rd_pre0HL_hi0HL, BUF_HI0HL_UHI0HL + wr_hi0HL_uhi0HL);
+                                                                                    rd_pre0HL_hi0HL += 2;
+                                                                                    wr_hi0HL_uhi0HL += 1;
+                                                                                }
+                                                                                {
+                                                                                    wr_ulo0HL_add0HL = 0;
+                                                                                    rd_ulo0HL_add0HL = 0;
+                                                                                    {
+                                                                                        fire_ulo0HL(BUF_LO0HL_ULO0HL + rd_lo0HL_ulo0HL, BUF_ULO0HL_ADD0HL + wr_ulo0HL_add0HL);
+                                                                                        rd_lo0HL_ulo0HL += 1;
+                                                                                        wr_ulo0HL_add0HL += 2;
+                                                                                    }
+                                                                                    {
+                                                                                        wr_uhi0HL_add0HL = 0;
+                                                                                        rd_uhi0HL_add0HL = 0;
+                                                                                        {
+                                                                                            fire_uhi0HL(BUF_HI0HL_UHI0HL + rd_hi0HL_uhi0HL, BUF_UHI0HL_ADD0HL + wr_uhi0HL_add0HL);
+                                                                                            rd_hi0HL_uhi0HL += 1;
+                                                                                            wr_uhi0HL_add0HL += 2;
+                                                                                        }
+                                                                                        {
+                                                                                            wr_add0HL_ulo0H = 0;
+                                                                                            rd_add0HL_ulo0H = 0;
+                                                                                            for (int r = 0; r < 2; ++r) {
+                                                                                                fire_add0HL(BUF_ULO0HL_ADD0HL + rd_ulo0HL_add0HL, BUF_UHI0HL_ADD0HL + rd_uhi0HL_add0HL, BUF_ADD0HL_ULO0H + wr_add0HL_ulo0H);
+                                                                                                rd_ulo0HL_add0HL += 1;
+                                                                                                rd_uhi0HL_add0HL += 1;
+                                                                                                wr_add0HL_ulo0H += 1;
+                                                                                            }
+                                                                                            {
+                                                                                                wr_pre0HH_lo0HH = 0;
+                                                                                                rd_pre0HH_lo0HH = 0;
+                                                                                                wr_pre0HH_hi0HH = 0;
+                                                                                                rd_pre0HH_hi0HH = 0;
+                                                                                                for (int r = 0; r < 2; ++r) {
+                                                                                                    fire_pre0HH(BUF_HI0H_PRE0HH + rd_hi0H_pre0HH, BUF_PRE0HH_LO0HH + wr_pre0HH_lo0HH, BUF_PRE0HH_HI0HH + wr_pre0HH_hi0HH);
+                                                                                                    rd_hi0H_pre0HH += 1;
+                                                                                                    wr_pre0HH_lo0HH += 1;
+                                                                                                    wr_pre0HH_hi0HH += 1;
+                                                                                                }
+                                                                                                {
+                                                                                                    wr_lo0HH_ulo0HH = 0;
+                                                                                                    rd_lo0HH_ulo0HH = 0;
+                                                                                                    {
+                                                                                                        fire_lo0HH(BUF_PRE0HH_LO0HH + rd_pre0HH_lo0HH, BUF_LO0HH_ULO0HH + wr_lo0HH_ulo0HH);
+                                                                                                        rd_pre0HH_lo0HH += 2;
+                                                                                                        wr_lo0HH_ulo0HH += 1;
+                                                                                                    }
+                                                                                                    {
+                                                                                                        wr_hi0HH_uhi0HH = 0;
+                                                                                                        rd_hi0HH_uhi0HH = 0;
+                                                                                                        {
+                                                                                                            fire_hi0HH(BUF_PRE0HH_HI0HH + rd_pre0HH_hi0HH, BUF_HI0HH_UHI0HH + wr_hi0HH_uhi0HH);
+                                                                                                            rd_pre0HH_hi0HH += 2;
+                                                                                                            wr_hi0HH_uhi0HH += 1;
+                                                                                                        }
+                                                                                                        {
+                                                                                                            wr_ulo0HH_add0HH = 0;
+                                                                                                            rd_ulo0HH_add0HH = 0;
+                                                                                                            {
+                                                                                                                fire_ulo0HH(BUF_LO0HH_ULO0HH + rd_lo0HH_ulo0HH, BUF_ULO0HH_ADD0HH + wr_ulo0HH_add0HH);
+                                                                                                                rd_lo0HH_ulo0HH += 1;
+                                                                                                                wr_ulo0HH_add0HH += 2;
+                                                                                                            }
+                                                                                                            {
+                                                                                                                wr_uhi0HH_add0HH = 0;
+                                                                                                                rd_uhi0HH_add0HH = 0;
+                                                                                                                {
+                                                                                                                    fire_uhi0HH(BUF_HI0HH_UHI0HH + rd_hi0HH_uhi0HH, BUF_UHI0HH_ADD0HH + wr_uhi0HH_add0HH);
+                                                                                                                    rd_hi0HH_uhi0HH += 1;
+                                                                                                                    wr_uhi0HH_add0HH += 2;
+                                                                                                                }
+                                                                                                                {
+                                                                                                                    wr_add0HH_uhi0H = 0;
+                                                                                                                    rd_add0HH_uhi0H = 0;
+                                                                                                                    for (int r = 0; r < 2; ++r) {
+                                                                                                                        fire_add0HH(BUF_ULO0HH_ADD0HH + rd_ulo0HH_add0HH, BUF_UHI0HH_ADD0HH + rd_uhi0HH_add0HH, BUF_ADD0HH_UHI0H + wr_add0HH_uhi0H);
+                                                                                                                        rd_ulo0HH_add0HH += 1;
+                                                                                                                        rd_uhi0HH_add0HH += 1;
+                                                                                                                        wr_add0HH_uhi0H += 1;
+                                                                                                                    }
+                                                                                                                    for (int i29 = 0; i29 < 2; ++i29) {
+                                                                                                                        wr_ulo0H_add0H = 0;
+                                                                                                                        rd_ulo0H_add0H = 0;
+                                                                                                                        {
+                                                                                                                            fire_ulo0H(BUF_ADD0HL_ULO0H + rd_add0HL_ulo0H, BUF_ULO0H_ADD0H + wr_ulo0H_add0H);
+                                                                                                                            rd_add0HL_ulo0H += 1;
+                                                                                                                            wr_ulo0H_add0H += 2;
+                                                                                                                        }
+                                                                                                                        {
+                                                                                                                            wr_uhi0H_add0H = 0;
+                                                                                                                            rd_uhi0H_add0H = 0;
+                                                                                                                            {
+                                                                                                                                fire_uhi0H(BUF_ADD0HH_UHI0H + rd_add0HH_uhi0H, BUF_UHI0H_ADD0H + wr_uhi0H_add0H);
+                                                                                                                                rd_add0HH_uhi0H += 1;
+                                                                                                                                wr_uhi0H_add0H += 2;
+                                                                                                                            }
+                                                                                                                            {
+                                                                                                                                wr_add0H_uhi0 = 0;
+                                                                                                                                rd_add0H_uhi0 = 0;
+                                                                                                                                for (int r = 0; r < 2; ++r) {
+                                                                                                                                    fire_add0H(BUF_ULO0H_ADD0H + rd_ulo0H_add0H, BUF_UHI0H_ADD0H + rd_uhi0H_add0H, BUF_ADD0H_UHI0 + wr_add0H_uhi0);
+                                                                                                                                    rd_ulo0H_add0H += 1;
+                                                                                                                                    rd_uhi0H_add0H += 1;
+                                                                                                                                    wr_add0H_uhi0 += 1;
+                                                                                                                                }
+                                                                                                                                for (int i32 = 0; i32 < 2; ++i32) {
+                                                                                                                                    wr_uhi0_add0 = 0;
+                                                                                                                                    rd_uhi0_add0 = 0;
+                                                                                                                                    {
+                                                                                                                                        fire_uhi0(BUF_ADD0H_UHI0 + rd_add0H_uhi0, BUF_UHI0_ADD0 + wr_uhi0_add0);
+                                                                                                                                        rd_add0H_uhi0 += 1;
+                                                                                                                                        wr_uhi0_add0 += 2;
+                                                                                                                                    }
+                                                                                                                                    for (int i33 = 0; i33 < 2; ++i33) {
+                                                                                                                                        wr_add0_snk = 0;
+                                                                                                                                        rd_add0_snk = 0;
+                                                                                                                                        {
+                                                                                                                                            fire_add0(BUF_ULO0_ADD0 + rd_ulo0_add0, BUF_UHI0_ADD0 + rd_uhi0_add0, BUF_ADD0_SNK + wr_add0_snk);
+                                                                                                                                            rd_ulo0_add0 += 1;
+                                                                                                                                            rd_uhi0_add0 += 1;
+                                                                                                                                            wr_add0_snk += 1;
+                                                                                                                                        }
+                                                                                                                                        {
+                                                                                                                                            fire_snk(BUF_ADD0_SNK + rd_add0_snk);
+                                                                                                                                            rd_add0_snk += 1;
+                                                                                                                                        }
+                                                                                                                                    }
+                                                                                                                                }
+                                                                                                                            }
+                                                                                                                        }
+                                                                                                                    }
+                                                                                                                }
+                                                                                                            }
+                                                                                                        }
+                                                                                                    }
+                                                                                                }
+                                                                                            }
+                                                                                        }
+                                                                                    }
+                                                                                }
+                                                                            }
+                                                                        }
+                                                                    }
+                                                                }
+                                                            }
+                                                        }
+                                                    }
+                                                }
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+void init_delays(void)
+{
+}
+
+int main(void)
+{
+    init_delays();
+    for (;;) {
+        run_one_period();
+    }
+    return 0;
+}

@@ -49,6 +49,7 @@ def first_fit(
     order: Optional[Sequence[int]] = None,
     graph: Optional[IntersectionGraph] = None,
     occurrence_cap: int = DEFAULT_OCCURRENCE_CAP,
+    recorder=None,
 ) -> Allocation:
     """First-fit allocation of an enumerated instance (figure 19).
 
@@ -62,6 +63,10 @@ def first_fit(
     graph:
         A prebuilt intersection graph (reused across ``ffdur`` and
         ``ffstart`` runs on the same instance).
+    recorder:
+        Optional :class:`repro.obs.Recorder`; receives one
+        ``first_fit.probes`` count per placed-neighbour comparison —
+        the heuristic's unit of work.
     """
     names = [b.name for b in buffers]
     if len(set(names)) != len(names):
@@ -73,6 +78,7 @@ def first_fit(
     if sorted(order) != list(range(len(buffers))):
         raise AllocationError("order must be a permutation of the instance")
 
+    probes = 0
     offsets: Dict[int, int] = {}
     for i in order:
         b = buffers[i]
@@ -84,10 +90,13 @@ def first_fit(
         placed.sort()
         candidate = 0
         for base, size in placed:
+            probes += 1
             if candidate + b.size <= base:
                 break  # fits in the gap before this neighbour
             candidate = max(candidate, base + size)
         offsets[i] = candidate
+    if recorder is not None:
+        recorder.count("first_fit.probes", probes)
 
     total = max(
         (offsets[i] + buffers[i].size for i in range(len(buffers))), default=0
@@ -104,6 +113,7 @@ def ffdur(
     buffers: Sequence[PeriodicLifetime],
     graph: Optional[IntersectionGraph] = None,
     occurrence_cap: int = DEFAULT_OCCURRENCE_CAP,
+    recorder=None,
 ) -> Allocation:
     """First-fit ordered by decreasing duration (ties: larger size first).
 
@@ -115,17 +125,18 @@ def ffdur(
         range(len(buffers)),
         key=lambda i: (-buffers[i].duration, -buffers[i].size, buffers[i].start),
     )
-    return first_fit(buffers, order, graph, occurrence_cap)
+    return first_fit(buffers, order, graph, occurrence_cap, recorder=recorder)
 
 
 def ffstart(
     buffers: Sequence[PeriodicLifetime],
     graph: Optional[IntersectionGraph] = None,
     occurrence_cap: int = DEFAULT_OCCURRENCE_CAP,
+    recorder=None,
 ) -> Allocation:
     """First-fit ordered by increasing earliest start time."""
     order = sorted(
         range(len(buffers)),
         key=lambda i: (buffers[i].start, -buffers[i].size),
     )
-    return first_fit(buffers, order, graph, occurrence_cap)
+    return first_fit(buffers, order, graph, occurrence_cap, recorder=recorder)

@@ -20,9 +20,11 @@ and the convergence series is folded in trial order afterwards.
 from __future__ import annotations
 
 import random
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..sdf.graph import SDFGraph
 from ..sdf.topsort import random_topological_sort
 from ..lifetimes.periodic import DEFAULT_OCCURRENCE_CAP
@@ -31,6 +33,9 @@ from ..scheduling.session import CompilationSession
 from ..experiments.runner import effective_jobs, parallel_map
 
 __all__ = ["RandomSearchResult", "random_search"]
+
+#: Reusable stand-in when tracing is off.
+_NO_SPAN = nullcontext()
 
 
 @dataclass
@@ -71,6 +76,12 @@ def _init_search_worker(graph: SDFGraph, occurrence_cap: int) -> None:
     _WORKER_CAP = occurrence_cap
 
 
+def _ambient_recorder():
+    """The per-task recorder ``parallel_map`` activated, if tracing."""
+    rec = obs.current()
+    return rec if getattr(rec, "enabled", False) else None
+
+
 def _evaluate_order(order: Tuple[str, ...]) -> int:
     result = implement(
         _WORKER_GRAPH,
@@ -79,6 +90,7 @@ def _evaluate_order(order: Tuple[str, ...]) -> int:
         verify=False,
         session=_WORKER_SESSION,
         trusted_order=True,
+        recorder=_ambient_recorder(),
     )
     return result.best_shared_total
 
@@ -90,6 +102,7 @@ def random_search(
     occurrence_cap: int = DEFAULT_OCCURRENCE_CAP,
     session: Optional[CompilationSession] = None,
     jobs: Optional[int] = None,
+    recorder=None,
 ) -> RandomSearchResult:
     """Best shared allocation over ``trials`` random topological sorts.
 
@@ -100,9 +113,15 @@ def random_search(
     ``jobs`` (default: the ``REPRO_JOBS`` environment variable, else
     serial) fans the trial evaluations out over worker processes; the
     returned statistics are identical on every path.
+
+    ``recorder`` (a :class:`repro.obs.Recorder`) traces each trial
+    under a ``search.trial`` span.  On the serial path spans nest
+    directly; on the parallel path each worker records its trials
+    locally and the trees are merged back in trial order.
     """
     if trials < 1:
         raise ValueError("trials must be >= 1")
+    recorder = obs.active(recorder)
     rng = random.Random(seed)
     orders = [
         tuple(random_topological_sort(graph, rng)) for _ in range(trials)
@@ -111,17 +130,24 @@ def random_search(
     if effective_jobs(jobs) <= 1:
         if session is None:
             session = CompilationSession(graph)
-        totals = [
-            implement(
-                graph,
-                order=list(order),
-                occurrence_cap=occurrence_cap,
-                verify=False,
-                session=session,
-                trusted_order=True,
-            ).best_shared_total
-            for order in orders
-        ]
+        totals = []
+        for order in orders:
+            span = (
+                recorder.span("search.trial") if recorder is not None
+                else _NO_SPAN
+            )
+            with span:
+                totals.append(
+                    implement(
+                        graph,
+                        order=list(order),
+                        occurrence_cap=occurrence_cap,
+                        verify=False,
+                        session=session,
+                        trusted_order=True,
+                        recorder=recorder,
+                    ).best_shared_total
+                )
     else:
         totals = parallel_map(
             _evaluate_order,
@@ -129,6 +155,8 @@ def random_search(
             jobs=jobs,
             initializer=_init_search_worker,
             initargs=(graph, occurrence_cap),
+            recorder=recorder,
+            task_label="search.trial",
         )
 
     best_total: Optional[int] = None

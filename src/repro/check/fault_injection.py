@@ -313,6 +313,67 @@ def inject_buffer_size(
     )
 
 
+def inject_stage_crash(
+    art: PipelineArtifacts, rng: random.Random
+) -> Optional[InjectionOutcome]:
+    """Crash the pipeline mid-flow; partial observability must survive.
+
+    Feeding the pipeline its own order *reversed* (declared trusted, so
+    the up-front validation that would reject it is skipped) makes a
+    downstream stage raise on most graphs — the regression mode where
+    ``repro compile --profile`` used to lose the raising stage's timing
+    row entirely.  Caught means: the flow raised, the ``TimingReport``
+    still holds rows including one carrying the error, and the
+    recorder's span stack unwound cleanly (no span left open, the
+    failure recorded on a span).  Graphs whose reversed order happens
+    to compile (enough initial tokens) are skipped as inapplicable.
+    """
+    from .. import obs
+    from ..experiments.runner import TimingReport
+    from ..scheduling.pipeline import implement
+
+    order = list(reversed(art.result.order))
+    if order == art.result.order:
+        return None
+    report = TimingReport()
+    rec = obs.TraceRecorder()
+    try:
+        # ``use_chain_dp=False``: the chain DP ignores the supplied
+        # order (it derives its own), which would mask the fault.
+        implement(
+            art.graph,
+            order=order,
+            trusted_order=True,
+            use_chain_dp=False,
+            occurrence_cap=art.occurrence_cap,
+            report=report,
+            recorder=rec,
+        )
+        return None  # reversed order compiled cleanly; try another graph
+    except SDFError:
+        pass
+    error_rows = [r for r in report.rows if "error" in r["meta"]]
+    span_errors = [s for _, s in rec.iter_spans() if s.error]
+    caught = (
+        bool(report.rows)
+        and bool(error_rows)
+        and bool(span_errors)
+        and not rec.open_spans
+    )
+    return InjectionOutcome(
+        mutation="stage_crash",
+        graph_seed=art.seed,
+        caught=caught,
+        detail=(
+            f"reversed order crashed stage "
+            f"{error_rows[0]['bench'] if error_rows else '<none>'}; "
+            f"{len(report.rows)} timing row(s), "
+            f"{len(span_errors)} span error(s), "
+            f"open spans {rec.open_spans!r}"
+        ),
+    )
+
+
 MUTATION_CLASSES: Dict[
     str, Callable[[PipelineArtifacts, random.Random], Optional[InjectionOutcome]]
 ] = {
@@ -322,6 +383,7 @@ MUTATION_CLASSES: Dict[
     "delta_checkpoint": inject_delta_checkpoint,
     "total": inject_total,
     "buffer_size": inject_buffer_size,
+    "stage_crash": inject_stage_crash,
 }
 
 

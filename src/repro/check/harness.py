@@ -14,6 +14,7 @@ of the experiment runner on identical task lists.
 from __future__ import annotations
 
 import random
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
@@ -30,11 +31,15 @@ __all__ = [
     "CheckFailure",
     "CheckReport",
     "describe_graph",
+    "delayed_split_chain",
     "run_check",
     "trial_graph",
 ]
 
 _METHODS = ("rpmc", "apgan", "natural")
+
+#: Reusable stand-in when ``run_check`` has no recorder.
+_NO_SPAN = nullcontext()
 
 
 def describe_graph(graph: SDFGraph) -> str:
@@ -144,13 +149,46 @@ def trial_graph(graph_seed: int) -> SDFGraph:
     return decorated
 
 
+def delayed_split_chain(graph_seed: int) -> SDFGraph:
+    """A chain whose *internal* edges carry initial tokens.
+
+    Chain graphs route through the precise section 6 DP and their
+    delayed internal edges exercise the episodic/persistent split at
+    every window boundary — the exact configuration that used to fall
+    outside the ``mlt <= sdppo_cost`` / ``mlt <= total`` oracles.  Any
+    rate pair is consistent on a chain, and a DAG stays deadlock-free
+    under added delays.
+    """
+    rng = random.Random(graph_seed)
+    n = rng.randint(3, 7)
+    g = SDFGraph(f"chaincheck{graph_seed}")
+    names = [f"c{i}" for i in range(n)]
+    for name in names:
+        g.add_actor(name)
+    interior = list(range(1, n - 2)) or [0]
+    delayed = set(rng.sample(interior, k=min(len(interior), rng.randint(1, 2))))
+    for i in range(n - 1):
+        p, c = rng.randint(1, 4), rng.randint(1, 4)
+        delay = c * rng.randint(1, 2) if i in delayed else 0
+        g.add_edge(
+            names[i], names[i + 1], p, c,
+            delay=delay, token_size=rng.choice((1, 1, 2)),
+        )
+    return g
+
+
 def _violations_for(
-    graph: SDFGraph, method: str, seed: int, occurrence_cap: int
+    graph: SDFGraph,
+    method: str,
+    seed: int,
+    occurrence_cap: int,
+    recorder=None,
 ) -> List[str]:
     art = build_artifacts(
-        graph, method=method, seed=seed, occurrence_cap=occurrence_cap
+        graph, method=method, seed=seed, occurrence_cap=occurrence_cap,
+        recorder=recorder,
     )
-    return run_oracles(art)
+    return run_oracles(art, recorder=recorder)
 
 
 def _runner_probe(task_seed: int) -> Tuple[int, int, int, int]:
@@ -184,6 +222,7 @@ def run_check(
     inject: bool = False,
     occurrence_cap: int = DEFAULT_OCCURRENCE_CAP,
     shrink: bool = True,
+    recorder=None,
 ) -> CheckReport:
     """Run the full differential check and return the evidence.
 
@@ -191,6 +230,9 @@ def run_check(
     ----------
     trials:
         Number of random graphs pushed through the oracle battery.
+        Every fifth trial swaps the general random graph for a
+        :func:`delayed_split_chain`, keeping the precise chain DP's
+        episodic/persistent split under differential pressure.
     seed:
         Root seed; trial ``i`` uses graph seed ``seed * 100000 + i``,
         so a failing trial is reproducible in isolation.
@@ -199,17 +241,32 @@ def run_check(
         (:func:`repro.check.fault_injection.run_injection_selftest`).
     shrink:
         Minimize each failing graph before reporting it.
+    recorder:
+        Optional :class:`repro.obs.Recorder`; each trial runs under a
+        span (with the graph seed and method as attributes, oracle
+        groups nested below), so the exported trace shows which
+        backend/oracle dominated the run.
     """
     report = CheckReport(trials=trials, seed=seed)
     rng = random.Random(seed)
     for trial in range(trials):
         graph_seed = seed * 100000 + trial
-        graph = trial_graph(graph_seed)
+        if trial % 5 == 4:
+            graph = delayed_split_chain(graph_seed)
+        else:
+            graph = trial_graph(graph_seed)
         method = rng.choice(_METHODS)
-        try:
-            violations = _violations_for(
-                graph, method, seed, occurrence_cap
+        if recorder is not None:
+            trial_span = recorder.span(
+                "check.trial", trial=trial, graph=graph.name, method=method
             )
+        else:
+            trial_span = _NO_SPAN
+        try:
+            with trial_span:
+                violations = _violations_for(
+                    graph, method, seed, occurrence_cap, recorder=recorder
+                )
         except Exception as exc:  # a crash is a failure, not an abort
             violations = [f"harness: pipeline raised {exc!r}"]
         if not violations:
@@ -240,7 +297,11 @@ def run_check(
                     ]
         report.failures.append(failure)
 
-    report.runner_violations = runner_oracles(seed)
+    with (recorder.span("check.runner") if recorder is not None
+          else _NO_SPAN):
+        report.runner_violations = runner_oracles(seed)
     if inject:
-        report.injection = run_injection_selftest(seed=seed)
+        with (recorder.span("check.injection") if recorder is not None
+              else _NO_SPAN):
+            report.injection = run_injection_selftest(seed=seed)
     return report

@@ -125,11 +125,14 @@ def reference_episode_sizes(
 ) -> List[Tuple[EdgeKey, int, int, int]]:
     """``(edge, start, stop, words)`` per live episode.
 
-    The coarse-model array for an episode holds every word transferred
-    during it: tokens present when it opens plus everything the source
-    produces before it drains, times the edge's token size.  Production
-    per step is re-derived from the firing sequence (not from snapshot
-    deltas, which would be circular for self-loops).
+    The coarse-model array for a delayless edge's episode holds every
+    word transferred during it: tokens present when it opens plus
+    everything the source produces before it drains, times the edge's
+    token size.  Production per step is re-derived from the firing
+    sequence (not from snapshot deltas, which would be circular for
+    self-loops).  A delayed edge's buffer is circular — its initial
+    tokens wrap the period boundary — so its episode needs only the
+    peak token occupancy over the episode's snapshots.
     """
     firings = schedule.firing_list()
     snapshots = full_trace(graph, schedule)
@@ -138,12 +141,18 @@ def reference_episode_sizes(
     for e in graph.edges():
         k = e.key
         for start, stop in intervals[k]:
-            produced = sum(
-                e.production
-                for t in range(start + 1, stop + 1)
-                if firings[t - 1] == e.source
-            )
-            words = (snapshots[start][k] + produced) * e.token_size
+            if e.delay > 0:
+                peak = max(
+                    snapshots[t][k] for t in range(start, stop + 1)
+                )
+                words = peak * e.token_size
+            else:
+                produced = sum(
+                    e.production
+                    for t in range(start + 1, stop + 1)
+                    if firings[t - 1] == e.source
+                )
+                words = (snapshots[start][k] + produced) * e.token_size
             episodes.append((k, start, stop, words))
     return episodes
 

@@ -5,6 +5,13 @@ Commands
 ``compile``
     Run the full flow on a benchmark system or a JSON graph file and
     report the schedule, memory figures, and (optionally) generated C.
+    ``--trace out.json`` records hierarchical spans plus work counters
+    and writes a ``chrome://tracing``-loadable file (subsumes
+    ``--profile``, which prints the per-stage wall-time table).
+``stats``
+    Compile under a recorder and print the aggregate span/counter
+    table (DP cells, window-cache hits, first-fit probes, interpreter
+    firings vs symbolic shortcuts...).
 ``table1`` / ``fig25`` / ``fig26`` / ``fig27`` / ``satrec`` / ``cddat``
     Regenerate an evaluation table/figure on stdout.
 ``check``
@@ -22,6 +29,8 @@ Examples
 .. code-block:: bash
 
     python -m repro compile satrec --method apgan
+    python -m repro compile cddat --trace cddat_trace.json
+    python -m repro stats satrec --check
     python -m repro compile mygraph.json --emit-c out.c
     python -m repro table1 --systems qmf23_2d satrec
     python -m repro fig27 --sizes 20 50 --count 10 --jobs 4
@@ -64,14 +73,29 @@ def _apply_jobs(args: argparse.Namespace) -> Optional[int]:
     return jobs
 
 
+def _extra_systems():
+    """Named graphs usable by compile/stats/dot but outside Table 1.
+
+    CD-DAT is the paper's running example (figures 1–2 and section
+    11.1.3) yet not a Table 1 benchmark row, so it lives here rather
+    than in ``TABLE1_SYSTEMS`` (which drives the Table 1 experiments).
+    """
+    from .apps.ptolemy_demos import cd_to_dat
+
+    return {"cddat": cd_to_dat}
+
+
 def _resolve_graph(spec: str) -> SDFGraph:
     if spec in TABLE1_SYSTEMS:
         return table1_graph(spec)
+    extra = _extra_systems()
+    if spec in extra:
+        return extra[spec]()
     if spec.endswith(".json"):
         return load_graph(spec)
     raise SystemExit(
-        f"unknown system {spec!r}; use a name from 'systems' or a "
-        f".json graph file"
+        f"unknown system {spec!r}; use a name from 'systems', "
+        f"{sorted(extra)}, or a .json graph file"
     )
 
 
@@ -83,6 +107,34 @@ def _cmd_systems(_: argparse.Namespace) -> int:
     return 0
 
 
+def _print_profile(report) -> None:
+    total = sum(row["wall_s"] for row in report.rows)
+    print("profile:")
+    for row in report.rows:
+        extra = ""
+        if row["meta"]:
+            pairs = ", ".join(f"{k}={v}" for k, v in row["meta"].items())
+            extra = f"  ({pairs})"
+        print(f"  {row['bench']:>10}: {row['wall_s']:8.4f}s{extra}")
+    print(f"  {'total':>10}: {total:8.4f}s")
+
+
+def _flush_observability(args: argparse.Namespace, report, recorder) -> None:
+    """Print/write whatever the run recorded — also on failure paths.
+
+    Called both after a clean compile and from the except path, so a
+    stage that raises still leaves its partial timing rows and a trace
+    whose failing span carries the error.
+    """
+    if getattr(args, "profile", False) and report is not None:
+        _print_profile(report)
+    if getattr(args, "trace", None) and recorder is not None:
+        from .obs import write_trace
+
+        fmt = write_trace(recorder, args.trace, fmt=args.trace_format)
+        print(f"trace ({fmt}) written to {args.trace}")
+
+
 def _cmd_compile(args: argparse.Namespace) -> int:
     from .scheduling.pipeline import implement
     from .codegen import emit_c, run_shared_memory_check
@@ -90,30 +142,33 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     _apply_jobs(args)
     graph = _resolve_graph(args.graph)
     report = None
-    if args.profile:
+    recorder = None
+    if args.profile or args.trace:
         from .experiments.runner import TimingReport
 
         report = TimingReport()
-    result = implement(graph, args.method, seed=args.seed, report=report)
+    if args.trace:
+        from . import obs
+
+        recorder = obs.TraceRecorder()
+    try:
+        result = implement(
+            graph, args.method, seed=args.seed,
+            report=report, recorder=recorder,
+        )
+    except Exception:
+        _flush_observability(args, report, recorder)
+        raise
     print(f"graph:      {graph.name} ({graph.num_actors} actors)")
     print(f"order:      {' '.join(result.order)}")
     print(f"schedule:   {result.sdppo_schedule}")
     print(f"non-shared: {result.dppo_cost} words")
     print(f"shared:     {result.allocation.total} words "
           f"(mco {result.mco}, mcp {result.mcp})")
-    if report is not None:
-        total = sum(row["wall_s"] for row in report.rows)
-        print("profile:")
-        for row in report.rows:
-            extra = ""
-            if row["meta"]:
-                pairs = ", ".join(f"{k}={v}" for k, v in row["meta"].items())
-                extra = f"  ({pairs})"
-            print(f"  {row['bench']:>10}: {row['wall_s']:8.4f}s{extra}")
-        print(f"  {'total':>10}: {total:8.4f}s")
     if args.check:
         firings = run_shared_memory_check(
-            graph, result.lifetimes, result.allocation, periods=2
+            graph, result.lifetimes, result.allocation, periods=2,
+            recorder=recorder,
         )
         print(f"execution check: OK ({firings} firings)")
     if args.emit_c:
@@ -121,6 +176,38 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         with open(args.emit_c, "w") as handle:
             handle.write(code)
         print(f"C written to {args.emit_c}")
+    _flush_observability(args, report, recorder)
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Compile under a recorder and print the aggregate work table."""
+    from . import obs
+    from .scheduling.pipeline import implement
+    from .codegen import run_shared_memory_check
+
+    _apply_jobs(args)
+    graph = _resolve_graph(args.graph)
+    recorder = obs.TraceRecorder()
+    try:
+        result = implement(
+            graph, args.method, seed=args.seed, recorder=recorder
+        )
+    except Exception:
+        print(obs.format_stats(recorder))
+        raise
+    if args.check:
+        run_shared_memory_check(
+            graph, result.lifetimes, result.allocation, periods=2,
+            recorder=recorder,
+        )
+    print(f"graph:      {graph.name} ({graph.num_actors} actors)")
+    print(f"shared:     {result.allocation.total} words")
+    print()
+    print(obs.format_stats(recorder))
+    if args.trace:
+        fmt = obs.write_trace(recorder, args.trace, fmt=args.trace_format)
+        print(f"trace ({fmt}) written to {args.trace}")
     return 0
 
 
@@ -205,6 +292,11 @@ def _cmd_check(args: argparse.Namespace) -> int:
     from .check import run_check
     from .experiments.runner import TimingReport
 
+    recorder = None
+    if args.trace:
+        from . import obs
+
+        recorder = obs.TraceRecorder()
     timing = TimingReport()
     with timing.stage(
         "check_differential",
@@ -217,6 +309,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
             seed=args.seed,
             inject=args.inject,
             shrink=not args.no_shrink,
+            recorder=recorder,
         )
         meta["failures"] = len(report.failures)
         meta["ok"] = report.ok
@@ -225,6 +318,11 @@ def _cmd_check(args: argparse.Namespace) -> int:
     if args.bench_out:
         timing.write_json(args.bench_out)
         print(f"timing written to {args.bench_out}")
+    if recorder is not None:
+        from .obs import write_trace
+
+        fmt = write_trace(recorder, args.trace, fmt=args.trace_format)
+        print(f"trace ({fmt}) written to {args.trace}")
     if report.ok:
         print("check: OK")
         return 0
@@ -280,10 +378,55 @@ def build_parser() -> argparse.ArgumentParser:
              "SDPPO, lifetimes, WIG, first-fit, verify)",
     )
     p.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="record hierarchical spans and work counters; write the "
+             "trace to FILE (Chrome traceEvents by default, loadable "
+             "in chrome://tracing or Perfetto; .jsonl gets JSON-lines)",
+    )
+    p.add_argument(
+        "--trace-format", default="auto",
+        choices=["auto", "chrome", "jsonl"],
+        help="trace file format (auto: by FILE extension)",
+    )
+    p.add_argument(
         "--jobs", type=int, default=None, metavar="N",
         help="worker processes (overrides REPRO_JOBS; 0 = all cores)",
     )
     p.set_defaults(func=_cmd_compile)
+
+    p = sub.add_parser(
+        "stats",
+        help="compile under a recorder and print aggregate work counters",
+        description=(
+            "Run the full flow with tracing enabled and print an "
+            "aggregate table: per-span call counts and wall time, then "
+            "the work-counter totals (DP cells, window-cache hits, "
+            "first-fit probes, interpreter firings vs symbolic "
+            "shortcuts...)."
+        ),
+    )
+    p.add_argument("graph", help="system name or .json graph file")
+    p.add_argument(
+        "--method", default="rpmc", choices=["rpmc", "apgan", "natural"]
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--check", action="store_true",
+        help="also execute the schedule in the shared-memory VM",
+    )
+    p.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="also write the full trace to FILE",
+    )
+    p.add_argument(
+        "--trace-format", default="auto",
+        choices=["auto", "chrome", "jsonl"],
+    )
+    p.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes (overrides REPRO_JOBS; 0 = all cores)",
+    )
+    p.set_defaults(func=_cmd_stats)
 
     p = sub.add_parser("table1", help="regenerate Table 1")
     p.add_argument("--systems", nargs="*", default=None)
@@ -350,6 +493,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--bench-out", metavar="FILE", default=None,
         help="write wall-time rows as BENCH_*.json",
+    )
+    p.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="record per-trial spans and oracle counters to FILE",
+    )
+    p.add_argument(
+        "--trace-format", default="auto",
+        choices=["auto", "chrome", "jsonl"],
     )
     p.set_defaults(func=_cmd_check)
 

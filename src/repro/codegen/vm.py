@@ -109,12 +109,18 @@ class SharedMemoryVM:
         """Execute one complete schedule period."""
         self._run_node(self.lifetimes.tree.root)
 
-    def run(self, periods: int = 1) -> None:
-        """Preload delays and run ``periods`` schedule periods."""
+    def run(self, periods: int = 1, recorder=None) -> None:
+        """Preload delays and run ``periods`` schedule periods.
+
+        With a ``recorder``, the VM's total firing count is flushed to
+        the ``vm.firings`` counter after the balance check.
+        """
         self.preload_delays()
         for _ in range(periods):
             self.run_period()
         self._check_balance()
+        if recorder is not None:
+            recorder.count("vm.firings", self.firings)
 
     # ------------------------------------------------------------------
     def _run_node(self, node: ScheduleTreeNode) -> None:
@@ -203,6 +209,7 @@ def run_shared_memory_check(
     lifetimes: LifetimeSet,
     allocation: Allocation,
     periods: int = 2,
+    recorder=None,
 ) -> int:
     """Run the VM for ``periods`` periods; returns total firings.
 
@@ -210,5 +217,5 @@ def run_shared_memory_check(
     edges wrapping their circular cursors, episode-cursor resets).
     """
     vm = SharedMemoryVM(graph, lifetimes, allocation)
-    vm.run(periods=periods)
+    vm.run(periods=periods, recorder=recorder)
     return vm.firings

@@ -32,6 +32,7 @@ import os
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 __all__ = ["effective_jobs", "parallel_map", "TimingReport"]
@@ -68,6 +69,8 @@ def parallel_map(
     chunksize: Optional[int] = None,
     initializer: Optional[Callable[..., None]] = None,
     initargs: Tuple[Any, ...] = (),
+    recorder: Optional[Any] = None,
+    task_label: str = "task",
 ) -> List[Any]:
     """Map ``fn`` over ``tasks``, preserving order, optionally in parallel.
 
@@ -76,14 +79,24 @@ def parallel_map(
     the serial path) — use it to build per-worker state such as a
     compilation session instead of shipping it with every task.
 
+    When an *enabled* ``recorder`` is given, each task runs under a
+    fresh per-task :class:`repro.obs.TraceRecorder` (activated so task
+    bodies can fetch it via ``repro.obs.current()``) and its serialized
+    span tree rides back with the result; the parent grafts the trees
+    into ``recorder`` in task order.  The serial path uses the same
+    wrapper, so serial and parallel runs record identical tree shapes
+    and counter totals, differing only in timing fields.
+
     The serial path runs when ``effective_jobs`` resolves to 1, when
     there are fewer than two tasks, or when the process pool cannot be
     created; exceptions raised by ``fn`` itself always propagate.
     """
     tasks = list(tasks)
+    traced = recorder is not None and getattr(recorder, "enabled", False)
+    call = partial(_traced_call, fn, task_label) if traced else fn
     n_jobs = effective_jobs(jobs)
     if n_jobs <= 1 or len(tasks) <= 1:
-        return _serial_map(fn, tasks, initializer, initargs)
+        return _collect(recorder, traced, _serial_map(call, tasks, initializer, initargs))
     try:
         from concurrent.futures import ProcessPoolExecutor
         executor = ProcessPoolExecutor(
@@ -92,22 +105,45 @@ def parallel_map(
             initargs=initargs,
         )
     except (ImportError, NotImplementedError, OSError, PermissionError):
-        return _serial_map(fn, tasks, initializer, initargs)
+        return _collect(recorder, traced, _serial_map(call, tasks, initializer, initargs))
     try:
         with executor:
             if chunksize is None:
                 chunksize = max(1, len(tasks) // (4 * n_jobs))
-            return list(executor.map(fn, tasks, chunksize=chunksize))
+            results = list(executor.map(call, tasks, chunksize=chunksize))
     except _pool_failures():
         # The pool died (fork refused, worker killed) without a result;
         # the work itself is side-effect free, so redo it serially.
-        return _serial_map(fn, tasks, initializer, initargs)
+        results = _serial_map(call, tasks, initializer, initargs)
+    return _collect(recorder, traced, results)
 
 
 def _serial_map(fn, tasks, initializer, initargs) -> List[Any]:
     if initializer is not None:
         initializer(*initargs)
     return [fn(task) for task in tasks]
+
+
+def _traced_call(fn: Callable[[Any], Any], label: str, task: Any) -> Tuple[Any, Dict[str, Any]]:
+    """Run one task under a fresh, ambient TraceRecorder (picklable)."""
+    from repro import obs
+
+    rec = obs.TraceRecorder()
+    with obs.activate(rec):
+        with rec.span(label, fn=getattr(fn, "__name__", repr(fn))):
+            result = fn(task)
+    return result, rec.serialize()
+
+
+def _collect(recorder, traced: bool, results: List[Any]) -> List[Any]:
+    """Merge per-task recordings (task order) and strip them off."""
+    if not traced:
+        return results
+    plain = []
+    for result, serialized in results:
+        recorder.merge_serialized(serialized)
+        plain.append(result)
+    return plain
 
 
 def _pool_failures() -> Tuple[type, ...]:
@@ -137,12 +173,21 @@ class TimingReport:
 
         The yielded dict is the row's ``meta``; mutate it inside the
         block to attach results (counts, totals) to the measurement.
+
+        The row is recorded even when the block raises — the partial
+        measurement survives with ``meta["error"] = repr(exc)`` and the
+        exception propagates.
         """
         row_meta = dict(meta)
         start = time.perf_counter()
-        yield row_meta
-        wall = time.perf_counter() - start
-        self.record(bench, wall, **row_meta)
+        try:
+            yield row_meta
+        except BaseException as exc:
+            row_meta["error"] = repr(exc)
+            raise
+        finally:
+            wall = time.perf_counter() - start
+            self.record(bench, wall, **row_meta)
 
     def write_json(self, path: str) -> None:
         with open(path, "w") as fh:

@@ -99,11 +99,20 @@ def _table1_task(task: Tuple[str, int, bool]) -> Table1Row:
     """Compile one benchmark system; runs in a worker process.
 
     Receives and returns only plain data (the row is a dataclass of
-    ints), so the parallel and serial paths are interchangeable.
+    ints), so the parallel and serial paths are interchangeable.  When
+    ``run_table1`` traces, the per-task recorder ``parallel_map``
+    activated is picked up ambiently (it cannot be passed through the
+    pickled task tuple).
     """
+    from .. import obs
+
     name, seed, verify = task
+    rec = obs.current()
     graph = table1_graph(name)
-    result = implement_best(graph, seed=seed, verify=verify)
+    result = implement_best(
+        graph, seed=seed, verify=verify,
+        recorder=rec if getattr(rec, "enabled", False) else None,
+    )
     return Table1Row.from_result(name, result)
 
 
@@ -112,6 +121,7 @@ def run_table1(
     seed: int = 0,
     verify: bool = True,
     jobs: Optional[int] = None,
+    recorder=None,
 ) -> List[Table1Row]:
     """Run the full flow over the benchmark suite.
 
@@ -119,10 +129,18 @@ def run_table1(
     quick runs (the depth-5 filterbanks dominate the runtime).  Systems
     are independent, so ``jobs`` (or ``REPRO_JOBS``) fans them out over
     worker processes; row order always follows ``systems``.
+
+    ``recorder`` (a :class:`repro.obs.Recorder`) traces each system
+    under a ``table1.system`` span; each system builds its own
+    compilation session, so serial and parallel runs merge to
+    identical counter totals.
     """
     names = list(systems) if systems is not None else list(TABLE1_SYSTEMS)
     tasks = [(name, seed, verify) for name in names]
-    return parallel_map(_table1_task, tasks, jobs=jobs)
+    return parallel_map(
+        _table1_task, tasks, jobs=jobs,
+        recorder=recorder, task_label="table1.system",
+    )
 
 
 def format_table1(rows: Sequence[Table1Row]) -> str:

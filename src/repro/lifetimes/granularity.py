@@ -61,6 +61,15 @@ def granularity_levels(
     """
     trace = simulate_schedule(graph, schedule)
     sizes = {e.key: e.token_size for e in graph.edges()}
+    # A delayed edge's buffer is circular (its initial tokens wrap the
+    # period boundary), so no aggregation level can charge it more than
+    # its peak occupancy — the coarse live-array accounting below is
+    # capped at that capacity per edge.
+    caps = {
+        e.key: trace.peak(e.key) * e.token_size
+        for e in graph.edges()
+        if e.delay > 0
+    }
 
     # Annotate each firing with its loop path (iteration stack), by
     # replaying the schedule structure.
@@ -117,11 +126,14 @@ def granularity_levels(
             i = start - 1
         for t in range(n):
             state = trace.counts[t]  # before firing t+1 (1-based)
+            fut = future[t]
             live = 0
             for k, count in state.items():
-                live += count * sizes[k]
-            for k, upcoming in future[t].items():
-                live += upcoming * sizes[k]
+                charge = (count + fut.get(k, 0)) * sizes[k]
+                cap = caps.get(k)
+                if cap is not None and charge > cap:
+                    charge = cap
+                live += charge
             if live > peak:
                 peak = live
         results.append((depth, peak))

@@ -1,0 +1,68 @@
+"""Structured observability: spans, counters, and trace export.
+
+The compiler's stages answer *what* they computed; this package answers
+*where the time and work went*.  It grows the flat ``TimingReport`` of
+the experiment runner into:
+
+* hierarchical **spans** — nested stage timings recorded against an
+  injected monotonic clock (:class:`TraceRecorder`), so the check
+  harness can substitute a deterministic counter clock and stay
+  reproducible;
+* **counters** — cheap additive tallies (DP candidate cells, window
+  cache hits/misses, heuristic moves, first-fit placement probes,
+  interpreter firings vs symbolic shortcuts, VM firings, allocated
+  words) attached to the span that was open when they were counted.
+
+A single :class:`Recorder` protocol is threaded through the pipeline
+(``implement(recorder=...)``), the allocator, the simulators, the VM
+and the experiment runner.  The default everywhere is ``recorder=None``
+— the code then takes exactly the uninstrumented path — and
+:class:`NullRecorder` is the explicit disabled instance: :func:`active`
+collapses it back to ``None`` at the hot entry points, so disabled
+tracing shares the bare fast path (``benchmarks/bench_obs.py`` asserts
+it costs <= 2% on the random-search workload).
+
+Parallel runs are merge-safe: each worker records into its own
+:class:`TraceRecorder`, ships the serialized span tree back with its
+result, and the parent grafts the trees in task order — so a serial and
+a ``REPRO_JOBS>1`` run produce identical counter totals and identical
+tree shapes, differing only in timing fields.
+
+Export via :mod:`repro.obs.export`: JSON-lines (one span or counter per
+line) and the Chrome ``chrome://tracing`` / Perfetto ``traceEvents``
+format, surfaced as ``repro compile --trace``, ``repro check --trace``
+and ``repro stats``.
+"""
+
+from .recorder import (
+    NULL_RECORDER,
+    NullRecorder,
+    Recorder,
+    Span,
+    TraceRecorder,
+    active,
+)
+from .runtime import activate, current
+from .export import (
+    chrome_trace_events,
+    format_stats,
+    write_chrome_trace,
+    write_jsonl,
+    write_trace,
+)
+
+__all__ = [
+    "Recorder",
+    "Span",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "TraceRecorder",
+    "active",
+    "activate",
+    "current",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_trace",
+    "format_stats",
+]

@@ -1,0 +1,269 @@
+"""The Recorder protocol: hierarchical spans and additive counters.
+
+Two implementations:
+
+* :class:`NullRecorder` — every operation is a no-op; ``span`` returns
+  one shared, reusable null context manager so the disabled path
+  allocates nothing.
+* :class:`TraceRecorder` — records a forest of :class:`Span` nodes and
+  per-span counter tallies against an injected monotonic clock.
+
+The clock is a constructor argument (default
+:func:`time.perf_counter`), never a module global: the differential
+check harness passes a deterministic counting clock, so recorded traces
+are a pure function of the work performed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+try:  # Protocol is typing-only; keep a runtime fallback cheap
+    from typing import Protocol
+except ImportError:  # pragma: no cover
+    Protocol = object  # type: ignore[assignment]
+
+__all__ = ["Span", "Recorder", "NullRecorder", "NULL_RECORDER", "TraceRecorder"]
+
+
+@dataclass
+class Span:
+    """One timed region: name, interval, attributes, counters, children.
+
+    ``start``/``end`` are clock readings (seconds under the default
+    clock; whatever the injected clock returns otherwise).  ``error``
+    holds ``repr(exc)`` when the span's block raised — the span still
+    closes, which is what keeps partial traces available on exception
+    paths.
+    """
+
+    name: str
+    start: float = 0.0
+    end: Optional[float] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)
+    children: List["Span"] = field(default_factory=list)
+    error: Optional[str] = None
+
+    @property
+    def duration(self) -> float:
+        return (self.end if self.end is not None else self.start) - self.start
+
+    def count(self, name: str, value: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def serialize(self) -> Dict[str, Any]:
+        """A plain-data (picklable, JSON-able) copy of the subtree."""
+        return {
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "attrs": dict(self.attrs),
+            "counters": dict(self.counters),
+            "error": self.error,
+            "children": [c.serialize() for c in self.children],
+        }
+
+    @staticmethod
+    def deserialize(data: Dict[str, Any]) -> "Span":
+        return Span(
+            name=data["name"],
+            start=data.get("start", 0.0),
+            end=data.get("end"),
+            attrs=dict(data.get("attrs", {})),
+            counters=dict(data.get("counters", {})),
+            error=data.get("error"),
+            children=[Span.deserialize(c) for c in data.get("children", [])],
+        )
+
+
+class Recorder(Protocol):
+    """What instrumented code may call; see the module docstring."""
+
+    enabled: bool
+
+    def span(self, name: str, **attrs: Any):
+        """Context manager for a timed region; yields a Span or None."""
+
+    def count(self, name: str, value: int = 1) -> None:
+        """Add ``value`` to counter ``name`` on the open span."""
+
+    def merge_serialized(self, data: Dict[str, Any]) -> None:
+        """Graft a worker's serialized span tree under the open span."""
+
+
+class _NullSpanContext:
+    """Reusable do-nothing context manager (yields None)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpanContext()
+
+
+class NullRecorder:
+    """Discards everything; safe to share (it holds no state)."""
+
+    enabled = False
+
+    def span(self, name: str, **attrs: Any) -> _NullSpanContext:
+        return _NULL_SPAN
+
+    def count(self, name: str, value: int = 1) -> None:
+        return None
+
+    def merge_serialized(self, data: Dict[str, Any]) -> None:
+        return None
+
+
+#: The shared disabled recorder; code that wants a non-None recorder
+#: default should use this instance rather than allocating its own.
+NULL_RECORDER = NullRecorder()
+
+
+def active(recorder: Optional[Recorder]) -> Optional[Recorder]:
+    """Normalize a disabled recorder to ``None``.
+
+    A recorder with ``enabled=False`` discards everything by contract,
+    so hot entry points (``implement``, ``random_search``) collapse it
+    to the bare ``recorder=None`` fast path — disabled tracing then
+    costs exactly nothing, not one no-op call per hook site.
+    """
+    if recorder is None or not getattr(recorder, "enabled", True):
+        return None
+    return recorder
+
+
+class _SpanContext:
+    """Context manager that opens/closes one span on a TraceRecorder.
+
+    Closes the span on *every* exit path: on exception the span records
+    ``error=repr(exc)`` and still pops, so the tree stays well-formed
+    and everything recorded before the failure survives.
+    """
+
+    __slots__ = ("_recorder", "_span")
+
+    def __init__(self, recorder: "TraceRecorder", span: Span) -> None:
+        self._recorder = recorder
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._recorder._push(self._span)
+        return self._span
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        if exc is not None:
+            self._span.error = repr(exc)
+        self._recorder._pop(self._span)
+        return False
+
+
+class TraceRecorder:
+    """Records spans and counters; single-threaded by design.
+
+    Parameters
+    ----------
+    clock:
+        A monotonic zero-argument callable.  Injected so deterministic
+        runs (the check harness, unit tests) can pass a counting stub;
+        the default is :func:`time.perf_counter`.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self.clock = clock
+        self.roots: List[Span] = []
+        #: Counters recorded while no span is open.
+        self.counters: Dict[str, int] = {}
+        self._stack: List[Span] = []
+
+    # -- span lifecycle -------------------------------------------------
+    def span(self, name: str, **attrs: Any) -> _SpanContext:
+        return _SpanContext(self, Span(name=name, attrs=dict(attrs)))
+
+    def _push(self, span: Span) -> None:
+        span.start = self.clock()
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        span.end = self.clock()
+        if not self._stack or self._stack[-1] is not span:
+            raise RuntimeError(
+                f"span {span.name!r} closed out of order; open stack: "
+                f"{[s.name for s in self._stack]}"
+            )
+        self._stack.pop()
+
+    @property
+    def open_spans(self) -> List[str]:
+        """Names of currently open spans (empty when well-closed)."""
+        return [s.name for s in self._stack]
+
+    # -- counters -------------------------------------------------------
+    def count(self, name: str, value: int = 1) -> None:
+        if self._stack:
+            self._stack[-1].count(name, value)
+        else:
+            self.counters[name] = self.counters.get(name, 0) + value
+
+    def counter_totals(self) -> Dict[str, int]:
+        """All counters summed over the whole forest (plus root-level)."""
+        totals = dict(self.counters)
+
+        def walk(span: Span) -> None:
+            for k, v in span.counters.items():
+                totals[k] = totals.get(k, 0) + v
+            for child in span.children:
+                walk(child)
+
+        for root in self.roots:
+            walk(root)
+        return totals
+
+    # -- merging --------------------------------------------------------
+    def serialize(self) -> Dict[str, Any]:
+        """Plain-data form of the full recording (workers return this)."""
+        return {
+            "roots": [r.serialize() for r in self.roots],
+            "counters": dict(self.counters),
+        }
+
+    def merge_serialized(self, data: Dict[str, Any]) -> None:
+        """Graft a serialized recording under the currently open span.
+
+        Used by the parent process of a parallel run: workers record
+        into fresh recorders and return ``serialize()`` output with
+        their results; the parent merges the trees in task order, so
+        serial and parallel runs agree on everything but clock fields.
+        """
+        spans = [Span.deserialize(r) for r in data.get("roots", [])]
+        if self._stack:
+            self._stack[-1].children.extend(spans)
+        else:
+            self.roots.extend(spans)
+        for k, v in data.get("counters", {}).items():
+            self.count(k, v)
+
+    # -- convenience ----------------------------------------------------
+    def iter_spans(self) -> Iterator[tuple]:
+        """Depth-first ``(depth, span)`` over the recorded forest."""
+        stack = [(0, root) for root in reversed(self.roots)]
+        while stack:
+            depth, span = stack.pop()
+            yield depth, span
+            for child in reversed(span.children):
+                stack.append((depth + 1, child))

@@ -1,0 +1,39 @@
+"""Ambient recorder for code the runner fans out to workers.
+
+The pipeline threads its recorder explicitly; worker *task functions*
+(module-level, picklable, fixed signatures) cannot take one as an
+argument without breaking the ``parallel_map`` contract.  Instead the
+runner activates a per-task recorder around each call and task bodies
+fetch it with :func:`current` — the same mechanism on the serial and
+parallel paths, so the recorded trees match.
+
+This is deliberately a plain stack, not a contextvar: recorders are
+single-threaded per process, and the stack makes nesting (a traced task
+that itself activates a sub-recorder) explicit and cheap.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, List
+
+from .recorder import NULL_RECORDER, Recorder
+
+__all__ = ["current", "activate"]
+
+_ACTIVE: List[Recorder] = []
+
+
+def current() -> Recorder:
+    """The innermost activated recorder, or the shared NullRecorder."""
+    return _ACTIVE[-1] if _ACTIVE else NULL_RECORDER
+
+
+@contextmanager
+def activate(recorder: Recorder) -> Iterator[Recorder]:
+    """Make ``recorder`` the ambient recorder within the block."""
+    _ACTIVE.append(recorder)
+    try:
+        yield recorder
+    finally:
+        _ACTIVE.pop()

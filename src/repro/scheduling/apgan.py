@@ -44,8 +44,16 @@ class APGANResult:
     order: List[str]
 
 
-def apgan(graph: SDFGraph, q: Optional[Dict[str, int]] = None) -> APGANResult:
+def apgan(
+    graph: SDFGraph,
+    q: Optional[Dict[str, int]] = None,
+    recorder=None,
+) -> APGANResult:
     """Run APGAN on a connected, consistent, acyclic SDF graph.
+
+    With a ``recorder``, tallies one ``apgan.merges`` count per
+    pairwise cluster merge (a connected graph performs exactly
+    ``num_actors - 1`` of them).
 
     Raises
     ------
@@ -120,6 +128,8 @@ def apgan(graph: SDFGraph, q: Optional[Dict[str, int]] = None) -> APGANResult:
             raise GraphStructureError(
                 f"apgan stalled on {graph.name!r}; is the graph connected?"
             )
+        if recorder is not None:
+            recorder.count("apgan.merges")
         cid = cluster_graph.merge(*best_pair)
         merged = set(best_pair)
         folded: Dict[Tuple[int, int], Tuple[int, int]] = {}

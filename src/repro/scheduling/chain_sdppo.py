@@ -27,6 +27,12 @@ mirror symmetry of the buffer profiles, which we apply below.
 Incomparable triples (figure 11) are kept as a Pareto set per DP cell,
 bounded by ``max_entries`` to keep time and space polynomial, exactly as
 the paper suggests.
+
+Delayed edges are handled as in EQ 5's episodic/persistent split (see
+:mod:`repro.scheduling.sdppo`): a delayed edge's circular buffer is live
+across the whole period, so it bypasses the triple's overlap reasoning
+and accumulates in a fourth, always-summed ``pers`` component per Pareto
+entry; a subchain's true cost is ``mid + pers``.
 """
 
 from __future__ import annotations
@@ -139,21 +145,41 @@ def combine_triples(
 
 @dataclass
 class _Entry:
-    """A Pareto-set member with provenance for schedule reconstruction."""
+    """A Pareto-set member with provenance for schedule reconstruction.
+
+    ``pers`` carries the subchain's *persistent* memory — delayed-edge
+    circular buffers, live across the whole period and so excluded from
+    the episodic triple's overlap reasoning; the subchain's true cost is
+    ``triple.mid + pers``.  Dominance must compare all four components:
+    folding ``pers`` into the triple is unsound (an entry with a larger
+    episodic triple but smaller persistent part can win after a merge
+    whose other side dwarfs both episodic profiles).
+    """
 
     triple: CostTriple
     split: int = -1  # -1 for leaf windows
     left_index: int = -1
     right_index: int = -1
+    pers: int = 0
+
+    def dominates(self, other: "_Entry") -> bool:
+        return (
+            self.triple.left <= other.triple.left
+            and self.triple.mid <= other.triple.mid
+            and self.triple.right <= other.triple.right
+            and self.pers <= other.pers
+            and (self.triple != other.triple or self.pers != other.pers)
+        )
 
 
 @dataclass
 class ChainSDPPOResult:
     """Outcome of the precise chain DP.
 
-    ``cost`` is the exact shared-model cost estimate of the best triple
-    (minimum middle component at the root window); ``schedule`` the
-    reconstructed SAS; ``pareto`` the root window's full Pareto set.
+    ``cost`` is the exact shared-model cost estimate of the best root
+    entry (minimum episodic middle component plus persistent total);
+    ``schedule`` the reconstructed SAS; ``pareto`` the root window's
+    episodic triples.
     """
 
     cost: int
@@ -206,28 +232,38 @@ def chain_sdppo(
             g_ij = context.window_gcd(i, j)
             candidates: List[_Entry] = []
             for k in range(i, j):
-                c = context.single_crossing_edge_cost(i, j, k)
+                # A delayed crossing edge's circular buffer is live for
+                # the whole period: it takes no part in the episodic
+                # overlap cases, it simply adds to the persistent total.
+                c_total = context.single_crossing_edge_cost(i, j, k)
+                p_cross = context.pers_single_crossing_edge_cost(i, j, k)
+                c_epi = c_total - p_cross
                 r_left = context.window_gcd(i, k) // g_ij
                 r_right = context.window_gcd(k + 1, j) // g_ij
                 for li, le in enumerate(cells[(i, k)]):
                     for ri, re in enumerate(cells[(k + 1, j)]):
                         t = combine_triples(
-                            le.triple, re.triple, c, r_left, r_right,
+                            le.triple, re.triple, c_epi, r_left, r_right,
                             left_is_leaf=(i == k),
                             right_is_leaf=(k + 1 == j),
                         )
-                        candidates.append(_Entry(t, k, li, ri))
+                        candidates.append(
+                            _Entry(t, k, li, ri,
+                                   pers=le.pers + re.pers + p_cross)
+                        )
             cells[(i, j)] = _pareto_prune(candidates, max_entries)
 
     root = cells[(0, n - 1)]
-    best_index = min(range(len(root)), key=lambda x: root[x].triple.mid)
+    best_index = min(
+        range(len(root)), key=lambda x: root[x].triple.mid + root[x].pers
+    )
     split, factored = {}, {}
     _collect_splits(cells, (0, n - 1), best_index, split, factored)
     schedule = build_schedule_from_splits(
         context, SplitTable(split=split, factored=factored)
     )
     return ChainSDPPOResult(
-        cost=root[best_index].triple.mid,
+        cost=root[best_index].triple.mid + root[best_index].pers,
         schedule=schedule,
         order=chain,
         pareto=[e.triple for e in root],
@@ -235,14 +271,25 @@ def chain_sdppo(
 
 
 def _pareto_prune(candidates: List[_Entry], max_entries: int) -> List[_Entry]:
-    """Keep Pareto-minimal entries, at most ``max_entries``, mid-first."""
+    """Keep 4-way Pareto-minimal entries, at most ``max_entries``.
+
+    Entries are preferred by total cost (``mid + pers``) when
+    truncating; dominance compares (left, mid, right, pers)
+    component-wise (see :class:`_Entry` for why ``pers`` cannot be
+    folded into the triple).
+    """
     candidates.sort(
-        key=lambda e: (e.triple.mid, e.triple.left, e.triple.right)
+        key=lambda e: (
+            e.triple.mid + e.pers, e.triple.left, e.triple.right, e.pers
+        )
     )
     kept: List[_Entry] = []
     for entry in candidates:
-        if any(k.triple.dominates(entry.triple) or k.triple == entry.triple
-               for k in kept):
+        if any(
+            k.dominates(entry)
+            or (k.triple == entry.triple and k.pers == entry.pers)
+            for k in kept
+        ):
             continue
         kept.append(entry)
         if len(kept) >= max_entries:

@@ -44,21 +44,29 @@ __all__ = [
 
 def aggregate_pair_weights(
     graph: SDFGraph, q: Dict[str, int]
-) -> Dict[Tuple[str, str], Tuple[int, int]]:
-    """Per actor pair: total (TNSE words, delay words), parallel edges summed.
+) -> Dict[Tuple[str, str], Tuple[int, int, int]]:
+    """Per actor pair: ``(TNSE words, delay words, delayed-edge TNSE words)``.
+
+    Parallel edges are summed.  The third component restricts the first
+    to edges carrying initial tokens — the *persistent* edges whose
+    circular buffers stay live across the whole period and therefore
+    cannot share memory with anything (see EQ 5's episodic/persistent
+    split in :func:`dp_over_context`).
 
     Order-invariant, so a compilation session computes it once per graph
     and every per-order :class:`ChainContext` reuses it.
     """
-    weights: Dict[Tuple[str, str], Tuple[int, int]] = {}
+    weights: Dict[Tuple[str, str], Tuple[int, int, int]] = {}
     for e in graph.edges():
         tw = total_tokens_exchanged(e, q) * e.token_size
         dw = e.delay * e.token_size
+        ptw = tw if e.delay > 0 else 0
         prev = weights.get((e.source, e.sink))
         if prev is not None:
             tw += prev[0]
             dw += prev[1]
-        weights[(e.source, e.sink)] = (tw, dw)
+            ptw += prev[2]
+        weights[(e.source, e.sink)] = (tw, dw, ptw)
     return weights
 
 
@@ -79,9 +87,10 @@ class ChainContext:
         :class:`~repro.scheduling.session.CompilationSession` sets this
         for every trial of a search.
     pair_weights:
-        Precomputed ``(source, sink) -> (tnse words, delay words)`` with
-        parallel edges aggregated, as built once per graph by a
-        compilation session; computed here when absent.
+        Precomputed ``(source, sink) -> (tnse words, delay words,
+        delayed-edge tnse words)`` with parallel edges aggregated, as
+        built once per graph by a compilation session; computed here
+        when absent.
     """
 
     def __init__(
@@ -90,7 +99,7 @@ class ChainContext:
         order: Sequence[str],
         q: Optional[Dict[str, int]] = None,
         trusted: bool = False,
-        pair_weights: Optional[Dict[Tuple[str, str], Tuple[int, int]]] = None,
+        pair_weights: Optional[Dict[Tuple[str, str], Tuple[int, int, int]]] = None,
     ) -> None:
         if sorted(order) != sorted(graph.actor_names()):
             raise GraphStructureError(
@@ -132,12 +141,14 @@ class ChainContext:
         cnt = [[0] * m for _ in range(m)]
         tws = [[0] * m for _ in range(m)]
         dws = [[0] * m for _ in range(m)]
-        for (src, snk), (tw, dw) in pair_weights.items():
+        ptws = [[0] * m for _ in range(m)]
+        for (src, snk), (tw, dw, ptw) in pair_weights.items():
             ps, pt = self.position[src], self.position[snk]
             cnt[ps + 1][pt + 1] += 1
             tws[ps + 1][pt + 1] += tw
             dws[ps + 1][pt + 1] += dw
-        for grid in (cnt, tws, dws):
+            ptws[ps + 1][pt + 1] += ptw
+        for grid in (cnt, tws, dws, ptws):
             for r in range(1, m):
                 row, prev = grid[r], grid[r - 1]
                 acc = 0
@@ -147,6 +158,11 @@ class ChainContext:
         self._cnt_prefix = cnt
         self._tw_prefix = tws
         self._dw_prefix = dws
+        self._ptw_prefix = ptws
+        #: Whether any edge carries initial tokens — when false the
+        #: persistent component of every crossing cost is zero and the
+        #: shared DP reduces to the plain EQ 5 recurrence.
+        self.has_delays = dws[self.n][self.n] > 0
         self._scan_arrays: Optional[tuple] = None
         self._np_state: Optional[tuple] = None
         # The vectorized DP stores prefix sums in int64; bail out to the
@@ -165,6 +181,10 @@ class ChainContext:
         self._window_costs: List[List[Optional[List[int]]]] = [
             [None] * self.n for _ in range(self.n)
         ]
+        #: Window-cost cache statistics, flushed to a recorder by the
+        #: pipeline (plain ints: the DP inner loop is the hot path).
+        self.window_hits = 0
+        self.window_misses = 0
 
     def _scan_state(self) -> tuple:
         """Column-combined arrays for the pure-Python window cost scan.
@@ -196,8 +216,9 @@ class ChainContext:
         if self._np_state is None:
             Pt = _np.asarray(self._tw_prefix, dtype=_np.int64)
             Pd = _np.asarray(self._dw_prefix, dtype=_np.int64)
+            Pp = _np.asarray(self._ptw_prefix, dtype=_np.int64)
             G = _np.asarray(self._g, dtype=_np.int64) if self.n else None
-            self._np_state = (Pt, Pd, G)
+            self._np_state = (Pt, Pd, Pp, G)
         return self._np_state
 
     # ------------------------------------------------------------------
@@ -242,7 +263,9 @@ class ChainContext:
         """
         cached = self._window_costs[i][j]
         if cached is not None:
+            self.window_hits += 1
             return cached
+        self.window_misses += 1
         colT, colD, colA, sum_prefix = self._scan_state()
         g = self._g[i][j]
         jj = j + 1
@@ -280,12 +303,37 @@ class ChainContext:
         """
         return self._rect(self._cnt_prefix, i, k, k + 1, j) > 0
 
+    def pers_crossing_cost(self, i: int, j: int, k: int) -> int:
+        """Persistent part of ``c_ij[k]``: delayed crossing edges only.
+
+        A delayed edge's buffer holds live tokens across the whole
+        schedule period (the ``del(e)`` tokens wrap around), so its
+        ``TNSE(e)/g_ij + del(e)`` words can never share memory with any
+        other buffer.  The *episodic* part of the crossing cost is
+        ``crossing_cost(i, j, k) - pers_crossing_cost(i, j, k)``.
+
+        The division is exact for the same reason as in
+        :meth:`crossing_cost`: the prefix restricts to delayed edges,
+        and each of their TNSE values is a multiple of ``q(src)``.
+        """
+        g = self._g[i][j]
+        ptw = self._rect(self._ptw_prefix, i, k, k + 1, j)
+        dw = self._rect(self._dw_prefix, i, k, k + 1, j)
+        return ptw // g + dw
+
     def single_crossing_edge_cost(self, i: int, j: int, k: int) -> int:
         """Crossing cost when the graph is a chain: the one edge (k, k+1)."""
         g = self._g[i][j]
         tw = self._rect(self._tw_prefix, k, k, k + 1, k + 1)
         dw = self._rect(self._dw_prefix, k, k, k + 1, k + 1)
         return tw // g + dw
+
+    def pers_single_crossing_edge_cost(self, i: int, j: int, k: int) -> int:
+        """Persistent part of the chain crossing cost for edge (k, k+1)."""
+        g = self._g[i][j]
+        ptw = self._rect(self._ptw_prefix, k, k, k + 1, k + 1)
+        dw = self._rect(self._dw_prefix, k, k, k + 1, k + 1)
+        return ptw // g + dw
 
 
 def dp_over_context(
@@ -303,46 +351,76 @@ def dp_over_context(
     ``argmin`` and ``list.index`` both take the first minimum, and all
     arithmetic is exact int64 (guarded by ``context.use_numpy``).
 
-    ``shared`` selects the combiner: ``max`` of the halves (EQ 5) or
-    their sum (EQ 2).  ``factored`` is only meaningful for the shared
-    DP, where ``factoring`` applies the section 5.1 policy; the
-    non-shared DP always factors.
+    ``shared`` selects the combiner.  Non-shared (EQ 2) sums the
+    halves.  Shared (EQ 5) splits every cost into an *episodic* part
+    (delayless buffers, live only during their episode — combined with
+    ``max``) and a *persistent* part (delayed-edge circular buffers,
+    live across the whole period — always summed):
+
+        total = max(ep_l, ep_r) + pers_l + pers_r + c_ij[k]
+
+    The persistent part of the crossing cost cancels in the total (it
+    is included in ``c_ij[k]``), so only the episodic/persistent book
+    tables need the extra rectangle query.  On a delayless graph every
+    persistent term is zero and the recurrence collapses to the plain
+    ``max(left, right) + c`` form, so that path skips the bookkeeping.
+
+    ``factored`` is only meaningful for the shared DP, where
+    ``factoring`` applies the section 5.1 policy; the non-shared DP
+    always factors.
     """
     np = _np
     n = context.n
-    Pt, Pd, G = context._numpy_state()
+    Pt, Pd, Pp, G = context._numpy_state()
     s0, s1 = Pt.strides
     b = np.zeros((n, n), dtype=np.int64)
     bs0, bs1 = b.strides
     split: Dict[Tuple[int, int], int] = {}
     factored: Dict[Tuple[int, int], bool] = {}
     strided = np.lib.stride_tricks.as_strided
+    pers_split = shared and context.has_delays
+    if pers_split:
+        ep = np.zeros((n, n), dtype=np.int64)
+        pers = np.zeros((n, n), dtype=np.int64)
+
+    def rect(P, L, W, K):
+        # Crossing cost rectangles with r = i+d+1, jj = i+L:
+        # x = P[r][jj] - P[i][jj] - P[r][r] + P[i][r].
+        return (
+            strided(P[1:, L:], shape=(W, K), strides=(s0 + s1, s0))
+            - np.diagonal(P, offset=L)[:W, None]
+            - strided(P[1:, 1:], shape=(W, K), strides=(s0 + s1, s0 + s1))
+            + strided(P[:, 1:], shape=(W, K), strides=(s0 + s1, s1))
+        )
+
     for L in range(2, n + 1):
         W = n - L + 1  # windows of this length
         K = L - 1  # splits per window; d = k - i below
         rows = np.arange(W)
-        # left[i, d] = b[i, i+d]; right[i, d] = b[i+d+1, i+L-1].
-        left = strided(b, shape=(W, K), strides=(bs0 + bs1, bs1))
-        right = strided(b[1:, L - 1:], shape=(W, K), strides=(bs0 + bs1, bs0))
-        # Crossing cost rectangles with r = i+d+1, jj = i+L:
-        # tw = P[r][jj] - P[i][jj] - P[r][r] + P[i][r], likewise dw.
-        tw = (
-            strided(Pt[1:, L:], shape=(W, K), strides=(s0 + s1, s0))
-            - np.diagonal(Pt, offset=L)[:W, None]
-            - strided(Pt[1:, 1:], shape=(W, K), strides=(s0 + s1, s0 + s1))
-            + strided(Pt[:, 1:], shape=(W, K), strides=(s0 + s1, s1))
-        )
-        dw = (
-            strided(Pd[1:, L:], shape=(W, K), strides=(s0 + s1, s0))
-            - np.diagonal(Pd, offset=L)[:W, None]
-            - strided(Pd[1:, 1:], shape=(W, K), strides=(s0 + s1, s0 + s1))
-            + strided(Pd[:, 1:], shape=(W, K), strides=(s0 + s1, s1))
-        )
+        tw = rect(Pt, L, W, K)
+        dw = rect(Pd, L, W, K)
         g = np.diagonal(G, offset=L - 1)[:W, None]  # g[i][i+L-1]
         cost = tw // g + dw
-        total = (np.maximum(left, right) if shared else left + right) + cost
+        if pers_split:
+            # ep_l[i, d] = ep[i, i+d]; ep_r[i, d] = ep[i+d+1, i+L-1],
+            # likewise the persistent halves.
+            ep_l = strided(ep, shape=(W, K), strides=(bs0 + bs1, bs1))
+            ep_r = strided(ep[1:, L - 1:], shape=(W, K), strides=(bs0 + bs1, bs0))
+            p_l = strided(pers, shape=(W, K), strides=(bs0 + bs1, bs1))
+            p_r = strided(pers[1:, L - 1:], shape=(W, K), strides=(bs0 + bs1, bs0))
+            total = np.maximum(ep_l, ep_r) + p_l + p_r + cost
+        else:
+            # left[i, d] = b[i, i+d]; right[i, d] = b[i+d+1, i+L-1].
+            left = strided(b, shape=(W, K), strides=(bs0 + bs1, bs1))
+            right = strided(b[1:, L - 1:], shape=(W, K), strides=(bs0 + bs1, bs0))
+            total = (np.maximum(left, right) if shared else left + right) + cost
         kd = np.argmin(total, axis=1)
         b[rows, rows + K] = total[rows, kd]
+        if pers_split:
+            p_cost = rect(Pp, L, W, K) // g + dw
+            new_pers = p_l[rows, kd] + p_r[rows, kd] + p_cost[rows, kd]
+            pers[rows, rows + K] = new_pers
+            ep[rows, rows + K] = total[rows, kd] - new_pers
         keys = list(zip(rows.tolist(), (rows + K).tolist()))
         split.update(zip(keys, (rows + kd).tolist()))
         if shared:

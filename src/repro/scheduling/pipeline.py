@@ -18,9 +18,9 @@ exactly the comparison columns of Table 1.
 
 from __future__ import annotations
 
-from contextlib import nullcontext
+from contextlib import ExitStack, contextmanager, nullcontext
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..exceptions import GraphStructureError
 from ..sdf.graph import SDFGraph
@@ -31,6 +31,7 @@ from ..allocation.clique import mcw_optimistic, mcw_pessimistic
 from ..allocation.first_fit import Allocation, ffdur, ffstart
 from ..allocation.intersection_graph import build_intersection_graph
 from ..allocation.verify import verify_allocation
+from ..obs.recorder import active as _active_recorder
 from .apgan import apgan
 from .dppo import dppo
 from .rpmc import rpmc
@@ -76,12 +77,16 @@ class ImplementationResult:
 
 
 def _topological_order_for(
-    graph: SDFGraph, method: str, seed: int, q: Optional[Dict[str, int]] = None
+    graph: SDFGraph,
+    method: str,
+    seed: int,
+    q: Optional[Dict[str, int]] = None,
+    recorder=None,
 ) -> List[str]:
     if method == "rpmc":
-        return rpmc(graph, q=q, seed=seed).order
+        return rpmc(graph, q=q, seed=seed, recorder=recorder).order
     if method == "apgan":
-        return apgan(graph, q=q).order
+        return apgan(graph, q=q, recorder=recorder).order
     if method == "natural":
         return graph.topological_order()
     raise GraphStructureError(
@@ -90,17 +95,29 @@ def _topological_order_for(
     )
 
 
-def _timed(report, name: str):
-    """``report.stage(name)`` when profiling, else a no-op context.
+@contextmanager
+def _stage(report, recorder, name: str) -> Iterator[Dict[str, Any]]:
+    """One pipeline stage: a TimingReport row and/or a recorder span.
 
     ``report`` is anything with a ``TimingReport``-shaped ``stage``
     context manager (kept duck-typed: importing
     ``repro.experiments.runner`` here would cycle through the
-    experiments package back into scheduling).
+    experiments package back into scheduling); ``recorder`` follows the
+    :class:`repro.obs.Recorder` protocol.  The yielded meta dict is
+    shared with the span's attrs, so mutations inside the block land in
+    both outputs.  Both sides close on exception (the row records
+    ``meta["error"]``, the span its ``error`` field), which is what
+    keeps partial profiles available when a stage raises.
     """
-    if report is None:
-        return nullcontext({})
-    return report.stage(name)
+    meta: Dict[str, Any] = {}
+    with ExitStack() as stack:
+        if report is not None:
+            meta = stack.enter_context(report.stage(name))
+        if recorder is not None:
+            span = stack.enter_context(recorder.span(name))
+            if span is not None:
+                span.attrs = meta
+        yield meta
 
 
 def implement(
@@ -114,6 +131,7 @@ def implement(
     session: Optional[CompilationSession] = None,
     trusted_order: bool = False,
     report=None,
+    recorder=None,
 ) -> ImplementationResult:
     """Run the full flow with one topological-sort method.
 
@@ -142,46 +160,104 @@ def implement(
     report:
         A ``TimingReport`` (duck-typed) to receive one wall-time row
         per pipeline stage — the ``repro compile --profile`` hook.
+        Partial rows survive a stage that raises (the row carries
+        ``meta["error"]``).
+    recorder:
+        A :class:`repro.obs.Recorder` for hierarchical spans and work
+        counters (DP cells, window-cache hits, first-fit probes...).
+        The default ``None`` takes the uninstrumented code path.
     """
-    if session is None:
-        with _timed(report, "session"):
-            session = CompilationSession(graph)
-    q = session.q
-    if order is not None:
-        chosen = list(order)
-        method = "given"
-        trusted = trusted_order
-    else:
-        with _timed(report, "topsort") as meta:
-            chosen = _topological_order_for(graph, method, seed, q)
-            meta["method"] = method
-        trusted = True
-
-    context = session.context_for(chosen, trusted=trusted)
-    with _timed(report, "dppo"):
-        dppo_result = dppo(graph, chosen, q, context=context)
-    with _timed(report, "sdppo") as meta:
-        if use_chain_dp and session.chain_order is not None:
-            meta["dp"] = "chain"
-            chain_result = session.chain_sdppo_result()
-            sdppo_cost, sdppo_schedule = chain_result.cost, chain_result.schedule
+    recorder = _active_recorder(recorder)
+    outer = (
+        recorder.span("implement", graph=graph.name)
+        if recorder is not None
+        else nullcontext()
+    )
+    with outer:
+        if session is None:
+            with _stage(report, recorder, "session"):
+                session = CompilationSession(graph)
+        q = session.q
+        if order is not None:
+            chosen = list(order)
+            method = "given"
+            trusted = trusted_order
         else:
-            meta["dp"] = "eq5"
-            sdppo_result = sdppo(graph, chosen, q, context=context)
-            sdppo_cost, sdppo_schedule = sdppo_result.cost, sdppo_result.schedule
+            with _stage(report, recorder, "topsort") as meta:
+                chosen = _topological_order_for(
+                    graph, method, seed, q, recorder=recorder
+                )
+                meta["method"] = method
+            trusted = True
 
-    with _timed(report, "lifetimes"):
-        lifetimes = extract_lifetimes(graph, sdppo_schedule, q)
-    buffers = lifetimes.as_list()
-    with _timed(report, "wig"):
-        wig = build_intersection_graph(buffers, occurrence_cap=occurrence_cap)
-    with _timed(report, "first_fit"):
-        alloc_dur = ffdur(buffers, graph=wig, occurrence_cap=occurrence_cap)
-        alloc_start = ffstart(buffers, graph=wig, occurrence_cap=occurrence_cap)
-        best = alloc_dur if alloc_dur.total <= alloc_start.total else alloc_start
-    if verify:
-        with _timed(report, "verify"):
-            verify_allocation(buffers, best, occurrence_cap=occurrence_cap)
+        context = session.context_for(chosen, trusted=trusted)
+        n = context.n
+        # Both strided DPs evaluate every split of every window:
+        # sum over lengths L of (n-L+1)(L-1) = n(n^2-1)/6 cells.
+        dp_cells = n * (n * n - 1) // 6
+        with _stage(report, recorder, "dppo"):
+            dppo_result = dppo(graph, chosen, q, context=context)
+            if recorder is not None:
+                recorder.count("dp.cells", dp_cells)
+        with _stage(report, recorder, "sdppo") as meta:
+            if use_chain_dp and session.chain_order is not None:
+                meta["dp"] = "chain"
+                if recorder is not None:
+                    hits0, misses0 = (
+                        session.chain_dp_hits, session.chain_dp_misses
+                    )
+                chain_result = session.chain_sdppo_result()
+                sdppo_cost, sdppo_schedule = (
+                    chain_result.cost, chain_result.schedule
+                )
+                if recorder is not None:
+                    recorder.count(
+                        "session.chain_dp_hits",
+                        session.chain_dp_hits - hits0,
+                    )
+                    recorder.count(
+                        "session.chain_dp_misses",
+                        session.chain_dp_misses - misses0,
+                    )
+            else:
+                meta["dp"] = "eq5"
+                sdppo_result = sdppo(graph, chosen, q, context=context)
+                sdppo_cost, sdppo_schedule = (
+                    sdppo_result.cost, sdppo_result.schedule
+                )
+                if recorder is not None:
+                    recorder.count("dp.cells", dp_cells)
+            if recorder is not None:
+                recorder.count("chain.window_hits", context.window_hits)
+                recorder.count("chain.window_misses", context.window_misses)
+
+        with _stage(report, recorder, "lifetimes"):
+            lifetimes = extract_lifetimes(graph, sdppo_schedule, q)
+        buffers = lifetimes.as_list()
+        with _stage(report, recorder, "wig"):
+            wig = build_intersection_graph(
+                buffers, occurrence_cap=occurrence_cap
+            )
+        with _stage(report, recorder, "first_fit"):
+            alloc_dur = ffdur(
+                buffers, graph=wig, occurrence_cap=occurrence_cap,
+                recorder=recorder,
+            )
+            alloc_start = ffstart(
+                buffers, graph=wig, occurrence_cap=occurrence_cap,
+                recorder=recorder,
+            )
+            best = (
+                alloc_dur if alloc_dur.total <= alloc_start.total
+                else alloc_start
+            )
+            if recorder is not None:
+                recorder.count("alloc.words", best.total)
+        if verify:
+            with _stage(report, recorder, "verify"):
+                verify_allocation(
+                    buffers, best, occurrence_cap=occurrence_cap
+                )
 
     return ImplementationResult(
         method=method,
@@ -238,6 +314,7 @@ def implement_best(
     occurrence_cap: int = DEFAULT_OCCURRENCE_CAP,
     verify: bool = True,
     session: Optional[CompilationSession] = None,
+    recorder=None,
 ) -> BestResult:
     """Run both topological-sort methods; the Table 1 row for a system.
 
@@ -251,9 +328,11 @@ def implement_best(
         rpmc=implement(
             graph, "rpmc", seed=seed, use_chain_dp=use_chain_dp,
             occurrence_cap=occurrence_cap, verify=verify, session=session,
+            recorder=recorder,
         ),
         apgan=implement(
             graph, "apgan", seed=seed, use_chain_dp=use_chain_dp,
             occurrence_cap=occurrence_cap, verify=verify, session=session,
+            recorder=recorder,
         ),
     )

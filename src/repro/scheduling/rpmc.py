@@ -46,6 +46,7 @@ def rpmc(
     q: Optional[Dict[str, int]] = None,
     seed: int = 0,
     num_random_orders: int = 4,
+    recorder=None,
 ) -> RPMCResult:
     """Run RPMC on a consistent acyclic SDF graph.
 
@@ -55,6 +56,10 @@ def rpmc(
         RPMC explores prefixes of ``1 + num_random_orders`` topological
         orders per recursion level; the random orders derive from
         ``seed`` deterministically, so results are reproducible.
+    recorder:
+        Optional :class:`repro.obs.Recorder`; tallies ``rpmc.cuts``
+        (one per recursive bipartition) and ``rpmc.moves`` (applied
+        greedy boundary improvements).
     """
     if not graph.is_acyclic():
         raise GraphStructureError(
@@ -63,7 +68,7 @@ def rpmc(
     if q is None:
         q = repetitions_vector(graph)
     rng = random.Random(seed)
-    order = _rpmc_order(graph, q, rng, num_random_orders)
+    order = _rpmc_order(graph, q, rng, num_random_orders, recorder)
     return RPMCResult(order=order)
 
 
@@ -84,12 +89,15 @@ def _rpmc_order(
     q: Dict[str, int],
     rng: random.Random,
     num_random_orders: int,
+    recorder=None,
 ) -> List[str]:
     n = graph.num_actors
     if n <= 1:
         return graph.actor_names()
     if n == 2:
         return graph.topological_order()
+    if recorder is not None:
+        recorder.count("rpmc.cuts")
 
     from math import gcd
 
@@ -148,14 +156,14 @@ def _rpmc_order(
         order = orders[0]
         best_left = set(order[: max(1, n // 2)])
 
-    best_left = _improve_cut(graph, weight, best_left, lo, hi)
+    best_left = _improve_cut(graph, weight, best_left, lo, hi, recorder=recorder)
 
     left_names = [a for a in graph.actor_names() if a in best_left]
     right_names = [a for a in graph.actor_names() if a not in best_left]
     left_sub = graph.subgraph(left_names)
     right_sub = graph.subgraph(right_names)
-    left_order = _rpmc_components(left_sub, q, rng, num_random_orders)
-    right_order = _rpmc_components(right_sub, q, rng, num_random_orders)
+    left_order = _rpmc_components(left_sub, q, rng, num_random_orders, recorder)
+    right_order = _rpmc_components(right_sub, q, rng, num_random_orders, recorder)
     return left_order + right_order
 
 
@@ -164,6 +172,7 @@ def _rpmc_components(
     q: Dict[str, int],
     rng: random.Random,
     num_random_orders: int,
+    recorder=None,
 ) -> List[str]:
     """Recurse per connected component (cuts can disconnect a side).
 
@@ -175,11 +184,11 @@ def _rpmc_components(
         return graph.actor_names()
     components = _connected_components(graph)
     if len(components) == 1:
-        return _rpmc_order(graph, q, rng, num_random_orders)
+        return _rpmc_order(graph, q, rng, num_random_orders, recorder)
     result: List[str] = []
     for comp in components:
         sub = graph.subgraph(comp)
-        result.extend(_rpmc_order(sub, q, rng, num_random_orders))
+        result.extend(_rpmc_order(sub, q, rng, num_random_orders, recorder))
     return result
 
 
@@ -210,6 +219,7 @@ def _improve_cut(
     lo: int,
     hi: int,
     max_passes: int = 4,
+    recorder=None,
 ) -> Set[str]:
     """Greedy boundary improvement preserving legality and size bounds.
 
@@ -259,6 +269,8 @@ def _improve_cut(
         if best_move is None:
             break
         actor, to_left = best_move
+        if recorder is not None:
+            recorder.count("rpmc.moves")
         if to_left:
             left.add(actor)
         else:

@@ -12,6 +12,14 @@ never live at the same time as buffers entirely on the right, so only
 the larger side matters; the split-crossing buffers are live across both
 and are added in full.
 
+Edges with initial tokens break the "never live at the same time"
+premise: a delayed edge's circular buffer carries its ``del(e)`` tokens
+across the period boundary, so it is live during *every* instant of the
+schedule and can never overlay anything.  The recurrence therefore
+splits each cost into an episodic part (delayless buffers, combined
+with ``max``) and a persistent part (delayed-edge buffers, always
+summed); on delayless graphs the two formulations coincide exactly.
+
 Factoring heuristic (section 5.1): factoring the gcd loop out of a
 split-merge shrinks the crossing buffers but forces the left side's
 input buffers to overlap the right side's output buffers.  Following the
@@ -109,10 +117,12 @@ def sdppo(
         b, split, factored = dp_over_context(
             context, shared=True, factoring=factoring
         )
-    else:
-        # b[i][j] = optimal cost of window (i, j), kept both row-major
-        # and transposed so the split scan zips two contiguous slices:
-        # the left halves b[i][i..j-1] and the right halves b[i+1..j][j].
+    elif not context.has_delays:
+        # Delayless graphs: every buffer is episodic, so EQ 5 is the
+        # plain max-combiner recurrence.  b[i][j] = optimal cost of
+        # window (i, j), kept both row-major and transposed so the
+        # split scan zips two contiguous slices: the left halves
+        # b[i][i..j-1] and the right halves b[i+1..j][j].
         b = [[0] * n for _ in range(n)]
         bT = [[0] * n for _ in range(n)]
         split = {}
@@ -136,6 +146,57 @@ def sdppo(
                 # whenever a crossing edge exists, so a zero cost means
                 # the halves are independent; keep them unfactored so
                 # their buffers stay disjoint (figure 7(a) vs 7(b)).
+                if factoring == "auto":
+                    factored[(i, j)] = costs[best_k - i] > 0
+                else:
+                    factored[(i, j)] = factoring == "always"
+    else:
+        # Delayed edges hold live tokens across the whole period, so
+        # their circular buffers are *persistent* — they can never
+        # share memory — while delayless buffers stay episodic and
+        # share via max.  Split every window cost accordingly:
+        #
+        #   total(k) = max(ep_l, ep_r) + pers_l + pers_r + c_ij[k]
+        #
+        # The persistent part of the crossing cost is inside c_ij[k]
+        # already (it cancels in the total), so only the chosen split
+        # needs the extra pers_crossing_cost rectangle query to update
+        # the episodic/persistent book tables.  On delayless inputs
+        # every pers term is 0 and this reduces (including tie-breaks)
+        # to the branch above.
+        b = [[0] * n for _ in range(n)]
+        ep = [[0] * n for _ in range(n)]
+        epT = [[0] * n for _ in range(n)]
+        pers = [[0] * n for _ in range(n)]
+        persT = [[0] * n for _ in range(n)]
+        split = {}
+        factored = {}
+        for length in range(2, n + 1):
+            for i in range(0, n - length + 1):
+                j = i + length - 1
+                costs = context.crossing_costs_for_window(i, j)
+                epi = ep[i]
+                pi = pers[i]
+                candidates = [
+                    (x if x > y else y) + pl + pr + c
+                    for x, y, pl, pr, c in zip(
+                        epi[i:j],
+                        epT[j][i + 1 : j + 1],
+                        pi[i:j],
+                        persT[j][i + 1 : j + 1],
+                        costs,
+                    )
+                ]
+                best = min(candidates)
+                best_k = i + candidates.index(best)
+                p_cross = context.pers_crossing_cost(i, j, best_k)
+                new_pers = pi[best_k] + persT[j][best_k + 1] + p_cross
+                b[i][j] = best
+                pi[j] = new_pers
+                persT[j][i] = new_pers
+                epi[j] = best - new_pers
+                epT[j][i] = best - new_pers
+                split[(i, j)] = best_k
                 if factoring == "auto":
                     factored[(i, j)] = costs[best_k - i] > 0
                 else:

@@ -51,15 +51,20 @@ class CompilationSession:
         self.graph = graph
         #: The repetitions vector, solved once per graph.
         self.q: Dict[str, int] = repetitions_vector(graph)
-        #: (source, sink) -> (TNSE words, delay words), parallel edges
-        #: aggregated; reused by every per-order ChainContext.
-        self.pair_weights: Dict[Tuple[str, str], Tuple[int, int]] = (
+        #: (source, sink) -> (TNSE words, delay words, delayed-edge
+        #: TNSE words), parallel edges aggregated; reused by every
+        #: per-order ChainContext.
+        self.pair_weights: Dict[Tuple[str, str], Tuple[int, int, int]] = (
             aggregate_pair_weights(graph, self.q)
         )
         self._chain_order: Optional[List[str]] = None
         self._chain_checked = False
         self._chain_result: Optional[ChainSDPPOResult] = None
         self._bmlb: Optional[int] = None
+        #: Chain-DP result cache statistics (hits = reuses of the
+        #: order-independent section 6 DP), flushed by the pipeline.
+        self.chain_dp_hits = 0
+        self.chain_dp_misses = 0
 
     # ------------------------------------------------------------------
     @property
@@ -94,7 +99,10 @@ class CompilationSession:
         a 1000-trial search on a chain graph pays the DP once.
         """
         if self._chain_result is None:
+            self.chain_dp_misses += 1
             self._chain_result = chain_sdppo(self.graph, q=self.q)
+        else:
+            self.chain_dp_hits += 1
         return self._chain_result
 
     def bmlb(self) -> int:

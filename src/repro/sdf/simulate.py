@@ -52,7 +52,12 @@ __all__ = [
 BACKENDS = ("auto", "interpreter", "symbolic")
 
 
-def _try_symbolic(graph: SDFGraph, schedule: LoopedSchedule, backend: str):
+def _try_symbolic(
+    graph: SDFGraph,
+    schedule: LoopedSchedule,
+    backend: str,
+    recorder=None,
+):
     """Resolve ``backend`` to a SymbolicTrace, None (interpret), or raise."""
     if backend not in BACKENDS:
         raise ValueError(
@@ -64,7 +69,7 @@ def _try_symbolic(graph: SDFGraph, schedule: LoopedSchedule, backend: str):
     # symbolic pulls in repro.lifetimes which imports repro.sdf.
     from .symbolic import SymbolicTrace
 
-    trace = SymbolicTrace.try_build(graph, schedule)
+    trace = SymbolicTrace.try_build(graph, schedule, recorder=recorder)
     if trace is None and backend == "symbolic":
         raise ScheduleError(
             "symbolic backend does not support this graph/schedule "
@@ -95,6 +100,7 @@ def validate_schedule(
     graph: SDFGraph,
     schedule: LoopedSchedule,
     backend: str = "auto",
+    recorder=None,
 ) -> Dict[str, int]:
     """Check that ``schedule`` is a valid schedule for ``graph``.
 
@@ -137,14 +143,18 @@ def validate_schedule(
                 f"expected {blocking})"
             )
 
-    if _try_symbolic(graph, schedule, backend) is not None:
+    if _try_symbolic(graph, schedule, backend, recorder=recorder) is not None:
         # The symbolic preconditions hold: within each least-parent
         # iteration all production precedes all consumption and balances
         # it exactly, so no edge underflows and every edge returns to
         # its initial (zero) token count.  The replay below would find
         # nothing.
+        if recorder is not None:
+            recorder.count("sim.symbolic_shortcuts")
         return counts
 
+    if recorder is not None:
+        recorder.count("sim.firings", sum(counts.values()))
     tokens = {e.key: e.delay for e in graph.edges()}
     for actor in schedule.firing_sequence():
         _fire(graph, actor, tokens)
@@ -169,6 +179,7 @@ def max_tokens(
     graph: SDFGraph,
     schedule: LoopedSchedule,
     backend: str = "auto",
+    recorder=None,
 ) -> Dict[Tuple[str, str, int], int]:
     """``max_tokens(e, S)`` for every edge: the peak token count.
 
@@ -185,16 +196,22 @@ def max_tokens(
     ``max_tokens((A,B)) == 7`` (one delay plus six produced) and for
     S2 = (3A(2B))(2C) it is 3.
     """
-    symbolic = _try_symbolic(graph, schedule, backend)
+    symbolic = _try_symbolic(graph, schedule, backend, recorder=recorder)
     if symbolic is not None:
+        if recorder is not None:
+            recorder.count("sim.symbolic_shortcuts")
         return symbolic.max_tokens()
     peaks = {e.key: e.delay for e in graph.edges()}
     tokens = {e.key: e.delay for e in graph.edges()}
+    fired = 0
     for actor in schedule.firing_sequence():
         _fire(graph, actor, tokens)
+        fired += 1
         for e in graph.out_edges(actor):
             if tokens[e.key] > peaks[e.key]:
                 peaks[e.key] = tokens[e.key]
+    if recorder is not None:
+        recorder.count("sim.firings", fired)
     return peaks
 
 
@@ -316,6 +333,7 @@ def simulate_schedule(
     graph: SDFGraph,
     schedule: LoopedSchedule,
     checkpoint_stride: int = _CHECKPOINT_STRIDE,
+    recorder=None,
 ) -> TokenTrace:
     """Run ``schedule`` and record the token trace (delta-encoded).
 
@@ -357,6 +375,8 @@ def simulate_schedule(
         if trace._total > trace._total_peak:
             trace._total_peak = trace._total
         trace._record(actor, touched, tokens)
+    if recorder is not None:
+        recorder.count("sim.firings", len(trace.firings))
     return trace
 
 
@@ -392,15 +412,28 @@ def _scan_episodes(graph: SDFGraph, schedule: LoopedSchedule) -> _EpisodeScan:
     }
     episodes: List[Tuple[Tuple[str, str, int], int, int, int]] = []
     # Per-edge open episode state: start step, tokens present at the
-    # start, and tokens produced by src(e) since (through the current
-    # firing).  Edges with initial tokens start live at step 0.
+    # start, tokens produced by src(e) since (through the current
+    # firing), and the peak token occupancy seen during the episode.
+    # Edges with initial tokens start live at step 0.
     open_at: Dict[Tuple[str, str, int], Optional[int]] = {}
     start_count: Dict[Tuple[str, str, int], int] = {}
     produced: Dict[Tuple[str, str, int], int] = {}
+    peak_occ: Dict[Tuple[str, str, int], int] = {}
     for k, e in by_key.items():
         open_at[k] = 0 if e.delay > 0 else None
         start_count[k] = e.delay
         produced[k] = 0
+        peak_occ[k] = e.delay
+
+    def episode_words(k: Tuple[str, str, int], e: Edge) -> int:
+        # A delayed edge wraps its del(e) tokens around the period
+        # boundary, so its buffer is circular: capacity is the peak
+        # token occupancy, not the episode's total traffic.  Delayless
+        # episodes fill a linear array with everything transferred
+        # (tokens at start plus tokens produced), as in section 5.
+        if e.delay > 0:
+            return peak_occ[k] * e.token_size
+        return (start_count[k] + produced[k]) * e.token_size
 
     t = 0
     for actor in schedule.firing_sequence():
@@ -428,23 +461,25 @@ def _scan_episodes(graph: SDFGraph, schedule: LoopedSchedule) -> _EpisodeScan:
                 open_at[k] = t - 1
                 start_count[k] = 0
                 produced[k] = e.production
+                peak_occ[k] = tokens[k]
             else:
                 produced[k] += e.production
+                if tokens[k] > peak_occ[k]:
+                    peak_occ[k] = tokens[k]
         for e in ins:
             k = e.key
             if tokens[k] == 0 and open_at[k] is not None:
                 s = open_at[k]
                 intervals[k].append((s, t))
-                size = (start_count[k] + produced[k]) * e.token_size
-                episodes.append((k, s, t, size))
+                episodes.append((k, s, t, episode_words(k, e)))
                 open_at[k] = None
                 produced[k] = 0
+                peak_occ[k] = 0
     for k, e in by_key.items():
         if open_at[k] is not None:
             s = open_at[k]
             intervals[k].append((s, t))
-            size = (start_count[k] + produced[k]) * e.token_size
-            episodes.append((k, s, t, size))
+            episodes.append((k, s, t, episode_words(k, e)))
     return _EpisodeScan(intervals=intervals, episodes=episodes)
 
 
@@ -452,6 +487,7 @@ def coarse_live_intervals(
     graph: SDFGraph,
     schedule: LoopedSchedule,
     backend: str = "auto",
+    recorder=None,
 ) -> Dict[Tuple[str, str, int], List[Tuple[int, int]]]:
     """Ground-truth coarse-grained liveness intervals per edge.
 
@@ -468,9 +504,15 @@ def coarse_live_intervals(
     enumerate the episodes from their mixed-radix closed form instead
     (output-sized rather than firing-count-sized).
     """
-    symbolic = _try_symbolic(graph, schedule, backend)
+    symbolic = _try_symbolic(graph, schedule, backend, recorder=recorder)
     if symbolic is not None:
+        if recorder is not None:
+            recorder.count("sim.symbolic_shortcuts")
         return symbolic.coarse_live_intervals()
+    if recorder is not None:
+        recorder.count(
+            "sim.firings", sum(schedule.firings_per_actor().values())
+        )
     return _scan_episodes(graph, schedule).intervals
 
 
@@ -478,15 +520,19 @@ def max_live_tokens(
     graph: SDFGraph,
     schedule: LoopedSchedule,
     backend: str = "auto",
+    recorder=None,
 ) -> int:
     """Peak of the coarse-model live-array total over the schedule.
 
-    Under the coarse model each live episode of an edge's buffer requires
-    an array holding *all* tokens that pass through during that episode
-    (tokens present at episode start plus tokens produced before it
-    drains).  This sums, per time step, the episode array sizes of the
-    edges whose episodes cover that step — ground truth against which the
-    schedule-tree lifetime extraction and the allocators are checked.
+    Under the coarse model each live episode of a delayless edge's
+    buffer requires an array holding *all* tokens that pass through
+    during that episode (tokens present at episode start plus tokens
+    produced before it drains); a delayed edge's buffer is circular
+    (its initial tokens wrap the period boundary) and needs only its
+    peak token occupancy.  This sums, per time step, the episode array
+    sizes of the edges whose episodes cover that step — ground truth
+    against which the schedule-tree lifetime extraction and the
+    allocators are checked.
 
     A single simulation produces both the episodes and their sizes (the
     historical implementation simulated the same schedule three times
@@ -495,9 +541,15 @@ def max_live_tokens(
     a hierarchical range-max over the schedule tree — no simulation and
     no episode enumeration at all.
     """
-    symbolic = _try_symbolic(graph, schedule, backend)
+    symbolic = _try_symbolic(graph, schedule, backend, recorder=recorder)
     if symbolic is not None:
+        if recorder is not None:
+            recorder.count("sim.symbolic_shortcuts")
         return symbolic.max_live_tokens()
+    if recorder is not None:
+        recorder.count(
+            "sim.firings", sum(schedule.firings_per_actor().values())
+        )
     scan = _scan_episodes(graph, schedule)
     events: List[Tuple[int, int]] = []  # (time, +size/-size)
     for _, s, t, size in scan.episodes:

@@ -120,9 +120,30 @@ class SymbolicTrace:
     # ------------------------------------------------------------------
     @classmethod
     def try_build(
-        cls, graph: SDFGraph, schedule: LoopedSchedule
+        cls,
+        graph: SDFGraph,
+        schedule: LoopedSchedule,
+        recorder=None,
     ) -> Optional["SymbolicTrace"]:
         """Build a symbolic trace, or ``None`` if unsupported.
+
+        With a ``recorder``, tallies ``symbolic.builds`` /
+        ``symbolic.declines`` so traces show how often the closed forms
+        applied versus fell back to the firing interpreter.
+        """
+        trace = cls._try_build(graph, schedule)
+        if recorder is not None:
+            recorder.count(
+                "symbolic.builds" if trace is not None
+                else "symbolic.declines"
+            )
+        return trace
+
+    @classmethod
+    def _try_build(
+        cls, graph: SDFGraph, schedule: LoopedSchedule
+    ) -> Optional["SymbolicTrace"]:
+        """The coverage test and construction behind :meth:`try_build`.
 
         Preconditions (each checked; any failure means the firing
         interpreter must be used instead):

@@ -1,23 +1,31 @@
-"""Shrunk counterexamples found by ``python -m repro check``.
+"""Shrunk counterexamples found by ``python -m repro check`` — now fixed.
 
 Each case below is a minimal graph the counterexample shrinker produced
-from a failing random trial.  Both expose the same modelling boundary:
-the *coarse* live-array model (``max_live_tokens``, and the EQ 5 SDPPO
-recurrence built on it) sizes every live episode as all words
-transferred during it, while lifetime extraction sizes delayed edges as
-*circular* buffers at peak occupancy — which is smaller.  On delayless
-graphs the two agree and the oracles assert it; with delays the coarse
-figures may exceed (or, for the EQ 5 split, undershoot) the realized
-allocation, and only the occupancy bound holds unconditionally.
+from a failing random trial.  Both originally exposed the same
+modelling bug around delayed edges: the coarse live-array model
+(``max_live_tokens``) sized every episode as all words transferred
+through it, while lifetime extraction sizes delayed edges as *circular*
+buffers at peak occupancy; and EQ 5's ``max(left, right)`` combiner
+assumed the two halves of a split never hold memory simultaneously,
+which a delayed edge internal to one half (live across the whole
+period) violates.  The check harness used to scope its
+``mlt <= sdppo_cost`` / ``mlt <= allocation.total`` oracles to
+delayless graphs to work around the mismatch.
 
-These tests pin (a) the gap itself, so a future change to either model
-is noticed, and (b) the facts that make the implementation safe despite
-it: occupancy never exceeds the allocation, the VM executes the
-placement with full token integrity, and Definition-5 verification
-accepts it.  The oracle battery must stay clean on both graphs.
+Both sides are now reconciled: the coarse model sizes delayed-edge
+episodes at peak occupancy times token size (the circular-buffer
+capacity), and the SDPPO recurrences carry delayed-edge buffers as an
+always-summed *persistent* component next to the ``max``-combined
+episodic one.  These tests pin the previously-failing chains as
+passing — cost, coarse peak, and packed total all agree — and the
+oracles in :mod:`repro.check.oracles` assert the orderings
+unconditionally, delays included.
 """
 
+from repro.scheduling.sdppo import sdppo
+from repro.scheduling.chain_sdppo import chain_sdppo
 from repro.sdf.graph import SDFGraph
+from repro.sdf.repetitions import repetitions_vector
 from repro.sdf.simulate import max_live_tokens
 from repro.allocation.verify import verify_allocation
 from repro.codegen.vm import SharedMemoryVM
@@ -46,24 +54,27 @@ def internal_delay_chain() -> SDFGraph:
     return g
 
 
-class TestCoarseModelExceedsCircularAllocation:
-    """3-actor chain: ``max_live_tokens`` > ``allocation.total``.
+class TestCircularSizingClosesCoarseGap:
+    """3-actor chain that used to show ``mlt`` > ``allocation.total``.
 
-    The delayed edge's coarse episode holds initial + produced tokens
-    (3 words) but its circular buffer peaks at 2 tokens, so the shared
-    allocation (4) is smaller than the coarse live total (5) — and
-    still correct.
+    The delayed edge's coarse episode used to be sized at initial +
+    produced tokens (3 words) while its circular buffer peaks at 2; the
+    coarse live total (5) then exceeded the packed allocation (4).
+    With circular sizing both models meet at 4 words.
     """
 
-    def test_gap_is_present(self):
+    def test_models_agree(self):
         g = delayed_words_chain()
         art = build_artifacts(g, method="rpmc")
         mlt = max_live_tokens(g, art.result.sdppo_schedule)
-        assert mlt == 5
+        assert str(art.result.sdppo_schedule) == "(2n0 n1)n2"
+        assert art.result.sdppo_cost == 4
+        assert mlt == 4
         assert art.result.allocation.total == 4
-        assert mlt > art.result.allocation.total
+        assert mlt <= art.result.sdppo_cost
+        assert mlt <= art.result.allocation.total
 
-    def test_allocation_is_nevertheless_feasible(self):
+    def test_allocation_is_feasible(self):
         g = delayed_words_chain()
         art = build_artifacts(g, method="rpmc")
         # The unconditional bound: peak simultaneous token words.
@@ -80,29 +91,38 @@ class TestCoarseModelExceedsCircularAllocation:
         assert run_oracles(build_artifacts(delayed_words_chain())) == []
 
 
-class TestEq5UndershootsOnInternalDelay:
-    """4-actor chain: ``sdppo_cost`` < ``max_live_tokens``.
+class TestEq5PersistentSplitCoversInternalDelay:
+    """4-actor chain that used to show ``sdppo_cost`` < ``mlt``.
 
-    EQ 5's ``max(left, right)`` combiner assumes the two halves of a
-    split never hold memory simultaneously; a delayed edge internal to
-    one half is live from step 0 (whole-period envelope), overlapping
-    the other half.  The DP is exact for delayless graphs only — an
-    estimate here, and the realized allocation (4) covers the true
-    requirement regardless.
+    The delayed edge internal to the right half is live from step 0,
+    overlapping the left half — EQ 5's plain ``max`` undershot it
+    (cost 3 against a true requirement of 4).  The episodic/persistent
+    split adds the delayed edge's circular buffer outside the ``max``,
+    so the predicted cost now covers the realized peak exactly.
     """
 
-    def test_gap_is_present(self):
+    def test_cost_covers_coarse_peak(self):
         g = internal_delay_chain()
         art = build_artifacts(g, method="rpmc")
         mlt = max_live_tokens(g, art.result.sdppo_schedule)
-        assert art.result.sdppo_cost == 3
+        assert art.result.sdppo_cost == 4
         assert mlt == 4
-        assert art.result.sdppo_cost < mlt
+        assert art.result.allocation.total == 4
+        assert mlt <= art.result.sdppo_cost
+        assert mlt <= art.result.allocation.total
+
+    def test_eq5_and_chain_dp_agree(self):
+        g = internal_delay_chain()
+        q = repetitions_vector(g)
+        order = g.topological_order()
+        eq5 = sdppo(g, order, q)
+        chain = chain_sdppo(g)
+        assert eq5.cost == 4
+        assert chain.cost == 4
 
     def test_allocation_covers_true_requirement(self):
         g = internal_delay_chain()
         art = build_artifacts(g, method="rpmc")
-        assert art.result.allocation.total == 4
         occ = reference_peak_token_words(g, art.result.sdppo_schedule)
         assert occ <= art.result.allocation.total
         verify_allocation(
