@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test check bench bench-pytest bench-full report examples clean
+.PHONY: install test check serve-smoke bench bench-pytest bench-full report examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -18,11 +18,18 @@ check:
 	PYTHONPATH=src $(PYTHON) -m repro check --trials 25 --inject \
 		--bench-out BENCH_PR2.json
 
+# End-to-end service smoke test: start repro serve, submit CD-DAT
+# twice (cold miss, then a bit-identical warm hit), drain on SIGTERM,
+# and leave the request trace in serve_trace.json.
+serve-smoke:
+	$(PYTHON) scripts/serve_smoke.py --trace serve_trace.json
+
 bench:
 	$(PYTHON) benchmarks/perf_suite.py --out BENCH_PR1.json \
 		--baseline benchmarks/seed_baseline.json
 	$(PYTHON) benchmarks/bench_symbolic.py --out BENCH_PR3.json
 	$(PYTHON) benchmarks/bench_obs.py --out BENCH_PR4.json
+	$(PYTHON) benchmarks/bench_serve.py --out BENCH_PR5.json
 
 bench-pytest:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,0 +1,134 @@
+"""Service smoke test: start ``repro serve``, exercise it, drain it.
+
+The end-to-end acceptance ritual, runnable locally (``make
+serve-smoke``) and in CI:
+
+1. start ``repro serve`` as a subprocess on an ephemeral port with a
+   throwaway cache directory and ``--trace`` enabled;
+2. wait for ``/healthz``;
+3. submit CD-DAT twice through the real client; assert the first
+   response is a cache *miss*, the second a *hit*, and that the two
+   reports are bit-identical (canonical-form comparison);
+4. assert ``/stats`` agrees (1 hit, 1 miss, 0 rejected);
+5. send SIGTERM; assert the server drains cleanly (exit code 0) and
+   leaves the trace artifact behind (``serve_trace.json`` by
+   default — CI uploads it).
+
+Exit code 0 only when every step held.
+
+Usage::
+
+    python scripts/serve_smoke.py [--trace serve_trace.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_SRC = os.path.join(os.path.dirname(__file__), "..", "src")
+sys.path.insert(0, REPO_SRC)
+
+from repro.apps.ptolemy_demos import cd_to_dat  # noqa: E402
+from repro.sdf.io import to_json  # noqa: E402
+from repro.serve.client import (  # noqa: E402
+    ServeClientError,
+    compile_remote,
+    get_json,
+)
+
+
+def fail(message: str) -> "NoReturn":  # noqa: F821 (py3.10 typing)
+    print(f"serve-smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def wait_healthy(url: str, deadline_s: float = 15.0) -> None:
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        try:
+            if get_json(url, "/healthz", timeout=2).get("status") == "ok":
+                return
+        except ServeClientError:
+            pass
+        time.sleep(0.1)
+    fail(f"server at {url} never became healthy")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace", default="serve_trace.json",
+                        help="trace artifact path (written on drain)")
+    parser.add_argument("--timeout", type=float, default=60.0,
+                        help="overall subprocess wait budget, seconds")
+    args = parser.parse_args(argv)
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        REPO_SRC + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH") else REPO_SRC
+    )
+    if os.path.exists(args.trace):
+        os.unlink(args.trace)
+
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-cache-") as root:
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--quiet", "--cache-dir", root, "--trace", args.trace],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env,
+        )
+        try:
+            banner = proc.stdout.readline().strip()
+            if not banner.startswith("serving on "):
+                fail(f"unexpected server banner: {banner!r}")
+            url = banner.split()[2]
+            wait_healthy(url)
+
+            document = to_json(cd_to_dat())
+            first, first_status = compile_remote(
+                document, url=url, timeout=30
+            )
+            if first_status != "miss":
+                fail(f"first submit should miss, got {first_status!r}")
+            second, second_status = compile_remote(
+                document, url=url, timeout=30
+            )
+            if second_status != "hit":
+                fail(f"second submit should hit, got {second_status!r}")
+            if second.canonical() != first.canonical():
+                fail("warm report is not bit-identical to the cold one")
+            if not second.cached or first.cached:
+                fail("cached flags inconsistent with statuses")
+
+            stats = get_json(url, "/stats", timeout=5)
+            server_stats = stats.get("server", {})
+            if (server_stats.get("hits"), server_stats.get("misses"),
+                    server_stats.get("rejected")) != (1, 1, 0):
+                fail(f"unexpected /stats counters: {server_stats}")
+
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=args.timeout)
+            if proc.returncode != 0:
+                fail(f"server exited {proc.returncode}; output:\n{out}")
+            if "drained cleanly" not in out:
+                fail(f"no clean-drain message; output:\n{out}")
+            if not os.path.isfile(args.trace):
+                fail(f"trace artifact {args.trace!r} was not written")
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+
+    print("serve-smoke: OK "
+          f"(cold miss -> warm hit, bit-identical; trace at {args.trace})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

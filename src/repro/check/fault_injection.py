@@ -374,6 +374,78 @@ def inject_stage_crash(
     )
 
 
+def inject_cache_corrupt(
+    art: PipelineArtifacts, rng: random.Random
+) -> Optional[InjectionOutcome]:
+    """Corrupt an artifact-cache entry; it must never be served.
+
+    Compiles the graph through a :class:`repro.serve.CompileService`
+    backed by a throwaway cache, then corrupts the stored entry one of
+    three ways a real deployment could: truncation (crash mid-write of
+    a non-atomic writer), field tampering with a stale digest (bit rot
+    or a buggy external editor), or wholesale garbage.  Caught means
+    the corrupted entry is evicted on read (the lookup misses, the
+    file is gone) and the recompute's report is bit-identical to the
+    pre-corruption cold result — corruption repaired, never served.
+    """
+    import os
+    import tempfile
+
+    from ..sdf.io import to_json
+    from ..serve import ArtifactCache, CompileOptions, CompileService
+
+    document = to_json(art.graph)
+    options = CompileOptions(
+        method=art.method, seed=art.seed,
+        occurrence_cap=art.occurrence_cap,
+    )
+    mode = rng.choice(("truncate", "tamper", "garbage"))
+    with tempfile.TemporaryDirectory(prefix="repro-cache-") as root:
+        cache = ArtifactCache(root)
+        service = CompileService(cache=cache)
+        cold, status = service.compile_document(document, options)
+        path = cache.path_for(cold.key)
+        if status != "miss" or not os.path.isfile(path):
+            return None
+        if mode == "truncate":
+            with open(path, "r+", encoding="utf-8") as handle:
+                handle.truncate(max(1, os.path.getsize(path) // 2))
+        elif mode == "tamper":
+            # Valid JSON, wrong content: only the digest check can
+            # notice.  Overstate the pool total by one word.
+            import json
+
+            with open(path, encoding="utf-8") as handle:
+                entry = json.load(handle)
+            entry["report"]["total"] = int(entry["report"]["total"]) + 1
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle)
+        else:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write("\x00not json\x00" * 3)
+        served = cache.get(cold.key)
+        evicted = not os.path.isfile(path)
+        warm, warm_status = service.compile_document(document, options)
+        caught = (
+            served is None
+            and evicted
+            and warm_status == "miss"
+            and warm.canonical() == cold.canonical()
+        )
+        return InjectionOutcome(
+            mutation="cache_corrupt",
+            graph_seed=art.seed,
+            caught=caught,
+            detail=(
+                f"{mode}: corrupt read -> "
+                f"{'miss' if served is None else 'SERVED'}, "
+                f"entry {'evicted' if evicted else 'STILL PRESENT'}, "
+                f"recompute ({warm_status}) "
+                f"{'bit-identical' if warm.canonical() == cold.canonical() else 'DIFFERS'}"
+            ),
+        )
+
+
 MUTATION_CLASSES: Dict[
     str, Callable[[PipelineArtifacts, random.Random], Optional[InjectionOutcome]]
 ] = {
@@ -384,6 +456,7 @@ MUTATION_CLASSES: Dict[
     "total": inject_total,
     "buffer_size": inject_buffer_size,
     "stage_crash": inject_stage_crash,
+    "cache_corrupt": inject_cache_corrupt,
 }
 
 

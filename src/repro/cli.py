@@ -19,6 +19,12 @@ Commands
     the full pipeline, every layer pair cross-checked, failures shrunk
     to minimal counterexamples (``--inject`` adds the mutation-kill
     self-test).
+``serve`` / ``submit`` / ``cache``
+    The compilation service: a long-running JSON-over-HTTP compile
+    server with a content-addressed artifact cache (``serve``), a
+    batch client that submits graphs and prints/saves
+    ``CompilationReport``s (``submit``), and cache maintenance
+    (``cache {stats,gc,clear}``).
 ``systems``
     List the built-in benchmark systems.
 ``dot``
@@ -35,6 +41,9 @@ Examples
     python -m repro table1 --systems qmf23_2d satrec
     python -m repro fig27 --sizes 20 50 --count 10 --jobs 4
     python -m repro check --trials 25 --seed 0 --inject
+    python -m repro serve --port 8177 --workers 4
+    python -m repro submit cddat satrec --url http://127.0.0.1:8177
+    python -m repro cache stats
 """
 
 from __future__ import annotations
@@ -45,6 +54,7 @@ import sys
 from typing import List, Optional
 
 from .apps import TABLE1_SYSTEMS, table1_graph
+from .exceptions import GraphStructureError
 from .sdf.graph import SDFGraph
 from .sdf.io import load_graph, to_dot
 
@@ -92,7 +102,17 @@ def _resolve_graph(spec: str) -> SDFGraph:
     if spec in extra:
         return extra[spec]()
     if spec.endswith(".json"):
-        return load_graph(spec)
+        try:
+            return load_graph(spec)
+        except OSError as exc:
+            raise SystemExit(
+                f"cannot read graph file {spec!r}: "
+                f"{exc.strerror or exc}"
+            ) from None
+        except (ValueError, GraphStructureError) as exc:
+            raise SystemExit(
+                f"invalid graph file {spec!r}: {exc}"
+            ) from None
     raise SystemExit(
         f"unknown system {spec!r}; use a name from 'systems', "
         f"{sorted(extra)}, or a .json graph file"
@@ -348,6 +368,124 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the long-lived compile server until SIGTERM/SIGINT drain."""
+    import signal
+    import threading
+
+    from .serve import ArtifactCache, CompileServer, CompileService
+
+    _apply_jobs(args)
+    cache = None if args.no_cache else ArtifactCache(args.cache_dir)
+    server = CompileServer(
+        CompileService(cache=cache),
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        request_timeout=args.timeout,
+        trace_path=args.trace,
+        trace_format=args.trace_format,
+        quiet=args.quiet,
+    )
+    drainers: List[threading.Thread] = []
+
+    def _on_signal(signum, frame):
+        thread = threading.Thread(target=server.drain)
+        thread.start()
+        drainers.append(thread)
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+    print(
+        f"serving on {server.url} "
+        f"(cache: {'disabled' if cache is None else cache.root}, "
+        f"workers {server.workers}, queue limit {server.queue_limit})",
+        flush=True,
+    )
+    server.serve_forever()
+    for thread in drainers:
+        thread.join()
+    server.drain()  # no-op if a signal already drained
+    if args.trace:
+        print(f"trace written to {args.trace}")
+    print("drained cleanly", flush=True)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """Submit graphs to a running server; print/save the reports."""
+    import json as _json
+
+    from .sdf.io import to_json
+    from .serve.client import (
+        ServeClientError,
+        compile_batch_remote,
+        compile_remote,
+    )
+
+    documents = [to_json(_resolve_graph(spec)) for spec in args.graphs]
+    options = {"method": args.method, "seed": args.seed}
+    try:
+        if len(documents) == 1:
+            results = [
+                compile_remote(
+                    documents[0], url=args.url, options=options,
+                    use_cache=not args.no_cache, timeout=args.timeout,
+                )
+            ]
+        else:
+            results = compile_batch_remote(
+                documents, url=args.url, options=options,
+                use_cache=not args.no_cache, jobs=args.jobs,
+                timeout=args.timeout,
+            )
+    except ServeClientError as exc:
+        raise SystemExit(f"submit failed: {exc}") from None
+    for report, status in results:
+        for line in report.summary_lines():
+            print(line)
+        print(f"cache:      {status} "
+              f"({1000 * report.wall_s:.1f} ms server-side)")
+        print()
+    if args.output:
+        payload = [r.to_json() for r, _ in results]
+        with open(args.output, "w") as handle:
+            _json.dump(
+                payload[0] if len(payload) == 1 else payload,
+                handle, indent=2, sort_keys=True,
+            )
+            handle.write("\n")
+        print(f"reports written to {args.output}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect or maintain the on-disk artifact cache."""
+    from .serve import ArtifactCache
+
+    cache = ArtifactCache(args.cache_dir)
+    if args.cache_command == "stats":
+        stats = cache.stats()
+        print(f"cache root: {stats['root']}")
+        print(f"entries:    {stats['entries']}")
+        print(f"bytes:      {stats['bytes']}")
+        return 0
+    if args.cache_command == "gc":
+        max_age_s = (
+            args.max_age_days * 86400.0
+            if args.max_age_days is not None else None
+        )
+        removed = cache.gc(
+            max_entries=args.max_entries, max_age_s=max_age_s
+        )
+        print(f"removed {removed} entr{'y' if removed == 1 else 'ies'}")
+        return 0
+    removed = cache.clear()
+    print(f"removed {removed} entr{'y' if removed == 1 else 'ies'}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -507,6 +645,143 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("dot", help="emit Graphviz DOT for a graph")
     p.add_argument("graph", help="system name or .json graph file")
     p.set_defaults(func=_cmd_dot)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the JSON-over-HTTP compilation service",
+        description=(
+            "Long-running compile server: POST /compile and /batch "
+            "accept to_json graph documents, results are served from "
+            "a content-addressed artifact cache when possible "
+            "(bit-identical to a cold compile).  Bounded queue with "
+            "429 backpressure, per-request timeouts, graceful drain "
+            "on SIGTERM/SIGINT."
+        ),
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=8177,
+        help="bind port (0 picks a free port, printed on startup)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="worker-pool threads executing compilations",
+    )
+    p.add_argument(
+        "--queue-limit", type=int, default=8, metavar="N",
+        help="max queued+running requests before 429 responses",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-request compile timeout (504 when exceeded)",
+    )
+    p.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="artifact cache directory "
+             "(default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the artifact cache (every request recompiles)",
+    )
+    p.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="record per-request spans; write the merged trace to "
+             "FILE on drain",
+    )
+    p.add_argument(
+        "--trace-format", default="auto",
+        choices=["auto", "chrome", "jsonl"],
+    )
+    p.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-request access logging",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for /batch fan-out "
+             "(overrides REPRO_JOBS; 0 = all cores)",
+    )
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "submit",
+        help="submit graphs to a running compile server",
+        description=(
+            "Resolve each GRAPH (system name or .json file), submit "
+            "to a repro serve instance, and print the returned "
+            "CompilationReports with their cache status."
+        ),
+    )
+    p.add_argument(
+        "graphs", nargs="+", metavar="GRAPH",
+        help="system names or .json graph files",
+    )
+    p.add_argument(
+        "--url", default="http://127.0.0.1:8177",
+        help="server base URL",
+    )
+    p.add_argument(
+        "--method", default="rpmc", choices=["rpmc", "apgan", "natural"]
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="ask the server to bypass its artifact cache",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="server-side worker processes for multi-graph batches",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=60.0, metavar="SECONDS",
+        help="client-side request timeout",
+    )
+    p.add_argument(
+        "--output", "-o", metavar="FILE", default=None,
+        help="also save the report(s) as JSON",
+    )
+    p.set_defaults(func=_cmd_submit)
+
+    p = sub.add_parser(
+        "cache",
+        help="inspect or maintain the artifact cache",
+        description=(
+            "Operate on the content-addressed compilation cache used "
+            "by repro serve: show entry counts and sizes, expire old "
+            "entries, or wipe it."
+        ),
+    )
+    cache_sub = p.add_subparsers(dest="cache_command", required=True)
+    c = cache_sub.add_parser("stats", help="entry count and total bytes")
+    c.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache directory (default: $REPRO_CACHE_DIR or "
+             "~/.cache/repro)",
+    )
+    c.set_defaults(func=_cmd_cache)
+    c = cache_sub.add_parser("gc", help="expire cache entries")
+    c.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache directory (default: $REPRO_CACHE_DIR or "
+             "~/.cache/repro)",
+    )
+    c.add_argument(
+        "--max-entries", type=int, default=None, metavar="N",
+        help="keep only the N most recently written entries",
+    )
+    c.add_argument(
+        "--max-age-days", type=float, default=None, metavar="DAYS",
+        help="remove entries older than DAYS days",
+    )
+    c.set_defaults(func=_cmd_cache)
+    c = cache_sub.add_parser("clear", help="remove every cache entry")
+    c.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache directory (default: $REPRO_CACHE_DIR or "
+             "~/.cache/repro)",
+    )
+    c.set_defaults(func=_cmd_cache)
 
     p = sub.add_parser(
         "report", help="regenerate the full evaluation as Markdown"

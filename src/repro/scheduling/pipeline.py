@@ -135,12 +135,28 @@ def implement(
 ) -> ImplementationResult:
     """Run the full flow with one topological-sort method.
 
+    This is the package's main entry point: topological sort, the
+    DPPO/SDPPO dynamic programs, lifetime extraction, clique bounds,
+    first-fit allocation under both orderings, and verification of the
+    winner — everything one Table 1 cell needs.  The call is
+    deterministic given ``(graph, method, seed)``; the compilation
+    service (:mod:`repro.serve`) relies on that to cache results
+    content-addressed.
+
     Parameters
     ----------
+    graph:
+        A consistent, acyclic :class:`~repro.sdf.graph.SDFGraph`.
     method:
         ``"rpmc"``, ``"apgan"``, or ``"natural"`` (the deterministic
         topological order; useful as a naive baseline).  Ignored when an
         explicit ``order`` is supplied (reported as ``"given"``).
+    order:
+        An explicit actor order to schedule instead of running a
+        heuristic; see ``trusted_order``.
+    seed:
+        Seed for RPMC's randomized cut selection (the other methods
+        are deterministic and ignore it).
     use_chain_dp:
         Use the precise triple DP of section 6 when the graph is
         chain-structured (falls back to EQ 5's heuristic otherwise).
@@ -166,6 +182,27 @@ def implement(
         A :class:`repro.obs.Recorder` for hierarchical spans and work
         counters (DP cells, window-cache hits, first-fit probes...).
         The default ``None`` takes the uninstrumented code path.
+
+    Returns
+    -------
+    ImplementationResult
+        The schedules and costs of both DPs, the extracted lifetime
+        set, the clique-weight bounds (``mco``/``mcp``), both
+        first-fit totals with the better, verified
+        :class:`~repro.allocation.first_fit.Allocation`, and the BMLB.
+        All sizes are in words.
+
+    Raises
+    ------
+    repro.exceptions.GraphStructureError
+        If ``graph`` is cyclic, ``method`` is unknown, or a supplied
+        ``order`` is not topological (``trusted_order=False``).
+    repro.exceptions.InconsistentGraphError
+        If the balance equations have no solution.
+    repro.exceptions.AllocationError
+        If ``verify=True`` and the winning allocation fails the
+        independent definition-5 check (never expected; it means a
+        pipeline bug).
     """
     recorder = _active_recorder(recorder)
     outer = (

@@ -40,7 +40,15 @@ from .topsort import (
 )
 from .clustering import ClusterGraph, ClusterNode
 from .random_graphs import random_chain_graph, random_sdf_graph
-from .io import from_json, load_graph, save_graph, to_dot, to_json
+from .io import (
+    canonical_document,
+    canonical_hash,
+    from_json,
+    load_graph,
+    save_graph,
+    to_dot,
+    to_json,
+)
 from .transformations import (
     ClusteredActor,
     apply_blocking_factor,
@@ -86,6 +94,8 @@ __all__ = [
     "random_sdf_graph",
     "random_chain_graph",
     "to_json",
+    "canonical_document",
+    "canonical_hash",
     "from_json",
     "save_graph",
     "load_graph",

@@ -20,13 +20,22 @@ A small, stable interchange format so graphs can live outside Python
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Any, Dict, IO, Union
 
 from ..exceptions import GraphStructureError
 from .graph import SDFGraph
 
-__all__ = ["to_json", "from_json", "save_graph", "load_graph", "to_dot"]
+__all__ = [
+    "to_json",
+    "from_json",
+    "save_graph",
+    "load_graph",
+    "canonical_document",
+    "canonical_hash",
+    "to_dot",
+]
 
 
 def to_json(graph: SDFGraph) -> Dict[str, Any]:
@@ -77,6 +86,37 @@ def from_json(document: Dict[str, Any]) -> SDFGraph:
             f"malformed SDF graph document: {exc!r}"
         ) from exc
     return graph
+
+
+def canonical_document(
+    document: Union[SDFGraph, Dict[str, Any]]
+) -> str:
+    """The canonical serialized form of a graph document.
+
+    Accepts either an :class:`SDFGraph` or a :func:`to_json`-shaped
+    dictionary.  Object keys are sorted and whitespace is fixed, so two
+    documents that differ only in JSON key order (or in insignificant
+    formatting) canonicalize to the same string.  List order is kept:
+    actor order and edge order are semantic (they break ties in
+    topological sorts and name parallel edges), so reordering them is a
+    *different* graph and must produce a different canonical form.
+    """
+    if isinstance(document, SDFGraph):
+        document = to_json(document)
+    return json.dumps(document, sort_keys=True, separators=(",", ":"))
+
+
+def canonical_hash(document: Union[SDFGraph, Dict[str, Any]]) -> str:
+    """SHA-256 hex digest of :func:`canonical_document`.
+
+    The content address of a graph: stable across Python processes,
+    file formatting, and JSON key ordering.  The compilation service's
+    artifact cache (:mod:`repro.serve.cache`) derives its keys from
+    this digest.
+    """
+    return hashlib.sha256(
+        canonical_document(document).encode("utf-8")
+    ).hexdigest()
 
 
 def save_graph(graph: SDFGraph, target: Union[str, IO[str]]) -> None:

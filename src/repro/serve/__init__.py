@@ -1,0 +1,76 @@
+"""Compilation as a service: content-addressed caching over the pipeline.
+
+The one-shot CLI (``repro compile``) reruns the full
+schedule/allocation flow on every invocation.  This package turns the
+same :func:`~repro.scheduling.pipeline.implement` machinery into a
+long-running, cache-fronted service:
+
+:mod:`repro.serve.cache`
+    :class:`ArtifactCache` — a content-addressed on-disk store of
+    :class:`CompilationReport` payloads, keyed by
+    :func:`~repro.serve.cache.cache_key` (SHA-256 of the canonical
+    graph document + strategy options + package version).  Atomic
+    writes, hash-verified reads, corrupt entries evicted and
+    recomputed rather than served.  ``repro cache {stats,gc,clear}``.
+
+:mod:`repro.serve.report`
+    :class:`CompilationReport` — the plain-data projection of an
+    ``ImplementationResult`` that travels over HTTP and into the
+    cache, with a :meth:`~CompilationReport.canonical` form for
+    bit-identity comparisons.
+
+:mod:`repro.serve.service`
+    :class:`CompileService` — transport-independent cache-then-compile
+    core with a per-graph :class:`CompilationSession` LRU and a
+    :func:`~repro.experiments.runner.parallel_map` batch path.
+
+:mod:`repro.serve.server`
+    :class:`CompileServer` — the ``repro serve`` JSON-over-HTTP
+    front end (stdlib ``http.server``): worker pool, bounded queue
+    with 429 backpressure, per-request timeouts, graceful SIGTERM
+    drain, per-request ``repro.obs`` spans exported through the
+    Chrome-trace path.
+
+:mod:`repro.serve.client`
+    ``repro submit`` — submit one or many graphs to a running server
+    and print/save the reports.
+
+Quickstart::
+
+    $ repro serve --port 8177 &
+    $ repro submit cddat                 # cold: compiles, fills cache
+    $ repro submit cddat                 # warm: served from cache,
+                                         # bit-identical, >=10x faster
+
+The cache can be disabled end to end (``repro serve --no-cache``,
+``repro submit --no-cache``, ``CompileService(cache=None)``), in which
+case the service's outputs are bit-identical to the direct pipeline.
+"""
+
+from .cache import ArtifactCache, cache_key, default_cache_dir
+from .client import (
+    DEFAULT_URL,
+    ServeClientError,
+    compile_batch_remote,
+    compile_remote,
+    get_json,
+)
+from .report import CompilationReport
+from .server import DEFAULT_PORT, CompileServer
+from .service import CompileOptions, CompileService
+
+__all__ = [
+    "ArtifactCache",
+    "cache_key",
+    "default_cache_dir",
+    "CompilationReport",
+    "CompileOptions",
+    "CompileService",
+    "CompileServer",
+    "DEFAULT_PORT",
+    "DEFAULT_URL",
+    "ServeClientError",
+    "compile_remote",
+    "compile_batch_remote",
+    "get_json",
+]

@@ -1,0 +1,245 @@
+"""Content-addressed artifact cache for compilation results.
+
+Every ``repro compile`` used to recompute the full
+schedule/allocation pipeline even when the same graph had been
+compiled moments earlier with the same options.  The flow is a pure
+function of ``(graph document, strategy options, package version)``,
+so its result can be addressed by content: :func:`cache_key` hashes
+the canonical JSON form of exactly that triple (SHA-256), and
+:class:`ArtifactCache` maps keys to stored
+:class:`~repro.serve.report.CompilationReport` payloads on disk.
+
+Integrity over availability
+---------------------------
+A cache may be slow, cold, or missing — it must never be *wrong*:
+
+* **atomic writes** — entries are written to a temporary file in the
+  cache directory and ``os.replace``-d into place, so a crashed or
+  concurrent writer can never leave a half-written entry visible;
+* **hash-verified reads** — each entry records the SHA-256 digest of
+  its report's canonical form; :meth:`ArtifactCache.get` recomputes
+  and compares it (and the key) on every read;
+* **corruption tolerance** — an unparseable, mis-keyed, or
+  digest-mismatched entry is evicted (unlinked) and reported as a
+  miss, so the caller transparently recomputes.  A corrupt entry is
+  *never served*; ``repro check --inject`` plants exactly this fault
+  (the ``cache_corrupt`` mutation class) and asserts it stays caught.
+
+Layout: ``<root>/<key[:2]>/<key>.json``, one JSON entry per result.
+The root defaults to ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``.
+Maintenance is exposed as ``repro cache {stats,gc,clear}``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from .. import __version__
+from .report import CompilationReport
+
+__all__ = ["ArtifactCache", "cache_key", "default_cache_dir"]
+
+_ENTRY_SUFFIX = ".json"
+
+
+def default_cache_dir() -> str:
+    """``$REPRO_CACHE_DIR``, or ``~/.cache/repro`` when unset."""
+    env = os.environ.get("REPRO_CACHE_DIR", "").strip()
+    if env:
+        return env
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro")
+
+
+def cache_key(
+    document: Dict[str, Any],
+    options: Optional[Dict[str, Any]] = None,
+    version: str = __version__,
+) -> str:
+    """The content address of one compilation.
+
+    SHA-256 over the canonical JSON of ``{graph, options, version}``:
+    object keys sorted at every level, fixed separators.  Key order in
+    the input JSON therefore cannot change the address, while any
+    semantic change — a rate, a delay, a different method or seed, a
+    new package version — produces a fresh key (stale results can
+    never be served across releases).
+    """
+    payload = {
+        "graph": document,
+        "options": dict(options or {}),
+        "version": version,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ArtifactCache:
+    """A directory of hash-verified compilation reports.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created lazily on first write).  Defaults to
+        :func:`default_cache_dir`.
+
+    The instance keeps session counters (``hits``, ``misses``,
+    ``writes``, ``evictions``) that ``repro serve`` exposes via its
+    ``/stats`` endpoint; on-disk figures (entry count, bytes) are
+    computed by :meth:`stats` on demand.
+    """
+
+    def __init__(self, root: Optional[str] = None) -> None:
+        self.root = root or default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.evictions = 0
+
+    # -- addressing -----------------------------------------------------
+    def path_for(self, key: str) -> str:
+        """Where entry ``key`` lives (two-level fan-out by key prefix)."""
+        return os.path.join(self.root, key[:2], key + _ENTRY_SUFFIX)
+
+    def _entries(self) -> List[str]:
+        found = []
+        if not os.path.isdir(self.root):
+            return found
+        for sub in sorted(os.listdir(self.root)):
+            subdir = os.path.join(self.root, sub)
+            if not os.path.isdir(subdir):
+                continue
+            for name in sorted(os.listdir(subdir)):
+                if name.endswith(_ENTRY_SUFFIX):
+                    found.append(os.path.join(subdir, name))
+        return found
+
+    # -- read/write -----------------------------------------------------
+    def get(self, key: str) -> Optional[CompilationReport]:
+        """The stored report for ``key``, or ``None``.
+
+        Verifies the entry's recorded key and report digest before
+        returning; any mismatch (or unreadable/unparseable entry)
+        evicts the entry and counts as a miss — corruption is repaired
+        by recomputation, never served.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                entry = json.load(handle)
+            report = CompilationReport.from_json(entry["report"])
+            if entry["key"] != key or report.digest() != entry["digest"]:
+                raise ValueError("cache entry failed verification")
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            self.evict(key)
+            self.misses += 1
+            return None
+        self.hits += 1
+        report.key = key
+        report.cached = True
+        return report
+
+    def put(self, key: str, report: CompilationReport) -> str:
+        """Store ``report`` under ``key`` atomically; returns the path.
+
+        The entry records the canonical payload (volatile fields
+        normalized away) plus its digest, written via a temporary file
+        and ``os.replace`` so readers only ever see complete entries.
+        """
+        path = self.path_for(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        entry = {
+            "key": key,
+            "digest": report.digest(),
+            "report": json.loads(report.canonical()),
+        }
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(path), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+        return path
+
+    def evict(self, key: str) -> bool:
+        """Remove entry ``key`` if present; True when a file was removed."""
+        try:
+            os.unlink(self.path_for(key))
+        except OSError:
+            return False
+        self.evictions += 1
+        return True
+
+    # -- maintenance ----------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """On-disk entry count/bytes plus this instance's counters."""
+        entries = self._entries()
+        return {
+            "root": self.root,
+            "entries": len(entries),
+            "bytes": sum(os.path.getsize(p) for p in entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "evictions": self.evictions,
+        }
+
+    def gc(
+        self,
+        max_entries: Optional[int] = None,
+        max_age_s: Optional[float] = None,
+        now: Optional[float] = None,
+    ) -> int:
+        """Expire entries; returns the number removed.
+
+        ``max_age_s`` removes entries older than that many seconds
+        (by mtime, i.e. last write); ``max_entries`` then keeps only
+        the newest N.  With neither bound this is a no-op.
+        """
+        entries = self._entries()
+        if now is None:
+            now = time.time()
+        removed = 0
+        by_age: List[Tuple[float, str]] = sorted(
+            (os.path.getmtime(p), p) for p in entries
+        )
+        if max_age_s is not None:
+            fresh = []
+            for mtime, path in by_age:
+                if now - mtime > max_age_s:
+                    os.unlink(path)
+                    removed += 1
+                else:
+                    fresh.append((mtime, path))
+            by_age = fresh
+        if max_entries is not None and len(by_age) > max_entries:
+            excess = len(by_age) - max_entries
+            for _, path in by_age[:excess]:
+                os.unlink(path)
+                removed += 1
+        self.evictions += removed
+        return removed
+
+    def clear(self) -> int:
+        """Remove every entry; returns the number removed."""
+        removed = 0
+        for path in self._entries():
+            os.unlink(path)
+            removed += 1
+        self.evictions += removed
+        return removed

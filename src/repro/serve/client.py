@@ -1,0 +1,140 @@
+"""Batch client for a running ``repro serve`` instance (stdlib only).
+
+``repro submit`` is a thin ``urllib`` wrapper over the server's JSON
+endpoints: it resolves each argument to a graph document (built-in
+system name or ``.json`` file), posts one ``/compile`` request per
+graph (or a single ``/batch`` request), and prints or saves the
+returned :class:`~repro.serve.report.CompilationReport`s.  Transport
+failures raise :class:`ServeClientError` with the server's one-line
+``error`` message when it sent one, so CLI users see the 429/503/504
+reason rather than a traceback.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional, Tuple
+
+from .report import CompilationReport
+from .server import DEFAULT_PORT
+
+__all__ = [
+    "DEFAULT_URL",
+    "ServeClientError",
+    "compile_remote",
+    "compile_batch_remote",
+    "get_json",
+]
+
+DEFAULT_URL = f"http://127.0.0.1:{DEFAULT_PORT}"
+
+
+class ServeClientError(RuntimeError):
+    """A request the server refused or could not complete.
+
+    ``status`` carries the HTTP status code (0 when the server was
+    unreachable); the message is the server's ``error`` string when
+    available.
+    """
+
+    def __init__(self, message: str, status: int = 0) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def _post(
+    url: str, path: str, payload: Dict[str, Any],
+    timeout: Optional[float] = None,
+) -> Dict[str, Any]:
+    body = json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        url.rstrip("/") + path,
+        data=body,
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        detail = ""
+        try:
+            detail = json.loads(exc.read().decode("utf-8")).get("error", "")
+        except (ValueError, OSError):
+            pass
+        raise ServeClientError(
+            detail or f"server returned HTTP {exc.code}", status=exc.code
+        ) from None
+    except (urllib.error.URLError, OSError, TimeoutError) as exc:
+        raise ServeClientError(
+            f"cannot reach compile server at {url}: "
+            f"{getattr(exc, 'reason', exc)}"
+        ) from None
+
+
+def get_json(
+    url: str, path: str, timeout: Optional[float] = None
+) -> Dict[str, Any]:
+    """GET a JSON endpoint (``/healthz``, ``/stats``)."""
+    try:
+        with urllib.request.urlopen(
+            url.rstrip("/") + path, timeout=timeout
+        ) as response:
+            return json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        try:
+            return json.loads(exc.read().decode("utf-8"))
+        except (ValueError, OSError):
+            raise ServeClientError(
+                f"server returned HTTP {exc.code}", status=exc.code
+            ) from None
+    except (urllib.error.URLError, OSError, TimeoutError) as exc:
+        raise ServeClientError(
+            f"cannot reach compile server at {url}: "
+            f"{getattr(exc, 'reason', exc)}"
+        ) from None
+
+
+def compile_remote(
+    document: Dict[str, Any],
+    url: str = DEFAULT_URL,
+    options: Optional[Dict[str, Any]] = None,
+    use_cache: bool = True,
+    timeout: Optional[float] = None,
+) -> Tuple[CompilationReport, str]:
+    """Submit one graph document; returns ``(report, cache_status)``."""
+    payload = {
+        "graph": document,
+        "options": dict(options or {}),
+        "cache": use_cache,
+    }
+    response = _post(url, "/compile", payload, timeout=timeout)
+    return (
+        CompilationReport.from_json(response["report"]),
+        response["status"],
+    )
+
+
+def compile_batch_remote(
+    documents: List[Dict[str, Any]],
+    url: str = DEFAULT_URL,
+    options: Optional[Dict[str, Any]] = None,
+    use_cache: bool = True,
+    jobs: Optional[int] = None,
+    timeout: Optional[float] = None,
+) -> List[Tuple[CompilationReport, str]]:
+    """Submit many documents in one ``/batch`` request, request order."""
+    payload: Dict[str, Any] = {
+        "graphs": list(documents),
+        "options": dict(options or {}),
+        "cache": use_cache,
+    }
+    if jobs is not None:
+        payload["jobs"] = jobs
+    response = _post(url, "/batch", payload, timeout=timeout)
+    return [
+        (CompilationReport.from_json(item["report"]), item["status"])
+        for item in response["responses"]
+    ]

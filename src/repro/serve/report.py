@@ -1,0 +1,187 @@
+"""The wire-format result of one service compilation.
+
+:class:`~repro.scheduling.pipeline.ImplementationResult` holds live
+objects — schedule trees, lifetime sets, an intersection graph — that
+neither JSON nor a cache entry can carry.  :class:`CompilationReport`
+is its plain-data projection: every number Table 1 reports, the chosen
+actor order, the rendered schedules, and the final memory map, all as
+JSON-ready scalars.  It is what ``repro serve`` returns, what
+``repro submit`` prints and saves, and what the artifact cache stores.
+
+Bit-identity is a first-class operation here: :meth:`canonical` is the
+canonical JSON serialization of the *deterministic* fields only —
+volatile fields (``cached``, ``wall_s``) are excluded — so a warm-cache
+response can be compared byte-for-byte against the cold compile that
+produced it.  The cache's integrity digest is the SHA-256 of exactly
+this string.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+__all__ = ["CompilationReport"]
+
+#: Fields excluded from :meth:`CompilationReport.canonical` — they
+#: describe *how this copy was obtained*, not what was computed.
+VOLATILE_FIELDS = ("cached", "wall_s")
+
+
+@dataclass
+class CompilationReport:
+    """Plain-data summary of one compiled graph.
+
+    Attributes
+    ----------
+    graph:
+        The graph's name (from the document, not user-supplied).
+    key:
+        The content-addressed cache key this result is stored under —
+        a hash of (canonical graph document, strategy options, package
+        version).  Empty when compiled without a cache.
+    method / seed:
+        The topological-sort strategy that produced ``order``.
+    order:
+        The chosen topological actor order.
+    dppo_schedule / sdppo_schedule:
+        The looped schedules rendered in the paper's notation
+        (re-parseable with :func:`repro.sdf.parse_schedule`).
+    dppo_cost / sdppo_cost / ffdur_total / ffstart_total / total:
+        Non-shared DPPO words, SDPPO's predicted shared words, the two
+        first-fit totals, and the winning verified pool extent.
+    mco / mcp / bmlb:
+        The clique-weight bounds and the buffer-memory lower bound.
+    offsets:
+        The memory map: buffer name -> base address in words.
+    cached:
+        True when this copy was served from the artifact cache
+        (volatile: excluded from :meth:`canonical`).
+    wall_s:
+        Server-side wall time spent producing this copy (volatile).
+    """
+
+    graph: str
+    key: str
+    method: str
+    seed: int
+    order: List[str]
+    dppo_cost: int
+    dppo_schedule: str
+    sdppo_cost: int
+    sdppo_schedule: str
+    mco: int
+    mcp: int
+    ffdur_total: int
+    ffstart_total: int
+    total: int
+    bmlb: int
+    offsets: Dict[str, int] = field(default_factory=dict)
+    cached: bool = False
+    wall_s: float = 0.0
+
+    @classmethod
+    def from_result(
+        cls, result: Any, graph_name: str, key: str = "", seed: int = 0
+    ) -> "CompilationReport":
+        """Project an ``ImplementationResult`` down to plain data."""
+        return cls(
+            graph=graph_name,
+            key=key,
+            method=result.method,
+            seed=seed,
+            order=list(result.order),
+            dppo_cost=result.dppo_cost,
+            dppo_schedule=str(result.dppo_schedule),
+            sdppo_cost=result.sdppo_cost,
+            sdppo_schedule=str(result.sdppo_schedule),
+            mco=result.mco,
+            mcp=result.mcp,
+            ffdur_total=result.ffdur_total,
+            ffstart_total=result.ffstart_total,
+            total=result.allocation.total,
+            bmlb=result.bmlb,
+            offsets=dict(result.allocation.offsets),
+        )
+
+    # -- serialization --------------------------------------------------
+    def to_json(self) -> Dict[str, Any]:
+        """The full JSON-ready dictionary, volatile fields included."""
+        return {
+            "graph": self.graph,
+            "key": self.key,
+            "method": self.method,
+            "seed": self.seed,
+            "order": list(self.order),
+            "dppo_cost": self.dppo_cost,
+            "dppo_schedule": self.dppo_schedule,
+            "sdppo_cost": self.sdppo_cost,
+            "sdppo_schedule": self.sdppo_schedule,
+            "mco": self.mco,
+            "mcp": self.mcp,
+            "ffdur_total": self.ffdur_total,
+            "ffstart_total": self.ffstart_total,
+            "total": self.total,
+            "bmlb": self.bmlb,
+            "offsets": dict(self.offsets),
+            "cached": self.cached,
+            "wall_s": self.wall_s,
+        }
+
+    @staticmethod
+    def from_json(document: Dict[str, Any]) -> "CompilationReport":
+        """Rebuild a report from :meth:`to_json` output."""
+        return CompilationReport(
+            graph=document["graph"],
+            key=document.get("key", ""),
+            method=document["method"],
+            seed=int(document.get("seed", 0)),
+            order=list(document["order"]),
+            dppo_cost=int(document["dppo_cost"]),
+            dppo_schedule=document["dppo_schedule"],
+            sdppo_cost=int(document["sdppo_cost"]),
+            sdppo_schedule=document["sdppo_schedule"],
+            mco=int(document["mco"]),
+            mcp=int(document["mcp"]),
+            ffdur_total=int(document["ffdur_total"]),
+            ffstart_total=int(document["ffstart_total"]),
+            total=int(document["total"]),
+            bmlb=int(document["bmlb"]),
+            offsets={
+                str(k): int(v)
+                for k, v in document.get("offsets", {}).items()
+            },
+            cached=bool(document.get("cached", False)),
+            wall_s=float(document.get("wall_s", 0.0)),
+        )
+
+    def canonical(self) -> str:
+        """Canonical JSON of the deterministic fields only.
+
+        Two reports describing the same compilation — one cold, one
+        served from the cache — canonicalize identically; this is the
+        string the acceptance bit-identity checks compare and the cache
+        digests for integrity.
+        """
+        payload = self.to_json()
+        for name in VOLATILE_FIELDS:
+            payload.pop(name, None)
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    def digest(self) -> str:
+        """SHA-256 of :meth:`canonical` — the cache integrity digest."""
+        return hashlib.sha256(self.canonical().encode("utf-8")).hexdigest()
+
+    # -- presentation ---------------------------------------------------
+    def summary_lines(self) -> List[str]:
+        """Human-readable summary, matching ``repro compile`` output."""
+        source = "cache hit" if self.cached else "compiled"
+        return [
+            f"graph:      {self.graph} ({len(self.order)} actors, {source})",
+            f"order:      {' '.join(self.order)}",
+            f"schedule:   {self.sdppo_schedule}",
+            f"non-shared: {self.dppo_cost} words",
+            f"shared:     {self.total} words (mco {self.mco}, mcp {self.mcp})",
+        ]

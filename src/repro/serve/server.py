@@ -1,0 +1,378 @@
+"""JSON-over-HTTP front end for the compilation service (stdlib only).
+
+``repro serve`` wraps a :class:`~repro.serve.service.CompileService`
+in a :class:`http.server.ThreadingHTTPServer`.  The design goals, in
+order: never corrupt a result, shed load explicitly, drain cleanly.
+
+* **Worker pool** — compilations run on a bounded
+  ``ThreadPoolExecutor`` (``workers``); the request thread waits on
+  the future.  Batch requests additionally fan out across processes
+  via :func:`~repro.experiments.runner.parallel_map` inside the job.
+* **Bounded queue / backpressure** — at most ``queue_limit`` requests
+  may be queued or running; one more gets an immediate ``429`` with a
+  ``Retry-After`` header instead of unbounded buffering.  Load the
+  server cannot take is the *client's* signal to back off.
+* **Per-request timeout** — a request that outlives
+  ``request_timeout`` seconds gets ``504``; its worker slot is
+  reclaimed when the underlying job finishes, so timeouts cannot leak
+  pool capacity.
+* **Graceful drain** — :meth:`CompileServer.drain` (wired to SIGTERM
+  by the CLI) stops accepting new work (``503`` while draining),
+  waits for in-flight requests, writes the accumulated trace, and
+  returns; ``repro serve`` then exits 0.
+* **Observability** — with ``trace_path`` set, every request records
+  a ``serve.request`` span tree (cache lookup, pipeline stages,
+  counters) into its own recorder; the trees are merged in completion
+  order and written through the existing Chrome-trace exporter on
+  drain, so a serve session can be inspected in ``chrome://tracing``
+  exactly like a ``repro compile --trace`` run.
+
+Endpoints
+---------
+``GET /healthz``
+    ``{"status": "ok" | "draining"}`` (200 / 503).
+``GET /stats``
+    Server counters plus cache stats.
+``POST /compile``
+    ``{"graph": <to_json document>, "options": {...}, "cache": true}``
+    → ``{"status": "hit"|"miss"|"disabled", "report": {...}}``.
+``POST /batch``
+    ``{"graphs": [<document>, ...], "options": {...}, "jobs": N}``
+    → ``{"responses": [{"status": ..., "report": ...}, ...]}`` in
+    request order.
+
+Error responses are ``{"error": "..."}`` with status 400 (malformed
+request), 404 (unknown path), 429 (queue full), 503 (draining), 504
+(timeout), or 500 (unexpected failure).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..exceptions import SDFError
+from .service import CompileOptions, CompileService
+
+__all__ = ["CompileServer", "DEFAULT_PORT"]
+
+DEFAULT_PORT = 8177
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes HTTP requests into the owning :class:`CompileServer`."""
+
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def _owner(self) -> "CompileServer":
+        return self.server.owner  # type: ignore[attr-defined]
+
+    def log_message(self, fmt: str, *args: Any) -> None:
+        if not self._owner.quiet:
+            BaseHTTPRequestHandler.log_message(self, fmt, *args)
+
+    def _reply(
+        self, code: int, payload: Dict[str, Any],
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        owner = self._owner
+        if self.path == "/healthz":
+            if owner.draining:
+                self._reply(503, {"status": "draining"})
+            else:
+                self._reply(200, {"status": "ok"})
+        elif self.path == "/stats":
+            self._reply(200, owner.stats())
+        else:
+            self._reply(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        owner = self._owner
+        if self.path not in ("/compile", "/batch"):
+            self._reply(404, {"error": f"unknown path {self.path!r}"})
+            return
+        if owner.draining:
+            self._reply(503, {"error": "server is draining"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            request = json.loads(self.rfile.read(length) or b"{}")
+            if not isinstance(request, dict):
+                raise ValueError("request body must be a JSON object")
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._reply(400, {"error": f"malformed request: {exc}"})
+            return
+        code, payload, headers = owner.handle(self.path, request)
+        self._reply(code, payload, headers)
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    owner: "CompileServer"
+
+
+class CompileServer:
+    """The long-running ``repro serve`` process (see module docstring).
+
+    Parameters
+    ----------
+    service:
+        The :class:`CompileService` handling actual compilation.
+    host / port:
+        Bind address; ``port=0`` picks a free ephemeral port
+        (``.port`` reports the bound one).
+    workers:
+        Worker-pool threads executing compilations.
+    queue_limit:
+        Maximum queued-plus-running requests before ``429``.
+    request_timeout:
+        Seconds a request may take before ``504`` (``None``: no limit).
+    trace_path / trace_format:
+        When set, per-request span trees are recorded and written
+        here (Chrome traceEvents by default) at drain time.
+    quiet:
+        Suppress per-request access logging.
+    """
+
+    def __init__(
+        self,
+        service: Optional[CompileService] = None,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        workers: int = 2,
+        queue_limit: int = 8,
+        request_timeout: Optional[float] = None,
+        trace_path: Optional[str] = None,
+        trace_format: str = "auto",
+        quiet: bool = False,
+    ) -> None:
+        self.service = service or CompileService()
+        self.workers = max(1, workers)
+        self.queue_limit = max(1, queue_limit)
+        self.request_timeout = request_timeout
+        self.trace_path = trace_path
+        self.trace_format = trace_format
+        self.quiet = quiet
+        self.draining = False
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self._counters = {
+            "requests": 0, "hits": 0, "misses": 0, "compiled": 0,
+            "rejected": 0, "timeouts": 0, "errors": 0,
+        }
+        self._trace_trees: List[Dict[str, Any]] = []
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-serve"
+        )
+        self._httpd = _Server((host, port), _Handler)
+        self._httpd.owner = self
+        self._thread: Optional[threading.Thread] = None
+
+    # -- addressing -----------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> "CompileServer":
+        """Serve on a background thread (tests, smoke harness)."""
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`drain` (CLI path)."""
+        self._httpd.serve_forever()
+
+    def drain(self, timeout: float = 60.0) -> None:
+        """Stop accepting work, finish in-flight requests, shut down.
+
+        Idempotent.  New requests observe ``draining`` and get 503
+        immediately; existing ones run to completion (bounded by
+        ``timeout`` seconds of waiting).  The accumulated trace, if
+        any, is written last so it includes every completed request.
+        """
+        with self._lock:
+            if self.draining:
+                return
+            self.draining = True
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._lock:
+                if self._inflight == 0:
+                    break
+            time.sleep(0.02)
+        self._pool.shutdown(wait=True)
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+        self._write_trace()
+
+    # -- request handling -----------------------------------------------
+    def handle(
+        self, path: str, request: Dict[str, Any]
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        """Dispatch one parsed POST; returns (code, payload, headers)."""
+        with self._lock:
+            self._counters["requests"] += 1
+            if self._inflight >= self.queue_limit:
+                self._counters["rejected"] += 1
+                return (
+                    429,
+                    {"error": "compile queue is full, retry later"},
+                    {"Retry-After": "1"},
+                )
+            self._inflight += 1
+        future = self._pool.submit(self._run_job, path, request)
+        try:
+            return future.result(timeout=self.request_timeout)
+        except FutureTimeout:
+            with self._lock:
+                self._counters["timeouts"] += 1
+            return (
+                504,
+                {"error": (
+                    f"request exceeded {self.request_timeout}s; "
+                    "still compiling, retry to pick up the cached result"
+                )},
+                {},
+            )
+
+    def _run_job(
+        self, path: str, request: Dict[str, Any]
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        recorder = None
+        if self.trace_path is not None:
+            from .. import obs
+
+            recorder = obs.TraceRecorder()
+        try:
+            span = (
+                recorder.span("serve.request", path=path)
+                if recorder is not None
+                else None
+            )
+            if span is not None:
+                with span:
+                    return self._dispatch(path, request, recorder)
+            return self._dispatch(path, request, recorder)
+        finally:
+            with self._lock:
+                self._inflight -= 1
+                if recorder is not None:
+                    self._trace_trees.append(recorder.serialize())
+
+    def _dispatch(
+        self, path: str, request: Dict[str, Any], recorder
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        try:
+            if path == "/compile":
+                return self._compile_one(request, recorder)
+            return self._compile_batch(request, recorder)
+        except (SDFError, ValueError, KeyError, TypeError) as exc:
+            with self._lock:
+                self._counters["errors"] += 1
+            return 400, {"error": f"bad request: {exc}"}, {}
+        except Exception as exc:  # pragma: no cover - defensive
+            with self._lock:
+                self._counters["errors"] += 1
+            return 500, {"error": f"internal error: {exc!r}"}, {}
+
+    def _compile_one(
+        self, request: Dict[str, Any], recorder
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        document = request["graph"]
+        options = CompileOptions.from_dict(request.get("options"))
+        report, status = self.service.compile_document(
+            document, options,
+            use_cache=bool(request.get("cache", True)),
+            recorder=recorder,
+        )
+        self._account(status)
+        return 200, {"status": status, "report": report.to_json()}, {}
+
+    def _compile_batch(
+        self, request: Dict[str, Any], recorder
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        documents = request["graphs"]
+        if not isinstance(documents, list):
+            raise ValueError("'graphs' must be a list of graph documents")
+        options = CompileOptions.from_dict(request.get("options"))
+        jobs = request.get("jobs")
+        results = self.service.compile_batch(
+            documents, options,
+            use_cache=bool(request.get("cache", True)),
+            jobs=int(jobs) if jobs is not None else None,
+            recorder=recorder,
+        )
+        responses = []
+        for report, status in results:
+            self._account(status)
+            responses.append(
+                {"status": status, "report": report.to_json()}
+            )
+        return 200, {"responses": responses}, {}
+
+    def _account(self, status: str) -> None:
+        with self._lock:
+            if status == "hit":
+                self._counters["hits"] += 1
+            else:
+                self._counters["compiled"] += 1
+                if status == "miss":
+                    self._counters["misses"] += 1
+
+    # -- introspection --------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Server counters plus cache stats (the ``/stats`` payload)."""
+        with self._lock:
+            counters = dict(self._counters)
+            counters["inflight"] = self._inflight
+        payload: Dict[str, Any] = {
+            "server": counters,
+            "workers": self.workers,
+            "queue_limit": self.queue_limit,
+            "draining": self.draining,
+        }
+        if self.service.cache is not None:
+            payload["cache"] = self.service.cache.stats()
+        return payload
+
+    def _write_trace(self) -> None:
+        if self.trace_path is None:
+            return
+        from .. import obs
+
+        merged = obs.TraceRecorder()
+        with self._lock:
+            trees = list(self._trace_trees)
+        for tree in trees:
+            merged.merge_serialized(tree)
+        obs.write_trace(merged, self.trace_path, fmt=self.trace_format)

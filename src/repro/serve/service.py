@@ -1,0 +1,253 @@
+"""The compilation service core: cache in front of the pipeline.
+
+:class:`CompileService` is the transport-independent heart of
+``repro serve`` — the HTTP server (:mod:`repro.serve.server`), the
+batch client path, and the in-process benchmarks all call the same
+two methods:
+
+* :meth:`CompileService.compile_document` — one graph document through
+  the cache-then-compile flow, returning a
+  :class:`~repro.serve.report.CompilationReport` plus a cache status
+  (``"hit"``, ``"miss"``, or ``"disabled"``);
+* :meth:`CompileService.compile_batch` — many documents fanned out
+  over worker processes with
+  :func:`repro.experiments.runner.parallel_map` (the same
+  deterministic, order-preserving primitive the experiment drivers
+  use), each worker opening the same on-disk cache by path.
+
+Repeated compiles of the same graph within one service process also
+share a :class:`~repro.scheduling.session.CompilationSession` (a small
+LRU keyed by the graph's canonical hash), so even cache-disabled
+traffic reuses the per-graph precomputation.
+
+With the cache disabled the flow degrades to exactly the pre-service
+pipeline — same :func:`~repro.scheduling.pipeline.implement` call,
+same outputs — which the equivalence tests pin bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..lifetimes.periodic import DEFAULT_OCCURRENCE_CAP
+from ..scheduling.pipeline import implement
+from ..scheduling.session import CompilationSession
+from ..sdf.io import canonical_hash, from_json
+from .cache import ArtifactCache, cache_key
+from .report import CompilationReport
+
+__all__ = ["CompileOptions", "CompileService"]
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """The strategy knobs that participate in the cache key.
+
+    Exactly the :func:`~repro.scheduling.pipeline.implement` arguments
+    that change the result: anything else (tracing, output paths)
+    stays out of the key so it cannot fragment the cache.
+    """
+
+    method: str = "rpmc"
+    seed: int = 0
+    use_chain_dp: bool = True
+    occurrence_cap: int = DEFAULT_OCCURRENCE_CAP
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The JSON-ready (and key-canonical) form."""
+        return {
+            "method": self.method,
+            "seed": self.seed,
+            "use_chain_dp": self.use_chain_dp,
+            "occurrence_cap": self.occurrence_cap,
+        }
+
+    @staticmethod
+    def from_dict(data: Optional[Dict[str, Any]]) -> "CompileOptions":
+        """Build options from a request's ``options`` object.
+
+        Unknown keys raise ``ValueError`` (a typo'd option silently
+        ignored would silently mis-key the cache).
+        """
+        data = dict(data or {})
+        known = {
+            "method": str,
+            "seed": int,
+            "use_chain_dp": bool,
+            "occurrence_cap": int,
+        }
+        unknown = sorted(set(data) - set(known))
+        if unknown:
+            raise ValueError(f"unknown compile options: {unknown}")
+        kwargs = {
+            name: cast(data[name])
+            for name, cast in known.items()
+            if name in data
+        }
+        return CompileOptions(**kwargs)
+
+
+class CompileService:
+    """Cache-fronted compilation over the existing pipeline.
+
+    Parameters
+    ----------
+    cache:
+        An :class:`~repro.serve.cache.ArtifactCache`, or ``None`` to
+        disable caching entirely (every request recompiles).
+    max_sessions:
+        Size of the per-graph :class:`CompilationSession` LRU.
+    """
+
+    def __init__(
+        self,
+        cache: Optional[ArtifactCache] = None,
+        max_sessions: int = 32,
+    ) -> None:
+        self.cache = cache
+        self.max_sessions = max_sessions
+        self._sessions: "OrderedDict[str, CompilationSession]" = OrderedDict()
+
+    # -- session reuse --------------------------------------------------
+    def _session_for(self, digest: str, graph) -> CompilationSession:
+        session = self._sessions.get(digest)
+        if session is None:
+            session = CompilationSession(graph)
+            self._sessions[digest] = session
+            while len(self._sessions) > self.max_sessions:
+                self._sessions.popitem(last=False)
+        else:
+            self._sessions.move_to_end(digest)
+        return session
+
+    # -- single compile -------------------------------------------------
+    def compile_document(
+        self,
+        document: Dict[str, Any],
+        options: Optional[CompileOptions] = None,
+        use_cache: bool = True,
+        recorder=None,
+    ) -> Tuple[CompilationReport, str]:
+        """One graph document through cache-then-compile.
+
+        Returns ``(report, status)`` where ``status`` is ``"hit"``
+        (served from the cache, bit-identical to the cold result),
+        ``"miss"`` (compiled and stored), or ``"disabled"`` (compiled;
+        no cache configured or ``use_cache=False``).  Malformed
+        documents raise :class:`repro.exceptions.GraphStructureError`;
+        unknown options raise ``ValueError`` — transport layers map
+        both to 400-class responses.
+        """
+        options = options or CompileOptions()
+        caching = use_cache and self.cache is not None
+        key = cache_key(document, options.as_dict()) if caching else ""
+        start = time.perf_counter()
+        if caching:
+            span = (
+                recorder.span("cache.lookup", key=key[:12])
+                if recorder is not None
+                else None
+            )
+            if span is not None:
+                with span:
+                    cached = self.cache.get(key)
+            else:
+                cached = self.cache.get(key)
+            if cached is not None:
+                if recorder is not None:
+                    recorder.count("serve.cache_hits")
+                cached.wall_s = time.perf_counter() - start
+                return cached, "hit"
+        graph = from_json(document)
+        session = self._session_for(canonical_hash(document), graph)
+        result = implement(
+            graph,
+            options.method,
+            seed=options.seed,
+            use_chain_dp=options.use_chain_dp,
+            occurrence_cap=options.occurrence_cap,
+            session=session,
+            recorder=recorder,
+        )
+        report = CompilationReport.from_result(
+            result, graph.name, key=key, seed=options.seed
+        )
+        status = "disabled"
+        if caching:
+            if recorder is not None:
+                recorder.count("serve.cache_misses")
+            self.cache.put(key, report)
+            status = "miss"
+        report.wall_s = time.perf_counter() - start
+        return report, status
+
+    # -- batch compile --------------------------------------------------
+    def compile_batch(
+        self,
+        documents: List[Dict[str, Any]],
+        options: Optional[CompileOptions] = None,
+        use_cache: bool = True,
+        jobs: Optional[int] = None,
+        recorder=None,
+    ) -> List[Tuple[CompilationReport, str]]:
+        """Fan a list of documents out over worker processes.
+
+        Uses :func:`~repro.experiments.runner.parallel_map` — order
+        preserving, deterministic, serial fallback — so the batch
+        response order always matches the request order and a
+        ``jobs=1`` run is bit-identical to a parallel one.  Workers
+        share the on-disk cache by path (atomic writes make concurrent
+        same-key writers safe: last replace wins with identical
+        content).
+        """
+        from ..experiments.runner import parallel_map
+
+        options = options or CompileOptions()
+        cache_root = (
+            self.cache.root if (use_cache and self.cache is not None) else None
+        )
+        tasks = [
+            (document, options.as_dict(), cache_root)
+            for document in documents
+        ]
+        results = parallel_map(
+            _batch_worker, tasks, jobs=jobs,
+            recorder=recorder, task_label="serve.batch_task",
+        )
+        out = []
+        for payload, status in results:
+            report = CompilationReport.from_json(payload)
+            if self.cache is not None and status == "hit":
+                self.cache.hits += 1
+            elif self.cache is not None and status == "miss":
+                self.cache.misses += 1
+                self.cache.writes += 1
+            out.append((report, status))
+        return out
+
+
+def _batch_worker(
+    task: Tuple[Dict[str, Any], Dict[str, Any], Optional[str]]
+) -> Tuple[Dict[str, Any], str]:
+    """One batch item, picklable for the process pool.
+
+    Builds a throwaway single-graph service around the shared cache
+    directory; returns ``(report_json, status)`` as plain data.
+    """
+    from .. import obs
+
+    document, options_dict, cache_root = task
+    service = CompileService(
+        cache=ArtifactCache(cache_root) if cache_root else None
+    )
+    report, status = service.compile_document(
+        document,
+        CompileOptions.from_dict(options_dict),
+        use_cache=cache_root is not None,
+        recorder=obs.active(obs.current()),
+    )
+    payload = report.to_json()
+    return payload, status

@@ -1,0 +1,124 @@
+"""``docs/cli.md`` cannot silently rot.
+
+The reference doc is checked *structurally* against ``build_parser()``:
+every subcommand must have its own ``## repro <command>`` section, and
+every flag and positional argument of that subcommand must be
+mentioned inside that section.  Adding a flag without documenting it —
+or renaming one and leaving the old doc text — fails this test.
+"""
+
+import argparse
+import os
+import re
+
+import pytest
+
+from repro.cli import build_parser
+
+DOC_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "docs", "cli.md"
+)
+
+
+def load_doc() -> str:
+    with open(DOC_PATH, encoding="utf-8") as handle:
+        return handle.read()
+
+
+def subparsers_of(parser: argparse.ArgumentParser):
+    """The name -> subparser mapping, or {} when there are none."""
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return dict(action.choices)
+    return {}
+
+
+def iter_commands():
+    """Yield ("compile", parser) and nested ("cache stats", parser)."""
+    for name, sub in subparsers_of(build_parser()).items():
+        nested = subparsers_of(sub)
+        if nested:
+            for inner_name, inner in nested.items():
+                yield f"{name} {inner_name}", inner
+        else:
+            yield name, sub
+
+
+def section_for(doc: str, command: str) -> str:
+    """The doc text belonging to ``command``'s ``##`` section.
+
+    Nested commands (``cache stats``) fall under their parent's
+    ``## repro cache`` section.
+    """
+    top = command.split()[0]
+    heading = f"## `repro {top}`"
+    start = doc.find(heading)
+    if start < 0:
+        return ""
+    match = re.search(r"\n## ", doc[start + len(heading):])
+    end = (
+        start + len(heading) + match.start()
+        if match else len(doc)
+    )
+    return doc[start:end]
+
+
+def documented_arguments(parser: argparse.ArgumentParser):
+    """(kind, token) pairs the doc must mention for this parser."""
+    for action in parser._actions:
+        if isinstance(
+            action,
+            (argparse._HelpAction, argparse._SubParsersAction),
+        ):
+            continue
+        if action.option_strings:
+            for option in action.option_strings:
+                if option.startswith("--"):
+                    yield "flag", option
+        else:
+            yield "positional", (action.metavar or action.dest)
+
+
+def test_doc_exists():
+    assert os.path.isfile(DOC_PATH), "docs/cli.md is missing"
+
+
+@pytest.mark.parametrize(
+    "command,parser", list(iter_commands()), ids=lambda v: str(v)[:40]
+)
+def test_command_documented(command, parser):
+    doc = load_doc()
+    top = command.split()[0]
+    assert f"## `repro {top}`" in doc, (
+        f"docs/cli.md lacks a '## `repro {top}`' section"
+    )
+    section = section_for(doc, command)
+    if " " in command:  # nested, e.g. `repro cache stats`
+        assert f"repro {command}" in section, (
+            f"'repro {command}' not described under '## `repro {top}`'"
+        )
+    missing = [
+        (kind, token)
+        for kind, token in documented_arguments(parser)
+        if token not in section
+    ]
+    assert not missing, (
+        f"docs/cli.md section for 'repro {command}' does not mention: "
+        + ", ".join(f"{kind} {token!r}" for kind, token in missing)
+    )
+
+
+def test_every_section_is_a_real_command():
+    """The doc may not describe subcommands that no longer exist."""
+    doc = load_doc()
+    known = {name for name, _ in iter_commands()}
+    known |= {name.split()[0] for name in known}
+    for match in re.finditer(r"^## `repro ([a-z0-9-]+)`", doc, re.M):
+        assert match.group(1) in known, (
+            f"docs/cli.md documents unknown subcommand "
+            f"{match.group(1)!r}"
+        )
+
+
+def test_exit_codes_documented():
+    assert "Exit codes" in load_doc()

@@ -115,6 +115,39 @@ class TestCLI:
         with pytest.raises(SystemExit):
             main(["compile", "no_such_system"])
 
+    def test_compile_unknown_message_is_one_actionable_line(self):
+        with pytest.raises(SystemExit) as err:
+            main(["compile", "no_such_system"])
+        message = str(err.value)
+        assert "no_such_system" in message
+        assert "systems" in message
+        assert "\n" not in message
+        assert "Traceback" not in message
+
+    def test_compile_missing_json_file(self, tmp_path):
+        path = str(tmp_path / "missing.json")
+        with pytest.raises(SystemExit) as err:
+            main(["compile", path])
+        message = str(err.value)
+        assert "cannot read graph file" in message
+        assert "\n" not in message
+
+    def test_compile_unparseable_json_file(self, tmp_path):
+        path = str(tmp_path / "broken.json")
+        with open(path, "w") as handle:
+            handle.write("{not json")
+        with pytest.raises(SystemExit) as err:
+            main(["compile", path])
+        assert "invalid graph file" in str(err.value)
+
+    def test_compile_malformed_graph_document(self, tmp_path):
+        path = str(tmp_path / "bad.json")
+        with open(path, "w") as handle:
+            json.dump({"actors": [{"nope": 1}], "edges": []}, handle)
+        with pytest.raises(SystemExit) as err:
+            main(["compile", path])
+        assert "invalid graph file" in str(err.value)
+
     def test_table1_subset(self, capsys):
         assert main(["table1", "--systems", "4pamxmitrec"]) == 0
         out = capsys.readouterr().out
@@ -171,6 +204,28 @@ class TestJobsFlag:
         assert main(["compile", "4pamxmitrec", "--jobs", "1"]) == 0
         assert os.environ["REPRO_JOBS"] == "1"
         assert "shared:" in capsys.readouterr().out
+
+
+class TestCacheCLI:
+    def test_stats_empty(self, tmp_path, capsys):
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries:    0" in out
+        assert str(tmp_path) in out
+
+    def test_gc_and_clear(self, tmp_path, capsys):
+        from repro.serve import ArtifactCache
+        from repro.sdf.io import to_json
+        from repro.serve.service import CompileService
+
+        cache = ArtifactCache(str(tmp_path))
+        CompileService(cache=cache).compile_document(to_json(sample_graph()))
+        assert main(["cache", "gc", "--cache-dir", str(tmp_path),
+                     "--max-entries", "5"]) == 0
+        assert "removed 0 entries" in capsys.readouterr().out
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+        assert "removed 1 entry" in capsys.readouterr().out
+        assert cache.stats()["entries"] == 0
 
 
 class TestCheckCLI:

@@ -1,0 +1,118 @@
+"""Property tests: ``sdf.io`` round trips and canonical hashing.
+
+Seeded random graphs — including the check harness's delay and
+token-size decorated generator — must survive
+``from_json(to_json(g))`` with every semantic attribute intact, and
+the canonical hash must depend on graph *content* only, never on JSON
+key order.
+"""
+
+import json
+
+import pytest
+
+from repro.check.harness import delayed_split_chain, trial_graph
+from repro.sdf.io import (
+    canonical_document,
+    canonical_hash,
+    from_json,
+    to_json,
+)
+from repro.sdf.random_graphs import random_sdf_graph
+
+
+def reorder_keys(value):
+    """Recursively reverse every dict's key order (lists untouched)."""
+    if isinstance(value, dict):
+        return {k: reorder_keys(value[k]) for k in reversed(list(value))}
+    if isinstance(value, list):
+        return [reorder_keys(v) for v in value]
+    return value
+
+
+def graphs_under_test():
+    cases = []
+    for seed in range(12):
+        cases.append(trial_graph(seed))  # delays + token sizes
+        cases.append(random_sdf_graph(3 + seed % 6, seed=seed))
+    for seed in range(0, 60, 10):
+        cases.append(delayed_split_chain(seed))  # delayed edges
+    return cases
+
+
+@pytest.mark.parametrize(
+    "graph", graphs_under_test(), ids=lambda g: g.name
+)
+class TestRoundTrip:
+    def test_preserves_everything(self, graph):
+        again = from_json(to_json(graph))
+        assert again.name == graph.name
+        # Actor order and execution times.
+        assert again.actor_names() == graph.actor_names()
+        for actor in graph.actors():
+            assert (
+                again.actor(actor.name).execution_time
+                == actor.execution_time
+            )
+        # Edge order, rates, delays, token sizes.
+        ours = [
+            (e.source, e.sink, e.production, e.consumption,
+             e.delay, e.token_size)
+            for e in graph.edges()
+        ]
+        theirs = [
+            (e.source, e.sink, e.production, e.consumption,
+             e.delay, e.token_size)
+            for e in again.edges()
+        ]
+        assert ours == theirs
+
+    def test_round_trip_is_idempotent(self, graph):
+        once = to_json(from_json(to_json(graph)))
+        assert once == to_json(graph)
+
+    def test_hash_invariant_under_key_reordering(self, graph):
+        document = to_json(graph)
+        reordered = reorder_keys(document)
+        assert list(reordered) == list(reversed(list(document)))
+        assert canonical_hash(document) == canonical_hash(reordered)
+        assert canonical_document(document) == canonical_document(reordered)
+
+    def test_hash_invariant_under_formatting(self, graph):
+        document = to_json(graph)
+        pretty = json.loads(json.dumps(document, indent=4))
+        assert canonical_hash(document) == canonical_hash(pretty)
+
+    def test_hash_accepts_graph_directly(self, graph):
+        assert canonical_hash(graph) == canonical_hash(to_json(graph))
+
+
+class TestHashSensitivity:
+    def test_semantic_change_changes_hash(self):
+        graph = trial_graph(0)
+        document = to_json(graph)
+        base = canonical_hash(document)
+        for mutation in (
+            lambda d: d["edges"][0].__setitem__(
+                "production", d["edges"][0]["production"] + 1
+            ),
+            lambda d: d["edges"][0].__setitem__(
+                "delay", d["edges"][0]["delay"] + 1
+            ),
+            lambda d: d["edges"][0].__setitem__(
+                "token_size", d["edges"][0]["token_size"] + 1
+            ),
+            lambda d: d["actors"][0].__setitem__("execution_time", 99),
+            lambda d: d.__setitem__("name", "renamed"),
+        ):
+            changed = json.loads(json.dumps(document))
+            mutation(changed)
+            assert canonical_hash(changed) != base
+
+    def test_actor_order_is_semantic(self):
+        # Reordering the actors *list* is a different document (order
+        # breaks topological-sort ties), unlike reordering object keys.
+        document = to_json(trial_graph(1))
+        swapped = json.loads(json.dumps(document))
+        swapped["actors"] = list(reversed(swapped["actors"]))
+        assert canonical_hash(swapped) != canonical_hash(document)

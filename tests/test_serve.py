@@ -1,0 +1,385 @@
+"""Tests for the compilation service: cache, service core, HTTP server."""
+
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro.apps.ptolemy_demos import cd_to_dat
+from repro.check.fault_injection import inject_cache_corrupt
+from repro.check.oracles import build_artifacts
+from repro.scheduling.pipeline import implement
+from repro.sdf.graph import SDFGraph
+from repro.sdf.io import to_json
+from repro.serve import (
+    ArtifactCache,
+    CompilationReport,
+    CompileOptions,
+    CompileServer,
+    CompileService,
+    cache_key,
+)
+from repro.serve.client import (
+    ServeClientError,
+    compile_batch_remote,
+    compile_remote,
+    get_json,
+)
+
+import random
+
+
+def small_graph():
+    g = SDFGraph("serve_sample")
+    g.add_actors("ABC")
+    g.add_edge("A", "B", 3, 2)
+    g.add_edge("B", "C", 2, 5, delay=2)
+    return g
+
+
+def make_report(**overrides):
+    result = implement(small_graph())
+    report = CompilationReport.from_result(result, "serve_sample")
+    for name, value in overrides.items():
+        setattr(report, name, value)
+    return report
+
+
+class TestCacheKey:
+    def test_key_order_invariant(self):
+        doc = to_json(small_graph())
+        reordered = {k: doc[k] for k in reversed(list(doc))}
+        reordered["edges"] = [
+            {k: e[k] for k in reversed(list(e))} for e in doc["edges"]
+        ]
+        assert cache_key(doc) == cache_key(reordered)
+
+    def test_semantic_changes_change_key(self):
+        doc = to_json(small_graph())
+        base = cache_key(doc)
+        assert cache_key(doc, {"method": "apgan"}) != base
+        assert cache_key(doc, version="other") != base
+        changed = json.loads(json.dumps(doc))
+        changed["edges"][0]["production"] += 1
+        assert cache_key(changed) != base
+
+
+class TestArtifactCache:
+    def test_put_get_round_trip(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path))
+        report = make_report()
+        key = cache_key(to_json(small_graph()))
+        cache.put(key, report)
+        again = cache.get(key)
+        assert again is not None
+        assert again.cached is True
+        assert again.canonical() != ""  # volatile fields excluded
+        # Stored copy is bit-identical modulo the key field it gains.
+        report.key = key
+        assert again.canonical() == report.canonical()
+        assert cache.hits == 1 and cache.writes == 1
+
+    def test_missing_entry_is_a_miss(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path))
+        assert cache.get("0" * 64) is None
+        assert cache.misses == 1
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path))
+        cache.put("ab" * 32, make_report())
+        leftovers = [
+            name
+            for _, _, names in os.walk(str(tmp_path))
+            for name in names
+            if name.endswith(".tmp")
+        ]
+        assert leftovers == []
+
+    @pytest.mark.parametrize("mode", ["truncate", "tamper", "garbage"])
+    def test_corrupt_entry_evicted_not_served(self, tmp_path, mode):
+        cache = ArtifactCache(str(tmp_path))
+        key = "cd" * 32
+        cache.put(key, make_report())
+        path = cache.path_for(key)
+        if mode == "truncate":
+            with open(path, "r+") as handle:
+                handle.truncate(os.path.getsize(path) // 2)
+        elif mode == "tamper":
+            with open(path) as handle:
+                entry = json.load(handle)
+            entry["report"]["total"] += 1
+            with open(path, "w") as handle:
+                json.dump(entry, handle)
+        else:
+            with open(path, "w") as handle:
+                handle.write("\x00garbage\x00")
+        assert cache.get(key) is None
+        assert not os.path.exists(path)
+        assert cache.evictions == 1 and cache.misses == 1
+
+    def test_wrong_key_field_rejected(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path))
+        cache.put("ef" * 32, make_report())
+        # Entry copied under a different key must fail verification.
+        src = cache.path_for("ef" * 32)
+        dst = cache.path_for("01" * 32)
+        os.makedirs(os.path.dirname(dst), exist_ok=True)
+        with open(src) as handle:
+            data = handle.read()
+        with open(dst, "w") as handle:
+            handle.write(data)
+        assert cache.get("01" * 32) is None
+        assert not os.path.exists(dst)
+
+    def test_gc_max_entries_keeps_newest(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path))
+        report = make_report()
+        keys = [format(i, "02x") * 32 for i in range(4)]
+        for i, key in enumerate(keys):
+            cache.put(key, report)
+            os.utime(cache.path_for(key), (1000 + i, 1000 + i))
+        assert cache.gc(max_entries=2) == 2
+        assert cache.get(keys[0]) is None
+        assert cache.get(keys[3]) is not None
+
+    def test_gc_max_age(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path))
+        cache.put("aa" * 32, make_report())
+        os.utime(cache.path_for("aa" * 32), (100.0, 100.0))
+        assert cache.gc(max_age_s=50.0, now=1000.0) == 1
+        assert cache.stats()["entries"] == 0
+
+    def test_clear_and_stats(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path))
+        cache.put("bb" * 32, make_report())
+        stats = cache.stats()
+        assert stats["entries"] == 1 and stats["bytes"] > 0
+        assert cache.clear() == 1
+        assert cache.stats()["entries"] == 0
+
+
+class TestCompilationReport:
+    def test_json_round_trip(self):
+        report = make_report(cached=True, wall_s=1.5)
+        again = CompilationReport.from_json(report.to_json())
+        assert again == report
+
+    def test_canonical_excludes_volatile(self):
+        a = make_report()
+        b = make_report(cached=True, wall_s=99.0)
+        assert a.canonical() == b.canonical()
+        assert a.digest() == b.digest()
+
+    def test_summary_mentions_source(self):
+        assert "cache hit" in make_report(cached=True).summary_lines()[0]
+        assert "compiled" in make_report().summary_lines()[0]
+
+
+class TestCompileOptions:
+    def test_unknown_option_rejected(self):
+        with pytest.raises(ValueError, match="unknown compile options"):
+            CompileOptions.from_dict({"methd": "rpmc"})
+
+    def test_round_trip(self):
+        options = CompileOptions(method="apgan", seed=3)
+        assert CompileOptions.from_dict(options.as_dict()) == options
+
+
+class TestCompileService:
+    def test_miss_then_hit_bit_identical(self, tmp_path):
+        service = CompileService(cache=ArtifactCache(str(tmp_path)))
+        doc = to_json(cd_to_dat())
+        cold, s1 = service.compile_document(doc)
+        warm, s2 = service.compile_document(doc)
+        assert (s1, s2) == ("miss", "hit")
+        assert warm.canonical() == cold.canonical()
+        assert warm.cached and not cold.cached
+
+    def test_disabled_cache_matches_direct_pipeline(self):
+        doc = to_json(cd_to_dat())
+        report, status = CompileService().compile_document(doc)
+        assert status == "disabled"
+        direct = CompilationReport.from_result(
+            implement(cd_to_dat()), "cd2dat"
+        )
+        assert report.canonical() == direct.canonical()
+
+    def test_options_fragment_cache(self, tmp_path):
+        service = CompileService(cache=ArtifactCache(str(tmp_path)))
+        doc = to_json(small_graph())
+        _, s1 = service.compile_document(doc, CompileOptions(method="rpmc"))
+        _, s2 = service.compile_document(doc, CompileOptions(method="apgan"))
+        assert (s1, s2) == ("miss", "miss")
+
+    def test_sessions_are_reused(self, tmp_path):
+        service = CompileService()
+        doc = to_json(small_graph())
+        service.compile_document(doc, use_cache=False)
+        assert len(service._sessions) == 1
+        service.compile_document(doc, use_cache=False)
+        assert len(service._sessions) == 1
+
+    def test_session_lru_key_is_the_session_graph_digest(self):
+        # The LRU key, CompilationSession.graph_digest, and the graph
+        # component of cache keys must all be the same content address.
+        service = CompileService()
+        service.compile_document(to_json(small_graph()), use_cache=False)
+        ((digest, session),) = service._sessions.items()
+        assert session.graph_digest == digest
+
+    def test_batch_preserves_order_and_statuses(self, tmp_path):
+        service = CompileService(cache=ArtifactCache(str(tmp_path)))
+        docs = [to_json(small_graph()), to_json(cd_to_dat())]
+        results = service.compile_batch(docs + docs, jobs=1)
+        names = [r.graph for r, _ in results]
+        assert names == ["serve_sample", "cd2dat"] * 2
+        assert [s for _, s in results] == ["miss", "miss", "hit", "hit"]
+        assert results[0][0].canonical() == results[2][0].canonical()
+
+
+class _StubService:
+    """Duck-typed service whose compiles block until released."""
+
+    cache = None
+
+    def __init__(self, delay=0.0):
+        self.delay = delay
+        self.calls = 0
+
+    def compile_document(self, document, options, use_cache=True,
+                         recorder=None):
+        self.calls += 1
+        time.sleep(self.delay)
+        return make_report(), "disabled"
+
+    def compile_batch(self, documents, options, use_cache=True,
+                      jobs=None, recorder=None):
+        return [
+            self.compile_document(d, options, use_cache) for d in documents
+        ]
+
+
+@pytest.fixture
+def live_server(tmp_path):
+    server = CompileServer(
+        CompileService(cache=ArtifactCache(str(tmp_path))),
+        port=0, workers=2, queue_limit=4, quiet=True,
+    ).start()
+    yield server
+    server.drain(timeout=10)
+
+
+class TestCompileServer:
+    def test_healthz_and_stats(self, live_server):
+        assert get_json(live_server.url, "/healthz") == {"status": "ok"}
+        stats = get_json(live_server.url, "/stats")
+        assert stats["server"]["requests"] == 0
+        assert "cache" in stats
+
+    def test_compile_miss_then_hit(self, live_server):
+        doc = to_json(cd_to_dat())
+        cold, s1 = compile_remote(doc, url=live_server.url)
+        warm, s2 = compile_remote(doc, url=live_server.url)
+        assert (s1, s2) == ("miss", "hit")
+        assert warm.canonical() == cold.canonical()
+        stats = get_json(live_server.url, "/stats")
+        assert stats["server"]["hits"] == 1
+        assert stats["server"]["misses"] == 1
+
+    def test_batch_endpoint(self, live_server):
+        doc = to_json(small_graph())
+        results = compile_batch_remote([doc, doc], url=live_server.url)
+        assert [s for _, s in results] == ["miss", "hit"]
+
+    def test_malformed_request_400(self, live_server):
+        with pytest.raises(ServeClientError) as err:
+            compile_remote({"actors": "nope"}, url=live_server.url)
+        assert err.value.status == 400
+
+    def test_unknown_option_400(self, live_server):
+        with pytest.raises(ServeClientError) as err:
+            compile_remote(
+                to_json(small_graph()), url=live_server.url,
+                options={"bogus": 1},
+            )
+        assert err.value.status == 400
+
+    def test_unknown_path_404(self, live_server):
+        payload = get_json(live_server.url, "/nope")
+        assert "error" in payload
+
+    def test_backpressure_429(self):
+        server = CompileServer(
+            _StubService(delay=0.5), port=0, workers=1,
+            queue_limit=1, quiet=True,
+        ).start()
+        try:
+            doc = to_json(small_graph())
+            errors = []
+
+            def slow():
+                try:
+                    compile_remote(doc, url=server.url, timeout=10)
+                except ServeClientError as exc:
+                    errors.append(exc)
+
+            first = threading.Thread(target=slow)
+            first.start()
+            time.sleep(0.1)  # first request now occupies the one slot
+            with pytest.raises(ServeClientError) as err:
+                compile_remote(doc, url=server.url, timeout=10)
+            assert err.value.status == 429
+            first.join()
+            assert errors == []
+            assert server.stats()["server"]["rejected"] == 1
+        finally:
+            server.drain(timeout=10)
+
+    def test_request_timeout_504(self):
+        server = CompileServer(
+            _StubService(delay=1.0), port=0, workers=1,
+            queue_limit=2, request_timeout=0.05, quiet=True,
+        ).start()
+        try:
+            with pytest.raises(ServeClientError) as err:
+                compile_remote(
+                    to_json(small_graph()), url=server.url, timeout=10
+                )
+            assert err.value.status == 504
+            assert server.stats()["server"]["timeouts"] == 1
+        finally:
+            server.drain(timeout=10)
+
+    def test_drain_rejects_new_work(self, tmp_path):
+        server = CompileServer(
+            CompileService(), port=0, quiet=True,
+        ).start()
+        url = server.url
+        server.drain(timeout=10)
+        with pytest.raises(ServeClientError):
+            compile_remote(to_json(small_graph()), url=url, timeout=2)
+
+    def test_trace_written_on_drain(self, tmp_path):
+        trace = str(tmp_path / "trace.json")
+        server = CompileServer(
+            CompileService(cache=ArtifactCache(str(tmp_path / "c"))),
+            port=0, quiet=True, trace_path=trace,
+        ).start()
+        compile_remote(to_json(small_graph()), url=server.url)
+        server.drain(timeout=10)
+        with open(trace) as handle:
+            events = json.load(handle)["traceEvents"]
+        names = {e["name"] for e in events}
+        assert "serve.request" in names
+        assert "implement" in names
+
+
+class TestCacheCorruptInjection:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_all_modes_caught(self, seed):
+        art = build_artifacts(small_graph(), method="rpmc", seed=seed)
+        outcome = inject_cache_corrupt(art, random.Random(seed))
+        assert outcome is not None
+        assert outcome.caught, outcome.detail
