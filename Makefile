@@ -18,9 +18,11 @@ check:
 	PYTHONPATH=src $(PYTHON) -m repro check --trials 25 --inject \
 		--bench-out BENCH_PR2.json
 
-# End-to-end service smoke test: start repro serve, submit CD-DAT
-# twice (cold miss, then a bit-identical warm hit), drain on SIGTERM,
-# and leave the request trace in serve_trace.json.
+# End-to-end service smoke test, two phases: threaded server (CD-DAT
+# cold miss -> bit-identical warm hit, clean SIGTERM drain, trace in
+# serve_trace.json) and a --workers 2 compile farm (same bit-identity,
+# worker SIGKILL -> supervisor respawn -> /healthz stays ok, merged
+# worker trace in serve_farm_trace.json).
 serve-smoke:
 	$(PYTHON) scripts/serve_smoke.py --trace serve_trace.json
 
@@ -30,6 +32,7 @@ bench:
 	$(PYTHON) benchmarks/bench_symbolic.py --out BENCH_PR3.json
 	$(PYTHON) benchmarks/bench_obs.py --out BENCH_PR4.json
 	$(PYTHON) benchmarks/bench_serve.py --out BENCH_PR5.json
+	$(PYTHON) benchmarks/bench_farm.py --out BENCH_PR6.json
 
 bench-pytest:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

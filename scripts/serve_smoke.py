@@ -1,7 +1,9 @@
 """Service smoke test: start ``repro serve``, exercise it, drain it.
 
 The end-to-end acceptance ritual, runnable locally (``make
-serve-smoke``) and in CI:
+serve-smoke``) and in CI, in two phases:
+
+**Threaded phase** (the pre-farm default):
 
 1. start ``repro serve`` as a subprocess on an ephemeral port with a
    throwaway cache directory and ``--trace`` enabled;
@@ -14,11 +16,25 @@ serve-smoke``) and in CI:
    leaves the trace artifact behind (``serve_trace.json`` by
    default — CI uploads it).
 
+**Farm phase** (``--workers 2``):
+
+6. start ``repro serve --workers 2`` (a two-process compile farm)
+   with its own throwaway cache and trace file;
+7. assert ``/healthz`` reports the farm (size 2, all alive), then
+   miss -> hit with bit-identical reports, exactly as above;
+8. SIGKILL one worker process (pid from ``/stats``); assert the
+   supervisor respawns it — ``/healthz`` returns to 2/2 alive with a
+   restart counted — and that a subsequent submit still hits,
+   bit-identical;
+9. SIGTERM; assert a clean drain and that the merged trace artifact
+   (``serve_farm_trace.json``) contains worker-side request spans.
+
 Exit code 0 only when every step held.
 
 Usage::
 
     python scripts/serve_smoke.py [--trace serve_trace.json]
+                                  [--farm-trace serve_farm_trace.json]
 """
 
 from __future__ import annotations
@@ -60,12 +76,133 @@ def wait_healthy(url: str, deadline_s: float = 15.0) -> None:
     fail(f"server at {url} never became healthy")
 
 
+def launch(extra_args, trace, env):
+    """Start one ``repro serve`` subprocess; returns (proc, url)."""
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--quiet", "--trace", trace, *extra_args],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env,
+    )
+    banner = proc.stdout.readline().strip()
+    if not banner.startswith("serving on "):
+        proc.kill()
+        fail(f"unexpected server banner: {banner!r}")
+    url = banner.split()[2]
+    wait_healthy(url)
+    return proc, url
+
+
+def submit_twice(url):
+    """CD-DAT miss then hit; returns the (bit-identical) warm report."""
+    document = to_json(cd_to_dat())
+    first, first_status = compile_remote(document, url=url, timeout=30)
+    if first_status != "miss":
+        fail(f"first submit should miss, got {first_status!r}")
+    second, second_status = compile_remote(document, url=url, timeout=30)
+    if second_status != "hit":
+        fail(f"second submit should hit, got {second_status!r}")
+    if second.canonical() != first.canonical():
+        fail("warm report is not bit-identical to the cold one")
+    if not second.cached or first.cached:
+        fail("cached flags inconsistent with statuses")
+    return second
+
+
+def terminate_cleanly(proc, trace, timeout):
+    """SIGTERM; assert exit 0, a clean-drain message, and the trace."""
+    proc.send_signal(signal.SIGTERM)
+    out, _ = proc.communicate(timeout=timeout)
+    if proc.returncode != 0:
+        fail(f"server exited {proc.returncode}; output:\n{out}")
+    if "drained cleanly" not in out:
+        fail(f"no clean-drain message; output:\n{out}")
+    if not os.path.isfile(trace):
+        fail(f"trace artifact {trace!r} was not written")
+
+
+def threaded_phase(args, env) -> None:
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-cache-") as root:
+        proc, url = launch(["--cache-dir", root], args.trace, env)
+        try:
+            submit_twice(url)
+            stats = get_json(url, "/stats", timeout=5)
+            server_stats = stats.get("server", {})
+            if (server_stats.get("hits"), server_stats.get("misses"),
+                    server_stats.get("rejected")) != (1, 1, 0):
+                fail(f"unexpected /stats counters: {server_stats}")
+            terminate_cleanly(proc, args.trace, args.timeout)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+    print("serve-smoke: threaded phase OK "
+          f"(cold miss -> warm hit, bit-identical; trace at {args.trace})")
+
+
+def farm_phase(args, env) -> None:
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-farm-") as root:
+        proc, url = launch(
+            ["--cache-dir", root, "--workers", "2"],
+            args.farm_trace, env,
+        )
+        try:
+            farm = get_json(url, "/healthz", timeout=5).get("farm")
+            if not farm or (farm.get("size"), farm.get("alive")) != (2, 2):
+                fail(f"farm not reported 2/2 alive on /healthz: {farm}")
+            warm = submit_twice(url)
+
+            # Kill one worker; the supervisor must respawn it without
+            # the server ever leaving "ok".
+            rows = get_json(url, "/stats", timeout=5)["farm"]["workers"]
+            pids = [r["pid"] for r in rows if r.get("alive") and "pid" in r]
+            if not pids:
+                fail(f"no live worker pids in /stats farm rows: {rows}")
+            os.kill(pids[0], signal.SIGKILL)
+            deadline = time.monotonic() + 15.0
+            while True:
+                health = get_json(url, "/healthz", timeout=5)
+                if health.get("status") != "ok":
+                    fail(f"server left 'ok' after worker kill: {health}")
+                farm = health.get("farm", {})
+                if farm.get("alive") == 2 and farm.get("restarts", 0) >= 1:
+                    break
+                if time.monotonic() > deadline:
+                    fail(f"worker never respawned: {farm}")
+                time.sleep(0.1)
+
+            document = to_json(cd_to_dat())
+            after, after_status = compile_remote(
+                document, url=url, timeout=30
+            )
+            if after_status != "hit":
+                fail(f"post-respawn submit should hit, got {after_status!r}")
+            if after.canonical() != warm.canonical():
+                fail("post-respawn report is not bit-identical")
+
+            terminate_cleanly(proc, args.farm_trace, args.timeout)
+            with open(args.farm_trace, encoding="utf-8") as handle:
+                trace_text = handle.read()
+            if "serve.request" not in trace_text:
+                fail("farm trace has no serve.request spans "
+                     "(worker trees not merged?)")
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+    print("serve-smoke: farm phase OK "
+          "(2 workers, kill -> respawn -> healthy, bit-identical; "
+          f"merged trace at {args.farm_trace})")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--trace", default="serve_trace.json",
-                        help="trace artifact path (written on drain)")
+                        help="threaded-phase trace artifact path")
+    parser.add_argument("--farm-trace", default="serve_farm_trace.json",
+                        help="farm-phase merged trace artifact path")
     parser.add_argument("--timeout", type=float, default=60.0,
-                        help="overall subprocess wait budget, seconds")
+                        help="per-subprocess wait budget, seconds")
     args = parser.parse_args(argv)
 
     env = dict(os.environ)
@@ -73,60 +210,13 @@ def main(argv=None) -> int:
         REPO_SRC + os.pathsep + env["PYTHONPATH"]
         if env.get("PYTHONPATH") else REPO_SRC
     )
-    if os.path.exists(args.trace):
-        os.unlink(args.trace)
+    for trace in (args.trace, args.farm_trace):
+        if os.path.exists(trace):
+            os.unlink(trace)
 
-    with tempfile.TemporaryDirectory(prefix="repro-smoke-cache-") as root:
-        proc = subprocess.Popen(
-            [sys.executable, "-m", "repro", "serve", "--port", "0",
-             "--quiet", "--cache-dir", root, "--trace", args.trace],
-            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
-            text=True, env=env,
-        )
-        try:
-            banner = proc.stdout.readline().strip()
-            if not banner.startswith("serving on "):
-                fail(f"unexpected server banner: {banner!r}")
-            url = banner.split()[2]
-            wait_healthy(url)
-
-            document = to_json(cd_to_dat())
-            first, first_status = compile_remote(
-                document, url=url, timeout=30
-            )
-            if first_status != "miss":
-                fail(f"first submit should miss, got {first_status!r}")
-            second, second_status = compile_remote(
-                document, url=url, timeout=30
-            )
-            if second_status != "hit":
-                fail(f"second submit should hit, got {second_status!r}")
-            if second.canonical() != first.canonical():
-                fail("warm report is not bit-identical to the cold one")
-            if not second.cached or first.cached:
-                fail("cached flags inconsistent with statuses")
-
-            stats = get_json(url, "/stats", timeout=5)
-            server_stats = stats.get("server", {})
-            if (server_stats.get("hits"), server_stats.get("misses"),
-                    server_stats.get("rejected")) != (1, 1, 0):
-                fail(f"unexpected /stats counters: {server_stats}")
-
-            proc.send_signal(signal.SIGTERM)
-            out, _ = proc.communicate(timeout=args.timeout)
-            if proc.returncode != 0:
-                fail(f"server exited {proc.returncode}; output:\n{out}")
-            if "drained cleanly" not in out:
-                fail(f"no clean-drain message; output:\n{out}")
-            if not os.path.isfile(args.trace):
-                fail(f"trace artifact {args.trace!r} was not written")
-        finally:
-            if proc.poll() is None:
-                proc.kill()
-                proc.wait(timeout=10)
-
-    print("serve-smoke: OK "
-          f"(cold miss -> warm hit, bit-identical; trace at {args.trace})")
+    threaded_phase(args, env)
+    farm_phase(args, env)
+    print("serve-smoke: OK")
     return 0
 
 

@@ -446,6 +446,101 @@ def inject_cache_corrupt(
         )
 
 
+def inject_worker_crash(
+    art: PipelineArtifacts, rng: random.Random
+) -> Optional[InjectionOutcome]:
+    """Kill a farm worker mid-compile; the failure must stay loud.
+
+    Stands up a single-worker compile farm (``allow_faults=True``, a
+    knob the CLI never sets) and submits the graph with the
+    ``worker_crash`` fault armed: the worker ``os._exit``\\ s midway
+    through the compile, after admission but before any response
+    frame.  Caught means the crash surfaced as an immediate one-line
+    503 (not a hang — the client would time out — and not a silently
+    retried success), the supervisor respawned the worker, and a
+    plain resubmit then compiles to a report bit-identical to the
+    direct pipeline result.  A crash that hangs the request, leaks a
+    dead pool, or diverges on retry means the farm's supervision has
+    gone blind.
+    """
+    import tempfile
+
+    from ..sdf.io import to_json
+    from ..serve import (
+        ArtifactCache,
+        CompilationReport,
+        CompileServer,
+        CompileService,
+        ServeClientError,
+    )
+    from ..serve.client import compile_remote
+
+    document = to_json(art.graph)
+    options = {
+        "method": art.method, "seed": art.seed,
+        "occurrence_cap": art.occurrence_cap,
+    }
+    reference = CompilationReport.from_result(
+        art.result, art.graph.name, seed=art.seed
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-farm-") as root:
+        server = CompileServer(
+            CompileService(cache=ArtifactCache(root)),
+            port=0, processes=1, queue_limit=16,
+            allow_faults=True, quiet=True,
+        ).start()
+        try:
+            crash_status: Optional[int] = None
+            crash_detail = "request unexpectedly succeeded"
+            try:
+                # cache=False keeps the fault on the compile path (a
+                # cache hit would answer before the hook runs).
+                payload = {
+                    "graph": document, "options": options,
+                    "cache": False, "fault": "worker_crash",
+                }
+                from ..serve.client import _post
+
+                _post(server.url, "/compile", payload, timeout=60.0)
+            except ServeClientError as exc:
+                crash_status = exc.status
+                crash_detail = str(exc)
+            crashed_cleanly = crash_status == 503 and "\n" not in crash_detail
+            try:
+                retry, retry_status = compile_remote(
+                    document, url=server.url, options=options, timeout=60.0
+                )
+            except ServeClientError as exc:
+                return InjectionOutcome(
+                    mutation="worker_crash",
+                    graph_seed=art.seed,
+                    caught=False,
+                    detail=f"farm did not recover: {exc}",
+                )
+            reference.key = retry.key
+            recovered = (
+                server.farm is not None
+                and server.farm.alive_count() == server.farm.size
+                and server.farm.restarts_total() >= 1
+            )
+            identical = retry.canonical() == reference.canonical()
+            caught = crashed_cleanly and recovered and identical
+            return InjectionOutcome(
+                mutation="worker_crash",
+                graph_seed=art.seed,
+                caught=caught,
+                detail=(
+                    f"crash -> HTTP {crash_status} "
+                    f"({'one-line 503' if crashed_cleanly else 'WRONG SHAPE'}), "
+                    f"worker {'respawned' if recovered else 'NOT RESPAWNED'}, "
+                    f"retry ({retry_status}) "
+                    f"{'bit-identical' if identical else 'DIVERGED'}"
+                ),
+            )
+        finally:
+            server.drain(timeout=10)
+
+
 MUTATION_CLASSES: Dict[
     str, Callable[[PipelineArtifacts, random.Random], Optional[InjectionOutcome]]
 ] = {
@@ -457,6 +552,7 @@ MUTATION_CLASSES: Dict[
     "buffer_size": inject_buffer_size,
     "stage_crash": inject_stage_crash,
     "cache_corrupt": inject_cache_corrupt,
+    "worker_crash": inject_worker_crash,
 }
 
 

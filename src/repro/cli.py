@@ -381,7 +381,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         CompileService(cache=cache),
         host=args.host,
         port=args.port,
-        workers=args.workers,
+        workers=args.threads,
+        processes=args.workers,
+        shard_by=args.shard_by,
         queue_limit=args.queue_limit,
         request_timeout=args.timeout,
         trace_path=args.trace,
@@ -397,10 +399,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     signal.signal(signal.SIGTERM, _on_signal)
     signal.signal(signal.SIGINT, _on_signal)
+    pool = (
+        f"farm {server.farm.size} x {args.shard_by}"
+        if server.farm is not None
+        else f"threads {server.workers}"
+    )
     print(
         f"serving on {server.url} "
         f"(cache: {'disabled' if cache is None else cache.root}, "
-        f"workers {server.workers}, queue limit {server.queue_limit})",
+        f"{pool}, queue limit {server.queue_limit})",
         flush=True,
     )
     server.serve_forever()
@@ -432,13 +439,14 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                 compile_remote(
                     documents[0], url=args.url, options=options,
                     use_cache=not args.no_cache, timeout=args.timeout,
+                    retries=args.retries,
                 )
             ]
         else:
             results = compile_batch_remote(
                 documents, url=args.url, options=options,
                 use_cache=not args.no_cache, jobs=args.jobs,
-                timeout=args.timeout,
+                timeout=args.timeout, retries=args.retries,
             )
     except ServeClientError as exc:
         raise SystemExit(f"submit failed: {exc}") from None
@@ -664,8 +672,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="bind port (0 picks a free port, printed on startup)",
     )
     p.add_argument(
-        "--workers", type=int, default=2, metavar="N",
-        help="worker-pool threads executing compilations",
+        "--workers", type=int, default=0, metavar="N",
+        help="compile-farm worker processes serving /compile, "
+             "sharded by graph digest (0 = no farm, compile on the "
+             "in-process thread pool)",
+    )
+    p.add_argument(
+        "--shard-by", default="digest", choices=["digest", "key"],
+        help="farm routing: 'digest' keeps every variant of one graph "
+             "on one worker (hot sessions), 'key' spreads per-option "
+             "variants across the pool",
+    )
+    p.add_argument(
+        "--threads", type=int, default=2, metavar="N",
+        help="in-process worker threads (used for /batch, and for "
+             "/compile when --workers is 0)",
     )
     p.add_argument(
         "--queue-limit", type=int, default=8, metavar="N",
@@ -736,6 +757,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--timeout", type=float, default=60.0, metavar="SECONDS",
         help="client-side request timeout",
+    )
+    p.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="retry 429/503 responses up to N times, honoring the "
+             "server's Retry-After header with capped jittered "
+             "backoff (0 = fail immediately, the old behavior)",
     )
     p.add_argument(
         "--output", "-o", metavar="FILE", default=None,

@@ -24,12 +24,22 @@ long-running, cache-fronted service:
     core with a per-graph :class:`CompilationSession` LRU and a
     :func:`~repro.experiments.runner.parallel_map` batch path.
 
+:mod:`repro.serve.farm`
+    :class:`WorkerFarm` — a supervised pool of compile worker
+    *processes*, sharded by graph content digest with rendezvous
+    hashing (:func:`~repro.serve.farm.rendezvous_shard`) so each
+    worker's session LRU and in-memory report tier stay hot.  Crashed
+    workers are respawned; their in-flight request fails with a
+    one-line 503 rather than hanging.
+
 :mod:`repro.serve.server`
     :class:`CompileServer` — the ``repro serve`` JSON-over-HTTP
-    front end (stdlib ``http.server``): worker pool, bounded queue
-    with 429 backpressure, per-request timeouts, graceful SIGTERM
-    drain, per-request ``repro.obs`` spans exported through the
-    Chrome-trace path.
+    front end (stdlib ``http.server``): compile farm or in-process
+    thread pool, single-flight coalescing of identical concurrent
+    requests, bounded queue with 429 backpressure, per-request
+    timeouts, latency percentiles on ``/stats``, graceful SIGTERM
+    drain, per-request ``repro.obs`` spans (including farm-worker
+    subtrees) exported through the Chrome-trace path.
 
 :mod:`repro.serve.client`
     ``repro submit`` — submit one or many graphs to a running server
@@ -55,6 +65,14 @@ from .client import (
     compile_remote,
     get_json,
 )
+from .farm import (
+    FarmError,
+    FarmRequestError,
+    FarmTimeout,
+    FarmWorkerCrashed,
+    WorkerFarm,
+    rendezvous_shard,
+)
 from .report import CompilationReport
 from .server import DEFAULT_PORT, CompileServer
 from .service import CompileOptions, CompileService
@@ -69,8 +87,14 @@ __all__ = [
     "CompileServer",
     "DEFAULT_PORT",
     "DEFAULT_URL",
+    "FarmError",
+    "FarmRequestError",
+    "FarmTimeout",
+    "FarmWorkerCrashed",
     "ServeClientError",
+    "WorkerFarm",
     "compile_remote",
     "compile_batch_remote",
     "get_json",
+    "rendezvous_shard",
 ]

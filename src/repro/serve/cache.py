@@ -187,17 +187,53 @@ class ArtifactCache:
 
     # -- maintenance ----------------------------------------------------
     def stats(self) -> Dict[str, Any]:
-        """On-disk entry count/bytes plus this instance's counters."""
-        entries = self._entries()
+        """On-disk entry count/bytes plus this instance's counters.
+
+        Tolerates concurrent writers: an entry that vanishes between
+        the directory scan and its ``stat`` simply drops out of the
+        figures instead of raising.
+        """
+        count = 0
+        total = 0
+        for path in self._entries():
+            try:
+                total += os.path.getsize(path)
+            except OSError:
+                continue  # vanished mid-scan (concurrent gc/evict)
+            count += 1
         return {
             "root": self.root,
-            "entries": len(entries),
-            "bytes": sum(os.path.getsize(p) for p in entries),
+            "entries": count,
+            "bytes": total,
             "hits": self.hits,
             "misses": self.misses,
             "writes": self.writes,
             "evictions": self.evictions,
         }
+
+    def _remove_if_unchanged(self, path: str, seen_mtime_ns: int) -> bool:
+        """Unlink ``path`` only if it still holds the entry we scanned.
+
+        The scan-to-unlink window races concurrent writers two ways:
+        the entry may vanish (another gc, an eviction), or it may be
+        *rewritten* — ``os.replace`` swaps in a fresh file that no
+        longer deserves expiry.  Re-stat first and skip when the
+        mtime moved; give up (don't count) when the file is already
+        gone.  A writer replacing the file in the remaining stat-to-
+        unlink instant loses nothing either: its ``os.replace`` wins
+        or the next ``get`` simply misses and recompiles — a removed
+        entry is always safe, only *miscounting* or deleting fresh
+        work is not.
+        """
+        try:
+            if os.stat(path).st_mtime_ns != seen_mtime_ns:
+                return False  # rewritten since the scan: now fresh
+            os.unlink(path)
+        except FileNotFoundError:
+            return False  # someone else removed it; don't count twice
+        except OSError:
+            return False
+        return True
 
     def gc(
         self,
@@ -209,37 +245,51 @@ class ArtifactCache:
 
         ``max_age_s`` removes entries older than that many seconds
         (by mtime, i.e. last write); ``max_entries`` then keeps only
-        the newest N.  With neither bound this is a no-op.
+        the newest N.  With neither bound this is a no-op.  Safe to
+        run concurrently with writers and with other ``gc`` calls:
+        in-progress tempfiles are never candidates (only ``*.json``
+        entries are scanned), an entry rewritten after the scan is
+        left alone, and an entry already removed by a racing gc is
+        not double-counted.
         """
-        entries = self._entries()
         if now is None:
             now = time.time()
         removed = 0
-        by_age: List[Tuple[float, str]] = sorted(
-            (os.path.getmtime(p), p) for p in entries
-        )
+        by_age: List[Tuple[int, str]] = []
+        for path in self._entries():
+            try:
+                by_age.append((os.stat(path).st_mtime_ns, path))
+            except OSError:
+                continue  # vanished between scan and stat
+        by_age.sort()
         if max_age_s is not None:
             fresh = []
-            for mtime, path in by_age:
-                if now - mtime > max_age_s:
-                    os.unlink(path)
-                    removed += 1
+            for mtime_ns, path in by_age:
+                if now - mtime_ns / 1e9 > max_age_s:
+                    if self._remove_if_unchanged(path, mtime_ns):
+                        removed += 1
                 else:
-                    fresh.append((mtime, path))
+                    fresh.append((mtime_ns, path))
             by_age = fresh
         if max_entries is not None and len(by_age) > max_entries:
             excess = len(by_age) - max_entries
-            for _, path in by_age[:excess]:
-                os.unlink(path)
-                removed += 1
+            for mtime_ns, path in by_age[:excess]:
+                if self._remove_if_unchanged(path, mtime_ns):
+                    removed += 1
         self.evictions += removed
         return removed
 
     def clear(self) -> int:
-        """Remove every entry; returns the number removed."""
+        """Remove every entry; returns the number removed.
+
+        Like :meth:`gc`, tolerates entries vanishing underneath it.
+        """
         removed = 0
         for path in self._entries():
-            os.unlink(path)
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
             removed += 1
         self.evictions += removed
         return removed

@@ -8,11 +8,21 @@ returned :class:`~repro.serve.report.CompilationReport`s.  Transport
 failures raise :class:`ServeClientError` with the server's one-line
 ``error`` message when it sent one, so CLI users see the 429/503/504
 reason rather than a traceback.
+
+Backpressure is cooperative: a loaded (429) or momentarily degraded
+(503, e.g. a farm worker being respawned) server is asking the client
+to come back, not to give up.  With ``retries > 0`` the client obeys:
+it sleeps for the server's ``Retry-After`` header when present (else
+exponential backoff), jittered to avoid retry stampedes and capped at
+:data:`RETRY_CAP_S`, then resubmits — up to ``retries`` extra
+attempts.  The default stays 0 (fail fast, the pre-farm behavior).
 """
 
 from __future__ import annotations
 
 import json
+import random
+import time
 import urllib.error
 import urllib.request
 from typing import Any, Dict, List, Optional, Tuple
@@ -22,6 +32,8 @@ from .server import DEFAULT_PORT
 
 __all__ = [
     "DEFAULT_URL",
+    "RETRY_CAP_S",
+    "RETRY_STATUSES",
     "ServeClientError",
     "compile_remote",
     "compile_batch_remote",
@@ -30,18 +42,39 @@ __all__ = [
 
 DEFAULT_URL = f"http://127.0.0.1:{DEFAULT_PORT}"
 
+#: Statuses worth retrying: the server said "busy" (429) or "briefly
+#: degraded" (503).  400s are the request's fault and 504 means the
+#: compile itself is slow — retrying either wastes a server slot.
+RETRY_STATUSES = (429, 503)
+
+#: Upper bound on any single retry sleep, whatever Retry-After says.
+RETRY_CAP_S = 8.0
+
+#: First backoff step when the server sent no Retry-After header.
+RETRY_BASE_S = 0.25
+
+# Test seams: the retry tests replace these to run instantly and
+# deterministically without patching the stdlib.
+_sleep = time.sleep
+_jitter = random.random
+
 
 class ServeClientError(RuntimeError):
     """A request the server refused or could not complete.
 
     ``status`` carries the HTTP status code (0 when the server was
     unreachable); the message is the server's ``error`` string when
-    available.
+    available.  ``retry_after`` is the parsed ``Retry-After`` header
+    in seconds when the server sent one.
     """
 
-    def __init__(self, message: str, status: int = 0) -> None:
+    def __init__(
+        self, message: str, status: int = 0,
+        retry_after: Optional[float] = None,
+    ) -> None:
         super().__init__(message)
         self.status = status
+        self.retry_after = retry_after
 
 
 def _post(
@@ -64,14 +97,52 @@ def _post(
             detail = json.loads(exc.read().decode("utf-8")).get("error", "")
         except (ValueError, OSError):
             pass
+        retry_after = None
+        try:
+            header = exc.headers.get("Retry-After") if exc.headers else None
+            if header is not None:
+                retry_after = max(0.0, float(header))
+        except (TypeError, ValueError):
+            pass
         raise ServeClientError(
-            detail or f"server returned HTTP {exc.code}", status=exc.code
+            detail or f"server returned HTTP {exc.code}",
+            status=exc.code, retry_after=retry_after,
         ) from None
     except (urllib.error.URLError, OSError, TimeoutError) as exc:
         raise ServeClientError(
             f"cannot reach compile server at {url}: "
             f"{getattr(exc, 'reason', exc)}"
         ) from None
+
+
+def _post_retrying(
+    url: str, path: str, payload: Dict[str, Any],
+    timeout: Optional[float] = None, retries: int = 0,
+) -> Dict[str, Any]:
+    """:func:`_post`, resubmitting on 429/503 up to ``retries`` times.
+
+    Sleep per attempt: the server's ``Retry-After`` when sent, else
+    ``RETRY_BASE_S * 2**attempt``; capped at :data:`RETRY_CAP_S`, then
+    scaled by a 50–100% jitter factor so a burst of rejected clients
+    does not return in lockstep.  The final failure is re-raised
+    unchanged.
+    """
+    attempt = 0
+    while True:
+        try:
+            return _post(url, path, payload, timeout=timeout)
+        except ServeClientError as exc:
+            if attempt >= retries or exc.status not in RETRY_STATUSES:
+                raise
+            delay = (
+                exc.retry_after
+                if exc.retry_after is not None
+                else RETRY_BASE_S * (2 ** attempt)
+            )
+            delay = min(delay, RETRY_CAP_S) * (0.5 + 0.5 * _jitter())
+            if delay > 0:
+                _sleep(delay)
+            attempt += 1
 
 
 def get_json(
@@ -103,14 +174,21 @@ def compile_remote(
     options: Optional[Dict[str, Any]] = None,
     use_cache: bool = True,
     timeout: Optional[float] = None,
+    retries: int = 0,
 ) -> Tuple[CompilationReport, str]:
-    """Submit one graph document; returns ``(report, cache_status)``."""
+    """Submit one graph document; returns ``(report, cache_status)``.
+
+    ``retries`` extra attempts are made on 429/503, honoring the
+    server's ``Retry-After`` (see :func:`_post_retrying`).
+    """
     payload = {
         "graph": document,
         "options": dict(options or {}),
         "cache": use_cache,
     }
-    response = _post(url, "/compile", payload, timeout=timeout)
+    response = _post_retrying(
+        url, "/compile", payload, timeout=timeout, retries=retries
+    )
     return (
         CompilationReport.from_json(response["report"]),
         response["status"],
@@ -124,8 +202,14 @@ def compile_batch_remote(
     use_cache: bool = True,
     jobs: Optional[int] = None,
     timeout: Optional[float] = None,
+    retries: int = 0,
 ) -> List[Tuple[CompilationReport, str]]:
-    """Submit many documents in one ``/batch`` request, request order."""
+    """Submit many documents in one ``/batch`` request, request order.
+
+    ``retries`` behaves as in :func:`compile_remote`; a whole-batch
+    429/503 is retried as a unit (the server processes batches
+    atomically, so no duplicate partial work results).
+    """
     payload: Dict[str, Any] = {
         "graphs": list(documents),
         "options": dict(options or {}),
@@ -133,7 +217,9 @@ def compile_batch_remote(
     }
     if jobs is not None:
         payload["jobs"] = jobs
-    response = _post(url, "/batch", payload, timeout=timeout)
+    response = _post_retrying(
+        url, "/batch", payload, timeout=timeout, retries=retries
+    )
     return [
         (CompilationReport.from_json(item["report"]), item["status"])
         for item in response["responses"]

@@ -1,0 +1,624 @@
+"""Multi-process compile farm: digest-sharded, supervised workers.
+
+``repro serve`` used to run every compilation on the front end's own
+threads — one Python process, one GIL, one session LRU.  This module
+scales the service across worker *processes* while keeping every
+cache-locality property the session design bought:
+
+* **Sharding** — each request is routed by :func:`rendezvous_shard`
+  over the graph's content digest (``--shard-by digest``, the default)
+  or the full cache key (``--shard-by key``).  Rendezvous (highest
+  random weight) hashing is a pure function of ``(digest, slot,
+  pool size)``: the same digest lands on the same worker across
+  server restarts, so each worker's per-graph
+  :class:`~repro.scheduling.session.CompilationSession` LRU and
+  in-memory artifact tier stay hot, and no shard map needs storing.
+* **Tiered cache** — a worker answers from its in-memory report tier
+  (:class:`~repro.serve.service.CompileService` ``memory_entries``),
+  then the shared on-disk :class:`~repro.serve.cache.ArtifactCache`,
+  and only then compiles.  Every tier returns bit-identical
+  ``canonical()`` reports; the benchmark asserts it per round.
+* **Supervision** — each worker is watched both *in-band* (a pipe
+  that dies mid-request fails that request with a one-line 503 and
+  respawns the worker on the spot) and by a background supervisor
+  thread (an idle worker that dies is respawned within
+  ``supervise_interval`` seconds, so ``/healthz`` recovers without
+  traffic).  A worker that outlives a request deadline is killed and
+  respawned — a hung compile cannot wedge its shard forever.
+
+Wire protocol (pickled tuples over a ``multiprocessing.Pipe``, one
+request in flight per worker, serialized by a per-worker lock):
+
+====================================  ===================================
+parent -> worker                      worker -> parent
+====================================  ===================================
+``("compile", rid, key, req|None,     ``("ok", rid, status, tier, body,
+trace)``                              tree|None)`` |
+                                      ``("need", rid)`` (send full
+                                      request: both memory and disk
+                                      tiers missed, the worker needs
+                                      the document to compile) |
+                                      ``("err", rid, http_code, msg)``
+``("stats", rid)``                    ``("stats", rid, payload)``
+``("ping", rid)``                     ``("pong", rid)``
+``("shutdown",)``                     (worker exits)
+====================================  ===================================
+
+The key-only first frame is the warm hot path: the front end memoizes
+``raw body -> (key, shard)`` so a repeated request costs one SHA-256
+and one small pipe round trip — no JSON parse, no document pickling.
+
+Fault injection (``allow_faults=True``, never set by the CLI) honors a
+top-level ``"fault"`` request field: ``"worker_crash"`` makes the
+worker ``os._exit`` mid-compile (the ``repro check --inject``
+``worker_crash`` mutation class), ``"sleep:N"`` delays the compile so
+tests can hold a request in flight deterministically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+import multiprocessing
+
+__all__ = [
+    "FarmError",
+    "FarmRequestError",
+    "FarmTimeout",
+    "FarmWorkerCrashed",
+    "FarmResponse",
+    "WorkerFarm",
+    "rendezvous_shard",
+]
+
+
+def rendezvous_shard(digest: str, size: int) -> int:
+    """Highest-random-weight shard for ``digest`` in a pool of ``size``.
+
+    Pure and stable: no state, no RNG — the winning slot is the argmax
+    of ``sha256(digest ":" slot)`` over slots ``0..size-1``, so every
+    process (and every restart) agrees on the placement, and growing
+    the pool from N to N+1 moves only ~1/(N+1) of the digests.
+    """
+    if size < 1:
+        raise ValueError(f"pool size must be >= 1, got {size}")
+    if size == 1:
+        return 0
+    best_slot = 0
+    best_weight = b""
+    prefix = digest.encode("utf-8") + b":"
+    for slot in range(size):
+        weight = hashlib.sha256(prefix + str(slot).encode("ascii")).digest()
+        if weight > best_weight:
+            best_weight = weight
+            best_slot = slot
+    return best_slot
+
+
+class FarmError(RuntimeError):
+    """A request the farm could not complete; ``code`` is the HTTP status."""
+
+    code = 500
+
+
+class FarmWorkerCrashed(FarmError):
+    """The worker died mid-request; it has been respawned."""
+
+    code = 503
+
+
+class FarmTimeout(FarmError):
+    """The worker exceeded the request deadline; killed and respawned."""
+
+    code = 504
+
+
+class FarmRequestError(FarmError):
+    """The worker rejected the request itself (bad document/options).
+
+    Carries the worker-chosen HTTP code (400 for malformed input,
+    500 for unexpected failures) — the worker stayed healthy.
+    """
+
+    def __init__(self, message: str, code: int = 400) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class FarmResponse:
+    """One completed compile: status, tier, response body, optional trace."""
+
+    __slots__ = ("status", "tier", "body", "tree")
+
+    def __init__(
+        self, status: str, tier: str, body: bytes,
+        tree: Optional[Dict[str, Any]],
+    ) -> None:
+        self.status = status
+        self.tier = tier
+        self.body = body
+        self.tree = tree
+
+
+# --------------------------------------------------------------------------
+# Worker process
+# --------------------------------------------------------------------------
+
+def _worker_main(conn, config: Dict[str, Any]) -> None:  # pragma: no cover
+    # Covered via subprocess in the farm tests; coverage tools cannot
+    # see into the forked child.
+    worker = _Worker(conn, config)
+    worker.run()
+
+
+class _Worker:
+    """The loop running inside each farm process."""
+
+    def __init__(self, conn, config: Dict[str, Any]) -> None:
+        from collections import OrderedDict
+
+        from .cache import ArtifactCache
+        from .service import CompileService
+        from .. import obs
+
+        self.conn = conn
+        self.allow_faults = bool(config.get("allow_faults"))
+        cache_root = config.get("cache_root")
+        self.mem_entries = int(config.get("mem_entries", 512))
+        self.service = CompileService(
+            cache=ArtifactCache(cache_root) if cache_root else None,
+            max_sessions=int(config.get("max_sessions", 32)),
+            memory_entries=self.mem_entries,
+        )
+        #: Rendered warm-hit response bodies by cache key: the memory
+        #: tier's render memo.  A repeat hit skips report rebuild and
+        #: JSON encode entirely and ships the stored bytes.
+        self._bodies: "OrderedDict[str, bytes]" = OrderedDict()
+        #: Long-lived counters-only recorder; totals ship with "stats".
+        self.counters = obs.TraceRecorder()
+
+    def run(self) -> None:
+        while True:
+            try:
+                msg = self.conn.recv()
+            except (EOFError, OSError):
+                return
+            kind = msg[0]
+            if kind == "shutdown":
+                return
+            if kind == "ping":
+                self.conn.send(("pong", msg[1]))
+            elif kind == "stats":
+                self.conn.send(("stats", msg[1], self._stats()))
+            elif kind == "compile":
+                self._compile(*msg[1:])
+            else:  # unknown frame: protocol bug, fail loudly
+                self.conn.send(("err", msg[1], 500, f"unknown frame {kind!r}"))
+
+    def _stats(self) -> Dict[str, Any]:
+        mem = self.service._memory
+        return {
+            "pid": os.getpid(),
+            "counters": self.counters.counter_totals(),
+            "sessions": len(self.service._sessions),
+            "memory_entries": 0 if mem is None else len(mem),
+        }
+
+    def _compile(
+        self, rid: int, key: str, request: Optional[Dict[str, Any]],
+        trace: bool,
+    ) -> None:
+        from .. import obs
+
+        recorder = obs.TraceRecorder() if trace else None
+        try:
+            reply = self._compile_inner(key, request, recorder)
+        except Exception as exc:
+            self.counters.count("farm.errors")
+            code = 500
+            if isinstance(exc, (ValueError, KeyError, TypeError)):
+                code = 400
+            else:
+                from ..exceptions import SDFError
+
+                if isinstance(exc, SDFError):
+                    code = 400
+            self.counters.count("farm.requests")
+            self.conn.send(("err", rid, code, f"bad request: {exc}"))
+            return
+        if reply is None:  # tiers missed and we only have the key
+            self.conn.send(("need", rid))  # not terminal: not counted
+            return
+        status, tier, body = reply
+        self.counters.count("farm.requests")
+        tree = recorder.serialize() if recorder is not None else None
+        self.conn.send(("ok", rid, status, tier, body, tree))
+
+    def _compile_inner(
+        self, key: str, request: Optional[Dict[str, Any]], recorder
+    ) -> Optional[Tuple[str, str, bytes]]:
+        from .service import CompileOptions
+
+        start = time.perf_counter()
+        if key and self.service.cache is not None:
+            body = self._bodies.get(key)
+            if body is not None:
+                self._bodies.move_to_end(key)
+                self.counters.count("farm.mem_hits")
+                if recorder is not None:
+                    recorder.count("farm.mem_hits")
+                return "hit", "memory", body
+            found = self.service.lookup(key, recorder=recorder)
+            if found is not None:
+                report, tier = found
+                self.counters.count(
+                    "farm.mem_hits" if tier == "memory" else "farm.disk_hits"
+                )
+                if recorder is not None:
+                    recorder.count(
+                        "farm.mem_hits" if tier == "memory"
+                        else "farm.disk_hits"
+                    )
+                report.wall_s = time.perf_counter() - start
+                return "hit", tier, self._remember(key, report)
+            if request is None:
+                return None  # ask the front end for the document
+        if request is None:
+            return None
+        fault = request.get("fault")
+        if fault and self.allow_faults:
+            if fault == "worker_crash":
+                os._exit(23)  # die mid-compile, response never sent
+            if isinstance(fault, str) and fault.startswith("sleep:"):
+                time.sleep(float(fault.split(":", 1)[1]))
+        options = CompileOptions.from_dict(request.get("options"))
+        use_cache = bool(request.get("cache", True))
+        report, status, tier = self.service.compile_document_tiered(
+            request["graph"], options,
+            use_cache=use_cache, recorder=recorder,
+        )
+        if status == "hit":
+            self.counters.count(
+                "farm.mem_hits" if tier == "memory" else "farm.disk_hits"
+            )
+        else:
+            self.counters.count("farm.compiles")
+            if recorder is not None:
+                recorder.count("farm.compiles")
+        return status, tier, self._render(status, report)
+
+    def _remember(self, key: str, report) -> bytes:
+        """Render a hit body and memoize the bytes for repeat hits."""
+        body = self._render("hit", report)
+        self._bodies[key] = body
+        while len(self._bodies) > self.mem_entries:
+            self._bodies.popitem(last=False)
+        return body
+
+    @staticmethod
+    def _render(status: str, report) -> bytes:
+        return json.dumps(
+            {"status": status, "report": report.to_json()}
+        ).encode("utf-8")
+
+
+# --------------------------------------------------------------------------
+# Parent side
+# --------------------------------------------------------------------------
+
+class _WorkerHandle:
+    """Parent-side view of one worker slot: process, pipe, lock, counters."""
+
+    def __init__(self, slot: int) -> None:
+        self.slot = slot
+        self.proc = None
+        self.conn = None
+        self.lock = threading.Lock()
+        self.restarts = -1  # first spawn brings it to 0
+        self.requests = 0
+        self.failures = 0
+
+
+def _mp_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+class WorkerFarm:
+    """A supervised pool of compile worker processes.
+
+    Parameters
+    ----------
+    size:
+        Number of worker processes (shard slots).
+    cache_root:
+        Shared on-disk :class:`ArtifactCache` directory, or ``None``
+        to run without the disk and memory tiers (every request
+        compiles — bit-identical to the bare pipeline).
+    shard_by:
+        ``"digest"`` (graph content hash — one graph's sessions always
+        warm on one worker, whatever the options) or ``"key"`` (full
+        cache key — spreads per-option variants of one graph).
+    mem_entries:
+        Per-worker in-memory report tier capacity.
+    allow_faults:
+        Honor test-only ``"fault"`` request fields (never set by the
+        CLI; used by the fault-injection self-test and the tests).
+    supervise_interval:
+        Seconds between background liveness sweeps (0 disables the
+        supervisor thread; crash recovery then happens on first use).
+    """
+
+    def __init__(
+        self,
+        size: int,
+        cache_root: Optional[str] = None,
+        shard_by: str = "digest",
+        mem_entries: int = 512,
+        max_sessions: int = 32,
+        allow_faults: bool = False,
+        supervise_interval: float = 0.2,
+    ) -> None:
+        if size < 1:
+            raise ValueError(f"farm size must be >= 1, got {size}")
+        if shard_by not in ("digest", "key"):
+            raise ValueError(
+                f"shard_by must be 'digest' or 'key', got {shard_by!r}"
+            )
+        self.size = size
+        self.cache_root = cache_root
+        self.shard_by = shard_by
+        self.supervise_interval = supervise_interval
+        self._config = {
+            "cache_root": cache_root,
+            "mem_entries": mem_entries,
+            "max_sessions": max_sessions,
+            "allow_faults": allow_faults,
+        }
+        self._ctx = _mp_context()
+        self._handles = [_WorkerHandle(slot) for slot in range(size)]
+        self._rid = itertools.count(1)
+        self._stopping = False
+        self._supervisor: Optional[threading.Thread] = None
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> "WorkerFarm":
+        for handle in self._handles:
+            self._spawn(handle)
+        if self.supervise_interval > 0:
+            self._supervisor = threading.Thread(
+                target=self._supervise, daemon=True,
+                name="repro-farm-supervisor",
+            )
+            self._supervisor.start()
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Shut every worker down; idempotent."""
+        self._stopping = True
+        if self._supervisor is not None:
+            self._supervisor.join(timeout=timeout)
+            self._supervisor = None
+        for handle in self._handles:
+            with handle.lock:
+                if handle.proc is None:
+                    continue
+                try:
+                    handle.conn.send(("shutdown",))
+                except (OSError, BrokenPipeError, ValueError):
+                    pass
+                handle.proc.join(timeout=timeout)
+                if handle.proc.is_alive():
+                    handle.proc.kill()
+                    handle.proc.join(timeout=timeout)
+                try:
+                    handle.conn.close()
+                except OSError:
+                    pass
+                handle.proc = None
+
+    def _spawn(self, handle: _WorkerHandle) -> None:
+        """(Re)start ``handle``'s process.  Caller holds ``handle.lock``
+        (or is single-threaded startup)."""
+        if handle.conn is not None:
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self._config),
+            daemon=True,
+            name=f"repro-farm-{handle.slot}",
+        )
+        proc.start()
+        child_conn.close()
+        handle.proc = proc
+        handle.conn = parent_conn
+        handle.restarts += 1
+
+    def _supervise(self) -> None:
+        """Respawn workers that died while idle, until :meth:`stop`."""
+        while not self._stopping:
+            time.sleep(self.supervise_interval)
+            for handle in self._handles:
+                if self._stopping:
+                    return
+                if handle.proc is None or handle.proc.is_alive():
+                    continue
+                # Try-lock only: if a request holds the lock, its own
+                # error path respawns; blocking here could double-spawn.
+                if handle.lock.acquire(blocking=False):
+                    try:
+                        if (
+                            not self._stopping
+                            and handle.proc is not None
+                            and not handle.proc.is_alive()
+                        ):
+                            self._spawn(handle)
+                    finally:
+                        handle.lock.release()
+
+    # -- introspection --------------------------------------------------
+    def shard_for(self, digest: str) -> int:
+        """The worker slot owning ``digest`` (stable across restarts)."""
+        return rendezvous_shard(digest, self.size)
+
+    def alive_count(self) -> int:
+        return sum(
+            1 for h in self._handles
+            if h.proc is not None and h.proc.is_alive()
+        )
+
+    def restarts_total(self) -> int:
+        return sum(max(0, h.restarts) for h in self._handles)
+
+    def describe(self) -> Dict[str, Any]:
+        """Cheap pool summary (no worker round trips) for ``/healthz``."""
+        return {
+            "size": self.size,
+            "alive": self.alive_count(),
+            "restarts": self.restarts_total(),
+            "shard_by": self.shard_by,
+        }
+
+    def worker_stats(self, timeout: float = 2.0) -> List[Dict[str, Any]]:
+        """Per-worker stats payloads (pid, obs counters, tier sizes).
+
+        A worker that cannot answer within ``timeout`` (dead, hung, or
+        busy with a long compile) is reported as ``{"alive": False}``
+        rather than blocking the ``/stats`` endpoint.
+        """
+        out = []
+        for handle in self._handles:
+            row: Dict[str, Any] = {
+                "slot": handle.slot,
+                "alive": handle.proc is not None and handle.proc.is_alive(),
+                "restarts": max(0, handle.restarts),
+                "requests": handle.requests,
+                "failures": handle.failures,
+            }
+            acquired = handle.lock.acquire(timeout=timeout)
+            if acquired:
+                try:
+                    rid = next(self._rid)
+                    handle.conn.send(("stats", rid))
+                    if handle.conn.poll(timeout):
+                        msg = handle.conn.recv()
+                        if msg[0] == "stats" and msg[1] == rid:
+                            row.update(msg[2])
+                except (EOFError, OSError, BrokenPipeError, ValueError):
+                    row["alive"] = False
+                finally:
+                    handle.lock.release()
+            out.append(row)
+        return out
+
+    # -- dispatch -------------------------------------------------------
+    def compile(
+        self,
+        shard: int,
+        key: str,
+        request: Optional[Dict[str, Any]],
+        trace: bool = False,
+        timeout: Optional[float] = None,
+    ) -> FarmResponse:
+        """Run one compile request on worker ``shard``.
+
+        ``key`` non-empty enables the tiers; ``request`` must carry the
+        full parsed request (the worker is sent the key alone first and
+        asks for the document only when both cache tiers miss).
+
+        Raises :class:`FarmWorkerCrashed` (one respawn already done)
+        when the worker dies mid-request, :class:`FarmTimeout` when it
+        exceeds ``timeout`` seconds (the worker is killed and
+        respawned — a hung shard heals), and :class:`FarmError` for
+        protocol corruption.
+        """
+        handle = self._handles[shard]
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        if not self._acquire(handle.lock, deadline):
+            raise FarmTimeout(
+                f"worker {shard} busy past the {timeout}s deadline"
+            )
+        try:
+            if handle.proc is None or not handle.proc.is_alive():
+                self._spawn(handle)
+            handle.requests += 1
+            rid = next(self._rid)
+            try:
+                frame = (
+                    ("compile", rid, key, None, trace)
+                    if key and request is not None
+                    else ("compile", rid, key, request, trace)
+                )
+                msg = self._recv(handle, rid, deadline, send=frame)
+                if msg[0] == "need":
+                    msg = self._recv(
+                        handle, rid, deadline,
+                        send=("compile", rid, key, request, trace),
+                    )
+            except (EOFError, OSError, BrokenPipeError, ValueError):
+                handle.failures += 1
+                self._spawn(handle)
+                raise FarmWorkerCrashed(
+                    f"compile worker {shard} crashed mid-request; "
+                    f"respawned, retry the request"
+                ) from None
+            if msg[0] == "err":
+                raise FarmRequestError(msg[3], code=msg[2])
+            if msg[0] != "ok":
+                handle.failures += 1
+                self._spawn(handle)
+                raise FarmError(
+                    f"worker {shard} protocol error: frame {msg[0]!r}"
+                )
+            _, _, status, tier, body, tree = msg
+            return FarmResponse(status, tier, body, tree)
+        finally:
+            handle.lock.release()
+
+    @staticmethod
+    def _acquire(lock: threading.Lock, deadline: Optional[float]) -> bool:
+        if deadline is None:
+            return lock.acquire()
+        remaining = deadline - time.monotonic()
+        return remaining > 0 and lock.acquire(timeout=remaining)
+
+    def _recv(self, handle: _WorkerHandle, rid: int, deadline, send=None):
+        """Send ``send`` (optional) and wait for the matching reply."""
+        if send is not None:
+            handle.conn.send(send)
+        while True:
+            if deadline is None:
+                if handle.conn.poll(None):
+                    msg = handle.conn.recv()
+                else:  # pragma: no cover - poll(None) blocks until data
+                    continue
+            else:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not handle.conn.poll(remaining):
+                    handle.failures += 1
+                    handle.proc.kill()
+                    handle.proc.join(timeout=5)
+                    self._spawn(handle)
+                    raise FarmTimeout(
+                        f"worker {handle.slot} exceeded the request "
+                        f"deadline; killed and respawned"
+                    )
+                msg = handle.conn.recv()
+            if msg[0] in ("ok", "err", "need") and msg[1] == rid:
+                return msg
+            # Stale frame from an earlier timed-out request on this
+            # pipe generation: drop it and keep waiting.

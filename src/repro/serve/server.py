@@ -4,35 +4,51 @@
 in a :class:`http.server.ThreadingHTTPServer`.  The design goals, in
 order: never corrupt a result, shed load explicitly, drain cleanly.
 
-* **Worker pool** — compilations run on a bounded
-  ``ThreadPoolExecutor`` (``workers``); the request thread waits on
-  the future.  Batch requests additionally fan out across processes
-  via :func:`~repro.experiments.runner.parallel_map` inside the job.
+* **Compile farm** — with ``processes > 0`` compilations run on a
+  :class:`~repro.serve.farm.WorkerFarm` of worker *processes*;
+  requests are sharded by graph content digest (rendezvous hashing)
+  so each worker's session LRU and in-memory report tier stay hot.
+  The connection thread talks straight to its shard's pipe — no
+  intermediate queue hop.  With ``processes = 0`` (the default and
+  the pre-farm behavior) compilations run on a bounded
+  ``ThreadPoolExecutor`` (``workers`` threads) in-process.
+* **Single-flight** — concurrent identical cache-enabled ``/compile``
+  requests coalesce: the first becomes the leader and compiles; the
+  rest wait and receive the leader's bytes verbatim (counted under
+  ``coalesced``, not as extra hits/misses).  A cold-cache stampede
+  compiles once, not N times.
 * **Bounded queue / backpressure** — at most ``queue_limit`` requests
   may be queued or running; one more gets an immediate ``429`` with a
   ``Retry-After`` header instead of unbounded buffering.  Load the
   server cannot take is the *client's* signal to back off.
 * **Per-request timeout** — a request that outlives
-  ``request_timeout`` seconds gets ``504``; its worker slot is
-  reclaimed when the underlying job finishes, so timeouts cannot leak
-  pool capacity.
+  ``request_timeout`` seconds gets ``504``.  On the farm path the
+  overdue worker is killed and respawned, so a hung compile cannot
+  wedge its shard; on the thread path the worker slot is reclaimed
+  when the underlying job finishes.
+* **Supervision** — a farm worker that crashes mid-request fails that
+  request with a one-line ``503`` (never a hang) and is respawned
+  immediately; a worker that dies idle is respawned by the farm's
+  supervisor thread, so ``/healthz`` recovers without traffic.
 * **Graceful drain** — :meth:`CompileServer.drain` (wired to SIGTERM
   by the CLI) stops accepting new work (``503`` while draining),
-  waits for in-flight requests, writes the accumulated trace, and
-  returns; ``repro serve`` then exits 0.
+  waits for in-flight requests, stops the farm, writes the
+  accumulated trace, and returns; ``repro serve`` then exits 0.
 * **Observability** — with ``trace_path`` set, every request records
-  a ``serve.request`` span tree (cache lookup, pipeline stages,
-  counters) into its own recorder; the trees are merged in completion
-  order and written through the existing Chrome-trace exporter on
-  drain, so a serve session can be inspected in ``chrome://tracing``
-  exactly like a ``repro compile --trace`` run.
+  a ``serve.request`` span tree.  Farm workers record into their own
+  recorders and ship the serialized tree back over the pipe; the
+  front end grafts it under the request span, so one merged
+  Chrome-trace file covers the whole pool.  ``/stats`` reports
+  latency percentiles (p50/p95/p99 over a sliding window) and
+  per-worker counters alongside the existing cache figures.
 
 Endpoints
 ---------
 ``GET /healthz``
-    ``{"status": "ok" | "draining"}`` (200 / 503).
+    ``{"status": "ok" | "draining"}`` (200 / 503); with a farm, also
+    a ``farm`` object (size, alive, restarts).
 ``GET /stats``
-    Server counters plus cache stats.
+    Server counters, latency percentiles, cache stats, farm stats.
 ``POST /compile``
     ``{"graph": <to_json document>, "options": {...}, "cache": true}``
     → ``{"status": "hit"|"miss"|"disabled", "report": {...}}``.
@@ -42,32 +58,82 @@ Endpoints
     request order.
 
 Error responses are ``{"error": "..."}`` with status 400 (malformed
-request), 404 (unknown path), 429 (queue full), 503 (draining), 504
-(timeout), or 500 (unexpected failure).
+request), 404 (unknown path), 429 (queue full), 503 (draining or
+worker crash), 504 (timeout), or 500 (unexpected failure).
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import threading
 import time
+from collections import OrderedDict, deque
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeout
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..exceptions import SDFError
+from ..sdf.io import canonical_hash
+from .cache import cache_key
+from .farm import (
+    FarmRequestError,
+    FarmTimeout,
+    FarmWorkerCrashed,
+    WorkerFarm,
+)
 from .service import CompileOptions, CompileService
 
 __all__ = ["CompileServer", "DEFAULT_PORT"]
 
 DEFAULT_PORT = 8177
 
+#: Longest a coalesced follower will wait on its leader when no
+#: ``request_timeout`` is configured.  The leader always publishes a
+#: result (its error paths run under ``finally``), so this bound only
+#: matters if the leader thread is destroyed mid-request.
+_SINGLE_FLIGHT_CAP_S = 600.0
+
+#: Body-memo limits: requests larger than this, or beyond this many
+#: distinct bodies, are parsed every time instead of cached.
+_MEMO_MAX_BODY = 1 << 20
+_MEMO_MAX_ENTRIES = 512
+
+
+class _FastHeaders:
+    """Case-insensitive header lookup over a plain dict.
+
+    Stands in for the ``email.message.Message`` that
+    ``http.client.parse_headers`` would build — the full MIME parser
+    costs ~100µs per request, an order of magnitude more than every
+    other per-request step combined, for headers we only ever ``get``.
+    """
+
+    __slots__ = ("_fields",)
+
+    def __init__(self, fields: Dict[str, str]) -> None:
+        self._fields = fields
+
+    def get(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        return self._fields.get(name.lower(), default)
+
 
 class _Handler(BaseHTTPRequestHandler):
     """Routes HTTP requests into the owning :class:`CompileServer`."""
 
     protocol_version = "HTTP/1.1"
+    # Keep-alive clients on loopback otherwise hit the Nagle +
+    # delayed-ACK interaction: each response stalls ~40ms waiting for
+    # the client's ACK before the final segment leaves.  TCP_NODELAY
+    # on the server socket (client-side alone is not enough) takes
+    # warm round trips from ~23/s to thousands/s.
+    disable_nagle_algorithm = True
+
+    _STATUS_LINES = {
+        code: f"HTTP/1.1 {code} {msg[0]}\r\n".encode("latin-1")
+        for code, msg in BaseHTTPRequestHandler.responses.items()
+    }
 
     @property
     def _owner(self) -> "CompileServer":
@@ -77,26 +143,139 @@ class _Handler(BaseHTTPRequestHandler):
         if not self._owner.quiet:
             BaseHTTPRequestHandler.log_message(self, fmt, *args)
 
+    def handle_one_request(self) -> None:
+        """One request off the wire, with lean header parsing.
+
+        Replaces the stock implementation only to avoid routing the
+        header block through ``email.feedparser``; request-line
+        handling, error codes, and keep-alive semantics match
+        ``BaseHTTPRequestHandler``.
+        """
+        try:
+            self.raw_requestline = self.rfile.readline(65537)
+            if len(self.raw_requestline) > 65536:
+                self.requestline = ""
+                self.request_version = ""
+                self.command = ""
+                self.send_error(414)
+                return
+            if not self.raw_requestline:
+                self.close_connection = True
+                return
+            if not self._parse_fast():
+                return
+            mname = "do_" + self.command
+            if not hasattr(self, mname):
+                self.send_error(
+                    501, f"Unsupported method ({self.command!r})"
+                )
+                return
+            getattr(self, mname)()
+            self.wfile.flush()
+        except TimeoutError as exc:  # pragma: no cover - socket timeout
+            self.log_error("Request timed out: %r", exc)
+            self.close_connection = True
+
+    def _parse_fast(self) -> bool:
+        """Parse request line + headers; False means already replied."""
+        self.command = ""
+        self.request_version = version = "HTTP/0.9"
+        self.close_connection = True
+        requestline = self.raw_requestline.decode("iso-8859-1")
+        self.requestline = requestline = requestline.rstrip("\r\n")
+        words = requestline.split()
+        if len(words) == 3:
+            command, path, version = words
+            if version not in ("HTTP/1.0", "HTTP/1.1"):
+                self.send_error(
+                    505, f"Invalid HTTP version ({version[5:]})"
+                )
+                return False
+        elif len(words) == 2:
+            command, path = words
+            if command != "GET":
+                self.send_error(
+                    400, f"Bad HTTP/0.9 request type ({command!r})"
+                )
+                return False
+        else:
+            self.send_error(400, f"Bad request syntax ({requestline!r})")
+            return False
+        self.command, self.path, self.request_version = (
+            command, path, version
+        )
+        fields: Dict[str, str] = {}
+        while True:
+            line = self.rfile.readline(65537)
+            if len(line) > 65536:
+                self.send_error(431, "Header line too long")
+                return False
+            if line in (b"\r\n", b"\n", b""):
+                break
+            if len(fields) >= 100:
+                self.send_error(431, "Too many headers")
+                return False
+            name, sep, value = line.decode("iso-8859-1").partition(":")
+            if not sep:
+                self.send_error(
+                    400, f"Bad header line ({line!r})"
+                )
+                return False
+            fields[name.strip().lower()] = value.strip()
+        self.headers = _FastHeaders(fields)  # type: ignore[assignment]
+        conntype = fields.get("connection", "").lower()
+        if version == "HTTP/1.1":
+            self.close_connection = "close" in conntype
+        else:
+            self.close_connection = "keep-alive" not in conntype
+        if (
+            fields.get("expect", "").lower() == "100-continue"
+            and version == "HTTP/1.1"
+        ):
+            self.wfile.write(b"HTTP/1.1 100 Continue\r\n\r\n")
+        return True
+
+    def _reply_bytes(
+        self, code: int, body: bytes,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        # One buffer, one write: status line, headers, and body leave
+        # in a single syscall/TCP segment instead of three.
+        parts = [
+            self._STATUS_LINES.get(
+                code, f"HTTP/1.1 {code} Response\r\n".encode("latin-1")
+            ),
+            b"Content-Type: application/json\r\n"
+            b"Content-Length: " + str(len(body)).encode("latin-1")
+            + b"\r\n",
+        ]
+        for name, value in (headers or {}).items():
+            parts.append(f"{name}: {value}\r\n".encode("latin-1"))
+        if self.close_connection:
+            parts.append(b"Connection: close\r\n")
+        parts.append(b"\r\n")
+        parts.append(body)
+        self.wfile.write(b"".join(parts))
+        if not self._owner.quiet:
+            self.log_request(code, len(body))
+
     def _reply(
         self, code: int, payload: Dict[str, Any],
         headers: Optional[Dict[str, str]] = None,
     ) -> None:
-        body = json.dumps(payload).encode("utf-8")
-        self.send_response(code)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        for name, value in (headers or {}).items():
-            self.send_header(name, value)
-        self.end_headers()
-        self.wfile.write(body)
+        self._reply_bytes(
+            code, json.dumps(payload).encode("utf-8"), headers
+        )
 
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         owner = self._owner
         if self.path == "/healthz":
-            if owner.draining:
-                self._reply(503, {"status": "draining"})
-            else:
-                self._reply(200, {"status": "ok"})
+            payload: Dict[str, Any] = {
+                "status": "draining" if owner.draining else "ok"
+            }
+            if owner.farm is not None:
+                payload["farm"] = owner.farm.describe()
+            self._reply(503 if owner.draining else 200, payload)
         elif self.path == "/stats":
             self._reply(200, owner.stats())
         else:
@@ -107,24 +286,47 @@ class _Handler(BaseHTTPRequestHandler):
         if self.path not in ("/compile", "/batch"):
             self._reply(404, {"error": f"unknown path {self.path!r}"})
             return
-        if owner.draining:
-            self._reply(503, {"error": "server is draining"})
-            return
-        try:
-            length = int(self.headers.get("Content-Length", "0"))
-            request = json.loads(self.rfile.read(length) or b"{}")
-            if not isinstance(request, dict):
-                raise ValueError("request body must be a JSON object")
-        except (ValueError, json.JSONDecodeError) as exc:
-            self._reply(400, {"error": f"malformed request: {exc}"})
-            return
-        code, payload, headers = owner.handle(self.path, request)
-        self._reply(code, payload, headers)
+        length = int(self.headers.get("Content-Length", "0"))
+        raw = self.rfile.read(length) if length else b""
+        code, body, headers = owner.handle_raw(self.path, raw)
+        self._reply_bytes(code, body, headers)
 
 
 class _Server(ThreadingHTTPServer):
     daemon_threads = True
     owner: "CompileServer"
+
+
+class _Memo:
+    """Parsed-and-routed form of one distinct ``/compile`` body."""
+
+    __slots__ = ("request", "key", "shard")
+
+    def __init__(
+        self, request: Dict[str, Any], key: str, shard: int
+    ) -> None:
+        self.request = request
+        self.key = key
+        self.shard = shard
+
+
+class _Flight:
+    """Single-flight rendezvous: leader publishes, followers wait."""
+
+    __slots__ = ("event", "result")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.result: Optional[Tuple[int, bytes, Dict[str, str]]] = None
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted list."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      int(q * len(sorted_values) + 0.5) - 1))
+    return sorted_values[rank]
 
 
 class CompileServer:
@@ -133,19 +335,34 @@ class CompileServer:
     Parameters
     ----------
     service:
-        The :class:`CompileService` handling actual compilation.
+        The :class:`CompileService` handling actual compilation (the
+        thread path and ``/batch``; farm workers build their own
+        service instances over the same cache directory).
     host / port:
         Bind address; ``port=0`` picks a free ephemeral port
         (``.port`` reports the bound one).
     workers:
-        Worker-pool threads executing compilations.
+        Worker-pool *threads* executing in-process compilations
+        (``/batch`` always; ``/compile`` when ``processes == 0``).
+    processes:
+        Farm size: worker *processes* serving ``/compile`` requests,
+        sharded by content digest.  0 (default) disables the farm.
+    shard_by:
+        ``"digest"`` (graph content hash) or ``"key"`` (full cache
+        key) — see :class:`~repro.serve.farm.WorkerFarm`.
+    mem_entries:
+        Per-farm-worker in-memory report tier capacity.
+    allow_faults:
+        Honor test-only ``"fault"`` request fields in farm workers
+        (never set by the CLI).
     queue_limit:
         Maximum queued-plus-running requests before ``429``.
     request_timeout:
         Seconds a request may take before ``504`` (``None``: no limit).
     trace_path / trace_format:
-        When set, per-request span trees are recorded and written
-        here (Chrome traceEvents by default) at drain time.
+        When set, per-request span trees (including farm-worker
+        subtrees) are recorded and written here (Chrome traceEvents
+        by default) at drain time.
     quiet:
         Suppress per-request access logging.
     """
@@ -156,6 +373,10 @@ class CompileServer:
         host: str = "127.0.0.1",
         port: int = DEFAULT_PORT,
         workers: int = 2,
+        processes: int = 0,
+        shard_by: str = "digest",
+        mem_entries: int = 512,
+        allow_faults: bool = False,
         queue_limit: int = 8,
         request_timeout: Optional[float] = None,
         trace_path: Optional[str] = None,
@@ -175,8 +396,28 @@ class CompileServer:
         self._counters = {
             "requests": 0, "hits": 0, "misses": 0, "compiled": 0,
             "rejected": 0, "timeouts": 0, "errors": 0,
+            "coalesced": 0, "worker_failures": 0,
         }
+        self._latencies: "deque[float]" = deque(maxlen=2048)
         self._trace_trees: List[Dict[str, Any]] = []
+        self._memo: "OrderedDict[str, _Memo]" = OrderedDict()
+        self._memo_lock = threading.Lock()
+        self._flights: Dict[str, _Flight] = {}
+        self._flight_lock = threading.Lock()
+        self.farm: Optional[WorkerFarm] = None
+        if processes > 0:
+            cache_root = (
+                self.service.cache.root
+                if self.service.cache is not None else None
+            )
+            self.farm = WorkerFarm(
+                size=processes,
+                cache_root=cache_root,
+                shard_by=shard_by,
+                mem_entries=mem_entries,
+                max_sessions=self.service.max_sessions,
+                allow_faults=allow_faults,
+            ).start()
         self._pool = ThreadPoolExecutor(
             max_workers=self.workers, thread_name_prefix="repro-serve"
         )
@@ -215,8 +456,9 @@ class CompileServer:
 
         Idempotent.  New requests observe ``draining`` and get 503
         immediately; existing ones run to completion (bounded by
-        ``timeout`` seconds of waiting).  The accumulated trace, if
-        any, is written last so it includes every completed request.
+        ``timeout`` seconds of waiting).  The farm is stopped after
+        the queue empties; the accumulated trace, if any, is written
+        last so it includes every completed request.
         """
         with self._lock:
             if self.draining:
@@ -229,6 +471,8 @@ class CompileServer:
                     break
             time.sleep(0.02)
         self._pool.shutdown(wait=True)
+        if self.farm is not None:
+            self.farm.stop()
         self._httpd.shutdown()
         self._httpd.server_close()
         if self._thread is not None:
@@ -236,10 +480,181 @@ class CompileServer:
         self._write_trace()
 
     # -- request handling -----------------------------------------------
+    def handle_raw(
+        self, path: str, raw: bytes
+    ) -> Tuple[int, bytes, Dict[str, str]]:
+        """One POST body straight off the socket → response bytes.
+
+        ``/compile`` with a farm takes the fast path: memoized parse
+        and routing, single-flight coalescing, direct pipe dispatch on
+        the connection thread.  Everything else goes through the
+        legacy parse-then-:meth:`handle` flow.
+        """
+        if self.draining:
+            return self._err(503, "server is draining")
+        start = time.perf_counter()
+        try:
+            if path == "/compile" and self.farm is not None:
+                return self._handle_farm(raw)
+            try:
+                request = json.loads(raw or b"{}")
+                if not isinstance(request, dict):
+                    raise ValueError("request body must be a JSON object")
+            except (ValueError, json.JSONDecodeError) as exc:
+                return self._err(400, f"malformed request: {exc}")
+            code, payload, headers = self.handle(path, request)
+            return code, json.dumps(payload).encode("utf-8"), headers
+        finally:
+            self._latencies.append(time.perf_counter() - start)
+
+    @staticmethod
+    def _err(
+        code: int, message: str, headers: Optional[Dict[str, str]] = None
+    ) -> Tuple[int, bytes, Dict[str, str]]:
+        return (
+            code,
+            json.dumps({"error": message}).encode("utf-8"),
+            headers or {},
+        )
+
+    def _parse_compile(self, raw: bytes) -> _Memo:
+        """Parse + route one ``/compile`` body, memoized on its bytes.
+
+        A repeated identical body (the warm hot path) costs one
+        SHA-256 and a dict probe instead of a JSON parse, an options
+        validation, and two canonical-JSON hashes.
+        """
+        body_id = hashlib.sha256(raw).hexdigest()
+        with self._memo_lock:
+            memo = self._memo.get(body_id)
+            if memo is not None:
+                self._memo.move_to_end(body_id)
+                return memo
+        request = json.loads(raw or b"{}")
+        if not isinstance(request, dict):
+            raise ValueError("request body must be a JSON object")
+        options = CompileOptions.from_dict(request.get("options"))
+        document = request["graph"]
+        caching = (
+            bool(request.get("cache", True))
+            and self.service.cache is not None
+        )
+        key = cache_key(document, options.as_dict()) if caching else ""
+        if self.farm.shard_by == "key" and key:
+            shard = self.farm.shard_for(key)
+        else:
+            shard = self.farm.shard_for(canonical_hash(document))
+        memo = _Memo(request, key, shard)
+        if len(raw) <= _MEMO_MAX_BODY:
+            with self._memo_lock:
+                self._memo[body_id] = memo
+                while len(self._memo) > _MEMO_MAX_ENTRIES:
+                    self._memo.popitem(last=False)
+        return memo
+
+    def _handle_farm(self, raw: bytes) -> Tuple[int, bytes, Dict[str, str]]:
+        try:
+            memo = self._parse_compile(raw)
+        except (SDFError, ValueError, KeyError, TypeError) as exc:
+            with self._lock:
+                self._counters["errors"] += 1
+            return self._err(400, f"bad request: {exc}")
+        with self._lock:
+            self._counters["requests"] += 1
+            if self._inflight >= self.queue_limit:
+                self._counters["rejected"] += 1
+                return self._err(
+                    429, "compile queue is full, retry later",
+                    {"Retry-After": "1"},
+                )
+            self._inflight += 1
+        try:
+            if not memo.key:
+                return self._farm_dispatch(memo)
+            # Single-flight: one leader per distinct cache key at a
+            # time; followers receive the leader's bytes verbatim.
+            with self._flight_lock:
+                flight = self._flights.get(memo.key)
+                leader = flight is None
+                if leader:
+                    flight = _Flight()
+                    self._flights[memo.key] = flight
+            if not leader:
+                ok = flight.event.wait(
+                    self.request_timeout or _SINGLE_FLIGHT_CAP_S
+                )
+                with self._lock:
+                    self._counters["coalesced"] += 1
+                if not ok or flight.result is None:
+                    with self._lock:
+                        self._counters["timeouts"] += 1
+                    return self._err(
+                        504,
+                        "coalesced request timed out waiting for the "
+                        "in-flight identical compile",
+                    )
+                return flight.result
+            try:
+                result = self._farm_dispatch(memo)
+                flight.result = result
+                return result
+            finally:
+                with self._flight_lock:
+                    self._flights.pop(memo.key, None)
+                flight.event.set()
+        finally:
+            with self._lock:
+                self._inflight -= 1
+
+    def _farm_dispatch(
+        self, memo: _Memo
+    ) -> Tuple[int, bytes, Dict[str, str]]:
+        """Run one request on its shard; map farm failures to HTTP."""
+        trace = self.trace_path is not None
+        try:
+            response = self.farm.compile(
+                memo.shard, memo.key, memo.request,
+                trace=trace, timeout=self.request_timeout,
+            )
+        except FarmRequestError as exc:
+            with self._lock:
+                self._counters["errors"] += 1
+            return self._err(exc.code, str(exc))
+        except FarmWorkerCrashed as exc:
+            with self._lock:
+                self._counters["worker_failures"] += 1
+                self._counters["errors"] += 1
+            return self._err(exc.code, str(exc))
+        except FarmTimeout as exc:
+            with self._lock:
+                self._counters["timeouts"] += 1
+            return self._err(exc.code, str(exc))
+        self._account(response.status)
+        if response.tree is not None:
+            self._graft_worker_trace(memo, response.tree)
+        return 200, response.body, {}
+
+    def _graft_worker_trace(
+        self, memo: _Memo, tree: Dict[str, Any]
+    ) -> None:
+        from .. import obs
+
+        recorder = obs.TraceRecorder()
+        with recorder.span(
+            "serve.request", path="/compile", shard=memo.shard
+        ):
+            recorder.merge_serialized(tree)
+        with self._lock:
+            self._trace_trees.append(recorder.serialize())
+
     def handle(
         self, path: str, request: Dict[str, Any]
     ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
-        """Dispatch one parsed POST; returns (code, payload, headers)."""
+        """Dispatch one parsed POST; returns (code, payload, headers).
+
+        The thread-pool path: ``/batch`` always, and ``/compile`` when
+        no farm is configured.
+        """
         with self._lock:
             self._counters["requests"] += 1
             if self._inflight >= self.queue_limit:
@@ -351,18 +766,35 @@ class CompileServer:
 
     # -- introspection --------------------------------------------------
     def stats(self) -> Dict[str, Any]:
-        """Server counters plus cache stats (the ``/stats`` payload)."""
+        """Server counters plus cache/farm stats (the ``/stats`` payload)."""
         with self._lock:
             counters = dict(self._counters)
             counters["inflight"] = self._inflight
+            window = sorted(self._latencies)
         payload: Dict[str, Any] = {
             "server": counters,
             "workers": self.workers,
             "queue_limit": self.queue_limit,
             "draining": self.draining,
+            "latency_ms": {
+                "count": len(window),
+                "p50": round(_percentile(window, 0.50) * 1000, 3),
+                "p95": round(_percentile(window, 0.95) * 1000, 3),
+                "p99": round(_percentile(window, 0.99) * 1000, 3),
+            },
         }
         if self.service.cache is not None:
             payload["cache"] = self.service.cache.stats()
+        if self.farm is not None:
+            farm = self.farm.describe()
+            workers = self.farm.worker_stats()
+            totals: Dict[str, int] = {}
+            for row in workers:
+                for name, value in row.get("counters", {}).items():
+                    totals[name] = totals.get(name, 0) + value
+            farm["workers"] = workers
+            farm["counters"] = totals
+            payload["farm"] = farm
         return payload
 
     def _write_trace(self) -> None:
