@@ -11,11 +11,13 @@ test:
 	$(PYTHON) -m pytest tests/
 
 # Tier-1 suite plus the differential checking harness (25 random
-# graphs through every cross-layer oracle, fault-injection self-test
-# included).  Wall time lands in BENCH_PR2.json.
+# graphs cycling through the acyclic/broadcast/cyclic families, every
+# cross-layer oracle, fault-injection self-test included).  Wall time
+# lands in BENCH_PR2.json.
 check:
 	$(PYTHON) -m pytest tests/ -x -q
 	PYTHONPATH=src $(PYTHON) -m repro check --trials 25 --inject \
+		--families acyclic,broadcast,cyclic \
 		--bench-out BENCH_PR2.json
 
 # End-to-end service smoke test, two phases: threaded server (CD-DAT

@@ -32,24 +32,33 @@ Entry points: ``python -m repro check [--trials N --seed S --inject]``
 and ``make check``.
 """
 
-from .harness import CheckFailure, CheckReport, run_check
+from .harness import DEFAULT_FAMILIES, CheckFailure, CheckReport, run_check
 from .fault_injection import (
     InjectionOutcome,
     InjectionReport,
     MUTATION_CLASSES,
     run_injection_selftest,
 )
-from .oracles import PipelineArtifacts, build_artifacts, run_oracles
+from .oracles import (
+    PipelineArtifacts,
+    broadcast_oracles,
+    build_artifacts,
+    cyclic_oracles,
+    run_oracles,
+)
 from .shrink import shrink_graph
 
 __all__ = [
     "CheckFailure",
     "CheckReport",
+    "DEFAULT_FAMILIES",
     "InjectionOutcome",
     "InjectionReport",
     "MUTATION_CLASSES",
     "PipelineArtifacts",
+    "broadcast_oracles",
     "build_artifacts",
+    "cyclic_oracles",
     "run_check",
     "run_injection_selftest",
     "run_oracles",

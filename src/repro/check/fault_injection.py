@@ -541,6 +541,144 @@ def inject_worker_crash(
             server.drain(timeout=10)
 
 
+def inject_broadcast_stop(
+    art: PipelineArtifacts, rng: random.Random
+) -> Optional[InjectionOutcome]:
+    """Truncate a broadcast buffer's lifetime to its *earliest* member
+    stop — the signature bug of modelling a shared buffer by its fastest
+    consumer instead of its slowest.
+
+    Builds its own broadcast graph (the default factory graphs carry no
+    groups), shortens the group lifetime so first-fit may reuse the tail
+    that slow members still read, and asserts Definition-5 verification
+    — which re-derives conflicts from the *true* lifetimes — rejects
+    the resulting placement.  Truncations first-fit never exploits are
+    harmless and skipped.
+    """
+    from ..lifetimes.intervals import _stop_within, least_parent_of
+    from ..sdf.random_graphs import random_broadcast_sdf_graph
+
+    try:
+        graph = random_broadcast_sdf_graph(
+            rng.randint(4, 7),
+            seed=art.seed,
+            num_groups=2,
+            delayed_group_fraction=0.0,
+            max_repetition=6,
+        )
+        bart = build_artifacts(
+            graph, method="rpmc", seed=art.seed,
+            occurrence_cap=art.occurrence_cap,
+        )
+    except SDFError:
+        return None
+    except RuntimeError:
+        return None
+    lifetimes = bart.result.lifetimes
+    tree = lifetimes.tree
+    for name, members in sorted(graph.broadcast_groups().items()):
+        first = members[0]
+        if first.delay > 0:
+            continue  # delayed groups span the whole period; no tail
+        lp = least_parent_of(tree, [first.source] + [m.sink for m in members])
+        stops = [_stop_within(tree, lp, m.sink) for m in members]
+        shared = lifetimes.groups[name]
+        if min(stops) >= shared.start + shared.duration:
+            continue  # all members stop together; truncation is a no-op
+        if min(stops) <= shared.start:
+            continue
+        mutated = copy.deepcopy(lifetimes)
+        wrong = mutated.groups[name]
+        truncated = type(wrong)(
+            name=wrong.name,
+            size=wrong.size,
+            start=wrong.start,
+            duration=min(stops) - wrong.start,
+            periods=wrong.periods,
+            total_span=wrong.total_span,
+        )
+        for key, lt in list(mutated.lifetimes.items()):
+            if lt is wrong:
+                mutated.lifetimes[key] = truncated
+        mutated.groups[name] = truncated
+        alloc = first_fit(
+            mutated.as_list(), occurrence_cap=art.occurrence_cap
+        )
+        # Did first-fit exploit the shortened tail?  The mutation only
+        # counts when the group buffer now shares addresses with a
+        # buffer that truly conflicts with it.
+        lo = alloc.offsets[shared.name]
+        hi = lo + shared.size
+        exploited = False
+        for other in lifetimes.as_list():
+            if other.name == shared.name or other.size == 0:
+                continue
+            o = alloc.offsets[other.name]
+            if o + other.size <= lo or hi <= o:
+                continue
+            if shared.overlaps(other, occurrence_cap=art.occurrence_cap):
+                exploited = True
+                break
+        if not exploited:
+            continue  # allocator did not take the bait on this group
+        caught = _verify_catches(bart, alloc)
+        return InjectionOutcome(
+            mutation="broadcast_stop",
+            graph_seed=art.seed,
+            caught=caught,
+            detail=(
+                f"truncated group {name!r} lifetime from duration "
+                f"{shared.duration} to {truncated.duration} (earliest "
+                f"member stop); first-fit overlaid it with a live buffer"
+            ),
+        )
+    return None
+
+
+def inject_cyclic_schedule(
+    art: PipelineArtifacts, rng: random.Random
+) -> Optional[InjectionOutcome]:
+    """Skew one loop bound of a *cyclic* graph's expanded schedule.
+
+    Builds its own cyclic graph (the default factory graphs are
+    acyclic), runs SCC clustering + quotient scheduling + expansion,
+    then bumps one nested firing count — the shape of a bug in the
+    composite-firing expansion.  Token-replay validation on the
+    original cyclic graph must reject the result.
+    """
+    from ..scheduling.cyclic import schedule_cyclic
+    from ..sdf.random_graphs import random_cyclic_sdf_graph
+
+    try:
+        graph = random_cyclic_sdf_graph(
+            rng.randint(3, 6), seed=art.seed, num_feedback=1,
+            max_repetition=6,
+        )
+        schedule = schedule_cyclic(graph).schedule
+    except (SDFError, RuntimeError):
+        return None
+    if len(graph.actor_names()) < 2:
+        return None
+    body = list(schedule.body)
+    k = rng.randrange(len(body))
+    skewed = _skew_one_loop(body[k], rng)
+    if skewed is None:
+        return None
+    body[k] = skewed
+    mutated = LoopedSchedule(body)
+    try:
+        validate_schedule(graph, mutated)
+        caught = False
+    except SDFError:
+        caught = True
+    return InjectionOutcome(
+        mutation="cyclic_schedule",
+        graph_seed=art.seed,
+        caught=caught,
+        detail=f"skewed cyclic schedule {schedule} into {mutated}",
+    )
+
+
 MUTATION_CLASSES: Dict[
     str, Callable[[PipelineArtifacts, random.Random], Optional[InjectionOutcome]]
 ] = {
@@ -553,6 +691,8 @@ MUTATION_CLASSES: Dict[
     "stage_crash": inject_stage_crash,
     "cache_corrupt": inject_cache_corrupt,
     "worker_crash": inject_worker_crash,
+    "broadcast_stop": inject_broadcast_stop,
+    "cyclic_schedule": inject_cyclic_schedule,
 }
 
 

@@ -19,17 +19,24 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from ..sdf.graph import SDFGraph
-from ..sdf.random_graphs import random_sdf_graph
+from ..sdf.random_graphs import (
+    random_broadcast_sdf_graph,
+    random_cyclic_sdf_graph,
+    random_sdf_graph,
+)
 from ..lifetimes.periodic import DEFAULT_OCCURRENCE_CAP
 from ..scheduling.pipeline import implement
 from ..experiments.runner import parallel_map
 from .fault_injection import InjectionReport, run_injection_selftest
-from .oracles import build_artifacts, run_oracles
+from .oracles import build_artifacts, cyclic_oracles, run_oracles
 from .shrink import shrink_graph
 
 __all__ = [
     "CheckFailure",
     "CheckReport",
+    "DEFAULT_FAMILIES",
+    "broadcast_trial_graph",
+    "cyclic_trial_graph",
     "describe_graph",
     "delayed_split_chain",
     "run_check",
@@ -37,6 +44,13 @@ __all__ = [
 ]
 
 _METHODS = ("rpmc", "apgan", "natural")
+
+#: Trial families ``run_check`` cycles through by default.  ``acyclic``
+#: is the original battery (with the every-fifth delayed chain);
+#: ``broadcast`` adds graphs with broadcast groups (plus the
+#: sharing-win oracle); ``cyclic`` routes graphs with feedback edges
+#: through :func:`repro.check.oracles.cyclic_oracles`.
+DEFAULT_FAMILIES = ("acyclic", "broadcast", "cyclic")
 
 #: Reusable stand-in when ``run_check`` has no recorder.
 _NO_SPAN = nullcontext()
@@ -48,6 +62,7 @@ def describe_graph(graph: SDFGraph) -> str:
         f"{e.source}-{e.production}/{e.consumption}->{e.sink}"
         + (f" delay={e.delay}" if e.delay else "")
         + (f" words={e.token_size}" if e.token_size != 1 else "")
+        + (f" [{e.broadcast}]" if e.broadcast else "")
         for e in graph.edges()
     )
     return f"actors={graph.actor_names()} edges=[{edges}]"
@@ -177,6 +192,45 @@ def delayed_split_chain(graph_seed: int) -> SDFGraph:
     return g
 
 
+def broadcast_trial_graph(graph_seed: int) -> SDFGraph:
+    """The deterministic broadcast-family graph for one trial.
+
+    Small graphs with one or two broadcast groups (some delayed, some
+    with multi-word tokens), pushed through the full oracle battery
+    plus the sharing-win comparison against the k-parallel-edges model.
+    """
+    rng = random.Random(graph_seed)
+    return random_broadcast_sdf_graph(
+        rng.randint(4, 9),
+        seed=rng.randrange(2 ** 30),
+        num_groups=rng.randint(1, 2),
+        max_fanout=3,
+        delayed_group_fraction=0.3,
+        token_size_choices=(1, 1, 2),
+        max_repetition=rng.choice((4, 6)),
+        name=f"bcastcheck{graph_seed}",
+    )
+
+
+def cyclic_trial_graph(graph_seed: int) -> SDFGraph:
+    """The deterministic cyclic-family graph for one trial.
+
+    Consistent graphs with one or two feedback edges whose initial
+    tokens make them schedulable — the SCC clustering, greedy
+    subschedule, and (where single appearance) the downstream shared
+    memory pipeline all run under the interpreter's judgment.
+    """
+    rng = random.Random(graph_seed)
+    return random_cyclic_sdf_graph(
+        rng.randint(3, 8),
+        seed=rng.randrange(2 ** 30),
+        num_feedback=rng.randint(1, 2),
+        delay_factor=rng.choice((1, 1, 2)),
+        max_repetition=rng.choice((4, 6)),
+        name=f"cycliccheck{graph_seed}",
+    )
+
+
 def _violations_for(
     graph: SDFGraph,
     method: str,
@@ -223,6 +277,7 @@ def run_check(
     occurrence_cap: int = DEFAULT_OCCURRENCE_CAP,
     shrink: bool = True,
     recorder=None,
+    families: Tuple[str, ...] = DEFAULT_FAMILIES,
 ) -> CheckReport:
     """Run the full differential check and return the evidence.
 
@@ -246,27 +301,55 @@ def run_check(
         span (with the graph seed and method as attributes, oracle
         groups nested below), so the exported trace shows which
         backend/oracle dominated the run.
+    families:
+        Which trial families to cycle through (trial ``i`` draws
+        ``families[i % len(families)]``); any non-empty subset of
+        :data:`DEFAULT_FAMILIES`.
     """
+    if not families:
+        raise ValueError("families must be non-empty")
+    unknown = set(families) - set(DEFAULT_FAMILIES)
+    if unknown:
+        raise ValueError(
+            f"unknown check families {sorted(unknown)!r}; "
+            f"known: {list(DEFAULT_FAMILIES)}"
+        )
     report = CheckReport(trials=trials, seed=seed)
     rng = random.Random(seed)
     for trial in range(trials):
         graph_seed = seed * 100000 + trial
-        if trial % 5 == 4:
+        family = families[trial % len(families)]
+        if family == "cyclic":
+            graph = cyclic_trial_graph(graph_seed)
+            method = "cyclic"
+        elif family == "broadcast":
+            graph = broadcast_trial_graph(graph_seed)
+            method = rng.choice(_METHODS)
+        elif trial % 5 == 4:
             graph = delayed_split_chain(graph_seed)
+            method = rng.choice(_METHODS)
         else:
             graph = trial_graph(graph_seed)
-        method = rng.choice(_METHODS)
+            method = rng.choice(_METHODS)
         if recorder is not None:
             trial_span = recorder.span(
                 "check.trial", trial=trial, graph=graph.name, method=method
             )
         else:
             trial_span = _NO_SPAN
+
+        def violations_for(candidate: SDFGraph, rec=None) -> List[str]:
+            if family == "cyclic":
+                return cyclic_oracles(
+                    candidate, occurrence_cap=occurrence_cap, recorder=rec
+                )
+            return _violations_for(
+                candidate, method, seed, occurrence_cap, recorder=rec
+            )
+
         try:
             with trial_span:
-                violations = _violations_for(
-                    graph, method, seed, occurrence_cap, recorder=recorder
-                )
+                violations = violations_for(graph, rec=recorder)
         except Exception as exc:  # a crash is a failure, not an abort
             violations = [f"harness: pipeline raised {exc!r}"]
         if not violations:
@@ -280,17 +363,13 @@ def run_check(
         )
         if shrink:
             def still_fails(candidate: SDFGraph) -> bool:
-                return bool(
-                    _violations_for(candidate, method, seed, occurrence_cap)
-                )
+                return bool(violations_for(candidate))
 
             shrunk = shrink_graph(graph, still_fails)
             if shrunk is not graph:
                 failure.shrunk_summary = describe_graph(shrunk)
                 try:
-                    failure.shrunk_violations = _violations_for(
-                        shrunk, method, seed, occurrence_cap
-                    )
+                    failure.shrunk_violations = violations_for(shrunk)
                 except Exception as exc:
                     failure.shrunk_violations = [
                         f"harness: pipeline raised {exc!r}"

@@ -49,6 +49,8 @@ __all__ = [
     "symbolic_oracles",
     "execution_oracles",
     "allocation_oracles",
+    "broadcast_oracles",
+    "cyclic_oracles",
     "compare_trace",
 ]
 
@@ -258,30 +260,56 @@ def symbolic_oracles(graph: SDFGraph, schedule: LoopedSchedule) -> List[str]:
 def _sequence_actors(graph: SDFGraph):
     """Actor callables for generated modules that check token integrity.
 
-    Every produced word is the tuple ``(edge key, token sequence, word
-    index)``; every consumer asserts it reads exactly the words its
+    Every produced word is the tuple ``(buffer identity, token sequence,
+    word index)``; every consumer asserts it reads exactly the words its
     producer wrote, in order — the generated-code analogue of the VM's
-    token check.  Returns ``(actors, state)`` where ``state`` tracks
-    per-actor firing counts and per-edge sequence counters.
+    token check.  The buffer identity is the edge key for an ordinary
+    edge and the *first member's* edge key for a broadcast group (the
+    group's one physical stream, written once per firing and expected
+    identically by every member sink).  Returns ``(actors, state)``
+    where ``state`` tracks per-actor firing counts, per-buffer produce
+    counters and per-edge consume counters.
     """
+    first_of = {
+        name: members[0]
+        for name, members in graph.broadcast_groups().items()
+    }
+    produced = {
+        e.key: e.delay for e in graph.edges() if e.broadcast is None
+    }
+    for first in first_of.values():
+        produced[first.key] = first.delay
     state = {
         "fired": {a: 0 for a in graph.actor_names()},
-        "produced": {e.key: e.delay for e in graph.edges()},
+        "produced": produced,
         "consumed": {e.key: 0 for e in graph.edges()},
     }
 
     def make_fire(actor: str) -> Callable:
         ins = graph.in_edges(actor)
-        outs = graph.out_edges(actor)
+        # Output *ports*: one per ordinary edge, one per broadcast
+        # group — matching the generated module's firing signature.
+        out_ports = []
+        seen = set()
+        for e in graph.out_edges(actor):
+            if e.broadcast is None:
+                out_ports.append((e.key, e))
+            elif e.broadcast not in seen:
+                seen.add(e.broadcast)
+                out_ports.append((first_of[e.broadcast].key, e))
 
         def fire(inputs: List[List[object]]) -> List[List[object]]:
             state["fired"][actor] += 1
             for e, words in zip(ins, inputs):
+                ident = (
+                    e.key if e.broadcast is None
+                    else first_of[e.broadcast].key
+                )
                 for i in range(e.consumption):
                     seq = state["consumed"][e.key]
                     state["consumed"][e.key] += 1
                     for w in range(e.token_size):
-                        expected = (e.key, seq, w)
+                        expected = (ident, seq, w)
                         actual = words[i * e.token_size + w]
                         if actual != expected:
                             raise AssertionError(
@@ -290,12 +318,14 @@ def _sequence_actors(graph: SDFGraph):
                                 f"{expected}, got {actual!r}"
                             )
             outputs: List[List[object]] = []
-            for e in outs:
+            for ident, e in out_ports:
                 words: List[object] = []
                 for _ in range(e.production):
-                    seq = state["produced"][e.key]
-                    state["produced"][e.key] += 1
-                    words.extend((e.key, seq, w) for w in range(e.token_size))
+                    seq = state["produced"][ident]
+                    state["produced"][ident] += 1
+                    words.extend(
+                        (ident, seq, w) for w in range(e.token_size)
+                    )
                 outputs.append(words)
             return outputs
 
@@ -303,6 +333,83 @@ def _sequence_actors(graph: SDFGraph):
 
     actors = {a: make_fire(a) for a in graph.actor_names()}
     return actors, state
+
+
+def _module_preloads(graph: SDFGraph) -> Dict:
+    """Initial-token word lists keyed by generated-module buffer ids.
+
+    Ordinary delayed edges preload under their edge key; a delayed
+    broadcast group preloads *once* under ``('bcast', name)`` with the
+    first member's key as token identity.
+    """
+    preloads = {}
+    for e in graph.edges():
+        if e.delay == 0 or e.broadcast is not None:
+            continue
+        preloads[e.key] = [
+            (e.key, seq, w)
+            for seq in range(e.delay)
+            for w in range(e.token_size)
+        ]
+    for name, members in graph.broadcast_groups().items():
+        first = members[0]
+        if first.delay == 0:
+            continue
+        preloads[("bcast", name)] = [
+            (first.key, seq, w)
+            for seq in range(first.delay)
+            for w in range(first.token_size)
+        ]
+    return preloads
+
+
+def _execution_checks(
+    graph: SDFGraph,
+    q: Dict[str, int],
+    lifetimes,
+    allocation,
+    periods: int = 2,
+    recorder: Optional[object] = None,
+) -> List[str]:
+    """VM + generated-Python cross-checks against interpreter counts."""
+    bad: List[str] = []
+    expected = {a: q[a] * periods for a in q}
+
+    vm = SharedMemoryVM(graph, lifetimes, allocation)
+    try:
+        vm.run(periods=periods, recorder=recorder)
+    except SDFError as exc:
+        bad.append(f"exec: shared-memory VM failed: {exc}")
+    else:
+        if vm.firings_per_actor != expected:
+            bad.append(
+                f"exec: VM firing counts {vm.firings_per_actor} != "
+                f"interpreter counts {expected}"
+            )
+        if vm.peak_address > allocation.total:
+            bad.append(
+                f"exec: VM wrote up to address {vm.peak_address}, past "
+                f"the allocation total {allocation.total}"
+            )
+
+    try:
+        module = compile_python(graph, lifetimes, allocation)
+    except SDFError as exc:
+        return bad + [f"exec: python emission failed: {exc}"]
+    actors, state = _sequence_actors(graph)
+    try:
+        module["run"](
+            actors, periods=periods, preloads=_module_preloads(graph)
+        )
+    except (AssertionError, IndexError, ValueError) as exc:
+        bad.append(f"exec: generated module failed: {exc}")
+    else:
+        if state["fired"] != expected:
+            bad.append(
+                f"exec: generated module firing counts {state['fired']} "
+                f"!= interpreter counts {expected}"
+            )
+    return bad
 
 
 def execution_oracles(
@@ -317,52 +424,11 @@ def execution_oracles(
     module must deliver every token uncorrupted through the shared pool.
     Two periods exercise circular-cursor wraparound on delayed edges.
     """
-    bad: List[str] = []
     r = art.result
-    expected = {a: art.q[a] * periods for a in art.q}
-
-    vm = SharedMemoryVM(art.graph, r.lifetimes, r.allocation)
-    try:
-        vm.run(periods=periods, recorder=recorder)
-    except SDFError as exc:
-        bad.append(f"exec: shared-memory VM failed: {exc}")
-    else:
-        if vm.firings_per_actor != expected:
-            bad.append(
-                f"exec: VM firing counts {vm.firings_per_actor} != "
-                f"interpreter counts {expected}"
-            )
-        if vm.peak_address > r.allocation.total:
-            bad.append(
-                f"exec: VM wrote up to address {vm.peak_address}, past "
-                f"the allocation total {r.allocation.total}"
-            )
-
-    try:
-        module = compile_python(art.graph, r.lifetimes, r.allocation)
-    except SDFError as exc:
-        return bad + [f"exec: python emission failed: {exc}"]
-    actors, state = _sequence_actors(art.graph)
-    preloads = {
-        e.key: [
-            (e.key, seq, w)
-            for seq in range(e.delay)
-            for w in range(e.token_size)
-        ]
-        for e in art.graph.edges()
-        if e.delay > 0
-    }
-    try:
-        module["run"](actors, periods=periods, preloads=preloads)
-    except (AssertionError, IndexError, ValueError) as exc:
-        bad.append(f"exec: generated module failed: {exc}")
-    else:
-        if state["fired"] != expected:
-            bad.append(
-                f"exec: generated module firing counts {state['fired']} "
-                f"!= interpreter counts {expected}"
-            )
-    return bad
+    return _execution_checks(
+        art.graph, art.q, r.lifetimes, r.allocation,
+        periods=periods, recorder=recorder,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -453,6 +519,135 @@ def allocation_oracles(art: PipelineArtifacts) -> List[str]:
     return bad
 
 
+# ----------------------------------------------------------------------
+# broadcast layer: shared-buffer model vs k-parallel-edges modelling
+# ----------------------------------------------------------------------
+def broadcast_oracles(art: PipelineArtifacts) -> List[str]:
+    """The sharing win: a broadcast group never costs more than its
+    k-parallel-edges model.
+
+    Compiling the same graph with every ``broadcast`` tag dropped
+    models each fan-out as ``k`` independent buffers.  The shared model
+    holds one buffer per group — structurally the farthest member's
+    buffer with the latest member stop — so every memory figure must
+    come out at or below the parallel model's: the summed buffer sizes
+    and the DPPO cost exactly (the group is counted once instead of
+    ``k`` times at every DP split), the coarse live peak and the packed
+    pool total on every harness instance.
+    """
+    graph = art.graph
+    if not graph.has_broadcasts():
+        return []
+    bad: List[str] = []
+    try:
+        parallel = build_artifacts(
+            graph.without_broadcasts(),
+            method=art.method,
+            seed=art.seed,
+            occurrence_cap=art.occurrence_cap,
+        )
+    except SDFError as exc:
+        return [f"bcast: parallel-edges model failed to compile: {exc}"]
+    r, p = art.result, parallel.result
+    if r.lifetimes.total_size() > p.lifetimes.total_size():
+        bad.append(
+            f"bcast: shared buffer sizes sum to "
+            f"{r.lifetimes.total_size()}, more than the parallel-edges "
+            f"model's {p.lifetimes.total_size()}"
+        )
+    if r.dppo_cost > p.dppo_cost:
+        bad.append(
+            f"bcast: shared DPPO cost {r.dppo_cost} exceeds the "
+            f"parallel-edges model's {p.dppo_cost}"
+        )
+    # Pointwise dominance is a theorem only on the *same* schedule (a
+    # group's live envelope is its slowest member's), and the two
+    # models share topology — so judge both under the parallel model's
+    # schedule.
+    mlt = max_live_tokens(graph, p.sdppo_schedule)
+    mlt_parallel = max_live_tokens(parallel.graph, p.sdppo_schedule)
+    if mlt > mlt_parallel:
+        bad.append(
+            f"bcast: shared coarse live peak {mlt} exceeds the "
+            f"parallel-edges model's {mlt_parallel} on the same schedule"
+        )
+    if r.allocation.total > p.allocation.total:
+        bad.append(
+            f"bcast: shared pool total {r.allocation.total} exceeds the "
+            f"parallel-edges model's {p.allocation.total}"
+        )
+    return bad
+
+
+# ----------------------------------------------------------------------
+# cyclic layer: SCC-clustered scheduling vs the interpreter
+# ----------------------------------------------------------------------
+def cyclic_oracles(
+    graph: SDFGraph,
+    occurrence_cap: int = DEFAULT_OCCURRENCE_CAP,
+    recorder: Optional[object] = None,
+) -> List[str]:
+    """``schedule_cyclic`` output against the token interpreter.
+
+    The expanded schedule must fire exactly the repetitions vector with
+    no edge underflow (the interpreter is the judge), the quotient
+    bookkeeping must cover every actor exactly once, and — whenever the
+    greedy subschedules compress to single appearance — the schedule
+    must carry the full downstream pipeline: lifetime extraction,
+    first-fit packing, Definition-5 verification, and the VM/generated
+    Python execution cross-check.
+    """
+    from ..lifetimes.intervals import extract_lifetimes
+    from ..allocation.first_fit import first_fit
+    from ..allocation.verify import verify_allocation
+    from ..scheduling.cyclic import schedule_cyclic
+
+    bad: List[str] = []
+    q = repetitions_vector(graph)
+    try:
+        res = schedule_cyclic(graph)
+    except SDFError as exc:
+        return [f"cyclic: schedule_cyclic failed: {exc}"]
+    schedule = res.schedule
+    try:
+        counts = validate_schedule(graph, schedule)
+    except SDFError as exc:
+        return [f"cyclic: expanded schedule invalid: {exc}"]
+    if counts != q:
+        bad.append(
+            f"cyclic: expanded schedule fires {counts}, repetitions "
+            f"vector is {q}"
+        )
+    covered = sorted(
+        a for members in res.clustered.members.values() for a in members
+    )
+    if covered != sorted(graph.actor_names()):
+        bad.append(
+            f"cyclic: quotient members cover {covered}, graph has "
+            f"{sorted(graph.actor_names())}"
+        )
+    if not res.clustered.quotient.is_acyclic():
+        bad.append("cyclic: SCC quotient graph is not acyclic")
+    bad.extend(trace_oracles(graph, schedule, recorder))
+
+    if schedule.is_single_appearance():
+        try:
+            lifetimes = extract_lifetimes(graph, schedule, q)
+            buffers = lifetimes.as_list()
+            allocation = first_fit(
+                buffers, occurrence_cap=occurrence_cap
+            )
+            verify_allocation(buffers, allocation, occurrence_cap)
+        except SDFError as exc:
+            return bad + [f"cyclic: downstream pipeline failed: {exc}"]
+        bad.extend(
+            _execution_checks(
+                graph, q, lifetimes, allocation, recorder=recorder
+            )
+        )
+    return bad
+
+
 def run_oracles(
     art: PipelineArtifacts, recorder: Optional[object] = None
 ) -> List[str]:
@@ -476,6 +671,8 @@ def run_oracles(
         ("oracle.exec", lambda: execution_oracles(art, recorder=recorder)),
         ("oracle.alloc", lambda: allocation_oracles(art)),
     ]
+    if art.graph.has_broadcasts():
+        groups.append(("oracle.bcast", lambda: broadcast_oracles(art)))
     bad: List[str] = []
     for name, fn in groups:
         if recorder is not None:

@@ -26,6 +26,7 @@ __all__ = [
     "reference_total_peak",
     "reference_coarse_intervals",
     "reference_episode_sizes",
+    "reference_group_episode_sizes",
     "reference_max_live_tokens",
 ]
 
@@ -80,13 +81,22 @@ def reference_peak_token_words(
 
     Unlike the coarse model this counts only tokens actually present —
     the occupancy a circular buffer must hold — so it lower-bounds any
-    feasible allocation extent regardless of delays.
+    feasible allocation extent regardless of delays.  A broadcast
+    group's tokens live once in one shared buffer (each member's unread
+    tokens are a suffix of the produced stream), so a group contributes
+    its *maximum* member count, not the member sum.
     """
     snapshots = full_trace(graph, schedule)
-    sizes = {e.key: e.token_size for e in graph.edges()}
-    return max(
-        sum(count * sizes[k] for k, count in s.items()) for s in snapshots
-    )
+    ordinary = [e for e in graph.edges() if e.broadcast is None]
+    groups = graph.broadcast_groups()
+    peak = 0
+    for s in snapshots:
+        live = sum(s[e.key] * e.token_size for e in ordinary)
+        for members in groups.values():
+            live += max(s[m.key] for m in members) * members[0].token_size
+        if live > peak:
+            peak = live
+    return peak
 
 
 def reference_coarse_intervals(
@@ -157,6 +167,49 @@ def reference_episode_sizes(
     return episodes
 
 
+def reference_group_episode_sizes(
+    graph: SDFGraph, schedule: LoopedSchedule
+) -> List[Tuple[str, int, int, int]]:
+    """``(group, start, stop, words)`` per broadcast-group live episode.
+
+    The shared buffer is live while *any* member holds tokens; its
+    per-step occupancy is the maximum member count (the union of unread
+    suffixes of one produced stream is the largest suffix).  Delayless
+    episodes are sized by tokens present at open plus everything the
+    producer emits before the group drains — production counted once,
+    not once per member; delayed groups need only the occupancy peak
+    (circular buffer).
+    """
+    firings = schedule.firing_list()
+    snapshots = full_trace(graph, schedule)
+    episodes: List[Tuple[str, int, int, int]] = []
+    for name, members in graph.broadcast_groups().items():
+        counts = [max(s[m.key] for m in members) for s in snapshots]
+        first = members[0]
+        open_at = 0 if counts[0] > 0 else None
+        spans: List[Tuple[int, int]] = []
+        for t in range(1, len(counts)):
+            if open_at is None and counts[t] > 0:
+                open_at = t - 1
+            elif open_at is not None and counts[t] == 0:
+                spans.append((open_at, t))
+                open_at = None
+        if open_at is not None:
+            spans.append((open_at, len(counts) - 1))
+        for start, stop in spans:
+            if first.delay > 0:
+                words = max(counts[start:stop + 1]) * first.token_size
+            else:
+                produced = sum(
+                    first.production
+                    for t in range(start + 1, stop + 1)
+                    if firings[t - 1] == first.source
+                )
+                words = (counts[start] + produced) * first.token_size
+            episodes.append((name, start, stop, words))
+    return episodes
+
+
 def reference_max_live_tokens(
     graph: SDFGraph, schedule: LoopedSchedule
 ) -> int:
@@ -164,9 +217,20 @@ def reference_max_live_tokens(
 
     An episode ``(s, t)`` covers the half-open step range ``[s, t)``:
     a buffer dying at firing ``t`` frees its words before anything born
-    at ``t`` occupies them.
+    at ``t`` occupies them.  Broadcast members are accounted through
+    their group's merged episodes (one shared array), not per member.
     """
-    episodes = reference_episode_sizes(graph, schedule)
+    member_keys = {
+        m.key
+        for members in graph.broadcast_groups().values()
+        for m in members
+    }
+    episodes = [
+        ep
+        for ep in reference_episode_sizes(graph, schedule)
+        if ep[0] not in member_keys
+    ]
+    episodes.extend(reference_group_episode_sizes(graph, schedule))
     steps = len(full_trace(graph, schedule))
     peak = 0
     for step in range(steps):

@@ -49,22 +49,34 @@ def _rebuild(
             continue
         if replace_edge is not None and e.key == replace_edge.key:
             e = replace_edge
+        # Broadcast tags survive the rebuild; an edit that breaks a
+        # group invariant (e.g. desynchronized member rates) makes
+        # add_edge raise, which the caller treats as "not preserved".
         out.add_edge(
             e.source, e.sink, e.production, e.consumption,
-            e.delay, e.token_size,
+            e.delay, e.token_size, broadcast=e.broadcast,
         )
     return out
 
 
 def _still_fails(
-    predicate: Callable[[SDFGraph], bool], candidate: SDFGraph
+    predicate: Callable[[SDFGraph], bool], candidate: Optional[SDFGraph]
 ) -> bool:
-    if candidate.num_actors == 0:
+    if candidate is None or candidate.num_actors == 0:
         return False
     try:
         return bool(predicate(candidate))
     except Exception:
         return False
+
+
+def _try_rebuild(graph: SDFGraph, **edit) -> Optional[SDFGraph]:
+    """:func:`_rebuild`, or ``None`` if the edit is not constructible
+    (e.g. it desynchronizes a broadcast group's member rates)."""
+    try:
+        return _rebuild(graph, **edit)
+    except Exception:
+        return None
 
 
 def _edge_edits(e: Edge) -> List[Edge]:
@@ -76,6 +88,7 @@ def _edge_edits(e: Edge) -> List[Edge]:
             source=e.source, sink=e.sink, production=e.production,
             consumption=e.consumption, delay=e.delay,
             token_size=e.token_size, index=e.index,
+            broadcast=e.broadcast,
         )
         fields.update(changes)
         return Edge(**fields)
@@ -122,14 +135,14 @@ def shrink_graph(
         for name in list(current.actor_names()):
             if current.num_actors <= 1:
                 break
-            candidate = _rebuild(current, drop_actor=name)
+            candidate = _try_rebuild(current, drop_actor=name)
             if _still_fails(predicate, candidate):
                 current = candidate
                 progressed = True
 
         # Pass 2: drop individual edges.
         for key in [e.key for e in current.edges()]:
-            candidate = _rebuild(current, drop_edge=key)
+            candidate = _try_rebuild(current, drop_edge=key)
             if _still_fails(predicate, candidate):
                 current = candidate
                 progressed = True
@@ -142,7 +155,7 @@ def shrink_graph(
             except Exception:
                 continue
             for edit in _edge_edits(e):
-                candidate = _rebuild(current, replace_edge=edit)
+                candidate = _try_rebuild(current, replace_edge=edit)
                 if _still_fails(predicate, candidate):
                     current = candidate
                     progressed = True

@@ -323,6 +323,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
         trials=args.trials,
         seed=args.seed,
         inject=args.inject,
+        families=args.families,
     ) as meta:
         report = run_check(
             trials=args.trials,
@@ -330,6 +331,9 @@ def _cmd_check(args: argparse.Namespace) -> int:
             inject=args.inject,
             shrink=not args.no_shrink,
             recorder=recorder,
+            families=tuple(
+                f.strip() for f in args.families.split(",") if f.strip()
+            ),
         )
         meta["failures"] = len(report.failures)
         meta["ok"] = report.ok
@@ -635,6 +639,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--no-shrink", action="store_true",
         help="report failing graphs without minimizing them",
+    )
+    p.add_argument(
+        "--families", default="acyclic,broadcast,cyclic",
+        help=(
+            "comma-separated trial families to cycle through "
+            "(acyclic, broadcast, cyclic)"
+        ),
     )
     p.add_argument(
         "--bench-out", metavar="FILE", default=None,

@@ -29,17 +29,40 @@ from ..exceptions import CodegenError
 from ..sdf.graph import Edge, SDFGraph
 from ..sdf.repetitions import repetitions_vector
 from ..allocation.first_fit import Allocation
-from ..lifetimes.intervals import LifetimeSet
+from ..lifetimes.intervals import LifetimeSet, least_parent_of
 from ..lifetimes.schedule_tree import ScheduleTreeNode
 
 __all__ = ["emit_c"]
 
 
 def _buffer_macro(edge: Edge) -> str:
+    if edge.broadcast is not None:
+        return _group_macro(edge.source, edge.broadcast)
     name = f"BUF_{edge.source}_{edge.sink}"
     if edge.index:
         name += f"_{edge.index}"
     return name.upper()
+
+
+def _group_macro(source: str, group: str) -> str:
+    return f"BUF_{source}__{group}".upper()
+
+
+def _group_cursor(group: str, which: str) -> str:
+    return f"{which}_bc_{group}"
+
+
+def _out_ports(graph: SDFGraph, actor: str) -> List[Edge]:
+    """Output ports of ``actor``: one per ordinary edge, one per group."""
+    ports: List[Edge] = []
+    seen = set()
+    for e in graph.out_edges(actor):
+        if e.broadcast is None:
+            ports.append(e)
+        elif e.broadcast not in seen:
+            seen.add(e.broadcast)
+            ports.append(e)
+    return ports
 
 
 def _cursor(edge: Edge, which: str) -> str:
@@ -99,7 +122,13 @@ def emit_c(
     lines.append("")
 
     edges = graph.edge_list()
-    for e in edges:
+    ordinary = [e for e in edges if e.broadcast is None]
+    groups = graph.broadcast_groups()
+    # One buffer per ordinary edge; one shared buffer per broadcast
+    # group (the members all map to the same lifetime object, so the
+    # first member's lifetime names the group's array).
+    buffer_edges = ordinary + [members[0] for members in groups.values()]
+    for e in buffer_edges:
         lt = lifetimes.lifetimes[e.key]
         try:
             offset = allocation.offsets[lt.name]
@@ -113,14 +142,32 @@ def emit_c(
         )
     lines.append("")
 
-    for e in edges:
+    # Ordinary edges own a write and read cursor each; a broadcast group
+    # owns one shared write cursor while each member sink keeps its own
+    # read cursor over the shared array.
+    for e in ordinary:
         lines.append(f"static size_t {_cursor(e, 'wr')} = 0;")
         lines.append(f"static size_t {_cursor(e, 'rd')} = 0;")
+    for gname, members in groups.items():
+        lines.append(f"static size_t {_group_cursor(gname, 'wr')} = 0;")
+        for e in members:
+            lines.append(f"static size_t {_cursor(e, 'rd')} = 0;")
     if instrument:
-        edge_index = {e.key: i for i, e in enumerate(edges)}
-        for e in edges:
+        # Token identities: one id per physical buffer (members share
+        # the group's id — every reader verifies the one write stream).
+        token_id = {e.key: i for i, e in enumerate(ordinary)}
+        for offset_id, (gname, members) in enumerate(groups.items()):
+            for e in members:
+                token_id[e.key] = len(ordinary) + offset_id
+        for e in ordinary:
             lines.append(f"static long {_counter(e, 'produced')} = 0;")
             lines.append(f"static long {_counter(e, 'consumed')} = 0;")
+        for gname, members in groups.items():
+            lines.append(
+                f"static long {_group_cursor(gname, 'produced')} = 0;"
+            )
+            for e in members:
+                lines.append(f"static long {_counter(e, 'consumed')} = 0;")
     lines.append("")
 
     if instrument:
@@ -145,7 +192,7 @@ def emit_c(
                     )
                 lines.append(
                     f"        if ({_buffer_macro(e)}[{rd}] != "
-                    f"TOKEN({edge_index[e.key]}, "
+                    f"TOKEN({token_id[e.key]}, "
                     f"{_counter(e, 'consumed')}++)) {{"
                 )
                 lines.append(
@@ -157,10 +204,20 @@ def emit_c(
                 lines.append("        }")
                 lines.append(f"        {rd}++;")
                 lines.append("    }")
+            written_groups = set()
             for e in out_edges:
                 words = e.production * e.token_size
                 size = lifetimes.lifetimes[e.key].size
-                wr = _cursor(e, "wr")
+                if e.broadcast is None:
+                    wr = _cursor(e, "wr")
+                    produced = _counter(e, "produced")
+                elif e.broadcast not in written_groups:
+                    # One physical write per group per firing.
+                    written_groups.add(e.broadcast)
+                    wr = _group_cursor(e.broadcast, "wr")
+                    produced = _group_cursor(e.broadcast, "produced")
+                else:
+                    continue
                 lines.append(f"    for (int w = 0; w < {words}; ++w) {{")
                 if e.delay > 0:
                     lines.append(
@@ -168,29 +225,51 @@ def emit_c(
                     )
                 lines.append(
                     f"        {_buffer_macro(e)}[{wr}++] = "
-                    f"TOKEN({edge_index[e.key]}, "
-                    f"{_counter(e, 'produced')}++);"
+                    f"TOKEN({token_id[e.key]}, {produced}++);"
                 )
                 lines.append("    }")
             lines.append("}")
             lines.append("")
     else:
-        # Actor firing macros: stubs listing the I/O the code block gets.
+        # Actor firing macros: stubs listing the I/O the code block
+        # gets — one input per in-edge, one output per *port* (a
+        # broadcast group is a single port however many sinks it has).
         for actor in graph.actor_names():
-            arity = len(graph.in_edges(actor)) + len(graph.out_edges(actor))
+            arity = len(graph.in_edges(actor)) + len(
+                _out_ports(graph, actor)
+            )
             params = ", ".join(f"p{i}" for i in range(arity)) or "void"
             lines.append(
                 f"#define fire_{actor}({params}) /* actor code block */"
             )
     lines.append("")
 
-    # Map each edge to its least parent for cursor resets.
-    reset_at: Dict[int, List[Edge]] = {}
-    for e in edges:
+    # Map each buffer to its least parent for cursor resets.  Each
+    # entry is (write cursor name, [read cursor names]); a broadcast
+    # group resets its shared write cursor and every member's read
+    # cursor at the group's least parent (the LCA of source and all
+    # sinks — where each live episode of the shared buffer begins).
+    reset_at: Dict[int, List[Tuple[str, List[str]]]] = {}
+    for e in ordinary:
         if e.delay > 0:
             continue  # circular cursors, never reset
         lp = lifetimes.tree.least_parent(e.source, e.sink)
-        reset_at.setdefault(id(lp), []).append(e)
+        reset_at.setdefault(id(lp), []).append(
+            (_cursor(e, "wr"), [_cursor(e, "rd")])
+        )
+    for gname, members in groups.items():
+        if members[0].delay > 0:
+            continue
+        lp = least_parent_of(
+            lifetimes.tree,
+            [members[0].source] + [m.sink for m in members],
+        )
+        reset_at.setdefault(id(lp), []).append(
+            (
+                _group_cursor(gname, "wr"),
+                [_cursor(m, "rd") for m in members],
+            )
+        )
 
     body: List[str] = []
 
@@ -207,11 +286,18 @@ def emit_c(
             if instrument:
                 body.append(f"{inner}fire_{actor}();")
             else:
+                out_ports = _out_ports(graph, actor)
+
+                def wr_name(e: Edge) -> str:
+                    if e.broadcast is None:
+                        return _cursor(e, "wr")
+                    return _group_cursor(e.broadcast, "wr")
+
                 args: List[str] = []
                 for e in graph.in_edges(actor):
                     args.append(f"{_buffer_macro(e)} + {_cursor(e, 'rd')}")
-                for e in graph.out_edges(actor):
-                    args.append(f"{_buffer_macro(e)} + {_cursor(e, 'wr')}")
+                for e in out_ports:
+                    args.append(f"{_buffer_macro(e)} + {wr_name(e)}")
                 body.append(f"{inner}fire_{actor}({', '.join(args)});")
                 for e in graph.in_edges(actor):
                     step = e.consumption * e.token_size
@@ -223,16 +309,16 @@ def emit_c(
                         )
                     else:
                         body.append(f"{inner}{_cursor(e, 'rd')} += {step};")
-                for e in graph.out_edges(actor):
+                for e in out_ports:
                     step = e.production * e.token_size
                     if e.delay > 0:
                         size = lifetimes.lifetimes[e.key].size
                         body.append(
-                            f"{inner}{_cursor(e, 'wr')} = "
-                            f"({_cursor(e, 'wr')} + {step}) % {size};"
+                            f"{inner}{wr_name(e)} = "
+                            f"({wr_name(e)} + {step}) % {size};"
                         )
                     else:
-                        body.append(f"{inner}{_cursor(e, 'wr')} += {step};")
+                        body.append(f"{inner}{wr_name(e)} += {step};")
             body.append(f"{pad}}}")
             return
         loop_var = f"i{indent}"
@@ -246,9 +332,10 @@ def emit_c(
             body.append(f"{pad}{{")
             inner_indent = indent + 1
         inner_pad = "    " * inner_indent
-        for e in reset_at.get(id(node), ()):
-            body.append(f"{inner_pad}{_cursor(e, 'wr')} = 0;")
-            body.append(f"{inner_pad}{_cursor(e, 'rd')} = 0;")
+        for wr, rds in reset_at.get(id(node), ()):
+            body.append(f"{inner_pad}{wr} = 0;")
+            for rd in rds:
+                body.append(f"{inner_pad}{rd} = 0;")
         emit_node(node.left, inner_indent)
         emit_node(node.right, inner_indent)
         body.append(f"{pad}}}")
@@ -270,15 +357,27 @@ def emit_c(
     for e in delayed:
         step = e.delay * e.token_size
         size = lifetimes.lifetimes[e.key].size
+        if e.broadcast is None:
+            wr = _cursor(e, "wr")
+            produced = _counter(e, "produced") if instrument else None
+        else:
+            # Preload a delayed group once (shared buffer); members
+            # other than the first are skipped below.
+            if e is not graph.broadcast_members(e.broadcast)[0]:
+                continue
+            wr = _group_cursor(e.broadcast, "wr")
+            produced = (
+                _group_cursor(e.broadcast, "produced") if instrument else None
+            )
         if instrument:
             lines.append(f"    for (int w = 0; w < {step}; ++w) {{")
             lines.append(
                 f"        {_buffer_macro(e)}[w % {size}] = "
-                f"TOKEN({edge_index[e.key]}, w);"
+                f"TOKEN({token_id[e.key]}, w);"
             )
             lines.append("    }")
-            lines.append(f"    {_counter(e, 'produced')} = {step};")
-        lines.append(f"    {_cursor(e, 'wr')} = {step} % {size};")
+            lines.append(f"    {produced} = {step};")
+        lines.append(f"    {wr} = {step} % {size};")
     lines.append("}")
     lines.append("")
     lines.append("int main(void)")

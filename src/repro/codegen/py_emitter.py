@@ -21,7 +21,7 @@ from typing import Dict, List
 from ..exceptions import CodegenError
 from ..sdf.graph import SDFGraph
 from ..allocation.first_fit import Allocation
-from ..lifetimes.intervals import LifetimeSet
+from ..lifetimes.intervals import LifetimeSet, least_parent_of
 from ..lifetimes.schedule_tree import ScheduleTreeNode
 
 __all__ = ["emit_python", "compile_python"]
@@ -44,35 +44,58 @@ def emit_python(
     lines.append("")
     lines.append(f"POOL_SIZE = {max(allocation.total, 1)}")
     lines.append("")
+    # Physical buffers: one per ordinary edge, one per broadcast group
+    # (identified as ('bcast', name), written once per production and
+    # read through a per-member cursor).
+    groups = graph.broadcast_groups()
+    buffer_id = {}
+    for e in graph.edges():
+        buffer_id[e.key] = (
+            e.key if e.broadcast is None else ("bcast", e.broadcast)
+        )
+    entries = []
+    for e in graph.edges():
+        if e.broadcast is None:
+            entries.append((e.key, e))
+    for name, members in groups.items():
+        entries.append((("bcast", name), members[0]))
     offsets = {}
     sizes = {}
     circular = {}
-    for e in graph.edges():
+    for bid, e in entries:
         lt = lifetimes.lifetimes[e.key]
         try:
-            offsets[e.key] = allocation.offsets[lt.name]
+            offsets[bid] = allocation.offsets[lt.name]
         except KeyError:
             raise CodegenError(f"allocation missing buffer {lt.name!r}") from None
-        sizes[e.key] = lt.size
-        circular[e.key] = e.delay > 0
+        sizes[bid] = lt.size
+        circular[bid] = e.delay > 0
 
     lines.append("BUFFERS = {")
-    for e in graph.edges():
+    for bid, e in entries:
         lines.append(
-            f"    {e.key!r}: dict(base={offsets[e.key]}, "
-            f"size={sizes[e.key]}, circular={circular[e.key]}),"
+            f"    {bid!r}: dict(base={offsets[bid]}, "
+            f"size={sizes[bid]}, circular={circular[bid]}),"
         )
+    lines.append("}")
+    lines.append("")
+    lines.append("# Read port -> physical buffer (broadcast members share one).")
+    lines.append("READERS = {")
+    for e in graph.edges():
+        lines.append(f"    {e.key!r}: {buffer_id[e.key]!r},")
     lines.append("}")
     lines.append("")
     lines.append("""
 class _Cursors:
     def __init__(self):
         self.wr = {key: 0 for key in BUFFERS}
-        self.rd = {key: 0 for key in BUFFERS}
+        self.rd = {key: 0 for key in READERS}
 
     def reset(self, key):
         self.wr[key] = 0
-        self.rd[key] = 0
+        for rk, bid in READERS.items():
+            if bid == key:
+                self.rd[rk] = 0
 
 
 def _write(memory, cursors, key, values):
@@ -87,7 +110,7 @@ def _write(memory, cursors, key, values):
 
 
 def _read(memory, cursors, key, count):
-    info = BUFFERS[key]
+    info = BUFFERS[READERS[key]]
     out = []
     for _ in range(count):
         if cursors.rd[key] >= info["size"]:
@@ -99,10 +122,19 @@ def _read(memory, cursors, key, count):
     return out
 """)
 
-    # Per-actor firing functions.
+    # Per-actor firing functions.  Output *ports*: each ordinary edge
+    # is its own port; a broadcast group is one port (its token list is
+    # written once into the shared buffer).
     for actor in graph.actor_names():
         in_edges = graph.in_edges(actor)
-        out_edges = graph.out_edges(actor)
+        out_ports = []
+        seen_groups = set()
+        for e in graph.out_edges(actor):
+            if e.broadcast is None:
+                out_ports.append((e.key, e))
+            elif e.broadcast not in seen_groups:
+                seen_groups.add(e.broadcast)
+                out_ports.append((("bcast", e.broadcast), e))
         lines.append(f"def _fire_{actor}(memory, cursors, actors):")
         lines.append("    inputs = []")
         for e in in_edges:
@@ -111,7 +143,7 @@ def _read(memory, cursors, key, count):
                 f"{e.consumption * e.token_size}))"
             )
         lines.append(f"    outputs = actors[{actor!r}](inputs)")
-        expected = len(out_edges)
+        expected = len(out_ports)
         lines.append(
             f"    if len(outputs) != {expected}:"
         )
@@ -119,7 +151,7 @@ def _read(memory, cursors, key, count):
             f"        raise ValueError('actor {actor} must return "
             f"{expected} output token lists')"
         )
-        for position, e in enumerate(out_edges):
+        for position, (bid, e) in enumerate(out_ports):
             lines.append(
                 f"    if len(outputs[{position}]) != "
                 f"{e.production * e.token_size}:"
@@ -129,7 +161,7 @@ def _read(memory, cursors, key, count):
                 f"{position} must have {e.production * e.token_size} words')"
             )
             lines.append(
-                f"    _write(memory, cursors, {e.key!r}, outputs[{position}])"
+                f"    _write(memory, cursors, {bid!r}, outputs[{position}])"
             )
         lines.append("")
 
@@ -137,10 +169,18 @@ def _read(memory, cursors, key, count):
     body: List[str] = []
     reset_keys: Dict[int, List] = {}
     for e in graph.edges():
-        if e.delay > 0:
+        if e.delay > 0 or e.broadcast is not None:
             continue
         lp = lifetimes.tree.least_parent(e.source, e.sink)
         reset_keys.setdefault(id(lp), []).append(e.key)
+    for name, members in groups.items():
+        first = members[0]
+        if first.delay > 0:
+            continue
+        lp = least_parent_of(
+            lifetimes.tree, [first.source] + [m.sink for m in members]
+        )
+        reset_keys.setdefault(id(lp), []).append(("bcast", name))
 
     def emit(node: ScheduleTreeNode, indent: int) -> None:
         pad = "    " * indent
@@ -174,8 +214,9 @@ def _read(memory, cursors, key, count):
 def run(actors, periods=1, memory=None, preloads=None):
     \"\"\"Execute `periods` schedule periods; returns the memory pool.
 
-    `preloads` maps edge keys to the initial (delay) token word lists
-    written before the first period.
+    `preloads` maps buffer ids (edge keys; ('bcast', name) for a
+    broadcast group, preloaded once) to the initial (delay) token word
+    lists written before the first period.
     \"\"\"
     if memory is None:
         memory = [0] * POOL_SIZE

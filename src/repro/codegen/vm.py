@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Tuple
 from ..exceptions import CodegenError
 from ..sdf.graph import Edge, SDFGraph
 from ..allocation.first_fit import Allocation
-from ..lifetimes.intervals import LifetimeSet
+from ..lifetimes.intervals import LifetimeSet, least_parent_of
 from ..lifetimes.schedule_tree import ScheduleTreeNode
 
 __all__ = ["SharedMemoryVM", "run_shared_memory_check"]
@@ -43,6 +43,35 @@ class _EdgeState:
     def reset_cursors(self) -> None:
         self.write_cursor = 0
         self.read_cursor = 0
+
+
+@dataclass
+class _Reader:
+    """One member sink's view of a broadcast group's shared buffer."""
+
+    edge: Edge
+    cursor: int = 0
+    consumed: int = 0
+
+
+@dataclass
+class _GroupState:
+    """A broadcast group: one write side, one reader per member sink.
+
+    ``write`` reuses the edge-state machinery with the first member's
+    edge (members share production/delay/token_size); tokens are
+    written once per group and identified by that member's key, which
+    every reader expects.
+    """
+
+    name: str
+    write: _EdgeState
+    readers: Dict[Tuple[str, str, int], _Reader]
+
+    def reset_cursors(self) -> None:
+        self.write.reset_cursors()
+        for r in self.readers.values():
+            r.cursor = 0
 
 
 class SharedMemoryVM:
@@ -72,8 +101,11 @@ class SharedMemoryVM:
         self.allocation = allocation
         self.memory: List[Optional[_Token]] = [None] * max(allocation.total, 1)
         self._edges: Dict[Tuple[str, str, int], _EdgeState] = {}
-        self._reset_at: Dict[int, List[_EdgeState]] = {}
+        self._groups: Dict[str, _GroupState] = {}
+        self._reset_at: Dict[int, List] = {}
         for e in graph.edge_list():
+            if e.broadcast is not None:
+                continue
             lt = lifetimes.lifetimes[e.key]
             state = _EdgeState(
                 edge=e,
@@ -85,6 +117,26 @@ class SharedMemoryVM:
             if not state.circular:
                 lp = lifetimes.tree.least_parent(e.source, e.sink)
                 self._reset_at.setdefault(id(lp), []).append(state)
+        for name, members in graph.broadcast_groups().items():
+            first = members[0]
+            lt = lifetimes.lifetimes[first.key]
+            group = _GroupState(
+                name=name,
+                write=_EdgeState(
+                    edge=first,
+                    base=allocation.offset_of(lt.name),
+                    size_words=lt.size,
+                    circular=first.delay > 0,
+                ),
+                readers={m.key: _Reader(edge=m) for m in members},
+            )
+            self._groups[name] = group
+            if not group.write.circular:
+                lp = least_parent_of(
+                    lifetimes.tree,
+                    [first.source] + [m.sink for m in members],
+                )
+                self._reset_at.setdefault(id(lp), []).append(group)
         self.firings = 0
         #: Per-actor firing counts, for differential comparison against
         #: the schedule interpreter's flattened firing sequence.
@@ -97,13 +149,23 @@ class SharedMemoryVM:
 
     # ------------------------------------------------------------------
     def preload_delays(self) -> None:
-        """Write the initial tokens of delayed edges into memory."""
+        """Write the initial tokens of delayed edges into memory.
+
+        A delayed broadcast group preloads *once* — its members share
+        the delay tokens in the one physical buffer.
+        """
         for state in self._edges.values():
             e = state.edge
             if e.delay == 0:
                 continue
             for _ in range(e.delay):
                 self._write_token(state)
+        for group in self._groups.values():
+            e = group.write.edge
+            if e.delay == 0:
+                continue
+            for _ in range(e.delay):
+                self._write_token(group.write)
 
     def run_period(self) -> None:
         """Execute one complete schedule period."""
@@ -138,13 +200,27 @@ class SharedMemoryVM:
         self.firings += 1
         self.firings_per_actor[actor] += 1
         for e in self.graph.in_edges(actor):
-            state = self._edges[e.key]
-            for _ in range(e.consumption):
-                self._read_token(state)
+            if e.broadcast is None:
+                state = self._edges[e.key]
+                for _ in range(e.consumption):
+                    self._read_token(state)
+            else:
+                group = self._groups[e.broadcast]
+                reader = group.readers[e.key]
+                for _ in range(e.consumption):
+                    self._read_group_token(group, reader)
+        written = set()
         for e in self.graph.out_edges(actor):
-            state = self._edges[e.key]
-            for _ in range(e.production):
-                self._write_token(state)
+            if e.broadcast is None:
+                state = self._edges[e.key]
+                for _ in range(e.production):
+                    self._write_token(state)
+            elif e.broadcast not in written:
+                # One physical write per group, regardless of fan-out.
+                written.add(e.broadcast)
+                group = self._groups[e.broadcast]
+                for _ in range(e.production):
+                    self._write_token(group.write)
 
     def _write_token(self, state: _EdgeState) -> None:
         e = state.edge
@@ -193,6 +269,38 @@ class SharedMemoryVM:
         state.read_cursor += words
         state.consumed += 1
 
+    def _read_group_token(self, group: _GroupState, reader: _Reader) -> None:
+        """Read one token for a member sink from the shared group buffer.
+
+        Each reader owns its cursor and sequence counter over the one
+        buffer the group's write side filled; the expected token
+        identity is the group's (written once per group).
+        """
+        e = reader.edge
+        write = group.write
+        words = e.token_size
+        if reader.cursor + words > write.size_words:
+            if write.circular:
+                reader.cursor = 0
+            else:
+                raise CodegenError(
+                    f"broadcast {group.name} member {e} read cursor "
+                    f"overruns: {reader.cursor} + {words} > "
+                    f"{write.size_words} (firing {self.firings})"
+                )
+        expected: _Token = (write.edge.key, reader.consumed)
+        for w in range(words):
+            actual = self.memory[write.base + reader.cursor + w]
+            if actual != expected:
+                raise CodegenError(
+                    f"token corruption on broadcast {group.name} member "
+                    f"{e}: expected token #{reader.consumed}, found "
+                    f"{actual!r} at address {write.base + reader.cursor + w} "
+                    f"(firing {self.firings}) — unsafe buffer overlay"
+                )
+        reader.cursor += words
+        reader.consumed += 1
+
     def _check_balance(self) -> None:
         for state in self._edges.values():
             e = state.edge
@@ -202,6 +310,15 @@ class SharedMemoryVM:
                     f"edge {e} ends with {outstanding} tokens in flight, "
                     f"expected {e.delay}"
                 )
+        for group in self._groups.values():
+            for reader in group.readers.values():
+                outstanding = group.write.produced - reader.consumed
+                if outstanding != reader.edge.delay:
+                    raise CodegenError(
+                        f"broadcast {group.name} member {reader.edge} ends "
+                        f"with {outstanding} tokens in flight, expected "
+                        f"{reader.edge.delay}"
+                    )
 
 
 def run_shared_memory_check(

@@ -33,7 +33,13 @@ from ..sdf.schedule import LoopedSchedule
 from .periodic import PeriodicLifetime
 from .schedule_tree import ScheduleTree, ScheduleTreeNode
 
-__all__ = ["extract_lifetimes", "lifetime_for_edge", "LifetimeSet"]
+__all__ = [
+    "extract_lifetimes",
+    "lifetime_for_edge",
+    "lifetime_for_group",
+    "least_parent_of",
+    "LifetimeSet",
+]
 
 
 @dataclass
@@ -42,18 +48,37 @@ class LifetimeSet:
 
     ``lifetimes`` is keyed by edge key; ``tree`` is the schedule tree
     the times refer to; ``total_span`` its period in schedule steps.
+
+    Every member edge of a broadcast group maps to the *same*
+    :class:`PeriodicLifetime` object (one shared physical buffer);
+    ``groups`` names them, and :meth:`as_list`/:meth:`total_size`
+    dedupe by identity so the shared buffer is counted once.
     """
 
     lifetimes: Dict[Tuple[str, str, int], PeriodicLifetime]
     tree: ScheduleTree
     total_span: int
+    #: Broadcast group name -> the group's shared lifetime (also
+    #: reachable through every member's edge key in ``lifetimes``).
+    groups: Dict[str, PeriodicLifetime] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.groups is None:
+            self.groups = {}
 
     def as_list(self) -> List[PeriodicLifetime]:
-        return list(self.lifetimes.values())
+        """Distinct buffers (broadcast members collapse to one entry)."""
+        seen: set = set()
+        result: List[PeriodicLifetime] = []
+        for b in self.lifetimes.values():
+            if id(b) not in seen:
+                seen.add(id(b))
+                result.append(b)
+        return result
 
     def total_size(self) -> int:
         """Sum of buffer sizes — the non-shared cost of these arrays."""
-        return sum(b.size for b in self.lifetimes.values())
+        return sum(b.size for b in self.as_list())
 
 
 def extract_lifetimes(
@@ -74,10 +99,21 @@ def extract_lifetimes(
     if q is None:
         q = repetitions_vector(graph)
     lifetimes = {
-        e.key: lifetime_for_edge(graph, tree, e, q) for e in graph.edges()
+        e.key: lifetime_for_edge(graph, tree, e, q)
+        for e in graph.edges()
+        if e.broadcast is None
     }
+    groups: Dict[str, PeriodicLifetime] = {}
+    for name, members in graph.broadcast_groups().items():
+        shared = lifetime_for_group(graph, tree, name, members, q)
+        groups[name] = shared
+        for m in members:
+            lifetimes[m.key] = shared
     return LifetimeSet(
-        lifetimes=lifetimes, tree=tree, total_span=tree.total_duration()
+        lifetimes=lifetimes,
+        tree=tree,
+        total_span=tree.total_duration(),
+        groups=groups,
     )
 
 
@@ -146,6 +182,118 @@ def lifetime_for_edge(
         periods=tuple(periods),
         total_span=span,
     )
+
+
+def lifetime_for_group(
+    graph: SDFGraph,
+    tree: ScheduleTree,
+    name: str,
+    members: List[Edge],
+    q: Dict[str, int],
+) -> PeriodicLifetime:
+    """The lifetime of a broadcast group's one shared buffer.
+
+    The innermost common loop is the LCA of the source and *all* member
+    sinks; because windows of a SAS are contiguous and every sink sits
+    after the source, this equals the least parent of the source and
+    the farthest sink.  The buffer starts when the producer starts and
+    stops at the *latest* member stop time (figure 16 walk generalized
+    to sinks anywhere under the group's least parent); its size is one
+    least-parent iteration's production — written once, read by all
+    members.
+    """
+    first = members[0]
+    buffer_name = f"{first.source}=>{name}"
+    span = tree.total_duration()
+    tnse_words = total_tokens_exchanged(first, q) * first.token_size
+
+    lp = least_parent_of(tree, [first.source] + [m.sink for m in members])
+
+    if first.delay > 0:
+        occurrences = _occurrence_count(lp)
+        size = tnse_words // occurrences + first.delay * first.token_size
+        return PeriodicLifetime(
+            name=buffer_name,
+            size=size,
+            start=0,
+            duration=span,
+            periods=(),
+            total_span=span,
+        )
+
+    start = tree.leaf(first.source).start
+    stop = max(_stop_within(tree, lp, m.sink) for m in members)
+    if stop <= start:
+        raise ScheduleError(
+            f"broadcast group {name!r}: computed stop {stop} <= start "
+            f"{start}; is the schedule's lexical order topological?"
+        )
+
+    producer_firings = tree.invocations_per_iteration(first.source, lp)
+    size = first.production * producer_firings * first.token_size
+
+    periods = []
+    for node in [lp] + list(lp.ancestors()):
+        if node.loop > 1:
+            periods.append((node.body_duration(), node.loop))
+    periods.sort(key=lambda p: p[0])
+
+    return PeriodicLifetime(
+        name=buffer_name,
+        size=size,
+        start=start,
+        duration=stop - start,
+        periods=tuple(periods),
+        total_span=span,
+    )
+
+
+def least_parent_of(tree: ScheduleTree, actors: List[str]) -> ScheduleTreeNode:
+    """LCA of several actors' leaves: fold pairwise least parents.
+
+    Every pairwise ``least_parent(actors[0], other)`` lies on the first
+    actor's root path, and the set LCA is the shallowest of them (it
+    must be an ancestor of every member), so folding actor by actor
+    and keeping the candidate nearest the root is exact.  The path is
+    enumerated leaf-first, so *larger* enumeration index = nearer the
+    root.
+    """
+    path = [tree.leaf(actors[0])]
+    path.extend(tree.leaf(actors[0]).ancestors())
+    height = {id(n): h for h, n in enumerate(path)}
+    best = path[0]
+    for other in actors[1:]:
+        node = tree.least_parent(actors[0], other)
+        if height[id(node)] > height[id(best)]:
+            best = node
+    return best
+
+
+def _stop_within(
+    tree: ScheduleTree, lp: ScheduleTreeNode, sink: str
+) -> int:
+    """Figure 16 walk generalized to a sink anywhere under ``lp``.
+
+    Start from the end of one full body iteration of ``lp`` and
+    subtract, walking from the sink's leaf up to ``lp`` (exclusive),
+    the duration of every right sibling passed while ascending from a
+    left child — the work remaining after the sink's final firing of
+    the iteration.  When the sink lies under ``lp.right`` this equals
+    the classic walk of :func:`_interval_stop_time` (the start value
+    ``lp.start + body_duration`` is exactly ``lp.right.stop``).
+    """
+    stop = lp.start + lp.body_duration()
+    node = tree.leaf(sink)
+    while node is not lp:
+        parent = node.parent
+        if parent is None:
+            raise ScheduleError(
+                f"sink {sink!r} is not under the least parent"
+            )
+        if parent.left is node:
+            stop -= parent.right.dur
+        node = parent
+    return stop
 
 
 def _interval_stop_time(

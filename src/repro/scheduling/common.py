@@ -38,6 +38,7 @@ __all__ = [
     "build_schedule_from_splits",
     "SplitTable",
     "aggregate_pair_weights",
+    "broadcast_group_weights",
     "dp_over_context",
 ]
 
@@ -55,9 +56,17 @@ def aggregate_pair_weights(
 
     Order-invariant, so a compilation session computes it once per graph
     and every per-order :class:`ChainContext` reuses it.
+
+    Broadcast members are *excluded*: a group owns one shared buffer,
+    counted once, so its weight enters the DP as a single virtual edge
+    whose sink position depends on the order — see
+    :func:`broadcast_group_weights` and the folding in
+    :class:`ChainContext`.
     """
     weights: Dict[Tuple[str, str], Tuple[int, int, int]] = {}
     for e in graph.edges():
+        if e.broadcast is not None:
+            continue
         tw = total_tokens_exchanged(e, q) * e.token_size
         dw = e.delay * e.token_size
         ptw = tw if e.delay > 0 else 0
@@ -70,8 +79,44 @@ def aggregate_pair_weights(
     return weights
 
 
+def broadcast_group_weights(
+    graph: SDFGraph, q: Dict[str, int]
+) -> Dict[str, Tuple[str, Tuple[str, ...], Tuple[int, int, int]]]:
+    """Per broadcast group: ``(source, sinks, (tw, dw, ptw))``.
+
+    Members of a group share source, production, delay, and token size,
+    so they all have the same TNSE — the weight of the one shared
+    buffer, counted once.  Order-invariant (cached per session); the
+    position of the virtual edge carrying the weight is order-dependent
+    and resolved per :class:`ChainContext`.
+    """
+    weights: Dict[str, Tuple[str, Tuple[str, ...], Tuple[int, int, int]]] = {}
+    for name, members in graph.broadcast_groups().items():
+        first = members[0]
+        tw = total_tokens_exchanged(first, q) * first.token_size
+        dw = first.delay * first.token_size
+        ptw = tw if first.delay > 0 else 0
+        weights[name] = (
+            first.source,
+            tuple(m.sink for m in members),
+            (tw, dw, ptw),
+        )
+    return weights
+
+
 class ChainContext:
     """Precomputed quantities for DP over a lexical order.
+
+    A broadcast group enters the weight tables as one *virtual edge*
+    from its source to the member sink at the greatest order position,
+    carrying the group's weight once.  This is exact for the DP cost
+    models: within any window, the first split separating the source
+    from *any* member sink also separates it from the farthest one
+    (windows are contiguous and every sink is after the source), and
+    window nesting makes inner gcds multiples of outer gcds, so
+    ``TNSE/g`` at that outermost separation is the maximum over the
+    members' individual crossing costs — exactly the shared buffer's
+    occupancy peak (max over member token counts).
 
     Parameters
     ----------
@@ -88,9 +133,12 @@ class ChainContext:
         for every trial of a search.
     pair_weights:
         Precomputed ``(source, sink) -> (tnse words, delay words,
-        delayed-edge tnse words)`` with parallel edges aggregated, as
-        built once per graph by a compilation session; computed here
-        when absent.
+        delayed-edge tnse words)`` with parallel edges aggregated
+        (broadcast members excluded), as built once per graph by a
+        compilation session; computed here when absent.
+    broadcast_weights:
+        Precomputed per-group weights from
+        :func:`broadcast_group_weights`; computed here when absent.
     """
 
     def __init__(
@@ -100,6 +148,9 @@ class ChainContext:
         q: Optional[Dict[str, int]] = None,
         trusted: bool = False,
         pair_weights: Optional[Dict[Tuple[str, str], Tuple[int, int, int]]] = None,
+        broadcast_weights: Optional[
+            Dict[str, Tuple[str, Tuple[str, ...], Tuple[int, int, int]]]
+        ] = None,
     ) -> None:
         if sorted(order) != sorted(graph.actor_names()):
             raise GraphStructureError(
@@ -130,6 +181,22 @@ class ChainContext:
 
         if pair_weights is None:
             pair_weights = aggregate_pair_weights(graph, self.q)
+        if broadcast_weights is None:
+            broadcast_weights = broadcast_group_weights(graph, self.q)
+        if broadcast_weights:
+            # Fold each broadcast group in as a virtual edge to the
+            # member sink farthest along *this* order (see class
+            # docstring for why this is exact).  pair_weights itself is
+            # order-invariant session state and must not be mutated.
+            pair_weights = dict(pair_weights)
+            for source, sinks, (tw, dw, ptw) in broadcast_weights.values():
+                far = max(sinks, key=lambda s: self.position[s])
+                prev = pair_weights.get((source, far))
+                if prev is not None:
+                    tw, dw, ptw = (
+                        tw + prev[0], dw + prev[1], ptw + prev[2]
+                    )
+                pair_weights[(source, far)] = (tw, dw, ptw)
 
         # 2D prefix sums over (source position, sink position) of the
         # edge count, TNSE words and delay words, so crossing sums are

@@ -49,6 +49,10 @@ def strongly_connected_components(graph: SDFGraph) -> List[List[str]]:
     stack: List[str] = []
     components: List[List[str]] = []
     counter = [0]
+    # Successor lists fetched once per node: the resume loop below runs
+    # once per tree child, and refetching (plus rescanning from a stale
+    # index) made wide nodes quadratic in their degree.
+    succ_cache: Dict[str, List[str]] = {}
 
     def strongconnect(root: str) -> None:
         # Iterative Tarjan to survive deep graphs.
@@ -60,12 +64,17 @@ def strongly_connected_components(graph: SDFGraph) -> List[List[str]]:
                 counter[0] += 1
                 stack.append(node)
                 on_stack[node] = True
+                succ_cache[node] = graph.successors(node)
+            successors = succ_cache[node]
             advanced = False
-            successors = graph.successors(node)
-            for position in range(child_index, len(successors)):
+            position = child_index
+            while position < len(successors):
                 succ = successors[position]
+                position += 1
                 if succ not in index:
-                    work[-1] = (node, position + 1)
+                    # Store the advanced index so already-processed
+                    # successors are never rescanned on resume.
+                    work[-1] = (node, position)
                     work.append((succ, 0))
                     advanced = True
                     break
@@ -130,6 +139,7 @@ def cluster_cycles(graph: SDFGraph) -> ClusteredCycles:
     composite_reps: Dict[str, int] = {}
 
     next_id = 0
+    taken = set(graph.actor_names())
     for component in components:
         if len(component) == 1 and not any(
             e.sink == component[0]
@@ -140,7 +150,12 @@ def cluster_cycles(graph: SDFGraph) -> ClusteredCycles:
             composite_of[component[0]] = name
             composite_reps[name] = q[component[0]]
             continue
+        # Composite names must be fresh: an original actor literally
+        # named "scc0" would otherwise collide in the quotient.
+        while f"scc{next_id}" in taken:
+            next_id += 1
         name = f"scc{next_id}"
+        taken.add(name)
         next_id += 1
         members[name] = list(component)
         for actor in component:
@@ -177,27 +192,44 @@ def cluster_cycles(graph: SDFGraph) -> ClusteredCycles:
 
 
 def _scc_subschedule(sub: SDFGraph, inner_q: Dict[str, int]) -> LoopedSchedule:
-    """Greedy symbolic execution of one composite firing of an SCC."""
+    """Greedy symbolic execution of one composite firing of an SCC.
+
+    Each actor fires to exhaustion before the scan moves on, and its
+    consecutive firings are emitted as one ``Firing(actor, count)``
+    node — so whenever the greedy order admits it (e.g. enough initial
+    tokens to run each member's full blocking factor back to back) the
+    subschedule is single appearance instead of a flat firing list.
+    """
     tokens = {e.key: e.delay for e in sub.edges()}
     remaining = dict(inner_q)
-    firings: List[str] = []
+    runs: List[Tuple[str, int]] = []
 
     def can_fire(a: str) -> bool:
         return remaining[a] > 0 and all(
             tokens[e.key] >= e.consumption for e in sub.in_edges(a)
         )
 
+    total_fired = 0
     total = sum(inner_q.values())
-    while len(firings) < total:
+    while total_fired < total:
         fired = False
         for a in sub.actor_names():
-            if can_fire(a):
+            count = 0
+            # Token-by-token so self-loops stay exact: a bulk update
+            # could overdraw an edge that both feeds and drains ``a``.
+            while can_fire(a):
                 for e in sub.in_edges(a):
                     tokens[e.key] -= e.consumption
                 for e in sub.out_edges(a):
                     tokens[e.key] += e.production
                 remaining[a] -= 1
-                firings.append(a)
+                count += 1
+            if count:
+                if runs and runs[-1][0] == a:
+                    runs[-1] = (a, runs[-1][1] + count)
+                else:
+                    runs.append((a, count))
+                total_fired += count
                 fired = True
         if not fired:
             raise InconsistentGraphError(
@@ -205,7 +237,7 @@ def _scc_subschedule(sub: SDFGraph, inner_q: Dict[str, int]) -> LoopedSchedule:
                 f"insufficient initial tokens on its feedback edges",
                 kind="deadlock",
             )
-    return LoopedSchedule([Firing(a) for a in firings])
+    return LoopedSchedule([Firing(a, count) for a, count in runs])
 
 
 @dataclass

@@ -31,7 +31,11 @@ from ..sdf.graph import SDFGraph
 from ..sdf.io import canonical_hash
 from ..sdf.repetitions import repetitions_vector
 from .chain_sdppo import ChainSDPPOResult, chain_sdppo
-from .common import ChainContext, aggregate_pair_weights
+from .common import (
+    ChainContext,
+    aggregate_pair_weights,
+    broadcast_group_weights,
+)
 
 __all__ = ["CompilationSession"]
 
@@ -58,6 +62,12 @@ class CompilationSession:
         self.pair_weights: Dict[Tuple[str, str], Tuple[int, int, int]] = (
             aggregate_pair_weights(graph, self.q)
         )
+        #: Broadcast-group weights (one shared buffer each), folded
+        #: into every per-order context as an order-dependent virtual
+        #: edge to the farthest member sink.
+        self.broadcast_weights: Dict[
+            str, Tuple[str, Tuple[str, ...], Tuple[int, int, int]]
+        ] = broadcast_group_weights(graph, self.q)
         self._chain_order: Optional[List[str]] = None
         self._chain_checked = False
         self._chain_result: Optional[ChainSDPPOResult] = None
@@ -106,6 +116,7 @@ class CompilationSession:
             q=self.q,
             trusted=trusted,
             pair_weights=self.pair_weights,
+            broadcast_weights=self.broadcast_weights,
         )
 
     def chain_sdppo_result(self) -> ChainSDPPOResult:

@@ -74,6 +74,15 @@ class Edge:
     "vectors or matrices are being exchanged instead of numerical
     tokens"); all buffer sizes reported by this package are in *words*,
     i.e. tokens multiplied by ``token_size``.
+
+    ``broadcast`` tags this edge as one *member* of a broadcast group
+    (generalized graph connections, Liu/Barford/Bhattacharyya): the
+    producer writes each token once into a single shared buffer and
+    every member sink reads its own cursor over that buffer.  All
+    members of a group share one source, production rate, delay, and
+    token size; each member keeps its own consumption rate and sink.
+    Token *counting* on a member is ordinary FIFO counting; only
+    memory accounting (one physical buffer per group) differs.
     """
 
     source: str
@@ -84,6 +93,8 @@ class Edge:
     token_size: int = 1
     #: Disambiguates parallel edges between the same actor pair.
     index: int = 0
+    #: Broadcast-group name, or None for an ordinary point-to-point edge.
+    broadcast: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.production <= 0 or self.consumption <= 0:
@@ -183,11 +194,15 @@ class SDFGraph:
         consumption: int,
         delay: int = 0,
         token_size: int = 1,
+        broadcast: Optional[str] = None,
     ) -> Edge:
         """Add a FIFO channel from ``source`` to ``sink``.
 
         Parallel edges are permitted and distinguished by an
-        automatically assigned ``index``.
+        automatically assigned ``index``.  ``broadcast`` tags the edge
+        as a member of a broadcast group; members must agree on source,
+        production, delay, and token size, and have pairwise-distinct
+        sinks (use :meth:`add_broadcast` for whole groups).
         """
         for endpoint in (source, sink):
             if endpoint not in self._actors:
@@ -195,15 +210,135 @@ class SDFGraph:
                     f"edge endpoint {endpoint!r} is not an actor of "
                     f"graph {self.name!r}"
                 )
+        if broadcast is not None:
+            if source == sink:
+                raise GraphStructureError(
+                    f"broadcast group {broadcast!r}: member must not be "
+                    f"a self-loop ({source!r})"
+                )
+            for member in self.broadcast_members(broadcast):
+                if member.source != source:
+                    raise GraphStructureError(
+                        f"broadcast group {broadcast!r}: members must "
+                        f"share one source ({member.source!r} vs "
+                        f"{source!r})"
+                    )
+                if member.sink == sink:
+                    raise GraphStructureError(
+                        f"broadcast group {broadcast!r}: duplicate "
+                        f"sink {sink!r}"
+                    )
+                if (member.production, member.delay, member.token_size) != (
+                    production, delay, token_size
+                ):
+                    raise GraphStructureError(
+                        f"broadcast group {broadcast!r}: members must "
+                        f"share production/delay/token_size"
+                    )
         index = sum(
             1 for k in self._out[source] if k[0] == source and k[1] == sink
         )
-        edge = Edge(source, sink, production, consumption, delay, token_size, index)
+        edge = Edge(
+            source, sink, production, consumption, delay, token_size,
+            index, broadcast,
+        )
         self._edges[edge.key] = edge
         self._out[source].append(edge.key)
         self._in[sink].append(edge.key)
         self.invalidate_caches()
         return edge
+
+    def add_broadcast(
+        self,
+        source: str,
+        sinks: Sequence[str],
+        production: int,
+        consumptions: Sequence[int],
+        delay: int = 0,
+        token_size: int = 1,
+        name: Optional[str] = None,
+    ) -> List[Edge]:
+        """Add a broadcast group: one producer, one shared buffer, k sinks.
+
+        ``consumptions[i]`` is the consumption rate of the member edge
+        to ``sinks[i]``.  Every member carries the same production,
+        delay, and token size; the physical buffer backing the group is
+        sized once (by the member that holds tokens the longest), not
+        once per member.  Returns the member edges in ``sinks`` order.
+        """
+        if len(sinks) != len(consumptions):
+            raise GraphStructureError(
+                f"broadcast from {source!r}: {len(sinks)} sinks but "
+                f"{len(consumptions)} consumption rates"
+            )
+        if not sinks:
+            raise GraphStructureError(
+                f"broadcast from {source!r}: needs at least one sink"
+            )
+        if name is None:
+            existing = self.broadcast_names()
+            counter = len(existing)
+            name = f"bc{counter}"
+            while name in existing:
+                counter += 1
+                name = f"bc{counter}"
+        elif name in self.broadcast_names():
+            raise GraphStructureError(
+                f"duplicate broadcast group name {name!r}"
+            )
+        return [
+            self.add_edge(
+                source, sink, production, cns, delay, token_size,
+                broadcast=name,
+            )
+            for sink, cns in zip(sinks, consumptions)
+        ]
+
+    # ------------------------------------------------------------------
+    # broadcast queries
+    # ------------------------------------------------------------------
+    def broadcast_groups(self) -> Dict[str, List[Edge]]:
+        """Group name -> member edges, in edge insertion order."""
+        groups: Dict[str, List[Edge]] = {}
+        for e in self._edges.values():
+            if e.broadcast is not None:
+                groups.setdefault(e.broadcast, []).append(e)
+        return groups
+
+    def broadcast_members(self, name: str) -> List[Edge]:
+        """Member edges of broadcast group ``name`` (possibly empty)."""
+        return [
+            e for e in self._edges.values() if e.broadcast == name
+        ]
+
+    def broadcast_names(self) -> Set[str]:
+        return {
+            e.broadcast
+            for e in self._edges.values()
+            if e.broadcast is not None
+        }
+
+    def has_broadcasts(self) -> bool:
+        return any(e.broadcast is not None for e in self._edges.values())
+
+    def without_broadcasts(self) -> "SDFGraph":
+        """A copy with every broadcast tag dropped.
+
+        The *k-parallel-edges model*: each member becomes an ordinary
+        point-to-point FIFO with its own buffer.  Token dynamics (and
+        hence schedules and the repetitions vector) are identical; only
+        memory accounting changes, which is exactly what the harness's
+        sharing-win oracle compares.
+        """
+        flat = SDFGraph(self.name)
+        for a in self._actors.values():
+            flat.add_actor(a.name, a.execution_time)
+        for e in self.edges():
+            flat.add_edge(
+                e.source, e.sink, e.production, e.consumption,
+                e.delay, e.token_size,
+            )
+        return flat
 
     def add_chain(
         self,
@@ -423,7 +558,7 @@ class SDFGraph:
             if e.source in keep and e.sink in keep:
                 sub.add_edge(
                     e.source, e.sink, e.production, e.consumption,
-                    e.delay, e.token_size,
+                    e.delay, e.token_size, broadcast=e.broadcast,
                 )
         return sub
 
@@ -431,7 +566,12 @@ class SDFGraph:
         return self.subgraph(self._actors, name=self.name)
 
     def reversed(self) -> "SDFGraph":
-        """The graph with every edge reversed (production/consumption swapped)."""
+        """The graph with every edge reversed (production/consumption swapped).
+
+        Broadcast tags are dropped: reversing a broadcast group would
+        turn one-writer-many-readers into many-writers-one-reader,
+        which is a merge, not a broadcast.
+        """
         rev = SDFGraph(f"{self.name}_rev")
         for a in self._actors.values():
             rev.add_actor(a.name, a.execution_time)

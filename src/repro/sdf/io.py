@@ -54,6 +54,11 @@ def to_json(graph: SDFGraph) -> Dict[str, Any]:
                 "consumption": e.consumption,
                 "delay": e.delay,
                 "token_size": e.token_size,
+                # Only present for broadcast members: keeps the
+                # canonical document (and hence every content address
+                # already in a serve cache) byte-stable for ordinary
+                # graphs.
+                **({"broadcast": e.broadcast} if e.broadcast else {}),
             }
             for e in graph.edges()
         ],
@@ -73,6 +78,7 @@ def from_json(document: Dict[str, Any]) -> SDFGraph:
                 actor["name"], int(actor.get("execution_time", 1))
             )
         for edge in document["edges"]:
+            broadcast = edge.get("broadcast")
             graph.add_edge(
                 edge["source"],
                 edge["sink"],
@@ -80,6 +86,7 @@ def from_json(document: Dict[str, Any]) -> SDFGraph:
                 int(edge["consumption"]),
                 int(edge.get("delay", 0)),
                 int(edge.get("token_size", 1)),
+                broadcast=str(broadcast) if broadcast is not None else None,
             )
     except (KeyError, TypeError) as exc:
         raise GraphStructureError(
@@ -149,6 +156,9 @@ def to_dot(graph: SDFGraph) -> str:
             label += f", {e.delay}D"
         if e.token_size != 1:
             label += f" x{e.token_size}w"
-        lines.append(f'  "{e.source}" -> "{e.sink}" [label="{label}"];')
+        attrs = f'label="{label}"'
+        if e.broadcast:
+            attrs = f'label="{label} [{e.broadcast}]" style=dashed'
+        lines.append(f'  "{e.source}" -> "{e.sink}" [{attrs}];')
     lines.append("}")
     return "\n".join(lines) + "\n"

@@ -24,8 +24,18 @@ from math import gcd
 from typing import List, Optional, Sequence
 
 from .graph import SDFGraph
+from .repetitions import repetitions_vector
 
-__all__ = ["random_sdf_graph", "random_chain_graph"]
+__all__ = [
+    "random_sdf_graph",
+    "random_chain_graph",
+    "random_broadcast_sdf_graph",
+    "random_cyclic_sdf_graph",
+]
+
+
+def _lcm(a: int, b: int) -> int:
+    return a * b // gcd(a, b)
 
 
 def random_sdf_graph(
@@ -100,6 +110,150 @@ def random_sdf_graph(
         if not g.has_edge(u, v):
             add(u, v)
             extra -= 1
+    return g
+
+
+def random_broadcast_sdf_graph(
+    num_actors: int,
+    seed: Optional[int] = None,
+    num_groups: int = 2,
+    max_fanout: int = 3,
+    delayed_group_fraction: float = 0.25,
+    token_size_choices: Sequence[int] = (1,),
+    rng: Optional[random.Random] = None,
+    name: Optional[str] = None,
+    **base_kwargs,
+) -> SDFGraph:
+    """A random consistent acyclic SDF graph with broadcast groups.
+
+    Starts from :func:`random_sdf_graph` and attaches up to
+    ``num_groups`` broadcast groups, each fanning one source out to
+    2..``max_fanout`` later actors (keeping the graph acyclic).  The
+    group rates are consistent by construction: with repetitions
+    ``q``, the production is ``p = lcm_i(q(v_i) / gcd(q(u), q(v_i)))``
+    and each member consumes ``c_i = p * q(u) / q(v_i)`` — the unique
+    minimal rates balancing every member simultaneously.
+
+    A ``delayed_group_fraction`` of groups get ``delay = p * q(u)``
+    (one full period of production), which keeps any schedule of the
+    delay-free graph valid while exercising the circular-buffer path.
+    """
+    if num_actors < 3:
+        raise ValueError("num_actors must be >= 3 for broadcast groups")
+    if rng is None:
+        rng = random.Random(seed)
+    g = random_sdf_graph(
+        num_actors,
+        rng=rng,
+        name=name or f"broadcast{num_actors}",
+        **base_kwargs,
+    )
+    q = repetitions_vector(g)
+    order = g.topological_order()
+    position = {a: i for i, a in enumerate(order)}
+    placed = 0
+    attempts = 0
+    while placed < num_groups and attempts < 20 * num_groups:
+        attempts += 1
+        u = order[rng.randrange(num_actors - 2)]
+        later = [v for v in order if position[v] > position[u]]
+        fanout = rng.randint(2, min(max_fanout, len(later)))
+        sinks = rng.sample(later, fanout)
+        sinks.sort(key=position.__getitem__)
+        p = 1
+        for v in sinks:
+            p = _lcm(p, q[v] // gcd(q[u], q[v]))
+        consumptions = [p * q[u] // q[v] for v in sinks]
+        delay = p * q[u] if rng.random() < delayed_group_fraction else 0
+        g.add_broadcast(
+            u,
+            sinks,
+            production=p,
+            consumptions=consumptions,
+            delay=delay,
+            token_size=rng.choice(list(token_size_choices)),
+        )
+        placed += 1
+    if placed == 0:
+        raise RuntimeError("failed to place any broadcast group")
+    return g
+
+
+def random_cyclic_sdf_graph(
+    num_actors: int,
+    seed: Optional[int] = None,
+    num_feedback: int = 1,
+    delay_factor: int = 1,
+    rng: Optional[random.Random] = None,
+    name: Optional[str] = None,
+    **base_kwargs,
+) -> SDFGraph:
+    """A random consistent *cyclic* SDF graph that stays schedulable.
+
+    Starts from :func:`random_sdf_graph` and closes up to
+    ``num_feedback`` feedback edges ``v -> u`` where ``u`` already
+    reaches ``v``, creating directed cycles.  Each feedback edge gets
+    balanced rates derived from the repetitions vector and
+    ``delay = delay_factor * TNSE`` initial tokens (a full period's
+    consumption, times ``delay_factor >= 1``), so every schedule of the
+    underlying acyclic graph remains valid — the graph is cyclic but
+    deadlock-free by construction.
+
+    At least one feedback edge is always placed (the result is
+    guaranteed cyclic); raises if none can be.
+    """
+    if num_actors < 2:
+        raise ValueError("num_actors must be >= 2 for a cycle")
+    if delay_factor < 1:
+        raise ValueError("delay_factor must be >= 1")
+    if rng is None:
+        rng = random.Random(seed)
+    g = random_sdf_graph(
+        num_actors,
+        rng=rng,
+        name=name or f"cyclic{num_actors}",
+        **base_kwargs,
+    )
+    q = repetitions_vector(g)
+
+    def descendants(start: str) -> List[str]:
+        seen = {start}
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for succ in g.successors(node):
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        seen.discard(start)
+        return sorted(seen)
+
+    placed = 0
+    attempts = 0
+    names = g.actor_names()
+    while placed < num_feedback and attempts < 50 * num_feedback:
+        attempts += 1
+        u = names[rng.randrange(len(names))]
+        reach = descendants(u)
+        if not reach:
+            continue
+        v = reach[rng.randrange(len(reach))]
+        if g.has_edge(v, u):
+            continue
+        common = gcd(q[u], q[v])
+        production = q[u] // common
+        consumption = q[v] // common
+        tnse = production * q[v]
+        g.add_edge(
+            v,
+            u,
+            production=production,
+            consumption=consumption,
+            delay=delay_factor * tnse,
+        )
+        placed += 1
+    if placed == 0:
+        raise RuntimeError("failed to close any feedback edge")
     return g
 
 

@@ -216,10 +216,31 @@ def max_tokens(
 
 
 def buffer_memory_nonshared(graph: SDFGraph, schedule: LoopedSchedule) -> int:
-    """``bufmem(S)`` under the non-shared model (EQ 1), in words."""
+    """``bufmem(S)`` under the non-shared model (EQ 1), in words.
+
+    A broadcast group owns *one* physical buffer: every member sink
+    reads the same produced stream, and each member's unread tokens are
+    a suffix of that stream, so the group's occupancy is the *maximum*
+    member token count (the union of suffixes is the largest suffix) —
+    counted once, not once per member.
+    """
     peaks = max_tokens(graph, schedule)
     by_key = {e.key: e for e in graph.edges()}
-    return sum(peaks[k] * by_key[k].token_size for k in peaks)
+    total = 0
+    group_peaks: Dict[str, int] = {}
+    group_sizes: Dict[str, int] = {}
+    for k, peak in peaks.items():
+        e = by_key[k]
+        if e.broadcast is None:
+            total += peak * e.token_size
+        else:
+            group_peaks[e.broadcast] = max(
+                group_peaks.get(e.broadcast, 0), peak
+            )
+            group_sizes[e.broadcast] = e.token_size
+    for name, peak in group_peaks.items():
+        total += peak * group_sizes[name]
+    return total
 
 
 #: Full-state snapshots are kept every this many firings; states between
@@ -388,10 +409,19 @@ class _EpisodeScan:
     them to ``(edge key, start, stop, array words)`` with the array size
     being everything transferred during the episode (the coarse model's
     buffer) — both derived in a single pass over the firing sequence.
+
+    Broadcast members appear per-edge in ``intervals`` (logical token
+    counts) but their *physical* buffer is shared: ``group_episodes``
+    holds the merged episodes, one per broadcast group, live while any
+    member holds tokens and sized by the shared stream (production
+    counted once; occupancy = max member count).  ``member_keys`` lets
+    memory accounting swap member episodes for their group's.
     """
 
     intervals: Dict[Tuple[str, str, int], List[Tuple[int, int]]]
     episodes: List[Tuple[Tuple[str, str, int], int, int, int]]
+    group_episodes: List[Tuple[str, int, int, int]]
+    member_keys: frozenset
 
 
 def _scan_episodes(graph: SDFGraph, schedule: LoopedSchedule) -> _EpisodeScan:
@@ -424,6 +454,30 @@ def _scan_episodes(graph: SDFGraph, schedule: LoopedSchedule) -> _EpisodeScan:
         start_count[k] = e.delay
         produced[k] = 0
         peak_occ[k] = e.delay
+
+    # Broadcast groups: one shared physical buffer per group, live
+    # while *any* member holds tokens.  Production is counted once per
+    # group (all members receive the same stream); occupancy is the
+    # max member count (union of unread suffixes = largest suffix).
+    groups = graph.broadcast_groups()
+    group_keys = {name: [m.key for m in members] for name, members in groups.items()}
+    group_episodes: List[Tuple[str, int, int, int]] = []
+    g_open: Dict[str, Optional[int]] = {}
+    g_start: Dict[str, int] = {}
+    g_produced: Dict[str, int] = {}
+    g_peak: Dict[str, int] = {}
+    for name, members in groups.items():
+        first = members[0]
+        g_open[name] = 0 if first.delay > 0 else None
+        g_start[name] = first.delay
+        g_produced[name] = 0
+        g_peak[name] = first.delay
+
+    def group_words(name: str) -> int:
+        first = groups[name][0]
+        if first.delay > 0:
+            return g_peak[name] * first.token_size
+        return (g_start[name] + g_produced[name]) * first.token_size
 
     def episode_words(k: Tuple[str, str, int], e: Edge) -> int:
         # A delayed edge wraps its del(e) tokens around the period
@@ -475,12 +529,49 @@ def _scan_episodes(graph: SDFGraph, schedule: LoopedSchedule) -> _EpisodeScan:
                 open_at[k] = None
                 produced[k] = 0
                 peak_occ[k] = 0
+        # Group liveness transitions (same post-firing convention).
+        touched_groups = {e.broadcast for e in outs if e.broadcast}
+        touched_groups.update(e.broadcast for e in ins if e.broadcast)
+        for name in touched_groups:
+            occ = max(tokens[k] for k in group_keys[name])
+            if g_open[name] is None:
+                if occ > 0:
+                    g_open[name] = t - 1
+                    g_start[name] = 0
+                    g_produced[name] = (
+                        groups[name][0].production
+                        if actor == groups[name][0].source
+                        else 0
+                    )
+                    g_peak[name] = occ
+            else:
+                if actor == groups[name][0].source:
+                    g_produced[name] += groups[name][0].production
+                if occ > g_peak[name]:
+                    g_peak[name] = occ
+                if occ == 0:
+                    s = g_open[name]
+                    group_episodes.append((name, s, t, group_words(name)))
+                    g_open[name] = None
+                    g_produced[name] = 0
+                    g_peak[name] = 0
     for k, e in by_key.items():
         if open_at[k] is not None:
             s = open_at[k]
             intervals[k].append((s, t))
             episodes.append((k, s, t, episode_words(k, e)))
-    return _EpisodeScan(intervals=intervals, episodes=episodes)
+    for name in groups:
+        if g_open[name] is not None:
+            s = g_open[name]
+            group_episodes.append((name, s, t, group_words(name)))
+    return _EpisodeScan(
+        intervals=intervals,
+        episodes=episodes,
+        group_episodes=group_episodes,
+        member_keys=frozenset(
+            k for keys in group_keys.values() for k in keys
+        ),
+    )
 
 
 def coarse_live_intervals(
@@ -552,7 +643,14 @@ def max_live_tokens(
         )
     scan = _scan_episodes(graph, schedule)
     events: List[Tuple[int, int]] = []  # (time, +size/-size)
-    for _, s, t, size in scan.episodes:
+    # Broadcast member episodes are logical views of one shared buffer;
+    # memory accounting uses the merged group episodes instead.
+    for k, s, t, size in scan.episodes:
+        if k in scan.member_keys:
+            continue
+        events.append((s, size))
+        events.append((t, -size))
+    for _, s, t, size in scan.group_episodes:
         events.append((s, size))
         events.append((t, -size))
     # Intervals are half-open: a buffer dying at firing t frees its

@@ -159,6 +159,11 @@ class SymbolicTrace:
         """
         if not schedule.body or not schedule.is_single_appearance():
             return None
+        # Broadcast groups share one physical buffer across members;
+        # the per-edge episode algebra below models disjoint buffers,
+        # so decline and let the firing interpreter handle them.
+        if graph.has_broadcasts():
+            return None
         try:
             tree = ScheduleTree(schedule)
         except ScheduleError:

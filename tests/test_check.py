@@ -12,14 +12,26 @@ from repro.apps import table1_graph
 from repro.sdf.graph import SDFGraph
 from repro.sdf.random_graphs import random_sdf_graph
 from repro.check import (
+    DEFAULT_FAMILIES,
     MUTATION_CLASSES,
     run_check,
     run_injection_selftest,
     shrink_graph,
 )
 from repro.check.fault_injection import InjectionOutcome
-from repro.check.harness import describe_graph, runner_oracles, trial_graph
-from repro.check.oracles import build_artifacts, run_oracles
+from repro.check.harness import (
+    broadcast_trial_graph,
+    cyclic_trial_graph,
+    describe_graph,
+    runner_oracles,
+    trial_graph,
+)
+from repro.check.oracles import (
+    broadcast_oracles,
+    build_artifacts,
+    cyclic_oracles,
+    run_oracles,
+)
 from repro.check.reference import (
     full_trace,
     reference_max_tokens,
@@ -64,6 +76,62 @@ class TestOracleBattery:
         assert runner_oracles(seed=3, tasks=3) == []
 
 
+class TestTrialFamilies:
+    def test_default_families(self):
+        assert DEFAULT_FAMILIES == ("acyclic", "broadcast", "cyclic")
+
+    def test_broadcast_family_clean(self):
+        report = run_check(
+            trials=3, seed=0, inject=False, families=("broadcast",)
+        )
+        assert report.ok, report.summary_lines()
+
+    def test_cyclic_family_clean(self):
+        report = run_check(
+            trials=3, seed=0, inject=False, families=("cyclic",)
+        )
+        assert report.ok, report.summary_lines()
+
+    def test_all_families_cycle(self):
+        report = run_check(trials=3, seed=1, inject=False)
+        assert report.ok, report.summary_lines()
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError):
+            run_check(trials=1, seed=0, families=("bogus",))
+
+    def test_empty_families_rejected(self):
+        with pytest.raises(ValueError):
+            run_check(trials=1, seed=0, families=())
+
+    def test_trial_generators_deterministic(self):
+        assert describe_graph(broadcast_trial_graph(5)) == (
+            describe_graph(broadcast_trial_graph(5))
+        )
+        assert describe_graph(cyclic_trial_graph(5)) == (
+            describe_graph(cyclic_trial_graph(5))
+        )
+        assert broadcast_trial_graph(5).has_broadcasts()
+        assert not cyclic_trial_graph(5).is_acyclic()
+
+    def test_sharing_win_oracle_on_trial_graphs(self):
+        # The broadcast family's signature oracle: the shared-buffer
+        # model never costs more than the k-parallel-edges model.
+        for graph_seed in (0, 1, 2):
+            art = build_artifacts(
+                broadcast_trial_graph(graph_seed), method="rpmc"
+            )
+            assert broadcast_oracles(art) == []
+
+    def test_cyclic_oracles_on_trial_graphs(self):
+        for graph_seed in (0, 1, 2):
+            assert cyclic_oracles(cyclic_trial_graph(graph_seed)) == []
+
+    def test_broadcast_oracles_skip_plain_graphs(self):
+        art = build_artifacts(chain(3))
+        assert broadcast_oracles(art) == []
+
+
 class TestReferenceImplementations:
     def test_full_trace_matches_balance(self):
         g = chain(3)
@@ -98,6 +166,10 @@ class TestFaultInjection:
 
     def test_at_least_five_mutation_classes(self):
         assert len(MUTATION_CLASSES) >= 5
+
+    def test_new_family_mutations_registered(self):
+        assert "broadcast_stop" in MUTATION_CLASSES
+        assert "cyclic_schedule" in MUTATION_CLASSES
 
     def test_blind_oracle_fails_the_selftest(self, monkeypatch):
         # A mutation nothing catches must make the report (and therefore

@@ -4,6 +4,8 @@ import pytest
 
 from repro.exceptions import InconsistentGraphError
 from repro.sdf.graph import SDFGraph
+from repro.sdf.random_graphs import random_cyclic_sdf_graph
+from repro.sdf.repetitions import repetitions_vector
 from repro.sdf.simulate import validate_schedule
 from repro.scheduling.cyclic import (
     cluster_cycles,
@@ -90,6 +92,32 @@ class TestClusterCycles:
         clustered = cluster_cycles(g)
         assert clustered.quotient.is_acyclic()
 
+    def test_composite_name_avoids_existing_actor(self):
+        # Regression: an original actor literally named "scc0" used to
+        # collide with the first composite's generated name.
+        g = SDFGraph()
+        g.add_actors(["scc0", "A", "B"])
+        g.add_edge("scc0", "A", 1, 1)
+        g.add_edge("A", "B", 1, 1)
+        g.add_edge("B", "A", 1, 1, delay=1)
+        clustered = cluster_cycles(g)
+        assert sorted(clustered.quotient.actor_names()) == ["scc0", "scc1"]
+        assert clustered.members["scc0"] == ["scc0"]
+        assert sorted(clustered.members["scc1"]) == ["A", "B"]
+        result = schedule_cyclic(g)
+        validate_schedule(g, result.schedule)
+
+    def test_composite_name_skips_every_taken_name(self):
+        # Both "scc0" and "scc1" are real actors *inside* the cycle.
+        g = SDFGraph()
+        g.add_actors(["scc0", "scc1"])
+        g.add_edge("scc0", "scc1", 1, 1)
+        g.add_edge("scc1", "scc0", 1, 1, delay=1)
+        clustered = cluster_cycles(g)
+        (name,) = clustered.members
+        assert name == "scc2"
+        assert sorted(clustered.members[name]) == ["scc0", "scc1"]
+
 
 class TestScheduleCyclic:
     def test_feedback_schedule_valid(self):
@@ -137,3 +165,143 @@ class TestScheduleCyclic:
         result = schedule_cyclic(g)
         validate_schedule(g, result.schedule)
         assert len(result.clustered.subschedules) == 2
+
+
+class _CountingGraph:
+    """Duck-typed graph wrapper counting successor-list fetches."""
+
+    def __init__(self, g):
+        self._g = g
+        self.successor_calls = 0
+        self.successor_elements = 0
+
+    def actor_names(self):
+        return self._g.actor_names()
+
+    def successors(self, node):
+        succ = self._g.successors(node)
+        self.successor_calls += 1
+        self.successor_elements += len(succ)
+        return succ
+
+
+class TestSCCScaling:
+    def test_wide_node_fetches_successors_once(self):
+        # Regression: the iterative Tarjan refetched (and rescanned) a
+        # node's successor list once per tree child, turning a hub with
+        # n children into O(n^2) work.  A star graph makes every leaf a
+        # tree child of the hub; the fixed walk fetches each node's
+        # successors exactly once and materializes O(V + E) elements.
+        n = 300
+        g = SDFGraph("star")
+        g.add_actor("hub")
+        for i in range(n):
+            leaf = f"l{i}"
+            g.add_actor(leaf)
+            g.add_edge("hub", leaf, 1, 1)
+        counting = _CountingGraph(g)
+        comps = strongly_connected_components(counting)
+        assert len(comps) == n + 1
+        assert counting.successor_calls == n + 1
+        assert counting.successor_elements == n  # hub's list, once
+
+    def test_deep_chain_cycle_survives(self):
+        # Depth stress: a 1500-actor ring would blow the recursion limit
+        # in a recursive Tarjan; the iterative walk must return one SCC.
+        n = 1500
+        g = SDFGraph("ring")
+        names = [f"c{i}" for i in range(n)]
+        for a in names:
+            g.add_actor(a)
+        for u, v in zip(names, names[1:]):
+            g.add_edge(u, v, 1, 1)
+        g.add_edge(names[-1], names[0], 1, 1, delay=1)
+        comps = strongly_connected_components(g)
+        assert len(comps) == 1
+        assert len(comps[0]) == n
+
+
+class TestSubscheduleCompression:
+    def test_consecutive_firings_merge(self):
+        # Regression: the greedy SCC subschedule used to be a flat
+        # firing list (B B B C); consecutive runs must compress into
+        # counted firings so the subschedule stays single appearance.
+        g = SDFGraph()
+        g.add_actors("SBCT")
+        g.add_edge("S", "B", 3, 1)
+        g.add_edge("B", "C", 1, 3)
+        g.add_edge("C", "B", 3, 1, delay=3)
+        g.add_edge("C", "T", 1, 1)
+        clustered = cluster_cycles(g)
+        (sub,) = clustered.subschedules.values()
+        assert sub.is_single_appearance()
+        assert len(sub.body) == 2  # (3 B) C, not B B B C
+        counts = sub.firings_per_actor()
+        assert counts == {"B": 3, "C": 1}
+
+    def test_expanded_schedule_single_appearance(self):
+        g = SDFGraph()
+        g.add_actors("SBCT")
+        g.add_edge("S", "B", 3, 1)
+        g.add_edge("B", "C", 1, 3)
+        g.add_edge("C", "B", 3, 1, delay=3)
+        g.add_edge("C", "T", 1, 1)
+        result = schedule_cyclic(g)
+        assert result.schedule.is_single_appearance()
+
+
+class TestScheduleCyclicEndToEnd:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_cyclic_graphs_validate(self, seed):
+        g = random_cyclic_sdf_graph(
+            3 + seed % 4, seed=seed, num_feedback=1 + seed % 2,
+            max_repetition=5,
+        )
+        assert not g.is_acyclic()
+        result = schedule_cyclic(g)
+        counts = validate_schedule(g, result.schedule)
+        assert counts == repetitions_vector(g)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_cyclic_oracles_clean(self, seed):
+        # The full oracle battery for the cyclic family: schedule,
+        # token replay, and (when the schedule is single appearance)
+        # lifetimes, allocation, VM, and generated-Python execution.
+        from repro.check.oracles import cyclic_oracles
+
+        g = random_cyclic_sdf_graph(4 + seed, seed=seed, max_repetition=4)
+        assert cyclic_oracles(g) == []
+
+    def test_pipeline_executes_cyclic_schedule(self):
+        # Interpreter counts vs VM vs generated Python on a cyclic
+        # graph, driven through the real lifetime/allocation path.
+        from repro.allocation.first_fit import first_fit
+        from repro.allocation.verify import verify_allocation
+        from repro.codegen.vm import SharedMemoryVM
+        from repro.lifetimes.intervals import extract_lifetimes
+
+        g = SDFGraph()
+        g.add_actors("SBCT")
+        g.add_edge("S", "B", 3, 1)
+        g.add_edge("B", "C", 1, 3)
+        g.add_edge("C", "B", 3, 1, delay=3)
+        g.add_edge("C", "T", 1, 1)
+        result = schedule_cyclic(g)
+        assert result.schedule.is_single_appearance()
+        q = repetitions_vector(g)
+        lifetimes = extract_lifetimes(g, result.schedule, q)
+        allocation = first_fit(lifetimes.as_list())
+        verify_allocation(lifetimes.as_list(), allocation)
+        vm = SharedMemoryVM(g, lifetimes, allocation)
+        vm.run(periods=2)
+        assert vm.firings_per_actor == {a: 2 * q[a] for a in q}
+
+    def test_deadlock_reported_in_one_line(self):
+        g = SDFGraph()
+        g.add_actors("AB")
+        g.add_edge("A", "B", 1, 1)
+        g.add_edge("B", "A", 1, 1)  # no delay: deadlock
+        with pytest.raises(InconsistentGraphError) as exc:
+            schedule_cyclic(g)
+        assert exc.value.kind == "deadlock"
+        assert "\n" not in str(exc.value)

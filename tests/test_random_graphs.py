@@ -3,9 +3,14 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.sdf.random_graphs import random_chain_graph, random_sdf_graph
+from repro.sdf.random_graphs import (
+    random_broadcast_sdf_graph,
+    random_chain_graph,
+    random_cyclic_sdf_graph,
+    random_sdf_graph,
+)
 from repro.sdf.repetitions import is_consistent
-from repro.sdf.simulate import has_valid_schedule
+from repro.sdf.simulate import has_valid_schedule, validate_schedule
 
 
 class TestRandomSDF:
@@ -72,3 +77,75 @@ class TestRandomChain:
         assert [
             (e.production, e.consumption) for e in a.edges()
         ] == [(e.production, e.consumption) for e in b.edges()]
+
+
+class TestRandomBroadcast:
+    @given(
+        st.integers(min_value=3, max_value=20),
+        st.integers(min_value=0, max_value=2000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_consistent_acyclic_with_groups(self, n, seed):
+        g = random_broadcast_sdf_graph(n, seed=seed)
+        assert g.is_acyclic()
+        assert is_consistent(g)
+        assert g.has_broadcasts()
+        for members in g.broadcast_groups().values():
+            assert len(members) >= 2
+            assert len({m.source for m in members}) == 1
+            assert len({m.sink for m in members}) == len(members)
+
+    def test_schedulable(self):
+        for seed in range(5):
+            assert has_valid_schedule(
+                random_broadcast_sdf_graph(8, seed=seed)
+            )
+
+    def test_deterministic_for_seed(self):
+        a = random_broadcast_sdf_graph(10, seed=3)
+        b = random_broadcast_sdf_graph(10, seed=3)
+        assert [
+            (e.key, e.broadcast) for e in a.edges()
+        ] == [(e.key, e.broadcast) for e in b.edges()]
+
+    def test_rejects_tiny_graphs(self):
+        with pytest.raises(ValueError):
+            random_broadcast_sdf_graph(2, seed=0)
+
+
+class TestRandomCyclic:
+    @given(
+        st.integers(min_value=2, max_value=20),
+        st.integers(min_value=0, max_value=2000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_cyclic_consistent_and_schedulable(self, n, seed):
+        from repro.scheduling.cyclic import schedule_cyclic
+
+        g = random_cyclic_sdf_graph(n, seed=seed)
+        assert not g.is_acyclic()
+        assert is_consistent(g)
+        # Deadlock-free by construction: the feedback delay covers a
+        # full period, so the graph always schedules.
+        result = schedule_cyclic(g)
+        validate_schedule(g, result.schedule)
+
+    def test_extra_delay_factor_still_schedulable(self):
+        from repro.scheduling.cyclic import schedule_cyclic
+
+        g = random_cyclic_sdf_graph(8, seed=7, num_feedback=3, delay_factor=2)
+        assert not g.is_acyclic()
+        validate_schedule(g, schedule_cyclic(g).schedule)
+
+    def test_deterministic_for_seed(self):
+        a = random_cyclic_sdf_graph(9, seed=11, num_feedback=2)
+        b = random_cyclic_sdf_graph(9, seed=11, num_feedback=2)
+        assert [e.key for e in a.edges()] == [e.key for e in b.edges()]
+
+    def test_rejects_single_actor(self):
+        with pytest.raises(ValueError):
+            random_cyclic_sdf_graph(1, seed=0)
+
+    def test_rejects_zero_delay_factor(self):
+        with pytest.raises(ValueError):
+            random_cyclic_sdf_graph(4, seed=0, delay_factor=0)
