@@ -35,6 +35,7 @@ bench:
 	$(PYTHON) benchmarks/bench_obs.py --out BENCH_PR4.json
 	$(PYTHON) benchmarks/bench_serve.py --out BENCH_PR5.json
 	$(PYTHON) benchmarks/bench_farm.py --out BENCH_PR6.json
+	$(PYTHON) benchmarks/bench_native.py --out BENCH_PR8.json
 
 bench-pytest:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

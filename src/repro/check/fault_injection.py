@@ -679,6 +679,68 @@ def inject_cyclic_schedule(
     )
 
 
+def inject_native_kernel(
+    art: PipelineArtifacts, rng: random.Random
+) -> Optional[InjectionOutcome]:
+    """Arm a seeded fault inside the compiled kernels; the differential
+    comparison against the Python pipeline must notice.
+
+    Two fault kinds, the shapes of real kernel bugs: ``dp_cell`` skews
+    one cell of the DP cost table (a bad index or combiner in the C
+    loop), ``probe`` shifts one first-fit placement (an off-by-one in
+    the probe scan).  Caught means the faulted native run's outputs
+    differ from the clean pipeline's — exactly what the
+    ``oracle.native`` bit-identity comparison checks on every trial.
+    Without a usable kernel (no compiler, ``REPRO_NATIVE=0``) the
+    armed contract is the *fallback*: a native-requested compile must
+    silently produce the Python result bit for bit.
+    """
+    from ..native import get_kernels, kernel_fault
+    from ..scheduling.pipeline import implement
+    from .oracles import _result_signature
+
+    reference = _result_signature(art.result)
+    if get_kernels() is None:
+        alt = implement(
+            art.graph, art.method, seed=art.seed,
+            occurrence_cap=art.occurrence_cap, verify=False,
+            backend="native",
+        )
+        identical = _result_signature(alt) == reference
+        return InjectionOutcome(
+            mutation="native_kernel",
+            graph_seed=art.seed,
+            caught=identical,
+            detail=(
+                "no native kernel available; backend='native' fallback "
+                + ("bit-identical to python" if identical else "DIVERGED")
+            ),
+        )
+    kind = rng.choice(("dp_cell", "probe"))
+    with kernel_fault(kind):
+        mutated = implement(
+            art.graph, art.method, seed=art.seed,
+            occurrence_cap=art.occurrence_cap, verify=False,
+            backend="native",
+        )
+    skewed = _result_signature(mutated)
+    differing = sorted(k for k in reference if skewed[k] != reference[k])
+    caught = bool(differing)
+    return InjectionOutcome(
+        mutation="native_kernel",
+        graph_seed=art.seed,
+        caught=caught,
+        detail=(
+            f"armed {kind!r} kernel fault; "
+            + (
+                f"differential caught it on {', '.join(differing)}"
+                if caught
+                else "faulted native run matched python (oracle blind)"
+            )
+        ),
+    )
+
+
 MUTATION_CLASSES: Dict[
     str, Callable[[PipelineArtifacts, random.Random], Optional[InjectionOutcome]]
 ] = {
@@ -693,6 +755,7 @@ MUTATION_CLASSES: Dict[
     "worker_crash": inject_worker_crash,
     "broadcast_stop": inject_broadcast_stop,
     "cyclic_schedule": inject_cyclic_schedule,
+    "native_kernel": inject_native_kernel,
 }
 
 

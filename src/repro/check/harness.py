@@ -237,10 +237,11 @@ def _violations_for(
     seed: int,
     occurrence_cap: int,
     recorder=None,
+    backend: str = "auto",
 ) -> List[str]:
     art = build_artifacts(
         graph, method=method, seed=seed, occurrence_cap=occurrence_cap,
-        recorder=recorder,
+        recorder=recorder, backend=backend,
     )
     return run_oracles(art, recorder=recorder)
 
@@ -278,6 +279,7 @@ def run_check(
     shrink: bool = True,
     recorder=None,
     families: Tuple[str, ...] = DEFAULT_FAMILIES,
+    backend: str = "auto",
 ) -> CheckReport:
     """Run the full differential check and return the evidence.
 
@@ -305,6 +307,12 @@ def run_check(
         Which trial families to cycle through (trial ``i`` draws
         ``families[i % len(families)]``); any non-empty subset of
         :data:`DEFAULT_FAMILIES`.
+    backend:
+        Kernel backend the trial pipelines compile with (``"auto"``,
+        ``"python"``, or ``"native"``).  Whenever native kernels are
+        actually available the ``oracle.native`` group re-runs each
+        trial on the *other* backend and pins bit-identity regardless
+        of this setting.
     """
     if not families:
         raise ValueError("families must be non-empty")
@@ -341,10 +349,12 @@ def run_check(
         def violations_for(candidate: SDFGraph, rec=None) -> List[str]:
             if family == "cyclic":
                 return cyclic_oracles(
-                    candidate, occurrence_cap=occurrence_cap, recorder=rec
+                    candidate, occurrence_cap=occurrence_cap, recorder=rec,
+                    backend=backend,
                 )
             return _violations_for(
-                candidate, method, seed, occurrence_cap, recorder=rec
+                candidate, method, seed, occurrence_cap, recorder=rec,
+                backend=backend,
             )
 
         try:

@@ -51,6 +51,7 @@ __all__ = [
     "allocation_oracles",
     "broadcast_oracles",
     "cyclic_oracles",
+    "native_oracles",
     "compare_trace",
 ]
 
@@ -73,6 +74,7 @@ class PipelineArtifacts:
     occurrence_cap: int
     result: ImplementationResult
     q: Dict[str, int]
+    backend: str = "auto"
 
 
 def build_artifacts(
@@ -81,11 +83,12 @@ def build_artifacts(
     seed: int = 0,
     occurrence_cap: int = DEFAULT_OCCURRENCE_CAP,
     recorder: Optional[object] = None,
+    backend: str = "auto",
 ) -> PipelineArtifacts:
     """Run the full compilation flow and bundle everything checkable."""
     result = implement(
         graph, method, seed=seed, occurrence_cap=occurrence_cap,
-        verify=False, recorder=recorder,
+        verify=False, recorder=recorder, backend=backend,
     )
     return PipelineArtifacts(
         graph=graph,
@@ -94,6 +97,7 @@ def build_artifacts(
         occurrence_cap=occurrence_cap,
         result=result,
         q=repetitions_vector(graph),
+        backend=backend,
     )
 
 
@@ -580,12 +584,70 @@ def broadcast_oracles(art: PipelineArtifacts) -> List[str]:
 
 
 # ----------------------------------------------------------------------
+# native layer: cc-compiled kernels vs the Python pipeline, bit for bit
+# ----------------------------------------------------------------------
+def _result_signature(r: ImplementationResult) -> Dict[str, object]:
+    """Every output of one ``implement`` run, as comparable plain data."""
+    return {
+        "order": list(r.order),
+        "dppo_cost": r.dppo_cost,
+        "dppo_schedule": str(r.dppo_schedule),
+        "sdppo_cost": r.sdppo_cost,
+        "sdppo_schedule": str(r.sdppo_schedule),
+        "mco": r.mco,
+        "mcp": r.mcp,
+        "ffdur_total": r.ffdur_total,
+        "ffstart_total": r.ffstart_total,
+        "offsets": dict(r.allocation.offsets),
+        "alloc_total": r.allocation.total,
+        "bmlb": r.bmlb,
+    }
+
+
+def native_oracles(art: PipelineArtifacts) -> List[str]:
+    """The bit-identity contract: native and Python pipelines agree.
+
+    Recompiles the artifact's graph with the *other* kernel backend and
+    compares every pipeline output field.  When no native kernel is
+    available (no compiler, ``REPRO_NATIVE=0``) both runs would take
+    the Python path and the comparison is vacuous, so it is skipped —
+    the fallback path itself is exercised by the ``native_kernel``
+    fault-injection class and the compiler-less tests.
+    """
+    from ..native import get_kernels
+
+    if get_kernels() is None:
+        return []
+    native_run = art.backend != "python"
+    other = "python" if native_run else "native"
+    alt = implement(
+        art.graph, art.method, seed=art.seed,
+        occurrence_cap=art.occurrence_cap, verify=False, backend=other,
+    )
+    mine = _result_signature(art.result)
+    theirs = _result_signature(alt)
+    bad = []
+    for field in mine:
+        if mine[field] != theirs[field]:
+            a, b = (
+                (mine[field], theirs[field]) if native_run
+                else (theirs[field], mine[field])
+            )
+            bad.append(
+                f"native: {field} differs between backends: "
+                f"native {a!r} != python {b!r}"
+            )
+    return bad
+
+
+# ----------------------------------------------------------------------
 # cyclic layer: SCC-clustered scheduling vs the interpreter
 # ----------------------------------------------------------------------
 def cyclic_oracles(
     graph: SDFGraph,
     occurrence_cap: int = DEFAULT_OCCURRENCE_CAP,
     recorder: Optional[object] = None,
+    backend: str = "auto",
 ) -> List[str]:
     """``schedule_cyclic`` output against the token interpreter.
 
@@ -635,11 +697,32 @@ def cyclic_oracles(
             lifetimes = extract_lifetimes(graph, schedule, q)
             buffers = lifetimes.as_list()
             allocation = first_fit(
-                buffers, occurrence_cap=occurrence_cap
+                buffers, occurrence_cap=occurrence_cap, backend=backend
             )
             verify_allocation(buffers, allocation, occurrence_cap)
         except SDFError as exc:
             return bad + [f"cyclic: downstream pipeline failed: {exc}"]
+        if backend != "python":
+            # Differential leg for the cyclic family, which never goes
+            # through implement(): the native probe loop must place the
+            # cyclic instance exactly like the Python loop.
+            from ..native import get_kernels
+
+            if get_kernels() is not None:
+                pure = first_fit(
+                    buffers, occurrence_cap=occurrence_cap,
+                    backend="python",
+                )
+                if (
+                    allocation.offsets != pure.offsets
+                    or allocation.total != pure.total
+                ):
+                    bad.append(
+                        f"cyclic: native first-fit placement "
+                        f"({allocation.offsets}, total "
+                        f"{allocation.total}) differs from python "
+                        f"({pure.offsets}, total {pure.total})"
+                    )
         bad.extend(
             _execution_checks(
                 graph, q, lifetimes, allocation, recorder=recorder
@@ -673,6 +756,7 @@ def run_oracles(
     ]
     if art.graph.has_broadcasts():
         groups.append(("oracle.bcast", lambda: broadcast_oracles(art)))
+    groups.append(("oracle.native", lambda: native_oracles(art)))
     bad: List[str] = []
     for name, fn in groups:
         if recorder is not None:

@@ -174,7 +174,7 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     try:
         result = implement(
             graph, args.method, seed=args.seed,
-            report=report, recorder=recorder,
+            report=report, recorder=recorder, backend=args.backend,
         )
     except Exception:
         _flush_observability(args, report, recorder)
@@ -211,7 +211,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     recorder = obs.TraceRecorder()
     try:
         result = implement(
-            graph, args.method, seed=args.seed, recorder=recorder
+            graph, args.method, seed=args.seed, recorder=recorder,
+            backend=args.backend,
         )
     except Exception:
         print(obs.format_stats(recorder))
@@ -334,6 +335,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
             families=tuple(
                 f.strip() for f in args.families.split(",") if f.strip()
             ),
+            backend=args.backend,
         )
         meta["failures"] = len(report.failures)
         meta["ok"] = report.ok
@@ -482,6 +484,13 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         print(f"cache root: {stats['root']}")
         print(f"entries:    {stats['entries']}")
         print(f"bytes:      {stats['bytes']}")
+        for kind in sorted(stats["kinds"]):
+            k = stats["kinds"][kind]
+            print(
+                f"{kind + ':':<12}{k['entries']} "
+                f"entr{'y' if k['entries'] == 1 else 'ies'}, "
+                f"{k['bytes']} bytes"
+            )
         return 0
     if args.cache_command == "gc":
         max_age_s = (
@@ -517,6 +526,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--method", default="rpmc", choices=["rpmc", "apgan", "natural"]
     )
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--backend", default="auto", choices=["auto", "python", "native"],
+        help="kernel backend for the DP/first-fit hot loops (auto: "
+             "cc-compiled native kernels when a compiler is available, "
+             "silently falling back to python; results are "
+             "bit-identical either way)",
+    )
     p.add_argument("--emit-c", metavar="FILE", help="write C output")
     p.add_argument(
         "--check", action="store_true",
@@ -560,6 +576,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--method", default="rpmc", choices=["rpmc", "apgan", "natural"]
     )
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--backend", default="auto", choices=["auto", "python", "native"],
+        help="kernel backend for the DP/first-fit hot loops "
+             "(bit-identical results; native counters show up in the "
+             "stats table)",
+    )
     p.add_argument(
         "--check", action="store_true",
         help="also execute the schedule in the shared-memory VM",
@@ -646,6 +668,12 @@ def build_parser() -> argparse.ArgumentParser:
             "comma-separated trial families to cycle through "
             "(acyclic, broadcast, cyclic)"
         ),
+    )
+    p.add_argument(
+        "--backend", default="auto", choices=["auto", "python", "native"],
+        help="kernel backend the trial pipelines compile with; when "
+             "native kernels are available the oracle.native group "
+             "cross-checks both backends regardless",
     )
     p.add_argument(
         "--bench-out", metavar="FILE", default=None,

@@ -1,0 +1,215 @@
+"""The C source for the native hot-core kernels.
+
+The kernels mirror, statement for statement, the pure-Python inner
+loops they replace:
+
+* ``repro_dp`` — the O(n^3) chain DP over a :class:`ChainContext`
+  (EQ 2 non-shared sum combiner, EQ 5 shared max combiner, and the
+  shared episodic/persistent split for delayed graphs), including the
+  crossing-cost window evaluation as inline prefix-rectangle queries
+  and the section 5.1 auto-factoring decision;
+* ``repro_first_fit`` — the first-fit probe loop over periodic
+  lifetimes (figure 19), including the probe counter the observability
+  layer reports.
+
+Bit-identity contract
+---------------------
+Every arithmetic step matches the Python path exactly:
+
+* all values are nonnegative int64, so C's truncating ``/`` equals
+  Python's ``//`` (the caller guards against overflow before
+  dispatching here — see ``ChainContext.use_native``);
+* the split scan keeps the *first* minimum (strict ``<`` while walking
+  ``k`` ascending), matching both ``list.index(min(...))`` and
+  ``numpy.argmin``;
+* first-fit sorts placed neighbours by ``(base, size)``; ties are
+  fully identical pairs, so an unstable ``qsort`` cannot reorder
+  observably.
+
+The source string is part of the kernel's content address
+(:func:`repro.native.build.kernel_key`): editing it here produces a
+new key, a fresh ``cc`` build, and a separate cache entry — stale
+binaries can never be loaded.
+"""
+
+from __future__ import annotations
+
+__all__ = ["KERNEL_SOURCE", "KERNEL_ABI_VERSION"]
+
+#: Bumped whenever an exported signature changes shape; the loader
+#: refuses a binary whose baked-in version disagrees (belt-and-braces
+#: on top of content addressing).
+KERNEL_ABI_VERSION = 1
+
+KERNEL_SOURCE = r"""
+/* repro native kernels: chain DP + first-fit probe loop.
+ *
+ * Generated/maintained as a template string in repro/native/source.py;
+ * compiled on demand with `cc -O2 -fPIC -shared` and content-addressed
+ * by (source, compiler identity, cflags, ABI) in the artifact cache.
+ *
+ * All quantities are nonnegative int64 and the Python caller has
+ * already checked the DP accumulation bound, so `/` here matches
+ * Python's floor division and nothing can overflow.
+ */
+
+#include <stdint.h>
+#include <stdlib.h>
+
+#define REPRO_ABI_VERSION 1
+
+int64_t repro_abi_version(void) { return REPRO_ABI_VERSION; }
+
+/* Sum of prefix grid P (side m = n+1) over sources [r0, r1] and sinks
+ * [c0, c1] -- ChainContext._rect. */
+#define RECT(P, m, r0, r1, c0, c1)                                   \
+    ((P)[((r1) + 1) * (m) + (c1) + 1] - (P)[(r0) * (m) + (c1) + 1]   \
+     - (P)[((r1) + 1) * (m) + (c0)] + (P)[(r0) * (m) + (c0)])
+
+/* The chain DP of dppo/sdppo/dp_over_context.
+ *
+ *   n          actors in the lexical order
+ *   pt, pd, pp (n+1)^2 row-major prefix grids: TNSE words, delay
+ *              words, delayed-edge TNSE words
+ *   g          n*n row-major window gcd table g[i][j]
+ *   shared     0 = EQ 2 (sum combiner), 1 = EQ 5 (max combiner)
+ *   pers_split 1 = shared DP with delayed edges: split costs into
+ *              episodic (max) and persistent (sum) components
+ *   factoring  0 = auto (factor iff crossing cost > 0), 1 = always,
+ *              2 = never
+ *   b          out n*n cost table (caller-zeroed)
+ *   split      out n*n chosen split k per window (i, j)
+ *   factored   out n*n factoring flags (shared only)
+ *   ep, pers   n*n caller-zeroed scratch: episodic/persistent tables
+ *              (used only when pers_split)
+ */
+int repro_dp(int64_t n,
+             const int64_t *pt, const int64_t *pd, const int64_t *pp,
+             const int64_t *g,
+             int32_t shared, int32_t pers_split, int32_t factoring,
+             int64_t *b, int64_t *split, uint8_t *factored,
+             int64_t *ep, int64_t *pers)
+{
+    int64_t m = n + 1;
+    int64_t L, i, k;
+    if (n < 2)
+        return 0;
+    for (L = 2; L <= n; L++) {
+        for (i = 0; i <= n - L; i++) {
+            int64_t j = i + L - 1;
+            int64_t gg = g[i * n + j];
+            int64_t best = 0, best_cost = 0, best_k = -1;
+            for (k = i; k < j; k++) {
+                int64_t tw = RECT(pt, m, i, k, k + 1, j);
+                int64_t dw = RECT(pd, m, i, k, k + 1, j);
+                int64_t cost = tw / gg + dw;
+                int64_t total;
+                if (pers_split) {
+                    int64_t el = ep[i * n + k];
+                    int64_t er = ep[(k + 1) * n + j];
+                    total = (el > er ? el : er)
+                            + pers[i * n + k] + pers[(k + 1) * n + j]
+                            + cost;
+                } else {
+                    int64_t bl = b[i * n + k];
+                    int64_t br = b[(k + 1) * n + j];
+                    total = (shared ? (bl > br ? bl : br) : bl + br)
+                            + cost;
+                }
+                /* strict < after the first candidate: first minimum,
+                 * matching list.index(min(...)) and numpy argmin. */
+                if (best_k < 0 || total < best) {
+                    best = total;
+                    best_cost = cost;
+                    best_k = k;
+                }
+            }
+            b[i * n + j] = best;
+            split[i * n + j] = best_k;
+            if (pers_split) {
+                int64_t ptw = RECT(pp, m, i, best_k, best_k + 1, j);
+                int64_t dwb = RECT(pd, m, i, best_k, best_k + 1, j);
+                int64_t np = pers[i * n + best_k]
+                             + pers[(best_k + 1) * n + j]
+                             + ptw / gg + dwb;
+                pers[i * n + j] = np;
+                ep[i * n + j] = best - np;
+            }
+            if (shared) {
+                factored[i * n + j] = (uint8_t)(
+                    factoring == 1 ? 1
+                    : factoring == 2 ? 0
+                    : (best_cost > 0));
+            }
+        }
+    }
+    return 0;
+}
+
+/* One placed neighbour: its base offset and size, sorted ascending by
+ * (base, size) exactly like Python's tuple sort.  Equal pairs are
+ * indistinguishable, so qsort's instability cannot change the scan. */
+typedef struct {
+    int64_t base;
+    int64_t size;
+} repro_ff_pair;
+
+static int repro_ff_cmp(const void *pa, const void *pb)
+{
+    const repro_ff_pair *a = (const repro_ff_pair *)pa;
+    const repro_ff_pair *b = (const repro_ff_pair *)pb;
+    if (a->base != b->base)
+        return a->base < b->base ? -1 : 1;
+    if (a->size != b->size)
+        return a->size < b->size ? -1 : 1;
+    return 0;
+}
+
+/* First-fit over an enumerated instance (figure 19).
+ *
+ *   nb         number of buffers
+ *   sizes      per-buffer word sizes
+ *   order      placement order (a permutation of 0..nb-1)
+ *   indptr     CSR row pointers into indices (nb+1 entries)
+ *   indices    flattened intersection-graph adjacency lists
+ *   scratch    caller-allocated 2*nb int64 (pair sort buffer)
+ *   offsets    out nb chosen base offsets
+ *   probes_out out total placed-neighbour comparisons
+ */
+int repro_first_fit(int64_t nb,
+                    const int64_t *sizes, const int64_t *order,
+                    const int64_t *indptr, const int64_t *indices,
+                    int64_t *scratch,
+                    int64_t *offsets, int64_t *probes_out)
+{
+    repro_ff_pair *pairs = (repro_ff_pair *)scratch;
+    int64_t probes = 0;
+    int64_t t, p;
+    for (t = 0; t < nb; t++)
+        offsets[t] = -1; /* -1 = not yet placed */
+    for (t = 0; t < nb; t++) {
+        int64_t i = order[t];
+        int64_t cnt = 0;
+        int64_t candidate = 0;
+        for (p = indptr[i]; p < indptr[i + 1]; p++) {
+            int64_t jn = indices[p];
+            if (offsets[jn] >= 0 && sizes[jn] > 0) {
+                pairs[cnt].base = offsets[jn];
+                pairs[cnt].size = sizes[jn];
+                cnt++;
+            }
+        }
+        qsort(pairs, (size_t)cnt, sizeof(repro_ff_pair), repro_ff_cmp);
+        for (p = 0; p < cnt; p++) {
+            probes++;
+            if (candidate + sizes[i] <= pairs[p].base)
+                break; /* fits in the gap before this neighbour */
+            if (pairs[p].base + pairs[p].size > candidate)
+                candidate = pairs[p].base + pairs[p].size;
+        }
+        offsets[i] = candidate;
+    }
+    *probes_out = probes;
+    return 0;
+}
+"""

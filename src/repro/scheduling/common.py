@@ -243,6 +243,17 @@ class ChainContext:
             and self.n >= 30
             and (total_w + 1) * (self.n + 2) < 2**62
         )
+        #: Whether the cc-compiled DP kernel may run: same int64
+        #: accumulation bound as the numpy path but no size floor — a
+        #: C call is cheap enough for small windows, and running native
+        #: everywhere maximizes differential coverage.  Ineligible
+        #: contexts (big-int weights) silently take the Python path.
+        self.use_native = (
+            self.n >= 2 and (total_w + 1) * (self.n + 2) < 2**62
+        )
+        #: Flattened ctypes copies of the prefix/gcd grids, built and
+        #: cached by :mod:`repro.native.kernels` on first native DP.
+        self._native_state: Optional[tuple] = None
         # Window -> crossing-cost list, shared by the DPPO/SDPPO pair
         # running over this same context (the lists are never mutated).
         self._window_costs: List[List[Optional[List[int]]]] = [

@@ -70,6 +70,7 @@ def dppo(
     order: Sequence[str],
     q: Optional[Dict[str, int]] = None,
     context: Optional[ChainContext] = None,
+    backend: str = "python",
 ) -> DPPOResult:
     """Order-optimal SAS under the non-shared buffer model.
 
@@ -77,6 +78,12 @@ def dppo(
     ``context`` supplies a prebuilt :class:`ChainContext` for ``order``
     (e.g. from a compilation session) so DPPO and SDPPO runs over the
     same order share one precomputation.
+
+    ``backend`` selects the DP implementation: ``"python"`` (the
+    default; vectorizes with numpy on large eligible contexts),
+    ``"native"`` or ``"auto"`` to run the cc-compiled kernel where
+    available and eligible — bit-identical results either way, with a
+    silent fall-through to the Python path when the kernel cannot run.
 
     Examples
     --------
@@ -97,9 +104,16 @@ def dppo(
     if context is None:
         context = ChainContext(graph, order, q)
     n = context.n
-    if context.use_numpy:
+    b = split = None
+    if backend != "python" and context.use_native:
+        from ..native import resolve_backend
+
+        _, kernels = resolve_backend(backend)
+        if kernels is not None:
+            b, split, _ = kernels.dp_over_context(context, shared=False)
+    if b is None and context.use_numpy:
         b, split, _ = dp_over_context(context, shared=False)
-    else:
+    elif b is None:
         # b[i][j] = optimal cost of window (i, j), kept both row-major
         # and transposed so the split scan zips two contiguous slices:
         # the left halves b[i][i..j-1] and the right halves b[i+1..j][j].

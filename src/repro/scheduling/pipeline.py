@@ -132,6 +132,7 @@ def implement(
     trusted_order: bool = False,
     report=None,
     recorder=None,
+    backend: Optional[str] = None,
 ) -> ImplementationResult:
     """Run the full flow with one topological-sort method.
 
@@ -182,6 +183,15 @@ def implement(
         A :class:`repro.obs.Recorder` for hierarchical spans and work
         counters (DP cells, window-cache hits, first-fit probes...).
         The default ``None`` takes the uninstrumented code path.
+    backend:
+        Kernel backend for the hot loops: ``"python"`` runs the pure
+        interpreter (and numpy, when eligible) paths only; ``"native"``
+        and ``"auto"`` run the cc-compiled DP and first-fit kernels
+        (:mod:`repro.native`) when a compiler is available —
+        bit-identical results, with a silent fall-through to Python
+        (counted as ``native.fallback``) otherwise.  ``None`` (the
+        default) inherits the session's backend, itself ``"auto"`` by
+        default.  The section 6 chain DP always runs in Python.
 
     Returns
     -------
@@ -215,6 +225,13 @@ def implement(
             with _stage(report, recorder, "session"):
                 session = CompilationSession(graph)
         q = session.q
+        requested = backend if backend is not None else session.backend
+        if requested == "python":
+            eff_backend = "python"
+        else:
+            from ..native import resolve_backend
+
+            eff_backend, _ = resolve_backend(requested, recorder=recorder)
         if order is not None:
             chosen = list(order)
             method = "given"
@@ -233,9 +250,13 @@ def implement(
         # sum over lengths L of (n-L+1)(L-1) = n(n^2-1)/6 cells.
         dp_cells = n * (n * n - 1) // 6
         with _stage(report, recorder, "dppo"):
-            dppo_result = dppo(graph, chosen, q, context=context)
+            dppo_result = dppo(
+                graph, chosen, q, context=context, backend=eff_backend
+            )
             if recorder is not None:
                 recorder.count("dp.cells", dp_cells)
+                if eff_backend == "native" and context.use_native:
+                    recorder.count("native.dp")
         with _stage(report, recorder, "sdppo") as meta:
             if use_chain_dp and session.chain_order is not None:
                 meta["dp"] = "chain"
@@ -258,12 +279,16 @@ def implement(
                     )
             else:
                 meta["dp"] = "eq5"
-                sdppo_result = sdppo(graph, chosen, q, context=context)
+                sdppo_result = sdppo(
+                    graph, chosen, q, context=context, backend=eff_backend
+                )
                 sdppo_cost, sdppo_schedule = (
                     sdppo_result.cost, sdppo_result.schedule
                 )
                 if recorder is not None:
                     recorder.count("dp.cells", dp_cells)
+                    if eff_backend == "native" and context.use_native:
+                        recorder.count("native.dp")
             if recorder is not None:
                 recorder.count("chain.window_hits", context.window_hits)
                 recorder.count("chain.window_misses", context.window_misses)
@@ -278,11 +303,11 @@ def implement(
         with _stage(report, recorder, "first_fit"):
             alloc_dur = ffdur(
                 buffers, graph=wig, occurrence_cap=occurrence_cap,
-                recorder=recorder,
+                recorder=recorder, backend=eff_backend,
             )
             alloc_start = ffstart(
                 buffers, graph=wig, occurrence_cap=occurrence_cap,
-                recorder=recorder,
+                recorder=recorder, backend=eff_backend,
             )
             best = (
                 alloc_dur if alloc_dur.total <= alloc_start.total
@@ -352,6 +377,7 @@ def implement_best(
     verify: bool = True,
     session: Optional[CompilationSession] = None,
     recorder=None,
+    backend: Optional[str] = None,
 ) -> BestResult:
     """Run both topological-sort methods; the Table 1 row for a system.
 
@@ -365,11 +391,11 @@ def implement_best(
         rpmc=implement(
             graph, "rpmc", seed=seed, use_chain_dp=use_chain_dp,
             occurrence_cap=occurrence_cap, verify=verify, session=session,
-            recorder=recorder,
+            recorder=recorder, backend=backend,
         ),
         apgan=implement(
             graph, "apgan", seed=seed, use_chain_dp=use_chain_dp,
             occurrence_cap=occurrence_cap, verify=verify, session=session,
-            recorder=recorder,
+            recorder=recorder, backend=backend,
         ),
     )

@@ -79,6 +79,7 @@ def sdppo(
     q: Optional[Dict[str, int]] = None,
     factoring: str = "auto",
     context: Optional[ChainContext] = None,
+    backend: str = "python",
 ) -> SDPPOResult:
     """Shared-buffer-optimized SAS over a fixed lexical order (EQ 5).
 
@@ -90,6 +91,11 @@ def sdppo(
     ``"always"``, or ``"never"``.  The non-default policies exist for
     the ablation study (``benchmarks/bench_ablations.py``): figure 7
     shows either extreme can lose.
+
+    ``backend`` selects the DP implementation exactly as in
+    :func:`repro.scheduling.dppo.dppo`: ``"native"``/``"auto"`` run
+    the cc-compiled kernel where available and eligible, bit-identical
+    to the Python path, falling through silently otherwise.
 
     Examples
     --------
@@ -111,7 +117,18 @@ def sdppo(
     if context is None:
         context = ChainContext(graph, order, q)
     n = context.n
-    if context.use_numpy:
+    b = None
+    if backend != "python" and context.use_native:
+        from ..native import resolve_backend
+
+        _, kernels = resolve_backend(backend)
+        if kernels is not None:
+            b, split, factored = kernels.dp_over_context(
+                context, shared=True, factoring=factoring
+            )
+    if b is not None:
+        pass
+    elif context.use_numpy:
         # Section 5.1 heuristic ("auto"): factor iff the merge has
         # internal edges — crossing cost positive at the chosen split.
         b, split, factored = dp_over_context(

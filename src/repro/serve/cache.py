@@ -28,6 +28,16 @@ A cache may be slow, cold, or missing — it must never be *wrong*:
 Layout: ``<root>/<key[:2]>/<key>.json``, one JSON entry per result.
 The root defaults to ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``.
 Maintenance is exposed as ``repro cache {stats,gc,clear}``.
+
+Kernel binaries
+---------------
+The cache also stores the :mod:`repro.native` compiled kernel shared
+objects under ``<root>/kernels/<key>.so`` with a sidecar
+``<key>.so.json`` recording the binary's SHA-256.  Kernel reads are
+digest-verified the same way report reads are (corruption evicts and
+rebuilds, never loads); :meth:`ArtifactCache.stats` reports the two
+kinds separately, and :meth:`gc` never touches kernels (they are tiny,
+keyed by source+compiler, and rebuilt on demand).
 """
 
 from __future__ import annotations
@@ -45,6 +55,8 @@ from .report import CompilationReport
 __all__ = ["ArtifactCache", "cache_key", "default_cache_dir"]
 
 _ENTRY_SUFFIX = ".json"
+_KERNEL_DIRNAME = "kernels"
+_KERNEL_SUFFIX = ".so"
 
 
 def default_cache_dir() -> str:
@@ -110,6 +122,8 @@ class ArtifactCache:
         if not os.path.isdir(self.root):
             return found
         for sub in sorted(os.listdir(self.root)):
+            if sub == _KERNEL_DIRNAME:
+                continue  # kernel binaries are a separate kind
             subdir = os.path.join(self.root, sub)
             if not os.path.isdir(subdir):
                 continue
@@ -117,6 +131,108 @@ class ArtifactCache:
                 if name.endswith(_ENTRY_SUFFIX):
                     found.append(os.path.join(subdir, name))
         return found
+
+    # -- kernel binaries ------------------------------------------------
+    def kernel_path_for(self, key: str) -> str:
+        """Where the compiled kernel for ``key`` lives."""
+        return os.path.join(
+            self.root, _KERNEL_DIRNAME, key + _KERNEL_SUFFIX
+        )
+
+    def _kernel_entries(self) -> List[str]:
+        """Paths of stored kernel binaries (``.so`` files only)."""
+        kdir = os.path.join(self.root, _KERNEL_DIRNAME)
+        if not os.path.isdir(kdir):
+            return []
+        return sorted(
+            os.path.join(kdir, name)
+            for name in os.listdir(kdir)
+            if name.endswith(_KERNEL_SUFFIX)
+        )
+
+    def get_kernel(self, key: str) -> Optional[str]:
+        """Path of a digest-verified kernel binary, or ``None``.
+
+        The sidecar metadata records the binary's SHA-256; a missing
+        sidecar, wrong key, or digest mismatch evicts the pair and
+        misses — a corrupt kernel is rebuilt, never ``dlopen``-ed.
+        """
+        path = self.kernel_path_for(key)
+        meta_path = path + _ENTRY_SUFFIX
+        try:
+            with open(meta_path, encoding="utf-8") as handle:
+                entry = json.load(handle)
+            with open(path, "rb") as handle:
+                digest = hashlib.sha256(handle.read()).hexdigest()
+            if entry["key"] != key or entry["digest"] != digest:
+                raise ValueError("kernel entry failed verification")
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            self.evict_kernel(key)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return path
+
+    def put_kernel(self, key: str, data: bytes) -> str:
+        """Store a kernel binary atomically; returns its path.
+
+        The binary lands first, the sidecar (whose presence makes the
+        entry valid) second — a crash between the two reads as a miss.
+        """
+        path = self.kernel_path_for(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(path), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.chmod(tmp, 0o755)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        entry = {
+            "key": key,
+            "digest": hashlib.sha256(data).hexdigest(),
+            "bytes": len(data),
+        }
+        meta_path = path + _ENTRY_SUFFIX
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(path), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle, sort_keys=True)
+            os.replace(tmp, meta_path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+        return path
+
+    def evict_kernel(self, key: str) -> bool:
+        """Remove a kernel binary and its sidecar if present."""
+        path = self.kernel_path_for(key)
+        removed = False
+        for victim in (path, path + _ENTRY_SUFFIX):
+            try:
+                os.unlink(victim)
+                removed = True
+            except OSError:
+                pass
+        if removed:
+            self.evictions += 1
+        return removed
 
     # -- read/write -----------------------------------------------------
     def get(self, key: str) -> Optional[CompilationReport]:
@@ -189,9 +305,13 @@ class ArtifactCache:
     def stats(self) -> Dict[str, Any]:
         """On-disk entry count/bytes plus this instance's counters.
 
-        Tolerates concurrent writers: an entry that vanishes between
-        the directory scan and its ``stat`` simply drops out of the
-        figures instead of raising.
+        ``entries``/``bytes`` cover the compilation-report kind (the
+        original meaning, kept for compatibility); ``kinds`` breaks
+        the figures out per kind — ``reports`` (compile results) and
+        ``kernels`` (native kernel binaries; bytes include the
+        digest sidecars).  Tolerates concurrent writers: an entry that
+        vanishes between the directory scan and its ``stat`` simply
+        drops out of the figures instead of raising.
         """
         count = 0
         total = 0
@@ -201,10 +321,29 @@ class ArtifactCache:
             except OSError:
                 continue  # vanished mid-scan (concurrent gc/evict)
             count += 1
+        kernel_count = 0
+        kernel_bytes = 0
+        for path in self._kernel_entries():
+            try:
+                size = os.path.getsize(path)
+            except OSError:
+                continue
+            try:
+                size += os.path.getsize(path + _ENTRY_SUFFIX)
+            except OSError:
+                pass  # sidecar missing: entry reads as a miss anyway
+            kernel_count += 1
+            kernel_bytes += size
         return {
             "root": self.root,
             "entries": count,
             "bytes": total,
+            "kinds": {
+                "reports": {"entries": count, "bytes": total},
+                "kernels": {
+                    "entries": kernel_count, "bytes": kernel_bytes
+                },
+            },
             "hits": self.hits,
             "misses": self.misses,
             "writes": self.writes,
@@ -280,9 +419,10 @@ class ArtifactCache:
         return removed
 
     def clear(self) -> int:
-        """Remove every entry; returns the number removed.
+        """Remove every entry (both kinds); returns the number removed.
 
         Like :meth:`gc`, tolerates entries vanishing underneath it.
+        Kernel binaries count one each (their sidecars go silently).
         """
         removed = 0
         for path in self._entries():
@@ -291,5 +431,15 @@ class ArtifactCache:
             except OSError:
                 continue
             removed += 1
+        for path in self._kernel_entries():
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            removed += 1
+            try:
+                os.unlink(path + _ENTRY_SUFFIX)
+            except OSError:
+                pass
         self.evictions += removed
         return removed

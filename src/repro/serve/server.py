@@ -539,7 +539,7 @@ class CompileServer:
             bool(request.get("cache", True))
             and self.service.cache is not None
         )
-        key = cache_key(document, options.as_dict()) if caching else ""
+        key = cache_key(document, options.key_dict()) if caching else ""
         if self.farm.shard_by == "key" and key:
             shard = self.farm.shard_for(key)
         else:

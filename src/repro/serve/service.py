@@ -59,33 +59,52 @@ __all__ = ["CompileOptions", "CompileService"]
 
 @dataclass(frozen=True)
 class CompileOptions:
-    """The strategy knobs that participate in the cache key.
+    """The strategy knobs of one compile request.
 
-    Exactly the :func:`~repro.scheduling.pipeline.implement` arguments
-    that change the result: anything else (tracing, output paths)
-    stays out of the key so it cannot fragment the cache.
+    ``method``/``seed``/``use_chain_dp``/``occurrence_cap`` are exactly
+    the :func:`~repro.scheduling.pipeline.implement` arguments that
+    change the result; they form the cache key (:meth:`key_dict`).
+    ``backend`` selects the kernel implementation — native kernels are
+    bit-identical to the Python path by contract, so it is transported
+    with the request (:meth:`as_dict`) but deliberately *excluded* from
+    the key: a native compile and a Python compile of the same request
+    share one cache entry instead of fragmenting the cache.
     """
 
     method: str = "rpmc"
     seed: int = 0
     use_chain_dp: bool = True
     occurrence_cap: int = DEFAULT_OCCURRENCE_CAP
+    backend: str = "auto"
 
     def as_dict(self) -> Dict[str, Any]:
-        """The JSON-ready (and key-canonical) form."""
+        """The JSON-ready transport form (includes ``backend``)."""
         return {
             "method": self.method,
             "seed": self.seed,
             "use_chain_dp": self.use_chain_dp,
             "occurrence_cap": self.occurrence_cap,
+            "backend": self.backend,
         }
+
+    def key_dict(self) -> Dict[str, Any]:
+        """The cache-key form: only the result-changing options.
+
+        ``backend`` is omitted — all backends produce bit-identical
+        reports, a contract pinned by the differential harness
+        (``oracle.native``) and the fallback tests.
+        """
+        data = self.as_dict()
+        del data["backend"]
+        return data
 
     @staticmethod
     def from_dict(data: Optional[Dict[str, Any]]) -> "CompileOptions":
         """Build options from a request's ``options`` object.
 
         Unknown keys raise ``ValueError`` (a typo'd option silently
-        ignored would silently mis-key the cache).
+        ignored would silently mis-key the cache), as does an unknown
+        ``backend`` value.
         """
         data = dict(data or {})
         known = {
@@ -93,6 +112,7 @@ class CompileOptions:
             "seed": int,
             "use_chain_dp": bool,
             "occurrence_cap": int,
+            "backend": str,
         }
         unknown = sorted(set(data) - set(known))
         if unknown:
@@ -102,6 +122,9 @@ class CompileOptions:
             for name, cast in known.items()
             if name in data
         }
+        backend = kwargs.get("backend")
+        if backend is not None and backend not in ("auto", "python", "native"):
+            raise ValueError(f"unknown backend {backend!r}")
         return CompileOptions(**kwargs)
 
 
@@ -249,7 +272,7 @@ class CompileService:
         """
         options = options or CompileOptions()
         caching = use_cache and self.cache is not None
-        key = cache_key(document, options.as_dict()) if caching else ""
+        key = cache_key(document, options.key_dict()) if caching else ""
         start = time.perf_counter()
         if caching:
             found = self.lookup(key, recorder=recorder)
@@ -267,6 +290,7 @@ class CompileService:
             occurrence_cap=options.occurrence_cap,
             session=session,
             recorder=recorder,
+            backend=options.backend,
         )
         report = CompilationReport.from_result(
             result, graph.name, key=key, seed=options.seed
