@@ -23,7 +23,9 @@ check:
 # End-to-end service smoke test, two phases: threaded server (CD-DAT
 # cold miss -> bit-identical warm hit, clean SIGTERM drain, trace in
 # serve_trace.json) and a --workers 2 compile farm (same bit-identity,
-# worker SIGKILL -> supervisor respawn -> /healthz stays ok, merged
+# worker SIGKILL -> supervisor respawn -> /healthz stays ok, farm
+# /batch miss -> hit bit-identical with a poisoned document isolated
+# per item, live resize 2 -> 4 -> 2 with /healthz green, merged
 # worker trace in serve_farm_trace.json).
 serve-smoke:
 	$(PYTHON) scripts/serve_smoke.py --trace serve_trace.json
@@ -34,7 +36,8 @@ bench:
 	$(PYTHON) benchmarks/bench_symbolic.py --out BENCH_PR3.json
 	$(PYTHON) benchmarks/bench_obs.py --out BENCH_PR4.json
 	$(PYTHON) benchmarks/bench_serve.py --out BENCH_PR5.json
-	$(PYTHON) benchmarks/bench_farm.py --out BENCH_PR6.json
+	$(PYTHON) benchmarks/bench_farm.py --out BENCH_PR6.json \
+		--batch-out BENCH_PR9.json
 	$(PYTHON) benchmarks/bench_native.py --out BENCH_PR8.json
 
 bench-pytest:

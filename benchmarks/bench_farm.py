@@ -1,6 +1,7 @@
 """Compile-farm benchmark: closed-loop load against the worker pool.
 
-Writes the ``BENCH_PR6.json`` perf trajectory file.  Three suites:
+Writes the ``BENCH_PR6.json`` perf trajectory file (and, with the
+batch sweep, ``BENCH_PR9.json``).  Four suites:
 
 * **baseline (PR5-style)** — sequential warm ``/compile`` requests via
   :func:`compile_remote` (one TCP connection per request, no farm),
@@ -17,6 +18,13 @@ Writes the ``BENCH_PR6.json`` perf trajectory file.  Three suites:
   schedule over CD-DAT + satrec + random SDF graphs, salted with
   never-seen-before cold graphs (true cache misses).  Reports
   throughput and p50/p95/p99 latency.
+* **batch sweep (PR 9, ``BENCH_PR9.json``)** — warm ``/batch``
+  requests through the farm (per-item sharding, shard groups on
+  concurrent threads, worker-rendered bytes spliced verbatim) against
+  the PR 6 in-process batch path as the same-run baseline.  Every
+  item of every response is verified bit-identical to a direct
+  :func:`implement` run; the acceptance floor is ``>= 3x`` the
+  in-process items/s at 4 workers.
 
 Every response is verified bit-identical — the served report's
 ``canonical()`` must equal a reference computed by calling
@@ -67,6 +75,12 @@ MIN_FARM_SPEEDUP = 5.0
 PR5_BASELINE_RPS = 1116.8
 
 WORKER_SWEEP = (1, 2, 4, 8)
+
+#: Acceptance floor for the PR 9 batch sweep: warm /batch items/s at
+#: 4 farm workers must beat the in-process batch path by this factor.
+MIN_BATCH_SPEEDUP = 3.0
+
+BATCH_WORKER_SWEEP = (1, 2, 4)
 
 _cold_seeds = itertools.count(10_000)
 
@@ -343,9 +357,129 @@ def bench_farm_sweep(report, baseline_rps, args):
     return warm_rps
 
 
+def build_batch_workload(items):
+    """One warm ``/batch`` body of ``items`` documents + references.
+
+    Cycles the five mixed-workload graphs, so the batch exercises
+    several shards and repeats within the batch (tier hits).
+    """
+    base = [to_json(cd_to_dat()), to_json(table1_graph("satrec"))]
+    base += [to_json(random_sdf_graph(16, seed=s)) for s in (7, 8, 9)]
+    references = [reference_canonical(doc) for doc in base]
+    docs = [base[i % len(base)] for i in range(items)]
+    refs = [references[i % len(base)] for i in range(items)]
+    body = json.dumps(
+        {"graphs": docs, "options": {}, "cache": True}
+    ).encode("utf-8")
+    return body, refs
+
+
+def batch_canonicals(resp_body):
+    """Per-item canonical payloads of one ``/batch`` response."""
+    payload = json.loads(resp_body.decode("utf-8"))
+    out = []
+    for item in payload["responses"]:
+        assert item.get("status") != "error", item
+        report = CompilationReport.from_json(item["report"])
+        canonical = json.loads(report.canonical())
+        canonical["key"] = ""
+        out.append(canonical)
+    return out
+
+
+def run_batch_round(server, body, refs, posts):
+    """Sequential warm ``/batch`` posts on one keep-alive connection."""
+    client = KeepAliveClient(server.host, server.port)
+    try:
+        status, resp = client.post("/batch", body)  # warm + verify
+        assert status == 200, (status, resp[:200])
+        assert batch_canonicals(resp) == refs, "batch reports differ"
+        t0 = time.perf_counter()
+        for _ in range(posts):
+            status, resp = client.post("/batch", body)
+            assert status == 200, (status, resp[:200])
+        wall = time.perf_counter() - t0
+        assert batch_canonicals(resp) == refs, "batch reports differ"
+    finally:
+        client.close()
+    return wall
+
+
+def bench_batch_sweep(report, args):
+    """Warm /batch items/s: in-process baseline, then the farm sweep.
+
+    Every response is verified bit-identical to direct ``implement()``
+    runs (``refs``), so the farm path can never trade correctness for
+    the speedup this measures.  Returns ``(baseline_ips, farm_ips)``.
+    """
+    body, refs = build_batch_workload(args.batch_items)
+    items_total = args.batch_items * args.batch_posts
+
+    with tempfile.TemporaryDirectory() as root:
+        server = CompileServer(
+            CompileService(cache=ArtifactCache(root)),
+            port=0, processes=0, workers=2, queue_limit=64, quiet=True,
+        ).start()
+        try:
+            base_best = None
+            for _ in range(max(1, args.repeat)):
+                wall = run_batch_round(
+                    server, body, refs, args.batch_posts
+                )
+                if base_best is None or wall < base_best:
+                    base_best = wall
+        finally:
+            server.drain()
+    baseline_ips = items_total / base_best
+    report.record(
+        "batch_inprocess_baseline", base_best,
+        batch_items=args.batch_items, posts=args.batch_posts,
+        items_per_s=round(baseline_ips, 1),
+        note="PR6 in-process /batch path (no farm)",
+    )
+
+    farm_ips = {}
+    for workers in BATCH_WORKER_SWEEP:
+        with tempfile.TemporaryDirectory() as root:
+            server = CompileServer(
+                CompileService(cache=ArtifactCache(root)),
+                port=0, processes=workers, queue_limit=64, quiet=True,
+            ).start()
+            try:
+                best = None
+                for _ in range(max(1, args.repeat)):
+                    wall = run_batch_round(
+                        server, body, refs, args.batch_posts
+                    )
+                    if best is None or wall < best:
+                        best = wall
+            finally:
+                server.drain()
+        ips = items_total / best
+        farm_ips[workers] = ips
+        report.record(
+            f"batch_farm_{workers}w", best,
+            workers=workers, batch_items=args.batch_items,
+            posts=args.batch_posts, items_per_s=round(ips, 1),
+            speedup_vs_inprocess=round(ips / baseline_ips, 2),
+            floor=MIN_BATCH_SPEEDUP if workers == 4 else None,
+        )
+    return baseline_ips, farm_ips
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", default="BENCH_PR6.json")
+    parser.add_argument("--batch-out", default=None,
+                        help="also run the PR 9 batch sweep and write "
+                             "its trajectory here (e.g. BENCH_PR9.json)")
+    parser.add_argument("--batch-only", action="store_true",
+                        help="run only the batch sweep (implies "
+                             "--batch-out BENCH_PR9.json if unset)")
+    parser.add_argument("--batch-items", type=int, default=24,
+                        help="documents per /batch request")
+    parser.add_argument("--batch-posts", type=int, default=30,
+                        help="warm /batch posts per round")
     parser.add_argument("--requests", type=int, default=400,
                         help="warm keep-alive requests per round")
     parser.add_argument("--baseline-requests", type=int, default=120,
@@ -360,27 +494,51 @@ def main(argv=None):
     parser.add_argument("--repeat", type=int, default=3,
                         help="interleaved rounds; the minimum wall is kept")
     args = parser.parse_args(argv)
+    if args.batch_only and args.batch_out is None:
+        args.batch_out = "BENCH_PR9.json"
 
-    report = TimingReport()
-    baseline_rps = bench_baseline(
-        report, args.baseline_requests, args.repeat
-    )
-    warm_rps = bench_farm_sweep(report, baseline_rps, args)
-    report.write_json(args.out)
-    for row in report.rows:
-        print(f"{row['bench']:>20}: {row['wall_s']:9.5f}s  {row['meta']}")
-    print(f"baseline (per-request connections): {baseline_rps:.0f} req/s "
-          f"(PR5 recorded {PR5_BASELINE_RPS} req/s)")
-    for workers, rps in warm_rps.items():
-        print(f"farm warm, {workers} worker(s): {rps:.0f} req/s "
-              f"({rps / baseline_rps:.1f}x baseline)")
-    print(f"wrote {args.out}")
-    headline = warm_rps[4] / baseline_rps
-    assert headline >= MIN_FARM_SPEEDUP, (
-        f"4-worker warm throughput {warm_rps[4]:.0f} req/s is only "
-        f"{headline:.1f}x the same-run baseline {baseline_rps:.0f} "
-        f"req/s — below the {MIN_FARM_SPEEDUP}x acceptance floor"
-    )
+    if not args.batch_only:
+        report = TimingReport()
+        baseline_rps = bench_baseline(
+            report, args.baseline_requests, args.repeat
+        )
+        warm_rps = bench_farm_sweep(report, baseline_rps, args)
+        report.write_json(args.out)
+        for row in report.rows:
+            print(f"{row['bench']:>20}: {row['wall_s']:9.5f}s  "
+                  f"{row['meta']}")
+        print(f"baseline (per-request connections): {baseline_rps:.0f} "
+              f"req/s (PR5 recorded {PR5_BASELINE_RPS} req/s)")
+        for workers, rps in warm_rps.items():
+            print(f"farm warm, {workers} worker(s): {rps:.0f} req/s "
+                  f"({rps / baseline_rps:.1f}x baseline)")
+        print(f"wrote {args.out}")
+        headline = warm_rps[4] / baseline_rps
+        assert headline >= MIN_FARM_SPEEDUP, (
+            f"4-worker warm throughput {warm_rps[4]:.0f} req/s is only "
+            f"{headline:.1f}x the same-run baseline {baseline_rps:.0f} "
+            f"req/s — below the {MIN_FARM_SPEEDUP}x acceptance floor"
+        )
+
+    if args.batch_out:
+        batch_report = TimingReport()
+        baseline_ips, farm_ips = bench_batch_sweep(batch_report, args)
+        batch_report.write_json(args.batch_out)
+        for row in batch_report.rows:
+            print(f"{row['bench']:>24}: {row['wall_s']:9.5f}s  "
+                  f"{row['meta']}")
+        print(f"in-process batch baseline: {baseline_ips:.0f} items/s")
+        for workers, ips in farm_ips.items():
+            print(f"farm batch, {workers} worker(s): {ips:.0f} items/s "
+                  f"({ips / baseline_ips:.1f}x in-process)")
+        print(f"wrote {args.batch_out}")
+        batch_headline = farm_ips[4] / baseline_ips
+        assert batch_headline >= MIN_BATCH_SPEEDUP, (
+            f"4-worker warm batch throughput {farm_ips[4]:.0f} items/s "
+            f"is only {batch_headline:.1f}x the in-process baseline "
+            f"{baseline_ips:.0f} items/s — below the "
+            f"{MIN_BATCH_SPEEDUP}x acceptance floor"
+        )
 
 
 if __name__ == "__main__":

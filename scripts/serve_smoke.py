@@ -26,8 +26,15 @@ serve-smoke``) and in CI, in two phases:
    supervisor respawns it — ``/healthz`` returns to 2/2 alive with a
    restart counted — and that a subsequent submit still hits,
    bit-identical;
-9. SIGTERM; assert a clean drain and that the merged trace artifact
-   (``serve_farm_trace.json``) contains worker-side request spans.
+9. ``/batch`` through the farm: a mixed cold batch then the same
+   batch warm, every item bit-identical across the two; a batch with
+   one malformed document yields a per-item 400 entry with the good
+   items untouched;
+10. live resize 2 -> 4 -> 2 via ``POST /resize`` with ``/healthz``
+    green at every step and the same batch still bit-identical after
+    each move;
+11. SIGTERM; assert a clean drain and that the merged trace artifact
+    (``serve_farm_trace.json``) contains worker-side request spans.
 
 Exit code 0 only when every step held.
 
@@ -52,10 +59,14 @@ sys.path.insert(0, REPO_SRC)
 
 from repro.apps.ptolemy_demos import cd_to_dat  # noqa: E402
 from repro.sdf.io import to_json  # noqa: E402
+from repro.sdf.random_graphs import random_sdf_graph  # noqa: E402
 from repro.serve.client import (  # noqa: E402
+    BatchItemError,
     ServeClientError,
+    compile_batch_remote,
     compile_remote,
     get_json,
+    resize_remote,
 )
 
 
@@ -140,6 +151,70 @@ def threaded_phase(args, env) -> None:
           f"(cold miss -> warm hit, bit-identical; trace at {args.trace})")
 
 
+def batch_docs():
+    """Three distinct documents so the batch spans shards."""
+    return [
+        to_json(cd_to_dat()),
+        to_json(random_sdf_graph(12, seed=71)),
+        to_json(random_sdf_graph(12, seed=72)),
+    ]
+
+
+def batch_canonicals(url, docs):
+    """One ``/batch`` POST; fail on any error item, return canonicals."""
+    results = compile_batch_remote(docs, url=url, timeout=30)
+    for index, (report, status) in enumerate(results):
+        if isinstance(report, BatchItemError):
+            fail(f"batch item {index} errored: "
+                 f"{report.code}: {report.message}")
+        if status not in ("miss", "hit"):
+            fail(f"batch item {index} has status {status!r}")
+    return [report.canonical() for report, _ in results]
+
+
+def farm_batch_steps(url) -> list:
+    """Steps 9: batch miss -> hit bit-identity + per-item isolation."""
+    docs = batch_docs()
+    cold = batch_canonicals(url, docs)
+    warm = batch_canonicals(url, docs)
+    if warm != cold:
+        fail("warm /batch is not bit-identical to the cold one")
+
+    poisoned = [docs[0], {"actors": "not-a-graph"}, docs[1]]
+    results = compile_batch_remote(poisoned, url=url, timeout=30)
+    bad_report, bad_status = results[1]
+    if not isinstance(bad_report, BatchItemError) or bad_status != "error":
+        fail(f"poisoned batch item not isolated: got {bad_status!r}")
+    if bad_report.code != 400:
+        fail(f"poisoned item should be a per-item 400, "
+             f"got {bad_report.code}")
+    for index in (0, 2):
+        report, status = results[index]
+        if isinstance(report, BatchItemError) or status != "hit":
+            fail(f"good item {index} was poisoned by its neighbour: "
+                 f"{status!r}")
+    health = get_json(url, "/healthz", timeout=5)
+    if health.get("status") != "ok":
+        fail(f"server left 'ok' after poisoned batch: {health}")
+    return cold
+
+
+def resize_steps(url, expected) -> None:
+    """Step 10: live resize 2 -> 4 -> 2, /healthz green throughout."""
+    docs = batch_docs()
+    for size in (4, 2):
+        info = resize_remote(size, url=url, timeout=30)
+        if info.get("size") != size:
+            fail(f"resize to {size} reported {info}")
+        health = get_json(url, "/healthz", timeout=5)
+        farm = health.get("farm", {})
+        if health.get("status") != "ok" or (
+                farm.get("alive"), farm.get("size")) != (size, size):
+            fail(f"farm not {size}/{size} alive after resize: {health}")
+        if batch_canonicals(url, docs) != expected:
+            fail(f"batch not bit-identical after resize to {size}")
+
+
 def farm_phase(args, env) -> None:
     with tempfile.TemporaryDirectory(prefix="repro-smoke-farm-") as root:
         proc, url = launch(
@@ -180,6 +255,9 @@ def farm_phase(args, env) -> None:
             if after.canonical() != warm.canonical():
                 fail("post-respawn report is not bit-identical")
 
+            expected = farm_batch_steps(url)
+            resize_steps(url, expected)
+
             terminate_cleanly(proc, args.farm_trace, args.timeout)
             with open(args.farm_trace, encoding="utf-8") as handle:
                 trace_text = handle.read()
@@ -191,7 +269,9 @@ def farm_phase(args, env) -> None:
                 proc.kill()
                 proc.wait(timeout=10)
     print("serve-smoke: farm phase OK "
-          "(2 workers, kill -> respawn -> healthy, bit-identical; "
+          "(2 workers, kill -> respawn -> healthy; farm batch "
+          "miss -> hit bit-identical, poisoned item isolated, live "
+          "resize 2 -> 4 -> 2 green; "
           f"merged trace at {args.farm_trace})")
 
 

@@ -432,6 +432,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
 
     from .sdf.io import to_json
     from .serve.client import (
+        BatchItemError,
         ServeClientError,
         compile_batch_remote,
         compile_remote,
@@ -456,14 +457,24 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             )
     except ServeClientError as exc:
         raise SystemExit(f"submit failed: {exc}") from None
-    for report, status in results:
+    failures = 0
+    for spec, (report, status) in zip(args.graphs, results):
+        if isinstance(report, BatchItemError):
+            failures += 1
+            print(f"{spec}: error {report.code}: {report.message}")
+            print()
+            continue
         for line in report.summary_lines():
             print(line)
         print(f"cache:      {status} "
               f"({1000 * report.wall_s:.1f} ms server-side)")
         print()
     if args.output:
-        payload = [r.to_json() for r, _ in results]
+        payload = [
+            r.to_json() if not isinstance(r, BatchItemError)
+            else {"status": "error", "code": r.code, "error": r.message}
+            for r, _ in results
+        ]
         with open(args.output, "w") as handle:
             _json.dump(
                 payload[0] if len(payload) == 1 else payload,
@@ -471,6 +482,27 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             )
             handle.write("\n")
         print(f"reports written to {args.output}")
+    if failures:
+        print(f"{failures} of {len(results)} graphs failed")
+        return 1
+    return 0
+
+
+def _cmd_resize(args: argparse.Namespace) -> int:
+    """Live-resize a running server's compile farm."""
+    from .serve.client import ServeClientError, resize_remote
+
+    try:
+        info = resize_remote(
+            args.workers, url=args.url, timeout=args.timeout
+        )
+    except ServeClientError as exc:
+        raise SystemExit(f"resize failed: {exc}") from None
+    print(
+        f"farm resized {info.get('previous')} -> {info.get('size')} "
+        f"(+{info.get('added', 0)}/-{info.get('removed', 0)} workers, "
+        f"{info.get('alive')}/{info.get('size')} alive)"
+    )
     return 0
 
 
@@ -808,6 +840,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="also save the report(s) as JSON",
     )
     p.set_defaults(func=_cmd_submit)
+
+    p = sub.add_parser(
+        "resize",
+        help="live-resize a running server's compile farm",
+        description=(
+            "POST /resize to a repro serve instance started with "
+            "--workers N: grow or shrink the compile farm without a "
+            "restart.  Added workers spawn supervised; removed "
+            "workers drain their in-flight request and ship their "
+            "counters home before shutdown.  Rendezvous hashing "
+            "moves only ~1/N of the key space."
+        ),
+    )
+    p.add_argument(
+        "workers", type=int, metavar="N",
+        help="new farm size (worker processes)",
+    )
+    p.add_argument(
+        "--url", default="http://127.0.0.1:8177",
+        help="server base URL",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=60.0, metavar="SECONDS",
+        help="client-side request timeout",
+    )
+    p.set_defaults(func=_cmd_resize)
 
     p = sub.add_parser(
         "cache",

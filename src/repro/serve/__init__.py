@@ -60,10 +60,12 @@ case the service's outputs are bit-identical to the direct pipeline.
 from .cache import ArtifactCache, cache_key, default_cache_dir
 from .client import (
     DEFAULT_URL,
+    BatchItemError,
     ServeClientError,
     compile_batch_remote,
     compile_remote,
     get_json,
+    resize_remote,
 )
 from .farm import (
     FarmError,
@@ -81,6 +83,7 @@ __all__ = [
     "ArtifactCache",
     "cache_key",
     "default_cache_dir",
+    "BatchItemError",
     "CompilationReport",
     "CompileOptions",
     "CompileService",
@@ -97,4 +100,5 @@ __all__ = [
     "compile_batch_remote",
     "get_json",
     "rendezvous_shard",
+    "resize_remote",
 ]

@@ -20,12 +20,13 @@ attempts.  The default stays 0 (fail fast, the pre-farm behavior).
 
 from __future__ import annotations
 
+import email.utils
 import json
 import random
 import time
 import urllib.error
 import urllib.request
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from .report import CompilationReport
 from .server import DEFAULT_PORT
@@ -34,10 +35,12 @@ __all__ = [
     "DEFAULT_URL",
     "RETRY_CAP_S",
     "RETRY_STATUSES",
+    "BatchItemError",
     "ServeClientError",
     "compile_remote",
     "compile_batch_remote",
     "get_json",
+    "resize_remote",
 ]
 
 DEFAULT_URL = f"http://127.0.0.1:{DEFAULT_PORT}"
@@ -59,6 +62,26 @@ _sleep = time.sleep
 _jitter = random.random
 
 
+class BatchItemError:
+    """One failed item of a ``/batch`` response.
+
+    The server isolates item failures — a malformed document or a
+    worker crash costs that item an error entry, not the whole batch —
+    and :func:`compile_batch_remote` surfaces each as a
+    ``(BatchItemError, "error")`` pair in its slot, preserving request
+    order alongside the successful reports.
+    """
+
+    __slots__ = ("message", "code")
+
+    def __init__(self, message: str, code: int = 500) -> None:
+        self.message = message
+        self.code = code
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"BatchItemError(code={self.code}, message={self.message!r})"
+
+
 class ServeClientError(RuntimeError):
     """A request the server refused or could not complete.
 
@@ -75,6 +98,34 @@ class ServeClientError(RuntimeError):
         super().__init__(message)
         self.status = status
         self.retry_after = retry_after
+
+
+def _parse_retry_after(header: Optional[str]) -> Optional[float]:
+    """``Retry-After`` in seconds, or ``None`` when unusable.
+
+    RFC 9110 allows two forms: delta-seconds (``"2"``) and an
+    HTTP-date (``"Wed, 21 Oct 2026 07:28:00 GMT"``).  Both parse to a
+    non-negative sleep; anything else — empty, garbage, a date with no
+    timezone — returns ``None`` so the retry loop falls back to
+    exponential backoff instead of raising mid-retry.
+    """
+    if header is None:
+        return None
+    header = header.strip()
+    try:
+        return max(0.0, float(header))
+    except (TypeError, ValueError):
+        pass
+    try:
+        when = email.utils.parsedate_to_datetime(header)
+    except (TypeError, ValueError, OverflowError):
+        return None
+    if when is None or when.tzinfo is None:
+        return None
+    now = email.utils.parsedate_to_datetime(
+        email.utils.formatdate(time.time(), usegmt=True)
+    )
+    return max(0.0, (when - now).total_seconds())
 
 
 def _post(
@@ -97,13 +148,9 @@ def _post(
             detail = json.loads(exc.read().decode("utf-8")).get("error", "")
         except (ValueError, OSError):
             pass
-        retry_after = None
-        try:
-            header = exc.headers.get("Retry-After") if exc.headers else None
-            if header is not None:
-                retry_after = max(0.0, float(header))
-        except (TypeError, ValueError):
-            pass
+        retry_after = _parse_retry_after(
+            exc.headers.get("Retry-After") if exc.headers else None
+        )
         raise ServeClientError(
             detail or f"server returned HTTP {exc.code}",
             status=exc.code, retry_after=retry_after,
@@ -203,12 +250,14 @@ def compile_batch_remote(
     jobs: Optional[int] = None,
     timeout: Optional[float] = None,
     retries: int = 0,
-) -> List[Tuple[CompilationReport, str]]:
+) -> List[Tuple[Union[CompilationReport, BatchItemError], str]]:
     """Submit many documents in one ``/batch`` request, request order.
 
     ``retries`` behaves as in :func:`compile_remote`; a whole-batch
     429/503 is retried as a unit (the server processes batches
-    atomically, so no duplicate partial work results).
+    atomically, so no duplicate partial work results).  Failed items
+    come back as ``(BatchItemError, "error")`` in their slot — the
+    server isolates per-item failures rather than failing the batch.
     """
     payload: Dict[str, Any] = {
         "graphs": list(documents),
@@ -220,7 +269,36 @@ def compile_batch_remote(
     response = _post_retrying(
         url, "/batch", payload, timeout=timeout, retries=retries
     )
-    return [
-        (CompilationReport.from_json(item["report"]), item["status"])
-        for item in response["responses"]
-    ]
+    results: List[Tuple[Union[CompilationReport, BatchItemError], str]] = []
+    for item in response["responses"]:
+        if item.get("status") == "error" or "report" not in item:
+            results.append((
+                BatchItemError(
+                    str(item.get("error", "unknown batch item failure")),
+                    code=int(item.get("code", 500)),
+                ),
+                "error",
+            ))
+        else:
+            results.append((
+                CompilationReport.from_json(item["report"]),
+                item["status"],
+            ))
+    return results
+
+
+def resize_remote(
+    workers: int,
+    url: str = DEFAULT_URL,
+    timeout: Optional[float] = None,
+) -> Dict[str, Any]:
+    """``POST /resize`` — live-resize the server's compile farm.
+
+    Returns the post-resize farm description (``previous``, ``size``,
+    ``added``, ``removed``, alive/restart figures).  A server without
+    a farm (``--workers 0``) refuses with a 400, surfaced as
+    :class:`ServeClientError`.
+    """
+    return _post(
+        url, "/resize", {"workers": int(workers)}, timeout=timeout
+    )

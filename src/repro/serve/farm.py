@@ -25,6 +25,18 @@ cache-locality property the session design bought:
   ``supervise_interval`` seconds, so ``/healthz`` recovers without
   traffic).  A worker that outlives a request deadline is killed and
   respawned — a hung compile cannot wedge its shard forever.
+* **Live resizing** — :meth:`WorkerFarm.resize` grows or shrinks the
+  pool while it serves traffic.  Growing spawns supervised workers
+  for the new slots; shrinking *drains* the removed slots (each
+  retired worker finishes its in-flight request, ships its final
+  counters, and is shut down — never killed mid-compile).  Because
+  rendezvous hashing is a pure function of ``(digest, size)``, only
+  ~1/N of the key space changes owner either way.  Retired workers'
+  counters, request tallies, and restart counts are folded into
+  :attr:`WorkerFarm.retired` so ``/stats`` totals survive the resize.
+  A request routed before a shrink that arrives at a retired slot is
+  transparently re-routed to a live worker (results are bit-identical
+  on every worker, so only cache locality is briefly affected).
 
 Wire protocol (pickled tuples over a ``multiprocessing.Pipe``, one
 request in flight per worker, serialized by a per-worker lock):
@@ -39,6 +51,13 @@ trace)``                              tree|None)`` |
                                       tiers missed, the worker needs
                                       the document to compile) |
                                       ``("err", rid, http_code, msg)``
+``("compile_many", rid,               ``("ok_many", rid, results,
+[(key, req|None), ...], trace)``      trees)`` — one ``("ok", status,
+                                      tier, body)`` / ``("err", code,
+                                      msg)`` / ``("need",)`` entry per
+                                      item, order preserved; needed
+                                      items are re-sent with full
+                                      documents in a second frame
 ``("stats", rid)``                    ``("stats", rid, payload)``
 ``("ping", rid)``                     ``("pong", rid)``
 ``("shutdown",)``                     (worker exits)
@@ -198,6 +217,8 @@ class _Worker:
                 self.conn.send(("stats", msg[1], self._stats()))
             elif kind == "compile":
                 self._compile(*msg[1:])
+            elif kind == "compile_many":
+                self._compile_many(*msg[1:])
             else:  # unknown frame: protocol bug, fail loudly
                 self.conn.send(("err", msg[1], 500, f"unknown frame {kind!r}"))
 
@@ -239,6 +260,53 @@ class _Worker:
         self.counters.count("farm.requests")
         tree = recorder.serialize() if recorder is not None else None
         self.conn.send(("ok", rid, status, tier, body, tree))
+
+    def _compile_many(
+        self, rid: int,
+        items: List[Tuple[str, Optional[Dict[str, Any]]]],
+        trace: bool,
+    ) -> None:
+        """One shard group of a ``/batch`` in a single frame.
+
+        Items run sequentially in request order against the same tiers
+        as single compiles (identical colds in one group compile once:
+        the first fills the memory tier, the rest hit it).  A bad item
+        becomes a per-item ``("err", ...)`` entry — it never poisons
+        the rest of the group.
+        """
+        from .. import obs
+
+        results: List[Tuple[Any, ...]] = []
+        trees: List[Optional[Dict[str, Any]]] = []
+        for key, request in items:
+            recorder = obs.TraceRecorder() if trace else None
+            try:
+                reply = self._compile_inner(key, request, recorder)
+            except Exception as exc:
+                self.counters.count("farm.errors")
+                code = 500
+                if isinstance(exc, (ValueError, KeyError, TypeError)):
+                    code = 400
+                else:
+                    from ..exceptions import SDFError
+
+                    if isinstance(exc, SDFError):
+                        code = 400
+                self.counters.count("farm.requests")
+                results.append(("err", code, f"bad request: {exc}"))
+                trees.append(None)
+                continue
+            if reply is None:  # tiers missed on a key-only item
+                results.append(("need",))  # not terminal: not counted
+                trees.append(None)
+                continue
+            status, tier, body = reply
+            self.counters.count("farm.requests")
+            results.append(("ok", status, tier, body))
+            trees.append(
+                recorder.serialize() if recorder is not None else None
+            )
+        self.conn.send(("ok_many", rid, results, trees))
 
     def _compile_inner(
         self, key: str, request: Optional[Dict[str, Any]], recorder
@@ -323,6 +391,10 @@ class _WorkerHandle:
         self.restarts = -1  # first spawn brings it to 0
         self.requests = 0
         self.failures = 0
+        #: Set (under ``lock``) when the slot is removed by a shrink.
+        #: A retired handle is never respawned; late requests that
+        #: still hold a stale shard number re-route to a live slot.
+        self.retired = False
 
 
 def _mp_context():
@@ -388,6 +460,15 @@ class WorkerFarm:
         self._rid = itertools.count(1)
         self._stopping = False
         self._supervisor: Optional[threading.Thread] = None
+        #: Serializes :meth:`resize` calls and pins the
+        #: ``(size, _handles)`` pair they publish together.
+        self._resize_lock = threading.Lock()
+        #: Totals carried over from workers retired by a shrink, so a
+        #: resize never makes ``/stats`` counters go backwards.
+        self.retired: Dict[str, Any] = {
+            "workers": 0, "requests": 0, "failures": 0,
+            "restarts": 0, "counters": {},
+        }
 
     # -- lifecycle ------------------------------------------------------
     def start(self) -> "WorkerFarm":
@@ -407,7 +488,7 @@ class WorkerFarm:
         if self._supervisor is not None:
             self._supervisor.join(timeout=timeout)
             self._supervisor = None
-        for handle in self._handles:
+        for handle in list(self._handles):
             with handle.lock:
                 if handle.proc is None:
                     continue
@@ -450,10 +531,14 @@ class WorkerFarm:
         """Respawn workers that died while idle, until :meth:`stop`."""
         while not self._stopping:
             time.sleep(self.supervise_interval)
-            for handle in self._handles:
+            for handle in list(self._handles):
                 if self._stopping:
                     return
-                if handle.proc is None or handle.proc.is_alive():
+                if (
+                    handle.retired
+                    or handle.proc is None
+                    or handle.proc.is_alive()
+                ):
                     continue
                 # Try-lock only: if a request holds the lock, its own
                 # error path respawns; blocking here could double-spawn.
@@ -461,12 +546,121 @@ class WorkerFarm:
                     try:
                         if (
                             not self._stopping
+                            and not handle.retired
                             and handle.proc is not None
                             and not handle.proc.is_alive()
                         ):
                             self._spawn(handle)
                     finally:
                         handle.lock.release()
+
+    # -- live resizing --------------------------------------------------
+    def resize(
+        self, new_size: int, drain_timeout: float = 30.0
+    ) -> Dict[str, Any]:
+        """Grow or shrink the pool to ``new_size`` workers, live.
+
+        Growing spawns supervised workers for the new slots; shrinking
+        publishes the smaller routing table first (so no new request
+        targets a removed slot) and then drains each retired worker:
+        waits for its in-flight request, pulls its final counters into
+        :attr:`retired`, and shuts it down.  Rendezvous hashing
+        guarantees only ~1/max(old,new) of the digest space changes
+        owner.  Returns ``{"previous": old, "size": new, "added": ...,
+        "removed": ...}``.  Idempotent for ``new_size == size``.
+        """
+        if new_size < 1:
+            raise ValueError(f"farm size must be >= 1, got {new_size}")
+        with self._resize_lock:
+            old_size = self.size
+            if new_size == old_size:
+                return {"previous": old_size, "size": old_size,
+                        "added": 0, "removed": 0}
+            if new_size > old_size:
+                added = [
+                    _WorkerHandle(slot)
+                    for slot in range(old_size, new_size)
+                ]
+                for handle in added:
+                    self._spawn(handle)
+                # Publish handles before size: a racing request that
+                # already computed a shard against the larger size must
+                # find its handle present.
+                self._handles = self._handles + added
+                self.size = new_size
+                return {"previous": old_size, "size": new_size,
+                        "added": len(added), "removed": 0}
+            removed = self._handles[new_size:]
+            # Publish the shrunk table first: new routing decisions
+            # stop at new_size while retired workers finish in-flight
+            # work behind their locks.
+            self._handles = self._handles[:new_size]
+            self.size = new_size
+            for handle in removed:
+                self._drain_handle(handle, drain_timeout)
+            return {"previous": old_size, "size": new_size,
+                    "added": 0, "removed": len(removed)}
+
+    def _drain_handle(self, handle: _WorkerHandle, timeout: float) -> None:
+        """Retire one removed slot: finish in-flight work, keep totals.
+
+        Acquiring ``handle.lock`` waits for the slot's in-flight
+        request (requests hold the lock for their whole round trip),
+        so a shrink never drops a request mid-compile.  The worker's
+        final obs counters are merged into :attr:`retired` before the
+        shutdown frame, so ``/stats`` totals survive the resize.
+        """
+        acquired = handle.lock.acquire(timeout=timeout)
+        try:
+            handle.retired = True
+            # Without the lock (a request overran drain_timeout) the
+            # pipe belongs to that request: skip the stats/shutdown
+            # frames and kill below — the request fails with a 503 and
+            # the retired flag stops any respawn.
+            alive = (
+                acquired
+                and handle.proc is not None
+                and handle.proc.is_alive()
+            )
+            if alive:
+                try:
+                    rid = next(self._rid)
+                    handle.conn.send(("stats", rid))
+                    if handle.conn.poll(2.0):
+                        msg = handle.conn.recv()
+                        if msg[0] == "stats" and msg[1] == rid:
+                            for name, value in (
+                                msg[2].get("counters") or {}
+                            ).items():
+                                self.retired["counters"][name] = (
+                                    self.retired["counters"].get(name, 0)
+                                    + value
+                                )
+                except (EOFError, OSError, BrokenPipeError, ValueError):
+                    pass
+                try:
+                    handle.conn.send(("shutdown",))
+                except (OSError, BrokenPipeError, ValueError):
+                    pass
+            if handle.proc is not None:
+                handle.proc.join(timeout=5)
+                if handle.proc.is_alive():
+                    handle.proc.kill()
+                    handle.proc.join(timeout=5)
+            if handle.conn is not None:
+                try:
+                    handle.conn.close()
+                except OSError:
+                    pass
+            handle.proc = None
+            handle.conn = None
+            self.retired["workers"] += 1
+            self.retired["requests"] += handle.requests
+            self.retired["failures"] += handle.failures
+            self.retired["restarts"] += max(0, handle.restarts)
+        finally:
+            if acquired:
+                handle.lock.release()
 
     # -- introspection --------------------------------------------------
     def shard_for(self, digest: str) -> int:
@@ -475,12 +669,16 @@ class WorkerFarm:
 
     def alive_count(self) -> int:
         return sum(
-            1 for h in self._handles
+            1 for h in list(self._handles)
             if h.proc is not None and h.proc.is_alive()
         )
 
     def restarts_total(self) -> int:
-        return sum(max(0, h.restarts) for h in self._handles)
+        """Restarts over the farm's lifetime, retired slots included."""
+        return (
+            sum(max(0, h.restarts) for h in list(self._handles))
+            + self.retired["restarts"]
+        )
 
     def describe(self) -> Dict[str, Any]:
         """Cheap pool summary (no worker round trips) for ``/healthz``."""
@@ -489,6 +687,7 @@ class WorkerFarm:
             "alive": self.alive_count(),
             "restarts": self.restarts_total(),
             "shard_by": self.shard_by,
+            "retired_workers": self.retired["workers"],
         }
 
     def worker_stats(self, timeout: float = 2.0) -> List[Dict[str, Any]]:
@@ -499,7 +698,7 @@ class WorkerFarm:
         rather than blocking the ``/stats`` endpoint.
         """
         out = []
-        for handle in self._handles:
+        for handle in list(self._handles):
             row: Dict[str, Any] = {
                 "slot": handle.slot,
                 "alive": handle.proc is not None and handle.proc.is_alive(),
@@ -543,15 +742,17 @@ class WorkerFarm:
         exceeds ``timeout`` seconds (the worker is killed and
         respawned — a hung shard heals), and :class:`FarmError` for
         protocol corruption.
+
+        ``shard`` may be stale after a concurrent :meth:`resize` (the
+        caller routed against the old pool size); such requests are
+        transparently re-routed onto a live slot — every worker
+        produces bit-identical results, only cache locality is
+        affected for the one request.
         """
-        handle = self._handles[shard]
         deadline = (
             None if timeout is None else time.monotonic() + timeout
         )
-        if not self._acquire(handle.lock, deadline):
-            raise FarmTimeout(
-                f"worker {shard} busy past the {timeout}s deadline"
-            )
+        handle = self._claim(shard, deadline, timeout)
         try:
             if handle.proc is None or not handle.proc.is_alive():
                 self._spawn(handle)
@@ -571,23 +772,134 @@ class WorkerFarm:
                     )
             except (EOFError, OSError, BrokenPipeError, ValueError):
                 handle.failures += 1
-                self._spawn(handle)
+                if not handle.retired:
+                    self._spawn(handle)
                 raise FarmWorkerCrashed(
-                    f"compile worker {shard} crashed mid-request; "
+                    f"compile worker {handle.slot} crashed mid-request; "
                     f"respawned, retry the request"
                 ) from None
             if msg[0] == "err":
                 raise FarmRequestError(msg[3], code=msg[2])
             if msg[0] != "ok":
                 handle.failures += 1
-                self._spawn(handle)
+                if not handle.retired:
+                    self._spawn(handle)
                 raise FarmError(
-                    f"worker {shard} protocol error: frame {msg[0]!r}"
+                    f"worker {handle.slot} protocol error: "
+                    f"frame {msg[0]!r}"
                 )
             _, _, status, tier, body, tree = msg
             return FarmResponse(status, tier, body, tree)
         finally:
             handle.lock.release()
+
+    def compile_many(
+        self,
+        shard: int,
+        items: List[Tuple[str, Optional[Dict[str, Any]]]],
+        trace: bool = False,
+        timeout: Optional[float] = None,
+    ) -> List[Tuple[Any, ...]]:
+        """Run one ``/batch`` shard group on worker ``shard`` in a
+        single wire frame.
+
+        ``items`` is ``[(key, request), ...]`` in request order.  The
+        first frame carries keys only for cache-enabled items (the
+        warm hot path: a whole warm group costs one small round trip
+        instead of one per item); the worker marks tier-missed items
+        ``("need",)`` and a second frame re-sends just those with full
+        documents.  Returns one entry per item, order preserved:
+        ``("ok", status, tier, body, tree|None)`` or
+        ``("err", http_code, message)``.
+
+        Raises like :meth:`compile` — :class:`FarmWorkerCrashed` /
+        :class:`FarmTimeout` / :class:`FarmError` fail the *group* as
+        a unit (the caller falls back to per-item dispatch to keep
+        fault isolation per item).
+        """
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        handle = self._claim(shard, deadline, timeout)
+        try:
+            if handle.proc is None or not handle.proc.is_alive():
+                self._spawn(handle)
+            handle.requests += len(items)
+            rid = next(self._rid)
+            first = [
+                (key, None) if key and request is not None
+                else (key, request)
+                for key, request in items
+            ]
+            try:
+                msg = self._recv(
+                    handle, rid, deadline,
+                    send=("compile_many", rid, first, trace),
+                )
+                if msg[0] == "ok_many":
+                    results = list(msg[2])
+                    trees = list(msg[3])
+                    needed = [
+                        i for i, entry in enumerate(results)
+                        if entry[0] == "need"
+                    ]
+                    if needed:
+                        rid = next(self._rid)
+                        msg = self._recv(
+                            handle, rid, deadline,
+                            send=("compile_many", rid,
+                                  [items[i] for i in needed], trace),
+                        )
+                        if msg[0] == "ok_many":
+                            for slot, entry, tree in zip(
+                                needed, msg[2], msg[3]
+                            ):
+                                results[slot] = entry
+                                trees[slot] = tree
+            except (EOFError, OSError, BrokenPipeError, ValueError):
+                handle.failures += 1
+                if not handle.retired:
+                    self._spawn(handle)
+                raise FarmWorkerCrashed(
+                    f"compile worker {handle.slot} crashed mid-batch; "
+                    f"respawned, retry the items"
+                ) from None
+            if msg[0] != "ok_many":
+                handle.failures += 1
+                if not handle.retired:
+                    self._spawn(handle)
+                raise FarmError(
+                    f"worker {handle.slot} protocol error: "
+                    f"frame {msg[0]!r}"
+                )
+            return [
+                ("ok", entry[1], entry[2], entry[3], tree)
+                if entry[0] == "ok" else entry
+                for entry, tree in zip(results, trees)
+            ]
+        finally:
+            handle.lock.release()
+
+    def _claim(
+        self, shard: int, deadline: Optional[float],
+        timeout: Optional[float],
+    ) -> _WorkerHandle:
+        """Lock and return a live handle for ``shard``, re-routing
+        stale (post-resize) shard numbers onto the current pool."""
+        while True:
+            handles = self._handles
+            handle = handles[shard % len(handles)]
+            if not self._acquire(handle.lock, deadline):
+                raise FarmTimeout(
+                    f"worker {handle.slot} busy past the "
+                    f"{timeout}s deadline"
+                )
+            if not handle.retired:
+                return handle
+            # The slot was retired between routing and locking: route
+            # again against the (shrunk) current table.
+            handle.lock.release()
+            shard = shard % self.size
 
     @staticmethod
     def _acquire(lock: threading.Lock, deadline: Optional[float]) -> bool:
@@ -612,13 +924,15 @@ class WorkerFarm:
                     handle.failures += 1
                     handle.proc.kill()
                     handle.proc.join(timeout=5)
-                    self._spawn(handle)
+                    if not handle.retired:
+                        self._spawn(handle)
                     raise FarmTimeout(
                         f"worker {handle.slot} exceeded the request "
                         f"deadline; killed and respawned"
                     )
                 msg = handle.conn.recv()
-            if msg[0] in ("ok", "err", "need") and msg[1] == rid:
+            if (msg[0] in ("ok", "ok_many", "err", "need")
+                    and msg[1] == rid):
                 return msg
             # Stale frame from an earlier timed-out request on this
             # pipe generation: drop it and keep waiting.

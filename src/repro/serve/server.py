@@ -12,6 +12,22 @@ order: never corrupt a result, shed load explicitly, drain cleanly.
   intermediate queue hop.  With ``processes = 0`` (the default and
   the pre-farm behavior) compilations run on a bounded
   ``ThreadPoolExecutor`` (``workers`` threads) in-process.
+* **Farm-aware batch** — with a farm, ``/batch`` routes *through* it:
+  every item is sharded by its own graph digest, shard groups run
+  concurrently (items within a shard in order, so each worker's
+  caches stay hot), each item reuses the per-item single-flight and
+  all three cache tiers, and item failures are isolated — one
+  malformed document or one worker crash costs that *item* an error
+  entry, never the whole batch.  Responses come back in request
+  order, success items spliced verbatim from the workers' rendered
+  bytes.  Without a farm ``/batch`` keeps the in-process
+  ``parallel_map`` fan-out, now with the same per-item isolation.
+* **Live resizing** — ``POST /resize`` ``{"workers": N}`` grows or
+  shrinks the farm without a restart: added workers are spawned
+  supervised, removed workers drain (finish in-flight work, ship
+  final counters) before shutdown, and rendezvous hashing moves only
+  ~1/N of the key space.  The body memo is flushed so routing follows
+  the new pool immediately.
 * **Single-flight** — concurrent identical cache-enabled ``/compile``
   requests coalesce: the first becomes the leader and compiles; the
   rest wait and receive the leader's bytes verbatim (counted under
@@ -55,7 +71,11 @@ Endpoints
 ``POST /batch``
     ``{"graphs": [<document>, ...], "options": {...}, "jobs": N}``
     → ``{"responses": [{"status": ..., "report": ...}, ...]}`` in
-    request order.
+    request order.  A failed item is ``{"status": "error", "code":
+    <http-equivalent>, "error": "..."}`` with the other items intact.
+``POST /resize``
+    ``{"workers": N}`` → the post-resize farm description (400 when
+    no farm is configured).
 
 Error responses are ``{"error": "..."}`` with status 400 (malformed
 request), 404 (unknown path), 429 (queue full), 503 (draining or
@@ -78,6 +98,7 @@ from ..exceptions import SDFError
 from ..sdf.io import canonical_hash
 from .cache import cache_key
 from .farm import (
+    FarmError,
     FarmRequestError,
     FarmTimeout,
     FarmWorkerCrashed,
@@ -283,7 +304,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
         owner = self._owner
-        if self.path not in ("/compile", "/batch"):
+        if self.path not in ("/compile", "/batch", "/resize"):
             self._reply(404, {"error": f"unknown path {self.path!r}"})
             return
         length = int(self.headers.get("Content-Length", "0"))
@@ -318,6 +339,28 @@ class _Flight:
     def __init__(self) -> None:
         self.event = threading.Event()
         self.result: Optional[Tuple[int, bytes, Dict[str, str]]] = None
+
+
+#: One-line payload shapes quoted by missing-field errors, so a 400
+#: tells the client exactly what to send instead of a bare KeyError.
+_PAYLOAD_SHAPES = {
+    "/compile": '{"graph": <to_json document>, "options": {...}, '
+                '"cache": true}',
+    "/batch": '{"graphs": [<to_json document>, ...], "options": {...}, '
+              '"cache": true}',
+    "/resize": '{"workers": N}',
+}
+
+
+def _require(request: Dict[str, Any], field: str, path: str) -> Any:
+    """``request[field]`` with an actionable one-line error on absence."""
+    try:
+        return request[field]
+    except KeyError:
+        raise ValueError(
+            f"missing required field '{field}': POST {path} expects "
+            f"{_PAYLOAD_SHAPES[path]}"
+        ) from None
 
 
 def _percentile(sorted_values: List[float], q: float) -> float:
@@ -397,10 +440,17 @@ class CompileServer:
             "requests": 0, "hits": 0, "misses": 0, "compiled": 0,
             "rejected": 0, "timeouts": 0, "errors": 0,
             "coalesced": 0, "worker_failures": 0,
+            "timeout_reclaimed": 0,
         }
         self._latencies: "deque[float]" = deque(maxlen=2048)
         self._trace_trees: List[Dict[str, Any]] = []
         self._memo: "OrderedDict[str, _Memo]" = OrderedDict()
+        #: Batch plans by body SHA-256: the /batch analogue of
+        #: ``_memo`` — a repeated identical batch body skips the JSON
+        #: parse and both canonical-hash passes per item.
+        self._batch_memo: "OrderedDict[str, List[Tuple[str, Any]]]" = (
+            OrderedDict()
+        )
         self._memo_lock = threading.Lock()
         self._flights: Dict[str, _Flight] = {}
         self._flight_lock = threading.Lock()
@@ -420,6 +470,16 @@ class CompileServer:
             ).start()
         self._pool = ThreadPoolExecutor(
             max_workers=self.workers, thread_name_prefix="repro-serve"
+        )
+        #: Shard-group dispatch for the farm /batch path.  A persistent
+        #: pool: spawning one Thread per shard group per POST costs more
+        #: than the warm dispatch it parallelizes.  run_group never
+        #: re-submits, so a bounded pool cannot deadlock.
+        self._batch_pool: Optional[ThreadPoolExecutor] = (
+            ThreadPoolExecutor(
+                max_workers=8, thread_name_prefix="repro-batch"
+            )
+            if self.farm is not None else None
         )
         self._httpd = _Server((host, port), _Handler)
         self._httpd.owner = self
@@ -471,6 +531,8 @@ class CompileServer:
                     break
             time.sleep(0.02)
         self._pool.shutdown(wait=True)
+        if self._batch_pool is not None:
+            self._batch_pool.shutdown(wait=True)
         if self.farm is not None:
             self.farm.stop()
         self._httpd.shutdown()
@@ -485,17 +547,23 @@ class CompileServer:
     ) -> Tuple[int, bytes, Dict[str, str]]:
         """One POST body straight off the socket → response bytes.
 
-        ``/compile`` with a farm takes the fast path: memoized parse
-        and routing, single-flight coalescing, direct pipe dispatch on
-        the connection thread.  Everything else goes through the
+        ``/compile`` and ``/batch`` with a farm take the fast path:
+        memoized parse and routing, single-flight coalescing, direct
+        pipe dispatch on the connection thread(s).  ``/resize``
+        reconfigures the farm.  Everything else goes through the
         legacy parse-then-:meth:`handle` flow.
         """
         if self.draining:
             return self._err(503, "server is draining")
         start = time.perf_counter()
         try:
-            if path == "/compile" and self.farm is not None:
-                return self._handle_farm(raw)
+            if path == "/resize":
+                return self._handle_resize(raw)
+            if self.farm is not None:
+                if path == "/compile":
+                    return self._handle_farm(raw)
+                if path == "/batch":
+                    return self._handle_batch_farm(raw)
             try:
                 request = json.loads(raw or b"{}")
                 if not isinstance(request, dict):
@@ -534,7 +602,7 @@ class CompileServer:
         if not isinstance(request, dict):
             raise ValueError("request body must be a JSON object")
         options = CompileOptions.from_dict(request.get("options"))
-        document = request["graph"]
+        document = _require(request, "graph", "/compile")
         caching = (
             bool(request.get("cache", True))
             and self.service.cache is not None
@@ -569,45 +637,55 @@ class CompileServer:
                 )
             self._inflight += 1
         try:
-            if not memo.key:
-                return self._farm_dispatch(memo)
-            # Single-flight: one leader per distinct cache key at a
-            # time; followers receive the leader's bytes verbatim.
-            with self._flight_lock:
-                flight = self._flights.get(memo.key)
-                leader = flight is None
-                if leader:
-                    flight = _Flight()
-                    self._flights[memo.key] = flight
-            if not leader:
-                ok = flight.event.wait(
-                    self.request_timeout or _SINGLE_FLIGHT_CAP_S
-                )
-                with self._lock:
-                    self._counters["coalesced"] += 1
-                if not ok or flight.result is None:
-                    with self._lock:
-                        self._counters["timeouts"] += 1
-                    return self._err(
-                        504,
-                        "coalesced request timed out waiting for the "
-                        "in-flight identical compile",
-                    )
-                return flight.result
-            try:
-                result = self._farm_dispatch(memo)
-                flight.result = result
-                return result
-            finally:
-                with self._flight_lock:
-                    self._flights.pop(memo.key, None)
-                flight.event.set()
+            return self._coalesced_dispatch(memo)
         finally:
             with self._lock:
                 self._inflight -= 1
 
+    def _coalesced_dispatch(
+        self, memo: _Memo, path: str = "/compile"
+    ) -> Tuple[int, bytes, Dict[str, str]]:
+        """One item through single-flight + farm dispatch.
+
+        Shared by ``/compile`` and each ``/batch`` item: cache-enabled
+        identical requests in flight anywhere on the server (single
+        requests or batch items, in any mix) coalesce onto one leader
+        per cache key; the rest receive the leader's bytes verbatim.
+        """
+        if not memo.key:
+            return self._farm_dispatch(memo, path)
+        with self._flight_lock:
+            flight = self._flights.get(memo.key)
+            leader = flight is None
+            if leader:
+                flight = _Flight()
+                self._flights[memo.key] = flight
+        if not leader:
+            ok = flight.event.wait(
+                self.request_timeout or _SINGLE_FLIGHT_CAP_S
+            )
+            with self._lock:
+                self._counters["coalesced"] += 1
+            if not ok or flight.result is None:
+                with self._lock:
+                    self._counters["timeouts"] += 1
+                return self._err(
+                    504,
+                    "coalesced request timed out waiting for the "
+                    "in-flight identical compile",
+                )
+            return flight.result
+        try:
+            result = self._farm_dispatch(memo, path)
+            flight.result = result
+            return result
+        finally:
+            with self._flight_lock:
+                self._flights.pop(memo.key, None)
+            flight.event.set()
+
     def _farm_dispatch(
-        self, memo: _Memo
+        self, memo: _Memo, path: str = "/compile"
     ) -> Tuple[int, bytes, Dict[str, str]]:
         """Run one request on its shard; map farm failures to HTTP."""
         trace = self.trace_path is not None
@@ -631,21 +709,261 @@ class CompileServer:
             return self._err(exc.code, str(exc))
         self._account(response.status)
         if response.tree is not None:
-            self._graft_worker_trace(memo, response.tree)
+            self._graft_worker_trace(memo, response.tree, path)
         return 200, response.body, {}
 
     def _graft_worker_trace(
-        self, memo: _Memo, tree: Dict[str, Any]
+        self, memo: _Memo, tree: Dict[str, Any], path: str = "/compile"
     ) -> None:
         from .. import obs
 
         recorder = obs.TraceRecorder()
         with recorder.span(
-            "serve.request", path="/compile", shard=memo.shard
+            "serve.request", path=path, shard=memo.shard
         ):
             recorder.merge_serialized(tree)
         with self._lock:
             self._trace_trees.append(recorder.serialize())
+
+    # -- farm batch path ------------------------------------------------
+    def _parse_batch(self, raw: bytes) -> List[Tuple[str, Any]]:
+        """Parse + route one ``/batch`` body, memoized on its bytes.
+
+        Returns one entry per item in request order: ``("item", memo)``
+        for a routable document, ``("err", body_bytes)`` for a
+        malformed one.  Like :meth:`_parse_compile`, a repeated
+        identical batch body (the warm hot path) costs one SHA-256 and
+        a dict probe instead of a JSON parse plus two canonical-JSON
+        hashes *per item*.  Bodies with fault injection are never
+        memoized — faults must reach the worker on every POST.
+        """
+        body_id = hashlib.sha256(raw).hexdigest()
+        with self._memo_lock:
+            entries = self._batch_memo.get(body_id)
+            if entries is not None:
+                self._batch_memo.move_to_end(body_id)
+                return entries
+        request = json.loads(raw or b"{}")
+        if not isinstance(request, dict):
+            raise ValueError("request body must be a JSON object")
+        documents = _require(request, "graphs", "/batch")
+        if not isinstance(documents, list):
+            raise ValueError(
+                "'graphs' must be a list of graph documents"
+            )
+        options = CompileOptions.from_dict(request.get("options"))
+        caching = (
+            bool(request.get("cache", True))
+            and self.service.cache is not None
+        )
+        faults = request.get("faults")
+        if faults is not None and (
+            not isinstance(faults, list)
+            or len(faults) != len(documents)
+        ):
+            raise ValueError(
+                "'faults' must align one-to-one with 'graphs'"
+            )
+        entries = []
+        options_dict = request.get("options") or {}
+        for index, document in enumerate(documents):
+            try:
+                item = {
+                    "graph": document,
+                    "options": options_dict,
+                    "cache": caching,
+                }
+                if faults is not None and faults[index]:
+                    item["fault"] = faults[index]
+                key = (
+                    cache_key(document, options.key_dict())
+                    if caching else ""
+                )
+                if self.farm.shard_by == "key" and key:
+                    shard = self.farm.shard_for(key)
+                else:
+                    shard = self.farm.shard_for(
+                        canonical_hash(document)
+                    )
+            except (SDFError, ValueError, KeyError, TypeError) as exc:
+                entries.append(
+                    ("err",
+                     self._item_error(400, f"bad request: {exc}"))
+                )
+                continue
+            entries.append(("item", _Memo(item, key, shard)))
+        if faults is None and len(raw) <= _MEMO_MAX_BODY:
+            with self._memo_lock:
+                self._batch_memo[body_id] = entries
+                while len(self._batch_memo) > _MEMO_MAX_ENTRIES:
+                    self._batch_memo.popitem(last=False)
+        return entries
+
+    def _handle_batch_farm(
+        self, raw: bytes
+    ) -> Tuple[int, bytes, Dict[str, str]]:
+        """``/batch`` through the farm: per-item sharding + isolation.
+
+        Each item is routed by its own graph digest; shard groups run
+        on a persistent dispatch pool with the items of one shard
+        processed in request order (the shard's session LRU and memory
+        tier stay hot, and N identical colds in one batch compile
+        exactly once — the first item compiles, the rest hit the
+        memory tier or coalesce on the single-flight).  A malformed
+        document, worker crash, or per-item timeout yields a
+        ``{"status": "error", "code": ..., "error": ...}`` entry for
+        that item only.  Success items splice the workers' rendered
+        response bytes verbatim — no decode/re-encode on the hot path.
+        """
+        try:
+            entries = self._parse_batch(raw)
+        except (SDFError, ValueError, KeyError, TypeError,
+                json.JSONDecodeError) as exc:
+            with self._lock:
+                self._counters["errors"] += 1
+            return self._err(400, f"bad request: {exc}")
+        with self._lock:
+            self._counters["requests"] += 1
+            if self._inflight >= self.queue_limit:
+                self._counters["rejected"] += 1
+                return self._err(
+                    429, "compile queue is full, retry later",
+                    {"Retry-After": "1"},
+                )
+            self._inflight += 1
+        try:
+            parts: List[Optional[bytes]] = [None] * len(entries)
+            groups: Dict[int, List[Tuple[int, _Memo]]] = {}
+            parse_errors = 0
+            for index, (kind, value) in enumerate(entries):
+                if kind == "err":
+                    parts[index] = value
+                    parse_errors += 1
+                else:
+                    groups.setdefault(value.shard, []).append(
+                        (index, value)
+                    )
+            if parse_errors:
+                with self._lock:
+                    self._counters["errors"] += parse_errors
+
+            def run_item(index: int, memo: _Memo) -> None:
+                code, body, _headers = self._coalesced_dispatch(
+                    memo, path="/batch"
+                )
+                if code == 200:
+                    parts[index] = body
+                else:
+                    message = ""
+                    try:
+                        message = json.loads(body).get("error", "")
+                    except (ValueError, AttributeError):
+                        pass
+                    parts[index] = self._item_error(code, message)
+
+            def run_group(members: List[Tuple[int, _Memo]]) -> None:
+                trace = self.trace_path is not None
+                try:
+                    results = self.farm.compile_many(
+                        members[0][1].shard,
+                        [(memo.key, memo.request)
+                         for _, memo in members],
+                        trace=trace, timeout=self.request_timeout,
+                    )
+                except (FarmWorkerCrashed, FarmTimeout, FarmError):
+                    # The grouped frame failed as a unit (the worker
+                    # died or hung mid-group).  Fall back to per-item
+                    # dispatch so only the actually-bad item errors —
+                    # fault isolation stays per item, not per shard.
+                    with self._lock:
+                        self._counters["worker_failures"] += 1
+                    for index, memo in members:
+                        run_item(index, memo)
+                    return
+                for (index, memo), entry in zip(members, results):
+                    if entry[0] != "ok":
+                        with self._lock:
+                            self._counters["errors"] += 1
+                        parts[index] = self._item_error(
+                            entry[1], entry[2]
+                        )
+                        continue
+                    _, status, _tier, body, tree = entry
+                    self._account(status)
+                    if tree is not None:
+                        self._graft_worker_trace(memo, tree, "/batch")
+                    parts[index] = body
+
+            ordered = [groups[shard] for shard in sorted(groups)]
+            if len(ordered) == 1:
+                run_group(ordered[0])
+            elif ordered:
+                # First group runs inline; the rest overlap on the
+                # persistent pool (per-POST Thread spawns cost more
+                # than the warm dispatches they parallelize).
+                futures = [
+                    self._batch_pool.submit(run_group, members)
+                    for members in ordered[1:]
+                ]
+                run_group(ordered[0])
+                for future in futures:
+                    future.result()
+            filled = [
+                part if part is not None
+                else self._item_error(500, "internal error")
+                for part in parts
+            ]
+            body = b'{"responses":[' + b",".join(filled) + b"]}"
+            return 200, body, {}
+        finally:
+            with self._lock:
+                self._inflight -= 1
+
+    @staticmethod
+    def _item_error(code: int, message: str) -> bytes:
+        """One failed batch item, shaped like a response entry."""
+        return json.dumps(
+            {"status": "error", "code": code, "error": message}
+        ).encode("utf-8")
+
+    # -- live resizing --------------------------------------------------
+    def _handle_resize(
+        self, raw: bytes
+    ) -> Tuple[int, bytes, Dict[str, str]]:
+        try:
+            request = json.loads(raw or b"{}")
+            if not isinstance(request, dict):
+                raise ValueError("request body must be a JSON object")
+            workers = int(_require(request, "workers", "/resize"))
+        except (ValueError, TypeError, json.JSONDecodeError) as exc:
+            return self._err(400, f"bad request: {exc}")
+        if self.farm is None:
+            return self._err(
+                400,
+                "no farm to resize: start the server with "
+                "--workers N (N > 0) to enable live resizing",
+            )
+        try:
+            info = self.resize(workers)
+        except ValueError as exc:
+            return self._err(400, f"bad request: {exc}")
+        payload = dict(info)
+        payload.update(self.farm.describe())
+        return 200, json.dumps(payload).encode("utf-8"), {}
+
+    def resize(self, processes: int) -> Dict[str, Any]:
+        """Resize the farm live; flush routing memos.  See
+        :meth:`WorkerFarm.resize`."""
+        if self.farm is None:
+            raise ValueError("server has no farm to resize")
+        info = self.farm.resize(processes)
+        # Memoized bodies carry pre-resize shard numbers; flush so new
+        # requests route against the new pool (in-flight stale shards
+        # are re-routed by the farm itself).
+        with self._memo_lock:
+            self._memo.clear()
+            self._batch_memo.clear()
+        return info
 
     def handle(
         self, path: str, request: Dict[str, Any]
@@ -665,10 +983,19 @@ class CompileServer:
                     {"Retry-After": "1"},
                 )
             self._inflight += 1
-        future = self._pool.submit(self._run_job, path, request)
+        cancel: Optional[threading.Event] = None
+        if self.request_timeout is not None and path == "/batch":
+            cancel = threading.Event()
+        future = self._pool.submit(self._run_job, path, request, cancel)
         try:
             return future.result(timeout=self.request_timeout)
         except FutureTimeout:
+            # The job keeps running in the pool, but for /batch the
+            # cancel event stops unstarted items at the next round
+            # boundary, so the worker slot comes back promptly instead
+            # of grinding through the abandoned batch.
+            if cancel is not None:
+                cancel.set()
             with self._lock:
                 self._counters["timeouts"] += 1
             return (
@@ -681,7 +1008,8 @@ class CompileServer:
             )
 
     def _run_job(
-        self, path: str, request: Dict[str, Any]
+        self, path: str, request: Dict[str, Any],
+        cancel: Optional[threading.Event] = None,
     ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
         recorder = None
         if self.trace_path is not None:
@@ -696,8 +1024,8 @@ class CompileServer:
             )
             if span is not None:
                 with span:
-                    return self._dispatch(path, request, recorder)
-            return self._dispatch(path, request, recorder)
+                    return self._dispatch(path, request, recorder, cancel)
+            return self._dispatch(path, request, recorder, cancel)
         finally:
             with self._lock:
                 self._inflight -= 1
@@ -705,12 +1033,13 @@ class CompileServer:
                     self._trace_trees.append(recorder.serialize())
 
     def _dispatch(
-        self, path: str, request: Dict[str, Any], recorder
+        self, path: str, request: Dict[str, Any], recorder,
+        cancel: Optional[threading.Event] = None,
     ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
         try:
             if path == "/compile":
                 return self._compile_one(request, recorder)
-            return self._compile_batch(request, recorder)
+            return self._compile_batch(request, recorder, cancel)
         except (SDFError, ValueError, KeyError, TypeError) as exc:
             with self._lock:
                 self._counters["errors"] += 1
@@ -723,7 +1052,7 @@ class CompileServer:
     def _compile_one(
         self, request: Dict[str, Any], recorder
     ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
-        document = request["graph"]
+        document = _require(request, "graph", "/compile")
         options = CompileOptions.from_dict(request.get("options"))
         report, status = self.service.compile_document(
             document, options,
@@ -734,25 +1063,46 @@ class CompileServer:
         return 200, {"status": status, "report": report.to_json()}, {}
 
     def _compile_batch(
-        self, request: Dict[str, Any], recorder
+        self, request: Dict[str, Any], recorder,
+        cancel: Optional[threading.Event] = None,
     ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
-        documents = request["graphs"]
+        documents = _require(request, "graphs", "/batch")
         if not isinstance(documents, list):
             raise ValueError("'graphs' must be a list of graph documents")
         options = CompileOptions.from_dict(request.get("options"))
         jobs = request.get("jobs")
+        extra: Dict[str, Any] = {}
+        if cancel is not None:  # stay duck-type compatible without it
+            extra["cancel"] = cancel
         results = self.service.compile_batch(
             documents, options,
             use_cache=bool(request.get("cache", True)),
             jobs=int(jobs) if jobs is not None else None,
             recorder=recorder,
+            **extra,
         )
         responses = []
-        for report, status in results:
+        reclaimed = errored = 0
+        for result, status in results:
+            if status in ("error", "cancelled"):
+                if status == "cancelled":
+                    reclaimed += 1
+                else:
+                    errored += 1
+                responses.append({
+                    "status": "error",
+                    "code": int(result.get("code", 500)),
+                    "error": str(result.get("error", "")),
+                })
+                continue
             self._account(status)
             responses.append(
-                {"status": status, "report": report.to_json()}
+                {"status": status, "report": result.to_json()}
             )
+        if reclaimed or errored:
+            with self._lock:
+                self._counters["timeout_reclaimed"] += reclaimed
+                self._counters["errors"] += errored
         return 200, {"responses": responses}, {}
 
     def _account(self, status: str) -> None:
@@ -792,6 +1142,12 @@ class CompileServer:
             for row in workers:
                 for name, value in row.get("counters", {}).items():
                     totals[name] = totals.get(name, 0) + value
+            # Counters shipped home by workers drained on a shrink
+            # keep counting after the resize.
+            for name, value in self.farm.retired.get(
+                "counters", {}
+            ).items():
+                totals[name] = totals.get(name, 0) + value
             farm["workers"] = workers
             farm["counters"] = totals
             payload["farm"] = farm

@@ -314,7 +314,8 @@ class CompileService:
         use_cache: bool = True,
         jobs: Optional[int] = None,
         recorder=None,
-    ) -> List[Tuple[CompilationReport, str]]:
+        cancel=None,
+    ) -> List[Tuple[Any, str]]:
         """Fan a list of documents out over worker processes.
 
         Uses :func:`~repro.experiments.runner.parallel_map` — order
@@ -324,8 +325,20 @@ class CompileService:
         share the on-disk cache by path (atomic writes make concurrent
         same-key writers safe: last replace wins with identical
         content).
+
+        Item failures are isolated: a document the worker cannot
+        compile yields ``({"error": ..., "code": ...}, "error")`` in
+        its slot, leaving the other items intact.
+
+        ``cancel`` (an object with ``is_set()``, e.g. a
+        ``threading.Event``) enables cooperative abandonment: the
+        batch runs in rounds of at most one pool's width, and once
+        ``cancel.is_set()`` every not-yet-started item is skipped with
+        ``({"error": ..., "code": 503}, "cancelled")`` — the caller
+        counts these as reclaimed work instead of letting an abandoned
+        batch grind the pool after a timeout.
         """
-        from ..experiments.runner import parallel_map
+        from ..experiments.runner import effective_jobs, parallel_map
 
         options = options or CompileOptions()
         cache_root = (
@@ -335,12 +348,36 @@ class CompileService:
             (document, options.as_dict(), cache_root)
             for document in documents
         ]
-        results = parallel_map(
-            _batch_worker, tasks, jobs=jobs,
-            recorder=recorder, task_label="serve.batch_task",
-        )
+        if cancel is None:
+            results = parallel_map(
+                _batch_worker, tasks, jobs=jobs,
+                recorder=recorder, task_label="serve.batch_task",
+            )
+        else:
+            width = max(1, effective_jobs(jobs))
+            results = []
+            for lo in range(0, len(tasks), width):
+                if cancel.is_set():
+                    results.extend(
+                        ({
+                            "error": (
+                                "cancelled: the batch request timed "
+                                "out before this item started"
+                            ),
+                            "code": 503,
+                        }, "cancelled")
+                        for _ in tasks[lo:]
+                    )
+                    break
+                results.extend(parallel_map(
+                    _batch_worker, tasks[lo:lo + width], jobs=jobs,
+                    recorder=recorder, task_label="serve.batch_task",
+                ))
         out = []
         for payload, status in results:
+            if status in ("error", "cancelled"):
+                out.append((payload, status))
+                continue
             report = CompilationReport.from_json(payload)
             if self.cache is not None and status == "hit":
                 self.cache.hits += 1
@@ -357,19 +394,29 @@ def _batch_worker(
     """One batch item, picklable for the process pool.
 
     Builds a throwaway single-graph service around the shared cache
-    directory; returns ``(report_json, status)`` as plain data.
+    directory; returns ``(report_json, status)`` as plain data.  A
+    failing item returns ``({"error": ..., "code": ...}, "error")``
+    instead of raising, so one bad document cannot take down the whole
+    batch (an exception escaping here would poison ``parallel_map``'s
+    entire result list).
     """
     from .. import obs
+    from ..exceptions import SDFError
 
     document, options_dict, cache_root = task
-    service = CompileService(
-        cache=ArtifactCache(cache_root) if cache_root else None
-    )
-    report, status = service.compile_document(
-        document,
-        CompileOptions.from_dict(options_dict),
-        use_cache=cache_root is not None,
-        recorder=obs.active(obs.current()),
-    )
+    try:
+        service = CompileService(
+            cache=ArtifactCache(cache_root) if cache_root else None
+        )
+        report, status = service.compile_document(
+            document,
+            CompileOptions.from_dict(options_dict),
+            use_cache=cache_root is not None,
+            recorder=obs.active(obs.current()),
+        )
+    except (SDFError, ValueError, KeyError, TypeError) as exc:
+        return {"error": f"bad request: {exc}", "code": 400}, "error"
+    except Exception as exc:  # pragma: no cover - defensive
+        return {"error": f"internal error: {exc!r}", "code": 500}, "error"
     payload = report.to_json()
     return payload, status

@@ -25,7 +25,13 @@ from repro.serve import (
     rendezvous_shard,
 )
 from repro.serve import client as serve_client
-from repro.serve.client import compile_remote, get_json
+from repro.serve.client import (
+    BatchItemError,
+    compile_batch_remote,
+    compile_remote,
+    get_json,
+    resize_remote,
+)
 
 
 def small_graph(name="farm_sample"):
@@ -353,6 +359,212 @@ class TestFarmServer:
         assert err.value.status == 400
 
 
+def canonical_sans_key(report):
+    """Canonical payload with the cache key cleared, for comparing a
+    served report against a direct ``implement()`` run (which has no
+    cache and therefore an empty key)."""
+    payload = json.loads(report.canonical())
+    payload["key"] = ""
+    return payload
+
+
+class TestFarmBatch:
+    """/batch routed through the farm: sharding, coalescing, isolation."""
+
+    def test_mixed_batch_bit_identical_to_serial_implement(
+        self, farm_server
+    ):
+        graphs = [small_graph(f"fb{i}") for i in range(4)]
+        docs = [to_json(g) for g in graphs] + [to_json(graphs[0])]
+        cold = compile_batch_remote(docs, url=farm_server.url)
+        # Four distinct colds compile; the in-batch duplicate of the
+        # first is answered from the tiers.
+        assert [s for _, s in cold] == ["miss"] * 4 + ["hit"]
+        warm = compile_batch_remote(docs, url=farm_server.url)
+        assert [s for _, s in warm] == ["hit"] * 5
+        for (c, _), (w, _) in zip(cold, warm):
+            assert w.canonical() == c.canonical()
+        for graph, (report, _) in zip(graphs, cold):
+            direct = CompilationReport.from_result(
+                implement(graph), graph.name, seed=0
+            )
+            assert canonical_sans_key(report) == canonical_sans_key(direct)
+
+    def test_identical_colds_in_one_batch_compile_once(self, farm_server):
+        doc = to_json(small_graph("batchstampede"))
+        results = compile_batch_remote([doc] * 6, url=farm_server.url)
+        assert len({r.canonical() for r, _ in results}) == 1
+        # Same digest => same shard => one ordered group: the first
+        # item compiles, the other five are tier hits.  Exactly one
+        # pipeline run for six identical cold items.
+        assert results[0][1] == "miss"
+        assert all(s == "hit" for _, s in results[1:])
+        assert farm_counter(farm_server, "farm.compiles") == 1
+
+    def test_poisoned_item_isolated_per_item(self, farm_server):
+        good = to_json(small_graph("pois"))
+        results = compile_batch_remote(
+            [good, {"actors": "nope"}, good], url=farm_server.url
+        )
+        (r0, s0), (r1, s1), (r2, s2) = results
+        assert isinstance(r1, BatchItemError)
+        assert (s1, r1.code) == ("error", 400)
+        assert "\n" not in r1.message
+        assert s0 == "miss" and s2 == "hit"
+        assert r0.canonical() == r2.canonical()
+
+    def test_worker_crash_mid_batch_isolated_per_item(self, farm_server):
+        docs = [to_json(small_graph(f"cb{i}")) for i in range(3)]
+        payload = {
+            "graphs": docs, "options": {}, "cache": False,
+            "faults": [None, "worker_crash", None],
+        }
+        response = serve_client._post(
+            farm_server.url, "/batch", payload, timeout=60
+        )
+        items = response["responses"]
+        assert items[1]["status"] == "error"
+        assert items[1]["code"] == 503
+        assert "\n" not in items[1]["error"]
+        assert items[0]["status"] == "disabled"
+        assert items[2]["status"] == "disabled"
+        health = get_json(farm_server.url, "/healthz")
+        assert health["status"] == "ok"
+        assert health["farm"]["alive"] == health["farm"]["size"]
+
+    def test_missing_graphs_field_actionable_message(self, farm_server):
+        with pytest.raises(ServeClientError) as err:
+            serve_client._post(
+                farm_server.url, "/batch", {"options": {}}
+            )
+        assert err.value.status == 400
+        message = str(err.value)
+        assert "missing required field 'graphs'" in message
+        assert "POST /batch expects" in message
+        assert "\n" not in message
+        with pytest.raises(ServeClientError) as err:
+            serve_client._post(
+                farm_server.url, "/compile", {"options": {}}
+            )
+        assert "missing required field 'graph'" in str(err.value)
+
+    def test_batch_counts_in_farm_worker_stats(self, farm_server):
+        docs = [to_json(small_graph(f"wc{i}")) for i in range(3)]
+        compile_batch_remote(docs, url=farm_server.url)
+        assert farm_counter(farm_server, "farm.compiles") == 3
+        stats = get_json(farm_server.url, "/stats")
+        by_worker = [w["requests"] for w in stats["farm"]["workers"]]
+        assert sum(by_worker) == 3
+
+
+class TestFarmResize:
+    """POST /resize: live grow/drain with counters surviving."""
+
+    def test_grow_and_shrink_live_bit_identical(self, farm_server):
+        docs = [to_json(small_graph(f"rz{i}")) for i in range(6)]
+        baseline = compile_batch_remote(docs, url=farm_server.url)
+        info = resize_remote(4, url=farm_server.url)
+        assert (info["previous"], info["size"]) == (2, 4)
+        assert (info["added"], info["removed"]) == (2, 0)
+        health = get_json(farm_server.url, "/healthz")
+        assert health["farm"]["alive"] == health["farm"]["size"] == 4
+        grown = compile_batch_remote(docs, url=farm_server.url)
+        info = resize_remote(2, url=farm_server.url)
+        assert (info["size"], info["removed"]) == (2, 2)
+        shrunk = compile_batch_remote(docs, url=farm_server.url)
+        for (b, _), (g, _), (s, _) in zip(baseline, grown, shrunk):
+            assert b.canonical() == g.canonical() == s.canonical()
+        stats = get_json(farm_server.url, "/stats")
+        assert stats["farm"]["retired_workers"] == 2
+        # Every batch item is one farm request; the drained workers'
+        # tallies were folded into the totals, so nothing went
+        # backwards across the shrink.
+        assert stats["farm"]["counters"]["farm.requests"] >= 18
+
+    def test_resize_is_idempotent_for_same_size(self, farm_server):
+        info = resize_remote(2, url=farm_server.url)
+        assert info == {**info, "previous": 2, "size": 2,
+                        "added": 0, "removed": 0}
+
+    def test_resize_rejects_bad_requests(self, farm_server):
+        with pytest.raises(ServeClientError) as err:
+            resize_remote(0, url=farm_server.url)
+        assert err.value.status == 400
+        with pytest.raises(ServeClientError) as err:
+            serve_client._post(farm_server.url, "/resize", {})
+        assert err.value.status == 400
+        assert "missing required field 'workers'" in str(err.value)
+
+    def test_resize_without_farm_is_400(self, tmp_path):
+        server = CompileServer(
+            CompileService(cache=ArtifactCache(str(tmp_path))),
+            port=0, processes=0, quiet=True,
+        ).start()
+        try:
+            with pytest.raises(ServeClientError) as err:
+                resize_remote(2, url=server.url)
+            assert err.value.status == 400
+            assert "no farm" in str(err.value)
+        finally:
+            server.drain(timeout=10)
+
+    def test_resize_under_load_drops_nothing(self, farm_server):
+        # Acceptance: resizing 2->4->3->2 while batches hammer the
+        # server must drop zero in-flight requests and keep every
+        # response bit-identical.
+        docs = [to_json(small_graph(f"load{i}")) for i in range(4)]
+        baseline = compile_batch_remote(docs, url=farm_server.url)
+        expected = [r.canonical() for r, _ in baseline]
+        stop = threading.Event()
+        failures = []
+        rounds = [0]
+
+        def hammer():
+            while not stop.is_set():
+                try:
+                    results = compile_batch_remote(
+                        docs, url=farm_server.url, timeout=60
+                    )
+                except ServeClientError as exc:
+                    failures.append(("transport", str(exc)))
+                    continue
+                rounds[0] += 1
+                for (report, status), want in zip(results, expected):
+                    if isinstance(report, BatchItemError):
+                        failures.append(("item-error", report.message))
+                    elif report.canonical() != want:
+                        failures.append(("mismatch", status))
+
+        threads = [threading.Thread(target=hammer) for _ in range(2)]
+        for t in threads:
+            t.start()
+        try:
+            for size in (4, 3, 2):
+                info = resize_remote(size, url=farm_server.url,
+                                     timeout=60)
+                assert info["size"] == size
+                time.sleep(0.15)
+        finally:
+            stop.set()
+            for t in threads:
+                t.join(timeout=60)
+        assert not any(t.is_alive() for t in threads), "a batch hung"
+        assert failures == []
+        assert rounds[0] >= 3
+        health = get_json(farm_server.url, "/healthz")
+        assert health["status"] == "ok"
+        assert health["farm"]["alive"] == health["farm"]["size"] == 2
+
+    def test_farm_resize_moves_few_assignments(self):
+        # Acceptance: the routing function behind /resize moves at
+        # most ~1/N of the shard assignments on a grow of one.
+        keys = [f"{i:064x}" for i in range(512)]
+        before = [rendezvous_shard(k, 4) for k in keys]
+        after = [rendezvous_shard(k, 5) for k in keys]
+        moved = sum(1 for b, a in zip(before, after) if b != a)
+        assert moved <= len(keys) * 0.3  # ~1/5 expected
+
+
 class _StubHandler(BaseHTTPRequestHandler):
     """Scripted responses for client-retry tests."""
 
@@ -455,6 +667,57 @@ class TestClientRetries:
             to_json(small_graph()), url=stub_url(stub_server), retries=1
         )
         assert sleeps == [serve_client.RETRY_CAP_S]
+
+    def test_http_date_retry_after_honored(self, stub_server, monkeypatch):
+        import email.utils
+
+        sleeps = []
+        monkeypatch.setattr(serve_client, "_sleep", sleeps.append)
+        monkeypatch.setattr(serve_client, "_jitter", lambda: 1.0)
+        # RFC 9110 allows the HTTP-date form; it must parse to the
+        # seconds-until-then (capped), not raise inside the retry loop.
+        date = email.utils.formatdate(time.time() + 4, usegmt=True)
+        _StubHandler.script = [
+            (429, {"Retry-After": date}, {"error": "busy"}),
+            (200, {}, ok_payload()),
+        ]
+        report, status = compile_remote(
+            to_json(small_graph()), url=stub_url(stub_server), retries=1
+        )
+        assert status == "miss"
+        assert len(sleeps) == 1
+        assert 2.5 <= sleeps[0] <= 4.5
+
+    def test_garbage_retry_after_falls_back_to_backoff(
+        self, stub_server, monkeypatch
+    ):
+        sleeps = []
+        monkeypatch.setattr(serve_client, "_sleep", sleeps.append)
+        monkeypatch.setattr(serve_client, "_jitter", lambda: 1.0)
+        _StubHandler.script = [
+            (429, {"Retry-After": "soonish"}, {"error": "busy"}),
+            (503, {"Retry-After": "Wed, 99 Nonsense"}, {"error": "busy"}),
+            (200, {}, ok_payload()),
+        ]
+        report, status = compile_remote(
+            to_json(small_graph()), url=stub_url(stub_server), retries=2
+        )
+        assert status == "miss"
+        # Unparseable headers never raise: each attempt fell back to
+        # the exponential schedule (0.25, 0.5, ...).
+        assert sleeps == [0.25, 0.5]
+
+    def test_parse_retry_after_forms(self):
+        import email.utils
+
+        parse = serve_client._parse_retry_after
+        assert parse(None) is None
+        assert parse("") is None
+        assert parse("2") == 2.0
+        assert parse("-5") == 0.0
+        assert parse("soonish") is None
+        past = email.utils.formatdate(time.time() - 100, usegmt=True)
+        assert parse(past) == 0.0
 
     def test_retries_exhausted_raises_last_error(
         self, stub_server, monkeypatch

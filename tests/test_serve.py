@@ -21,7 +21,9 @@ from repro.serve import (
     CompileService,
     cache_key,
 )
+from repro.serve import client as serve_client
 from repro.serve.client import (
+    BatchItemError,
     ServeClientError,
     compile_batch_remote,
     compile_remote,
@@ -374,6 +376,112 @@ class TestCompileServer:
         names = {e["name"] for e in events}
         assert "serve.request" in names
         assert "implement" in names
+
+
+class _CountingCancel:
+    """Stub cancel handle: reports set after ``trip`` ``is_set`` calls."""
+
+    def __init__(self, trip):
+        self.trip = trip
+        self.calls = 0
+
+    def is_set(self):
+        self.calls += 1
+        return self.calls > self.trip
+
+
+class TestBatchThreadPath:
+    """/batch on the in-process pool: isolation + timeout reclaim."""
+
+    def test_missing_field_messages_name_field_and_shape(self, live_server):
+        # Satellite: a missing graph/graphs key must produce a one-line
+        # actionable message, not a bare KeyError repr.
+        for path, field in (("/compile", "graph"), ("/batch", "graphs")):
+            with pytest.raises(ServeClientError) as err:
+                serve_client._post(live_server.url, path, {"options": {}})
+            assert err.value.status == 400
+            message = str(err.value)
+            assert f"missing required field '{field}'" in message
+            assert f"POST {path} expects" in message
+            assert "\n" not in message
+
+    def test_poisoned_item_isolated(self, live_server):
+        good = to_json(small_graph())
+        results = compile_batch_remote(
+            [good, {"actors": "nope"}, good], url=live_server.url
+        )
+        (r0, s0), (r1, s1), (r2, s2) = results
+        assert isinstance(r1, BatchItemError)
+        assert (s1, r1.code) == ("error", 400)
+        assert s0 == "miss" and s2 == "hit"
+        assert r0.canonical() == r2.canonical()
+        stats = get_json(live_server.url, "/stats")["server"]
+        assert stats["errors"] >= 1
+
+    def test_service_cancel_skips_unstarted_items(self, tmp_path):
+        service = CompileService(cache=ArtifactCache(str(tmp_path)))
+        docs = [to_json(small_graph()) for _ in range(5)]
+        cancel = _CountingCancel(trip=2)
+        results = service.compile_batch(docs, jobs=1, cancel=cancel)
+        statuses = [s for _, s in results]
+        # Two rounds of width 1 ran, then the cancel tripped: the
+        # remaining three items were skipped, never compiled.
+        assert statuses == ["miss", "hit", "cancelled",
+                            "cancelled", "cancelled"]
+        for payload, status in results[2:]:
+            assert status == "cancelled"
+            assert payload["code"] == 503
+            assert "cancelled" in payload["error"]
+
+    def test_batch_timeout_reclaims_pool_slot(self):
+        # Satellite: after a /batch 504 the abandoned batch must stop
+        # at the next item boundary instead of grinding the pool; the
+        # reclaim shows up in /stats as timeout_reclaimed.
+        class _SlowBatchService:
+            cache = None
+
+            def compile_batch(self, documents, options, use_cache=True,
+                              jobs=None, recorder=None, cancel=None):
+                out = []
+                for document in documents:
+                    if cancel is not None and cancel.is_set():
+                        out.append((
+                            {"error": "cancelled", "code": 503},
+                            "cancelled",
+                        ))
+                        continue
+                    time.sleep(0.2)
+                    out.append((
+                        {"error": "should have timed out", "code": 500},
+                        "error",
+                    ))
+                return out
+
+        server = CompileServer(
+            _SlowBatchService(), port=0, workers=1,
+            queue_limit=4, request_timeout=0.1, quiet=True,
+        ).start()
+        try:
+            with pytest.raises(ServeClientError) as err:
+                serve_client._post(
+                    server.url, "/batch",
+                    {"graphs": [{}] * 6, "options": {}}, timeout=30,
+                )
+            assert err.value.status == 504
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                stats = server.stats()["server"]
+                if stats["timeout_reclaimed"] >= 4 and not stats["inflight"]:
+                    break
+                time.sleep(0.05)
+            assert stats["timeouts"] == 1
+            # At most two items ran (one in flight at the 504, maybe
+            # one more before the event was observed): the rest were
+            # reclaimed without executing.
+            assert stats["timeout_reclaimed"] >= 4
+            assert stats["inflight"] == 0
+        finally:
+            server.drain(timeout=10)
 
 
 class TestCacheCorruptInjection:
