@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test check serve-smoke bench bench-pytest bench-full report examples clean
+.PHONY: install test check check-docs serve-smoke bench bench-pytest bench-full report examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -19,6 +19,12 @@ check:
 	PYTHONPATH=src $(PYTHON) -m repro check --trials 25 --inject \
 		--families acyclic,broadcast,cyclic \
 		--bench-out BENCH_PR2.json
+
+# Documentation gate: every intra-repo markdown link must resolve and
+# every ```console fence's repro invocation must parse against the
+# real CLI (argparse introspection — phantom flags fail the build).
+check-docs:
+	$(PYTHON) scripts/check_docs.py
 
 # End-to-end service smoke test, two phases: threaded server (CD-DAT
 # cold miss -> bit-identical warm hit, clean SIGTERM drain, trace in
@@ -39,6 +45,7 @@ bench:
 	$(PYTHON) benchmarks/bench_farm.py --out BENCH_PR6.json \
 		--batch-out BENCH_PR9.json
 	$(PYTHON) benchmarks/bench_native.py --out BENCH_PR8.json
+	$(PYTHON) benchmarks/bench_vectorize.py --out BENCH_PR10.json
 
 bench-pytest:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,0 +1,174 @@
+#!/usr/bin/env python
+"""Documentation gate: links must resolve, commands must exist.
+
+Two mechanical checks over ``README.md`` and ``docs/*.md`` (run as
+``make check-docs``; CI fails the build on any finding):
+
+* **Links** — every intra-repo markdown link target (``[text](path)``
+  with a relative path, anchors stripped) must name a file or
+  directory that exists.  External ``http(s)``/``mailto`` targets and
+  pure-anchor links are skipped.
+* **Commands** — every ``repro ...`` / ``python -m repro ...``
+  invocation inside a fenced ```` ```console ```` or ```` ```bash ````
+  block is checked against the *real* CLI by introspecting
+  ``repro.cli.build_parser()``: the subcommand (nested ones like
+  ``cache gc`` included) must exist, and every ``--flag`` token must
+  be an option that subcommand actually accepts.  A doc that invents a
+  flag — or keeps one that was renamed — fails here rather than
+  misleading a reader.
+
+Placeholder invocations (any token containing ``<``, ``[``, or ``...``,
+e.g. ``repro <command> [options...]``) are skipped; shell pipelines
+are checked up to the first operator (``|``, ``&&``, ``>``, ...).
+
+Exit status: 0 when clean, 1 with one line per finding otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import os
+import re
+import shlex
+import sys
+
+REPO = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+from repro.cli import build_parser  # noqa: E402
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FENCE_RE = re.compile(r"```(console|bash)\n(.*?)```", re.S)
+SHELL_OPERATORS = {"|", "||", "&&", "&", ";", ">", ">>", "<", "2>"}
+
+
+def doc_files():
+    files = [os.path.join(REPO, "README.md")]
+    files.extend(sorted(glob.glob(os.path.join(REPO, "docs", "*.md"))))
+    return files
+
+
+def rel(path: str) -> str:
+    return os.path.relpath(path, REPO)
+
+
+# ----------------------------------------------------------------------
+# links
+# ----------------------------------------------------------------------
+def check_links(path: str, text: str):
+    """Yield findings for intra-repo link targets that do not exist."""
+    base = os.path.dirname(path)
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        target = target.split("#", 1)[0]
+        if not target:  # pure anchor, e.g. (#section)
+            continue
+        resolved = os.path.normpath(os.path.join(base, target))
+        if not os.path.exists(resolved):
+            line = text.count("\n", 0, match.start()) + 1
+            yield (
+                f"{rel(path)}:{line}: broken link "
+                f"{match.group(1)!r} ({rel(resolved)} does not exist)"
+            )
+
+
+# ----------------------------------------------------------------------
+# commands
+# ----------------------------------------------------------------------
+def subparsers_of(parser: argparse.ArgumentParser):
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return dict(action.choices)
+    return {}
+
+
+def option_strings_of(parser: argparse.ArgumentParser):
+    options = set()
+    for action in parser._actions:
+        options.update(action.option_strings)
+    return options
+
+
+def iter_doc_commands(text: str):
+    """Yield (line_number, argv-after-'repro') for each documented call."""
+    for fence in FENCE_RE.finditer(text):
+        body = fence.group(2)
+        body_line = text.count("\n", 0, fence.start(2)) + 1
+        for offset, raw in enumerate(body.splitlines()):
+            line = raw.strip()
+            if line.startswith("$ "):
+                line = line[2:]
+            if line.startswith("#") or not line:
+                continue
+            try:
+                tokens = shlex.split(line, comments=True)
+            except ValueError:
+                continue
+            if tokens[:3] == ["python", "-m", "repro"]:
+                argv = tokens[3:]
+            elif tokens and tokens[0] == "repro":
+                argv = tokens[1:]
+            else:
+                continue
+            cut = [
+                i for i, t in enumerate(argv) if t in SHELL_OPERATORS
+            ]
+            if cut:
+                argv = argv[: cut[0]]
+            if any("<" in t or "[" in t or "..." in t for t in argv):
+                continue  # usage placeholder, not a real invocation
+            if argv:
+                yield body_line + offset, argv
+
+
+def check_commands(path: str, text: str, root: argparse.ArgumentParser):
+    """Yield findings for documented invocations the CLI would reject."""
+    top = subparsers_of(root)
+    for line, argv in iter_doc_commands(text):
+        where = f"{rel(path)}:{line}"
+        name, rest = argv[0], argv[1:]
+        if name not in top:
+            yield f"{where}: unknown subcommand 'repro {name}'"
+            continue
+        parser = top[name]
+        nested = subparsers_of(parser)
+        command = name
+        if nested and rest and rest[0] in nested:
+            command = f"{name} {rest[0]}"
+            parser, rest = nested[rest[0]], rest[1:]
+        options = option_strings_of(parser) | option_strings_of(root)
+        for token in rest:
+            if not token.startswith("--"):
+                continue
+            flag = token.split("=", 1)[0]
+            if flag not in options:
+                yield (
+                    f"{where}: 'repro {command}' has no {flag!r} flag "
+                    f"(documented invocation would fail to parse)"
+                )
+
+
+def main() -> int:
+    root = build_parser()
+    findings = []
+    checked = 0
+    for path in doc_files():
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+        findings.extend(check_links(path, text))
+        findings.extend(check_commands(path, text, root))
+        checked += 1
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"check-docs: {len(findings)} finding(s) in {checked} file(s)")
+        return 1
+    print(f"check-docs: OK ({checked} files, links and commands verified)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -741,6 +741,53 @@ def inject_native_kernel(
     )
 
 
+def inject_vectorize_overrun(
+    art: PipelineArtifacts, rng: random.Random
+) -> Optional[InjectionOutcome]:
+    """Claim a budget the blocked schedule actually violates.
+
+    Runs the real unconstrained blocking pass, then forges its result
+    to assert it respected a ``memory_budget`` equal to the *baseline*
+    pool total — the exact lie a buggy greedy loop would tell if it
+    applied a fission without re-costing it.  The independent re-cost
+    in :func:`~repro.check.oracles.vectorize_violations` (the same
+    helper every ``oracle.vectorize`` trial runs) must expose the
+    overrun.  Graphs where blocking is free (no safe fission, or the
+    flat schedule costs no more than the baseline) cannot host the
+    mutation and defer to the next seed.
+    """
+    from dataclasses import replace
+
+    from ..scheduling.vectorize import vectorize_schedule
+    from .oracles import vectorize_violations
+
+    vec = vectorize_schedule(
+        art.graph, art.result.sdppo_schedule, art.q,
+        occurrence_cap=art.occurrence_cap,
+    )
+    if (
+        vec.cost is None
+        or vec.baseline_cost is None
+        or vec.steps == 0
+        or vec.cost <= vec.baseline_cost
+    ):
+        return None
+    forged = replace(vec, memory_budget=vec.baseline_cost)
+    violations = vectorize_violations(
+        art.graph, forged, art.q, occurrence_cap=art.occurrence_cap
+    )
+    caught = any("budget" in v for v in violations)
+    return InjectionOutcome(
+        mutation="vectorize_overrun",
+        graph_seed=art.seed,
+        caught=caught,
+        detail=(
+            f"claimed budget {vec.baseline_cost} on a blocking costing "
+            f"{vec.cost} words; {len(violations)} violation(s) reported"
+        ),
+    )
+
+
 MUTATION_CLASSES: Dict[
     str, Callable[[PipelineArtifacts, random.Random], Optional[InjectionOutcome]]
 ] = {
@@ -756,6 +803,7 @@ MUTATION_CLASSES: Dict[
     "broadcast_stop": inject_broadcast_stop,
     "cyclic_schedule": inject_cyclic_schedule,
     "native_kernel": inject_native_kernel,
+    "vectorize_overrun": inject_vectorize_overrun,
 }
 
 

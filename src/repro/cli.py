@@ -160,6 +160,8 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     from .codegen import emit_c, run_shared_memory_check
 
     _apply_jobs(args)
+    if args.memory_budget is not None and not args.vectorize:
+        raise SystemExit("--memory-budget requires --vectorize")
     graph = _resolve_graph(args.graph)
     report = None
     recorder = None
@@ -175,6 +177,7 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         result = implement(
             graph, args.method, seed=args.seed,
             report=report, recorder=recorder, backend=args.backend,
+            vectorize=args.vectorize, memory_budget=args.memory_budget,
         )
     except Exception:
         _flush_observability(args, report, recorder)
@@ -185,12 +188,28 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     print(f"non-shared: {result.dppo_cost} words")
     print(f"shared:     {result.allocation.total} words "
           f"(mco {result.mco}, mcp {result.mcp})")
+    if result.vectorize is not None:
+        v = result.vectorize
+        budget = (
+            "unconstrained" if v.memory_budget is None
+            else f"{v.memory_budget} words"
+        )
+        print(f"vectorized: {v.schedule} (budget {budget})")
+        print(f"blocks:     {v.blocks} per period "
+              f"({v.firings} firings, amortization {v.amortization:.1f}x, "
+              f"baseline {v.baseline_blocks} blocks)")
     if args.check:
+        vm_class = None
+        if result.vectorize is not None:
+            from .codegen.batched_vm import BatchedVM
+
+            vm_class = BatchedVM
         firings = run_shared_memory_check(
             graph, result.lifetimes, result.allocation, periods=2,
-            recorder=recorder,
+            recorder=recorder, vm_class=vm_class,
         )
-        print(f"execution check: OK ({firings} firings)")
+        kind = "batched" if vm_class is not None else "scalar"
+        print(f"execution check: OK ({firings} firings, {kind} VM)")
     if args.emit_c:
         code = emit_c(graph, result.lifetimes, result.allocation)
         with open(args.emit_c, "w") as handle:
@@ -438,8 +457,15 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         compile_remote,
     )
 
+    if args.memory_budget is not None and not args.vectorize:
+        raise SystemExit("--memory-budget requires --vectorize")
     documents = [to_json(_resolve_graph(spec)) for spec in args.graphs]
     options = {"method": args.method, "seed": args.seed}
+    if args.vectorize:
+        # Only sent when requested: a plain submit keeps the exact
+        # pre-vectorization request shape (and cache key).
+        options["vectorize"] = True
+        options["memory_budget"] = args.memory_budget
     try:
         if len(documents) == 1:
             results = [
@@ -565,10 +591,25 @@ def build_parser() -> argparse.ArgumentParser:
              "silently falling back to python; results are "
              "bit-identical either way)",
     )
+    p.add_argument(
+        "--vectorize", action="store_true",
+        help="block consecutive firings into counted firing blocks "
+             "(loop fission on the SDPPO schedule), re-costing every "
+             "candidate through lifetime extraction and first-fit; "
+             "the blocked schedule drives allocation and --check",
+    )
+    p.add_argument(
+        "--memory-budget", type=int, default=None, metavar="WORDS",
+        help="word budget for --vectorize: only blockings whose "
+             "re-costed shared pool stays within WORDS are applied "
+             "(default: unconstrained)",
+    )
     p.add_argument("--emit-c", metavar="FILE", help="write C output")
     p.add_argument(
         "--check", action="store_true",
-        help="execute the schedule against the allocation",
+        help="execute the schedule against the allocation (batched "
+             "numpy VM when --vectorize is active, scalar VM "
+             "otherwise)",
     )
     p.add_argument(
         "--profile", action="store_true",
@@ -838,6 +879,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--output", "-o", metavar="FILE", default=None,
         help="also save the report(s) as JSON",
+    )
+    p.add_argument(
+        "--vectorize", action="store_true",
+        help="ask the server to block consecutive firings after "
+             "scheduling (vectorized execution)",
+    )
+    p.add_argument(
+        "--memory-budget", type=int, default=None, metavar="WORDS",
+        help="cap the shared pool of the vectorized schedule at WORDS "
+             "(requires --vectorize)",
     )
     p.set_defaults(func=_cmd_submit)
 

@@ -3,11 +3,13 @@
 from .c_emitter import emit_c
 from .py_emitter import compile_python, emit_python
 from .vm import SharedMemoryVM, run_shared_memory_check
+from .batched_vm import BatchedVM
 
 __all__ = [
     "emit_c",
     "emit_python",
     "compile_python",
     "SharedMemoryVM",
+    "BatchedVM",
     "run_shared_memory_check",
 ]

@@ -327,12 +327,17 @@ def run_shared_memory_check(
     allocation: Allocation,
     periods: int = 2,
     recorder=None,
+    vm_class=None,
 ) -> int:
     """Run the VM for ``periods`` periods; returns total firings.
 
     Running at least two periods exercises the period boundary (delayed
     edges wrapping their circular cursors, episode-cursor resets).
+    ``vm_class`` selects the engine: the scalar :class:`SharedMemoryVM`
+    (default) or :class:`repro.codegen.batched_vm.BatchedVM`, which
+    runs each firing block as one array transfer under the same memory
+    discipline.
     """
-    vm = SharedMemoryVM(graph, lifetimes, allocation)
+    vm = (vm_class or SharedMemoryVM)(graph, lifetimes, allocation)
     vm.run(periods=periods, recorder=recorder)
     return vm.firings

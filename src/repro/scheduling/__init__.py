@@ -15,6 +15,7 @@ from .cyclic import (
     strongly_connected_components,
 )
 from .exhaustive import OptimalSASResult, optimal_sas
+from .vectorize import VectorizeResult, vectorize_schedule
 
 __all__ = [
     "OptimalSASResult",
@@ -43,4 +44,6 @@ __all__ = [
     "BestResult",
     "implement",
     "implement_best",
+    "VectorizeResult",
+    "vectorize_schedule",
 ]

@@ -37,6 +37,7 @@ from .dppo import dppo
 from .rpmc import rpmc
 from .sdppo import sdppo
 from .session import CompilationSession
+from .vectorize import VectorizeResult, vectorize_schedule
 
 __all__ = ["ImplementationResult", "implement", "implement_best", "BestResult"]
 
@@ -63,6 +64,12 @@ class ImplementationResult:
     ffstart_total: int
     allocation: Allocation
     bmlb: int
+    #: Present when the flow ran with ``vectorize=True``: the blocking
+    #: pass outcome.  ``lifetimes``/``allocation`` then describe the
+    #: *blocked* schedule (``vectorize.schedule``); ``sdppo_cost`` and
+    #: ``sdppo_schedule`` keep the unblocked DP output so the Table 1
+    #: quantities stay comparable across runs.
+    vectorize: Optional["VectorizeResult"] = None
 
     @property
     def best_shared_total(self) -> int:
@@ -133,6 +140,8 @@ def implement(
     report=None,
     recorder=None,
     backend: Optional[str] = None,
+    vectorize: bool = False,
+    memory_budget: Optional[int] = None,
 ) -> ImplementationResult:
     """Run the full flow with one topological-sort method.
 
@@ -192,6 +201,17 @@ def implement(
         (counted as ``native.fallback``) otherwise.  ``None`` (the
         default) inherits the session's backend, itself ``"auto"`` by
         default.  The section 6 chain DP always runs in Python.
+    vectorize:
+        Run the blocking pass (:mod:`repro.scheduling.vectorize`) on
+        the SDPPO schedule and carry the *blocked* schedule through
+        lifetime extraction, allocation and verification.  The result's
+        ``vectorize`` field holds the pass outcome (block factors,
+        re-costed totals); ``sdppo_schedule``/``sdppo_cost`` keep the
+        unblocked DP output.
+    memory_budget:
+        Word budget for the blocking pass (requires
+        ``vectorize=True``).  ``None`` means unconstrained — every safe
+        fission is applied.
 
     Returns
     -------
@@ -214,6 +234,8 @@ def implement(
         independent definition-5 check (never expected; it means a
         pipeline bug).
     """
+    if memory_budget is not None and not vectorize:
+        raise ValueError("memory_budget requires vectorize=True")
     recorder = _active_recorder(recorder)
     outer = (
         recorder.span("implement", graph=graph.name)
@@ -293,8 +315,23 @@ def implement(
                 recorder.count("chain.window_hits", context.window_hits)
                 recorder.count("chain.window_misses", context.window_misses)
 
+        vec_result: Optional[VectorizeResult] = None
+        exec_schedule = sdppo_schedule
+        if vectorize:
+            with _stage(report, recorder, "vectorize") as meta:
+                vec_result = vectorize_schedule(
+                    graph, sdppo_schedule, q,
+                    memory_budget=memory_budget,
+                    occurrence_cap=occurrence_cap,
+                    backend=eff_backend,
+                    recorder=recorder,
+                )
+                exec_schedule = vec_result.schedule
+                meta["blocks"] = vec_result.blocks
+                meta["fissions"] = vec_result.steps
+
         with _stage(report, recorder, "lifetimes"):
-            lifetimes = extract_lifetimes(graph, sdppo_schedule, q)
+            lifetimes = extract_lifetimes(graph, exec_schedule, q)
         buffers = lifetimes.as_list()
         with _stage(report, recorder, "wig"):
             wig = build_intersection_graph(
@@ -335,6 +372,7 @@ def implement(
         ffstart_total=alloc_start.total,
         allocation=best,
         bmlb=session.bmlb(),
+        vectorize=vec_result,
     )
 
 

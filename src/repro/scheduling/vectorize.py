@@ -1,0 +1,376 @@
+"""Memory-constrained vectorization: blocking firings under a budget.
+
+The paper's entire cost model trades buffer words for schedule
+structure; memory-constrained vectorization (Lin/Wu/Bhattacharyya)
+pulls the same lever in the other direction: *blocking* consecutive
+firings of an actor into one counted firing block amortizes per-firing
+dispatch overhead, at the price of larger live windows on the edges the
+block spans.  This module rewrites a single appearance schedule by
+*loop fission* — distributing a loop over its body hoists every child
+to a bigger block factor::
+
+    (3 A (2 B)) (2 C)   ->   (3 A) (6 B) (2 C)
+
+turning seven dispatch blocks per period into three, without changing
+any actor's firing count.  Fission is only applied where it provably
+preserves validity (no lexically-backward edge inside the fissioned
+body, see :func:`fission_safe`), so delayed feedback and the SCC bodies
+of cyclic schedules decline cleanly and keep their original nesting.
+
+Every candidate blocking is *re-costed, not guessed*: the blocked
+schedule goes through the real lifetime extraction
+(:func:`repro.lifetimes.intervals.extract_lifetimes`) and both
+first-fit orderings, and a candidate is only applied while the packed
+pool total stays within ``memory_budget``.  ``memory_budget=None``
+means unconstrained: every safe fission is applied, which on an
+acyclic delay-free SAS degenerates to the flat schedule
+``(q1 x1)...(qn xn)`` — maximal blocks, maximal buffers, the far end
+of the throughput/memory Pareto frontier that
+``benchmarks/bench_vectorize.py`` sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import SDFError
+from ..sdf.graph import SDFGraph
+from ..sdf.repetitions import repetitions_vector
+from ..sdf.schedule import Firing, Loop, LoopedSchedule, ScheduleNode
+from ..sdf.simulate import validate_schedule
+from ..lifetimes.periodic import DEFAULT_OCCURRENCE_CAP
+
+__all__ = [
+    "VectorizeResult",
+    "vectorize_schedule",
+    "fission_safe",
+    "fission_candidates",
+    "dispatch_blocks",
+    "blocked_cost",
+]
+
+
+def _actors_of(node: ScheduleNode, into: Optional[set] = None) -> set:
+    if into is None:
+        into = set()
+    if isinstance(node, Firing):
+        into.add(node.actor)
+    else:
+        for child in node.body:
+            _actors_of(child, into)
+    return into
+
+
+def fission_safe(graph: SDFGraph, loop: Loop) -> bool:
+    """True when distributing ``loop`` over its body preserves validity.
+
+    Fission turns ``(n c1 c2 ... ck)`` into ``hoist(c1)...hoist(ck)``:
+    all ``n`` iterations of each child run back to back.  Relative to
+    the original interleaving, a child's own firing subsequence is
+    unchanged and consumption on a lexically-*forward* edge (producer
+    in an earlier child) only moves later — tokens accumulate, nothing
+    can underflow.  What breaks is a lexically-*backward* edge inside
+    the body: a consumer in an earlier child than its producer lives on
+    initial tokens replenished once per iteration, and hoisting the
+    consumer's whole iteration count ahead of the producer would drain
+    the delay dry.  That is exactly the shape of delayed feedback and
+    of the SCC subschedules produced by cyclic clustering, so the pass
+    declines there and the original nesting survives.  An actor
+    appearing in more than one child (non-SAS bodies) is likewise
+    declined: fission would reorder the actor against itself.
+    """
+    position: Dict[str, int] = {}
+    for i, child in enumerate(loop.body):
+        for a in _actors_of(child):
+            if a in position:
+                return False
+            position[a] = i
+    for e in graph.edges():
+        i = position.get(e.source)
+        j = position.get(e.sink)
+        if i is None or j is None:
+            continue
+        if j < i:  # lexically backward within the fissioned body
+            return False
+    return True
+
+
+def _hoist(loop: Loop) -> List[ScheduleNode]:
+    """Distribute ``loop`` over its body, multiplying child counts."""
+    out: List[ScheduleNode] = []
+    for child in loop.body:
+        if isinstance(child, Firing):
+            out.append(Firing(child.actor, child.count * loop.count))
+        else:
+            out.append(Loop(child.count * loop.count, child.body))
+    return out
+
+
+def fission_candidates(
+    graph: SDFGraph, schedule: LoopedSchedule
+) -> List[LoopedSchedule]:
+    """Every schedule reachable from ``schedule`` by one safe fission.
+
+    Candidates are returned normalized (unit loops collapsed, nested
+    single-child loops merged) and in a deterministic tree-walk order.
+    """
+    results: List[LoopedSchedule] = []
+
+    def walk(
+        nodes: Tuple[ScheduleNode, ...],
+        rebuild: Callable[[List[ScheduleNode]], LoopedSchedule],
+    ) -> None:
+        for idx, node in enumerate(nodes):
+            if not isinstance(node, Loop):
+                continue
+            if len(node.body) >= 2 and fission_safe(graph, node):
+                spliced = (
+                    list(nodes[:idx]) + _hoist(node) + list(nodes[idx + 1:])
+                )
+                results.append(rebuild(spliced))
+
+            def rebuild_child(
+                body: List[ScheduleNode],
+                idx: int = idx,
+                node: Loop = node,
+                nodes: Tuple[ScheduleNode, ...] = nodes,
+                rebuild: Callable = rebuild,
+            ) -> LoopedSchedule:
+                return rebuild(
+                    list(nodes[:idx])
+                    + [Loop(node.count, tuple(body))]
+                    + list(nodes[idx + 1:])
+                )
+
+            walk(node.body, rebuild_child)
+
+    walk(
+        schedule.body,
+        lambda body: LoopedSchedule(body).normalized(),
+    )
+    return results
+
+
+def dispatch_blocks(
+    schedule: LoopedSchedule,
+) -> Tuple[int, int, Dict[str, int]]:
+    """``(blocks, firings, block_factors)`` of one schedule period.
+
+    A *dispatch block* is one visit to a ``Firing`` leaf: the generated
+    loop nest reaches the leaf and fires its actor ``count`` times back
+    to back (one batched call in the vectorized backends).  The block
+    factor of an actor is the largest such ``count`` — for a SAS, the
+    one leaf's count.  ``firings / blocks`` is the amortization the
+    blocking buys over firing-at-a-time dispatch.
+    """
+    blocks = 0
+    firings = 0
+    factors: Dict[str, int] = {}
+
+    def walk(node: ScheduleNode, multiplier: int) -> None:
+        nonlocal blocks, firings
+        if isinstance(node, Firing):
+            blocks += multiplier
+            firings += multiplier * node.count
+            factors[node.actor] = max(factors.get(node.actor, 0), node.count)
+        else:
+            for child in node.body:
+                walk(child, multiplier * node.count)
+
+    for node in schedule.body:
+        walk(node, 1)
+    return blocks, firings, factors
+
+
+def blocked_cost(
+    graph: SDFGraph,
+    schedule: LoopedSchedule,
+    q: Optional[Dict[str, int]] = None,
+    occurrence_cap: int = DEFAULT_OCCURRENCE_CAP,
+    backend: str = "python",
+) -> int:
+    """Honest shared-memory cost of a (blocked) SAS, in words.
+
+    Runs the real downstream pipeline — lifetime extraction,
+    intersection graph, both first-fit orderings — and returns the
+    better pool total.  This is the quantity the ``memory_budget``
+    constrains, and the quantity ``oracle.vectorize`` independently
+    re-derives to check a claimed blocking against its budget.
+    """
+    from ..allocation.first_fit import ffdur, ffstart
+    from ..allocation.intersection_graph import build_intersection_graph
+    from ..lifetimes.intervals import extract_lifetimes
+
+    if q is None:
+        q = repetitions_vector(graph)
+    lifetimes = extract_lifetimes(graph, schedule, q)
+    buffers = lifetimes.as_list()
+    wig = build_intersection_graph(buffers, occurrence_cap=occurrence_cap)
+    dur = ffdur(
+        buffers, graph=wig, occurrence_cap=occurrence_cap, backend=backend
+    )
+    start = ffstart(
+        buffers, graph=wig, occurrence_cap=occurrence_cap, backend=backend
+    )
+    return min(dur.total, start.total)
+
+
+@dataclass
+class VectorizeResult:
+    """The outcome of one vectorization pass.
+
+    ``schedule`` is the blocked schedule (identical to
+    ``baseline_schedule`` when no fission fit the budget or none was
+    safe); ``cost``/``baseline_cost`` are the honest re-costed pool
+    totals in words, or ``None`` when the schedule shape does not
+    support costing (non-SAS cyclic expansions — the pass then returns
+    the identity).  ``blocks``/``firings`` describe one period of the
+    blocked schedule; ``steps`` counts the fissions applied.
+    """
+
+    schedule: LoopedSchedule
+    baseline_schedule: LoopedSchedule
+    block_factors: Dict[str, int] = field(default_factory=dict)
+    cost: Optional[int] = None
+    baseline_cost: Optional[int] = None
+    memory_budget: Optional[int] = None
+    blocks: int = 0
+    firings: int = 0
+    baseline_blocks: int = 0
+    steps: int = 0
+
+    @property
+    def amortization(self) -> float:
+        """Firings per dispatch block of the blocked schedule."""
+        return self.firings / self.blocks if self.blocks else 0.0
+
+    @property
+    def baseline_amortization(self) -> float:
+        return (
+            self.firings / self.baseline_blocks
+            if self.baseline_blocks else 0.0
+        )
+
+
+def vectorize_schedule(
+    graph: SDFGraph,
+    schedule: LoopedSchedule,
+    q: Optional[Dict[str, int]] = None,
+    memory_budget: Optional[int] = None,
+    occurrence_cap: int = DEFAULT_OCCURRENCE_CAP,
+    backend: str = "python",
+    recorder=None,
+) -> VectorizeResult:
+    """Block consecutive firings of ``schedule`` under a memory budget.
+
+    Greedy best-first loop fission: at each step every safe single
+    fission of the current schedule is enumerated, re-costed through
+    the real lifetime/first-fit pipeline, and the candidate with the
+    fewest dispatch blocks (ties: cheapest, then stable text order) is
+    applied — provided its honest cost stays within ``memory_budget``.
+    The loop stops when no candidate fits, so a budget below the
+    cheapest blocking returns the schedule unchanged (the identity
+    pass).  With ``memory_budget=None`` every safe fission is applied
+    without per-step costing (the order cannot affect the fixed point)
+    and only the final schedule is costed.
+
+    The result's schedule is always validated against the token
+    interpreter before being returned; schedules the cost model cannot
+    process (non-single-appearance cyclic expansions) fall back to the
+    identity with ``cost=None``.
+    """
+    if q is None:
+        q = repetitions_vector(graph)
+    base = schedule.normalized()
+    base_blocks, firings, base_factors = dispatch_blocks(base)
+
+    def identity(cost: Optional[int]) -> VectorizeResult:
+        return VectorizeResult(
+            schedule=base,
+            baseline_schedule=base,
+            block_factors=base_factors,
+            cost=cost,
+            baseline_cost=cost,
+            memory_budget=memory_budget,
+            blocks=base_blocks,
+            firings=firings,
+            baseline_blocks=base_blocks,
+            steps=0,
+        )
+
+    try:
+        baseline_cost = blocked_cost(
+            graph, base, q, occurrence_cap=occurrence_cap, backend=backend
+        )
+    except SDFError:
+        # The cost model needs a single appearance schedule; cyclic
+        # expansions that stay non-SA cannot be re-costed, so the pass
+        # declines entirely rather than guessing.
+        return identity(None)
+
+    current = base
+    current_cost = baseline_cost
+    current_blocks = base_blocks
+    steps = 0
+
+    if memory_budget is None:
+        # Unconstrained: fission to the fixed point, cost once at the
+        # end.  Candidate order cannot change the fixed point (each
+        # fission only exposes, never forecloses, further safe ones).
+        while True:
+            candidates = fission_candidates(graph, current)
+            if not candidates:
+                break
+            current = candidates[0]
+            steps += 1
+        if steps:
+            current_cost = blocked_cost(
+                graph, current, q,
+                occurrence_cap=occurrence_cap, backend=backend,
+            )
+            current_blocks = dispatch_blocks(current)[0]
+    else:
+        while True:
+            scored: List[Tuple[int, int, str, LoopedSchedule]] = []
+            for cand in fission_candidates(graph, current):
+                try:
+                    cost = blocked_cost(
+                        graph, cand, q,
+                        occurrence_cap=occurrence_cap, backend=backend,
+                    )
+                except SDFError:
+                    continue
+                if cost > memory_budget:
+                    continue
+                blocks = dispatch_blocks(cand)[0]
+                scored.append((blocks, cost, str(cand), cand))
+            if not scored:
+                break
+            scored.sort(key=lambda item: (item[0], item[1], item[2]))
+            blocks, cost, _, cand = scored[0]
+            if blocks >= current_blocks:
+                break
+            current, current_cost, current_blocks = cand, cost, blocks
+            steps += 1
+
+    if steps:
+        # Belt and braces: the safety rule is proved above, but the
+        # interpreter stays the judge of anything this pass emits.
+        validate_schedule(graph, current, recorder=recorder)
+    if recorder is not None:
+        recorder.count("vectorize.fissions", steps)
+        recorder.count("vectorize.blocks", current_blocks)
+    blocks, firings, factors = dispatch_blocks(current)
+    return VectorizeResult(
+        schedule=current,
+        baseline_schedule=base,
+        block_factors=factors,
+        cost=current_cost,
+        baseline_cost=baseline_cost,
+        memory_budget=memory_budget,
+        blocks=blocks,
+        firings=firings,
+        baseline_blocks=base_blocks,
+        steps=steps,
+    )

@@ -1,0 +1,325 @@
+"""Block-level schedule observables: one closed-form step per firing block.
+
+The firing interpreter in :mod:`repro.sdf.simulate` pays one step per
+firing; the symbolic engine (:mod:`repro.sdf.symbolic`) pays nothing
+per firing but only covers delay-free, self-loop-free graphs under
+topological single appearance schedules.  This module is the middle
+point the vectorization pass (:mod:`repro.scheduling.vectorize`) needs:
+it executes one step per *dispatch block* — a ``Firing(actor, n)`` leaf
+visit — and covers everything the interpreter covers (delays,
+self-loops, broadcasts, cyclic schedules, non-SAS trees).
+
+Within a block of ``n`` firings of one actor, every touched token count
+is linear in the firing index ``i``: an in-edge falls by ``c`` per
+firing, an out-edge rises by ``p``, a self-loop moves by ``p - c``, and
+a broadcast group's occupancy is the max of its members' linears.  Three
+consequences carry the whole module:
+
+* underflow (the mid-firing value ``T - c`` going negative) is checked
+  at the endpoints of each linear, and the first failing firing is
+  recoverable in closed form — same exception, same message, same
+  failing edge as the interpreter;
+* post-firing peaks of a linear sit at ``i = 1`` or ``i = n``, so
+  ``max_tokens`` and episode peak occupancy need two evaluations per
+  block, not ``n``;
+* on a *valid* schedule no token count reaches zero strictly inside a
+  block (a non-self in-edge at zero underflows on the next firing of
+  the same block; rising counts never return to zero), so coarse-model
+  episodes open at block starts and close at block ends — the episode
+  bookkeeping of ``_scan_episodes`` transplants to block granularity
+  unchanged.
+
+All four observables are bit-identical to the interpreter by
+construction and checked to be so by ``oracle.vectorize`` and
+``benchmarks/bench_vectorize.py`` on every run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..exceptions import ScheduleError
+from .graph import SDFGraph
+from .schedule import Firing, LoopedSchedule, ScheduleNode
+from .simulate import (
+    _EpisodeScan,
+    _check_firing_counts,
+    _sweep_peak,
+)
+
+__all__ = [
+    "batched_validate_schedule",
+    "batched_max_tokens",
+    "batched_coarse_live_intervals",
+    "batched_max_live_tokens",
+]
+
+Key = Tuple[str, str, int]
+
+
+def iter_blocks(schedule: LoopedSchedule) -> Iterator[Tuple[str, int]]:
+    """The dispatch-block sequence of one schedule period.
+
+    Yields ``(actor, n)`` per ``Firing`` leaf visit, in execution
+    order.  A fully blocked SAS yields one entry per actor; a flat
+    unblocked schedule degenerates to one entry per firing (the engine
+    then matches the interpreter step for step).
+    """
+
+    def walk(node: ScheduleNode) -> Iterator[Tuple[str, int]]:
+        if isinstance(node, Firing):
+            yield node.actor, node.count
+        else:
+            for _ in range(node.count):
+                for child in node.body:
+                    yield from walk(child)
+
+    for node in schedule.body:
+        yield from walk(node)
+
+
+class _BlockScan:
+    """One block-level simulation: final tokens, peaks, episodes."""
+
+    def __init__(self, graph: SDFGraph, schedule: LoopedSchedule) -> None:
+        self.graph = graph
+        by_key = {e.key: e for e in graph.edges()}
+        self.by_key = by_key
+        self.tokens: Dict[Key, int] = {k: e.delay for k, e in by_key.items()}
+        self.peaks: Dict[Key, int] = dict(self.tokens)
+        self.blocks = 0
+        self.firings = 0
+
+        in_edges = {a: graph.in_edges(a) for a in graph.actor_names()}
+        out_edges = {a: graph.out_edges(a) for a in graph.actor_names()}
+
+        intervals: Dict[Key, List[Tuple[int, int]]] = {k: [] for k in by_key}
+        episodes: List[Tuple[Key, int, int, int]] = []
+        open_at: Dict[Key, Optional[int]] = {}
+        start_count: Dict[Key, int] = {}
+        produced: Dict[Key, int] = {}
+        peak_occ: Dict[Key, int] = {}
+        for k, e in by_key.items():
+            open_at[k] = 0 if e.delay > 0 else None
+            start_count[k] = e.delay
+            produced[k] = 0
+            peak_occ[k] = e.delay
+
+        groups = graph.broadcast_groups()
+        group_keys = {
+            name: [m.key for m in members] for name, members in groups.items()
+        }
+        group_episodes: List[Tuple[str, int, int, int]] = []
+        g_open: Dict[str, Optional[int]] = {}
+        g_start: Dict[str, int] = {}
+        g_produced: Dict[str, int] = {}
+        g_peak: Dict[str, int] = {}
+        for name, members in groups.items():
+            first = members[0]
+            g_open[name] = 0 if first.delay > 0 else None
+            g_start[name] = first.delay
+            g_produced[name] = 0
+            g_peak[name] = first.delay
+
+        def group_words(name: str) -> int:
+            first = groups[name][0]
+            if first.delay > 0:
+                return g_peak[name] * first.token_size
+            return (g_start[name] + g_produced[name]) * first.token_size
+
+        def episode_words(k: Key) -> int:
+            e = by_key[k]
+            if e.delay > 0:
+                return peak_occ[k] * e.token_size
+            return (start_count[k] + produced[k]) * e.token_size
+
+        tokens = self.tokens
+        peaks = self.peaks
+        t = 0
+        for actor, n in iter_blocks(schedule):
+            self.blocks += 1
+            self.firings += n
+            ins = in_edges.get(actor)
+            if ins is None:
+                ins = graph.in_edges(actor)  # raises for unknown actors
+            outs = out_edges[actor]
+            self_keys = {e.key for e in ins if e.is_self_loop()}
+
+            # Underflow: each in-edge's mid-firing value at firing i is
+            # linear in i, so the first failing firing (if any) is a
+            # division away.  Earliest firing wins; ties resolve in
+            # in-edge order — exactly the interpreter's raise point.
+            fail: Optional[Tuple[int, Key, int]] = None
+            for e in ins:
+                T = tokens[e.key]
+                c = e.consumption
+                if e.key in self_keys:
+                    slope = e.production - c
+                    if T - c < 0:
+                        i = 1
+                    elif slope >= 0:
+                        continue
+                    else:
+                        i = (T - c) // (-slope) + 2
+                        if i > n:
+                            continue
+                    value = T + (i - 1) * slope - c
+                else:
+                    if T - n * c >= 0:
+                        continue
+                    i = T // c + 1
+                    value = T - i * c
+                if fail is None or i < fail[0]:
+                    fail = (i, e.key, value)
+            if fail is not None:
+                _, k, value = fail
+                raise ScheduleError(
+                    f"firing {actor!r} drives edge {by_key[k]} to "
+                    f"{value} tokens"
+                )
+
+            # Post-block state, plus each touched edge's post-firing
+            # value after the FIRST firing of the block (``v1``): a
+            # linear's peak sits at an endpoint, so ``v1`` and the final
+            # count are all the peak logic below ever needs.
+            t0 = t
+            t += n
+            v1: Dict[Key, int] = {}
+            for e in ins:
+                k = e.key
+                if k in self_keys:
+                    continue
+                v1[k] = tokens[k] - e.consumption
+                tokens[k] -= n * e.consumption
+            for e in outs:
+                k = e.key
+                step = e.production
+                if k in self_keys:
+                    step -= e.consumption
+                v1[k] = tokens[k] + step
+                tokens[k] += n * step
+
+            # max_tokens peaks: post-firing counts of the fired actor's
+            # out-edges only, mirroring the interpreter.
+            for e in outs:
+                k = e.key
+                cand = max(v1[k], tokens[k])
+                if cand > peaks[k]:
+                    peaks[k] = cand
+
+            # Episode transitions at block granularity (outs open/peak
+            # before ins close, post-firing convention — the order the
+            # scalar scan uses within each firing).
+            for e in outs:
+                k = e.key
+                if open_at[k] is None:
+                    # A dead edge holds zero tokens; the first firing's
+                    # production revives it at time t0.
+                    open_at[k] = t0
+                    start_count[k] = 0
+                    produced[k] = n * e.production
+                    peak_occ[k] = max(v1[k], tokens[k])
+                else:
+                    produced[k] += n * e.production
+                    cand = max(v1[k], tokens[k])
+                    if cand > peak_occ[k]:
+                        peak_occ[k] = cand
+            for e in ins:
+                k = e.key
+                if tokens[k] == 0 and open_at[k] is not None:
+                    s = open_at[k]
+                    intervals[k].append((s, t))
+                    episodes.append((k, s, t, episode_words(k)))
+                    open_at[k] = None
+                    produced[k] = 0
+                    peak_occ[k] = 0
+
+            # Group transitions: occupancy is the max of the members'
+            # linears, so its peak also sits at an endpoint.
+            touched_groups = {e.broadcast for e in outs if e.broadcast}
+            touched_groups.update(e.broadcast for e in ins if e.broadcast)
+            for name in touched_groups:
+                keys = group_keys[name]
+                occ1 = max(v1.get(k, tokens[k]) for k in keys)
+                occn = max(tokens[k] for k in keys)
+                first = groups[name][0]
+                inc = n * first.production if actor == first.source else 0
+                if g_open[name] is None:
+                    if occn > 0:
+                        g_open[name] = t0
+                        g_start[name] = 0
+                        g_produced[name] = inc
+                        g_peak[name] = max(occ1, occn)
+                else:
+                    g_produced[name] += inc
+                    cand = max(occ1, occn)
+                    if cand > g_peak[name]:
+                        g_peak[name] = cand
+                    if occn == 0:
+                        s = g_open[name]
+                        group_episodes.append((name, s, t, group_words(name)))
+                        g_open[name] = None
+                        g_produced[name] = 0
+                        g_peak[name] = 0
+
+        for k in by_key:
+            if open_at[k] is not None:
+                s = open_at[k]
+                intervals[k].append((s, t))
+                episodes.append((k, s, t, episode_words(k)))
+        for name in groups:
+            if g_open[name] is not None:
+                s = g_open[name]
+                group_episodes.append((name, s, t, group_words(name)))
+        self.scan = _EpisodeScan(
+            intervals=intervals,
+            episodes=episodes,
+            group_episodes=group_episodes,
+            member_keys=frozenset(
+                k for keys in group_keys.values() for k in keys
+            ),
+        )
+
+
+def _scan(graph: SDFGraph, schedule: LoopedSchedule, recorder) -> _BlockScan:
+    scan = _BlockScan(graph, schedule)
+    if recorder is not None:
+        recorder.count("sim.blocks", scan.blocks)
+        recorder.count("sim.batched_firings", scan.firings)
+    return scan
+
+
+def batched_validate_schedule(
+    graph: SDFGraph, schedule: LoopedSchedule, recorder=None
+) -> Dict[str, int]:
+    """``validate_schedule`` at one closed-form step per firing block."""
+    counts = _check_firing_counts(graph, schedule)
+    scan = _scan(graph, schedule, recorder)
+    for k, e in scan.by_key.items():
+        if scan.tokens[k] != e.delay:
+            raise ScheduleError(
+                f"edge {e} ends with {scan.tokens[k]} tokens, "
+                f"expected {e.delay}"
+            )
+    return counts
+
+
+def batched_max_tokens(
+    graph: SDFGraph, schedule: LoopedSchedule, recorder=None
+) -> Dict[Key, int]:
+    """``max_tokens`` at one closed-form step per firing block."""
+    return _scan(graph, schedule, recorder).peaks
+
+
+def batched_coarse_live_intervals(
+    graph: SDFGraph, schedule: LoopedSchedule, recorder=None
+) -> Dict[Key, List[Tuple[int, int]]]:
+    """``coarse_live_intervals`` at one step per firing block."""
+    return _scan(graph, schedule, recorder).scan.intervals
+
+
+def batched_max_live_tokens(
+    graph: SDFGraph, schedule: LoopedSchedule, recorder=None
+) -> int:
+    """``max_live_tokens`` at one step per firing block."""
+    return _sweep_peak(_scan(graph, schedule, recorder).scan)

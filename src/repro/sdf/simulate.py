@@ -48,8 +48,13 @@ __all__ = [
 #: (:mod:`repro.sdf.symbolic`) whenever its closed forms apply —
 #: bit-identical results in time independent of the firing count — and
 #: falls back to the firing interpreter otherwise (delays, self-loops,
-#: non-SAS or non-topological schedules).
-BACKENDS = ("auto", "interpreter", "symbolic")
+#: non-SAS or non-topological schedules).  ``"batched"`` executes one
+#: closed-form step per counted firing *block* (a ``Firing`` leaf)
+#: instead of one step per firing — the observable engine behind the
+#: vectorization pass (:mod:`repro.scheduling.vectorize`); it supports
+#: every graph/schedule the interpreter does and is bit-identical to
+#: it.
+BACKENDS = ("auto", "interpreter", "symbolic", "batched")
 
 
 def _try_symbolic(
@@ -63,7 +68,9 @@ def _try_symbolic(
         raise ValueError(
             f"unknown backend {backend!r}; expected one of {BACKENDS}"
         )
-    if backend == "interpreter":
+    if backend in ("interpreter", "batched"):
+        # "batched" is dispatched before _try_symbolic is consulted;
+        # reaching here with it simply means: do not use symbolic.
         return None
     # Function-level import: repro.sdf.__init__ imports this module, and
     # symbolic pulls in repro.lifetimes which imports repro.sdf.
@@ -96,26 +103,16 @@ def _fire(
         tokens[e.key] += e.production
 
 
-def validate_schedule(
-    graph: SDFGraph,
-    schedule: LoopedSchedule,
-    backend: str = "auto",
-    recorder=None,
+def _check_firing_counts(
+    graph: SDFGraph, schedule: LoopedSchedule
 ) -> Dict[str, int]:
-    """Check that ``schedule`` is a valid schedule for ``graph``.
+    """The structural half of schedule validation: firing counts only.
 
-    Returns the per-actor firing counts on success.  With the default
-    ``backend="auto"``, schedules the symbolic engine covers are proved
-    valid from the schedule tree (the closed forms guarantee no
-    underflow and per-period balance) without the O(firings) replay.
-
-    Raises
-    ------
-    ScheduleError
-        If an actor outside the graph is fired, a firing would consume
-        from an empty buffer, an actor fires a number of times that is
-        not its repetition count (times a common positive integer), or
-        an edge does not return to its initial token count.
+    Checks that every fired actor exists, every graph actor fires, and
+    the per-actor counts are a uniform positive multiple of the
+    repetitions vector.  Shared between the interpreter and the
+    block-level engine (:mod:`repro.sdf.batched`) so both enforce
+    identical count semantics.
     """
     counts = schedule.firings_per_actor()
     for a in counts:
@@ -142,6 +139,35 @@ def validate_schedule(
                 f"repetitions vector (actor {a!r}: {factor} periods, "
                 f"expected {blocking})"
             )
+    return counts
+
+
+def validate_schedule(
+    graph: SDFGraph,
+    schedule: LoopedSchedule,
+    backend: str = "auto",
+    recorder=None,
+) -> Dict[str, int]:
+    """Check that ``schedule`` is a valid schedule for ``graph``.
+
+    Returns the per-actor firing counts on success.  With the default
+    ``backend="auto"``, schedules the symbolic engine covers are proved
+    valid from the schedule tree (the closed forms guarantee no
+    underflow and per-period balance) without the O(firings) replay.
+
+    Raises
+    ------
+    ScheduleError
+        If an actor outside the graph is fired, a firing would consume
+        from an empty buffer, an actor fires a number of times that is
+        not its repetition count (times a common positive integer), or
+        an edge does not return to its initial token count.
+    """
+    if backend == "batched":
+        from .batched import batched_validate_schedule
+
+        return batched_validate_schedule(graph, schedule, recorder=recorder)
+    counts = _check_firing_counts(graph, schedule)
 
     if _try_symbolic(graph, schedule, backend, recorder=recorder) is not None:
         # The symbolic preconditions hold: within each least-parent
@@ -196,6 +222,10 @@ def max_tokens(
     ``max_tokens((A,B)) == 7`` (one delay plus six produced) and for
     S2 = (3A(2B))(2C) it is 3.
     """
+    if backend == "batched":
+        from .batched import batched_max_tokens
+
+        return batched_max_tokens(graph, schedule, recorder=recorder)
     symbolic = _try_symbolic(graph, schedule, backend, recorder=recorder)
     if symbolic is not None:
         if recorder is not None:
@@ -595,6 +625,12 @@ def coarse_live_intervals(
     enumerate the episodes from their mixed-radix closed form instead
     (output-sized rather than firing-count-sized).
     """
+    if backend == "batched":
+        from .batched import batched_coarse_live_intervals
+
+        return batched_coarse_live_intervals(
+            graph, schedule, recorder=recorder
+        )
     symbolic = _try_symbolic(graph, schedule, backend, recorder=recorder)
     if symbolic is not None:
         if recorder is not None:
@@ -632,6 +668,10 @@ def max_live_tokens(
     a hierarchical range-max over the schedule tree — no simulation and
     no episode enumeration at all.
     """
+    if backend == "batched":
+        from .batched import batched_max_live_tokens
+
+        return batched_max_live_tokens(graph, schedule, recorder=recorder)
     symbolic = _try_symbolic(graph, schedule, backend, recorder=recorder)
     if symbolic is not None:
         if recorder is not None:
@@ -641,7 +681,12 @@ def max_live_tokens(
         recorder.count(
             "sim.firings", sum(schedule.firings_per_actor().values())
         )
-    scan = _scan_episodes(graph, schedule)
+    return _sweep_peak(_scan_episodes(graph, schedule))
+
+
+def _sweep_peak(scan: _EpisodeScan) -> int:
+    """Peak summed episode size of one scan (shared with the batched
+    engine so both resolve ties the same way)."""
     events: List[Tuple[int, int]] = []  # (time, +size/-size)
     # Broadcast member episodes are logical views of one shared buffer;
     # memory accounting uses the merged group episodes instead.

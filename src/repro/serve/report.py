@@ -56,6 +56,14 @@ class CompilationReport:
         The clique-weight bounds and the buffer-memory lower bound.
     offsets:
         The memory map: buffer name -> base address in words.
+    vectorized_schedule / block_factors / memory_budget:
+        The blocking pass outcome when the request ran with
+        ``vectorize``: the blocked schedule (the one ``offsets`` and
+        ``total`` describe), the per-actor firing-block factors, and
+        the word budget the pass respected (``None`` =
+        unconstrained).  ``vectorized_schedule`` is empty for plain
+        compiles, and all three are then omitted from the wire form so
+        pre-vectorization reports canonicalize unchanged.
     cached:
         True when this copy was served from the artifact cache
         (volatile: excluded from :meth:`canonical`).
@@ -79,6 +87,9 @@ class CompilationReport:
     total: int
     bmlb: int
     offsets: Dict[str, int] = field(default_factory=dict)
+    vectorized_schedule: str = ""
+    block_factors: Dict[str, int] = field(default_factory=dict)
+    memory_budget: Any = None
     cached: bool = False
     wall_s: float = 0.0
 
@@ -104,12 +115,33 @@ class CompilationReport:
             total=result.allocation.total,
             bmlb=result.bmlb,
             offsets=dict(result.allocation.offsets),
+            vectorized_schedule=(
+                str(result.vectorize.schedule)
+                if getattr(result, "vectorize", None) is not None
+                else ""
+            ),
+            block_factors=(
+                dict(result.vectorize.block_factors)
+                if getattr(result, "vectorize", None) is not None
+                else {}
+            ),
+            memory_budget=(
+                result.vectorize.memory_budget
+                if getattr(result, "vectorize", None) is not None
+                else None
+            ),
         )
 
     # -- serialization --------------------------------------------------
     def to_json(self) -> Dict[str, Any]:
-        """The full JSON-ready dictionary, volatile fields included."""
-        return {
+        """The full JSON-ready dictionary, volatile fields included.
+
+        The vectorization fields are emitted only when the blocking
+        pass ran (``vectorized_schedule`` non-empty): plain compiles
+        keep the exact pre-vectorization wire format, so their
+        canonical strings — and cache digests — are unchanged.
+        """
+        payload = {
             "graph": self.graph,
             "key": self.key,
             "method": self.method,
@@ -129,6 +161,11 @@ class CompilationReport:
             "cached": self.cached,
             "wall_s": self.wall_s,
         }
+        if self.vectorized_schedule:
+            payload["vectorized_schedule"] = self.vectorized_schedule
+            payload["block_factors"] = dict(self.block_factors)
+            payload["memory_budget"] = self.memory_budget
+        return payload
 
     @staticmethod
     def from_json(document: Dict[str, Any]) -> "CompilationReport":
@@ -153,6 +190,16 @@ class CompilationReport:
                 str(k): int(v)
                 for k, v in document.get("offsets", {}).items()
             },
+            vectorized_schedule=document.get("vectorized_schedule", ""),
+            block_factors={
+                str(k): int(v)
+                for k, v in document.get("block_factors", {}).items()
+            },
+            memory_budget=(
+                None
+                if document.get("memory_budget") is None
+                else int(document["memory_budget"])
+            ),
             cached=bool(document.get("cached", False)),
             wall_s=float(document.get("wall_s", 0.0)),
         )
@@ -178,10 +225,19 @@ class CompilationReport:
     def summary_lines(self) -> List[str]:
         """Human-readable summary, matching ``repro compile`` output."""
         source = "cache hit" if self.cached else "compiled"
-        return [
+        lines = [
             f"graph:      {self.graph} ({len(self.order)} actors, {source})",
             f"order:      {' '.join(self.order)}",
             f"schedule:   {self.sdppo_schedule}",
             f"non-shared: {self.dppo_cost} words",
             f"shared:     {self.total} words (mco {self.mco}, mcp {self.mcp})",
         ]
+        if self.vectorized_schedule:
+            budget = (
+                "unconstrained" if self.memory_budget is None
+                else f"{self.memory_budget} words"
+            )
+            lines.append(
+                f"vectorized: {self.vectorized_schedule} (budget {budget})"
+            )
+        return lines

@@ -69,6 +69,13 @@ class CompileOptions:
     with the request (:meth:`as_dict`) but deliberately *excluded* from
     the key: a native compile and a Python compile of the same request
     share one cache entry instead of fragmenting the cache.
+
+    ``vectorize``/``memory_budget`` run the blocking pass
+    (:mod:`repro.scheduling.vectorize`).  Unlike ``backend`` they
+    *change the artifact* (the blocked schedule carries different
+    lifetimes and a different allocation), so they are part of the
+    cache key: a vectorized compile and a plain compile of the same
+    document must never share an entry.
     """
 
     method: str = "rpmc"
@@ -76,6 +83,12 @@ class CompileOptions:
     use_chain_dp: bool = True
     occurrence_cap: int = DEFAULT_OCCURRENCE_CAP
     backend: str = "auto"
+    vectorize: bool = False
+    memory_budget: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.memory_budget is not None and not self.vectorize:
+            raise ValueError("memory_budget requires vectorize")
 
     def as_dict(self) -> Dict[str, Any]:
         """The JSON-ready transport form (includes ``backend``)."""
@@ -85,6 +98,8 @@ class CompileOptions:
             "use_chain_dp": self.use_chain_dp,
             "occurrence_cap": self.occurrence_cap,
             "backend": self.backend,
+            "vectorize": self.vectorize,
+            "memory_budget": self.memory_budget,
         }
 
     def key_dict(self) -> Dict[str, Any]:
@@ -93,6 +108,8 @@ class CompileOptions:
         ``backend`` is omitted — all backends produce bit-identical
         reports, a contract pinned by the differential harness
         (``oracle.native``) and the fallback tests.
+        ``vectorize``/``memory_budget`` stay in: they change the
+        report's schedule, lifetimes and allocation.
         """
         data = self.as_dict()
         del data["backend"]
@@ -104,7 +121,7 @@ class CompileOptions:
 
         Unknown keys raise ``ValueError`` (a typo'd option silently
         ignored would silently mis-key the cache), as does an unknown
-        ``backend`` value.
+        ``backend`` value or a ``memory_budget`` without ``vectorize``.
         """
         data = dict(data or {})
         known = {
@@ -113,6 +130,8 @@ class CompileOptions:
             "use_chain_dp": bool,
             "occurrence_cap": int,
             "backend": str,
+            "vectorize": bool,
+            "memory_budget": lambda v: None if v is None else int(v),
         }
         unknown = sorted(set(data) - set(known))
         if unknown:
@@ -125,6 +144,9 @@ class CompileOptions:
         backend = kwargs.get("backend")
         if backend is not None and backend not in ("auto", "python", "native"):
             raise ValueError(f"unknown backend {backend!r}")
+        budget = kwargs.get("memory_budget")
+        if budget is not None and budget < 0:
+            raise ValueError(f"memory_budget must be >= 0, got {budget}")
         return CompileOptions(**kwargs)
 
 
@@ -291,6 +313,8 @@ class CompileService:
             session=session,
             recorder=recorder,
             backend=options.backend,
+            vectorize=options.vectorize,
+            memory_budget=options.memory_budget,
         )
         report = CompilationReport.from_result(
             result, graph.name, key=key, seed=options.seed

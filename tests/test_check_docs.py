@@ -1,0 +1,112 @@
+"""Tests for the documentation gate (scripts/check_docs.py).
+
+The gate is load-bearing — CI runs it via ``make check-docs`` — so its
+two checkers are pinned here on synthetic markdown: real links/commands
+pass, broken links and phantom flags/subcommands are findings, and
+usage placeholders / pipelines / non-repro lines are skipped rather
+than false-positived.  The final test runs the gate for real over the
+repo's own docs, which must be clean.
+"""
+
+import importlib.util
+import os
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _load():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", os.path.join(REPO, "scripts", "check_docs.py")
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+CHECK = _load()
+PARSER = CHECK.build_parser()
+FAKE = os.path.join(REPO, "docs", "fake.md")
+
+
+def links(text):
+    return list(CHECK.check_links(FAKE, text))
+
+
+def commands(text):
+    return list(CHECK.check_commands(FAKE, text, PARSER))
+
+
+class TestLinkChecker:
+    def test_resolving_link_passes(self):
+        assert links("[arch](architecture.md) and [up](../README.md)") == []
+
+    def test_broken_link_is_a_finding(self):
+        found = links("see [nope](missing-chapter.md)")
+        assert len(found) == 1
+        assert "missing-chapter.md" in found[0]
+
+    def test_external_and_anchor_links_are_skipped(self):
+        text = (
+            "[w](https://example.org/x.md) [m](mailto:a@b.c) "
+            "[a](#the-budget) [ok](cli.md#repro-compile)"
+        )
+        assert links(text) == []
+
+    def test_finding_carries_line_number(self):
+        found = links("line one\n\n[bad](gone.md)\n")
+        assert found[0].startswith("docs/fake.md:3:")
+
+
+def fence(*lines):
+    return "```console\n" + "\n".join(lines) + "\n```\n"
+
+
+class TestCommandChecker:
+    def test_real_invocations_pass(self):
+        assert commands(fence(
+            "$ repro compile cddat --vectorize --memory-budget 300 --check",
+            "$ python -m repro check --trials 5 --inject",
+            "$ repro cache stats",
+        )) == []
+
+    def test_phantom_flag_is_a_finding(self):
+        found = commands(fence("$ repro compile cddat --turbo"))
+        assert len(found) == 1
+        assert "--turbo" in found[0] and "repro compile" in found[0]
+
+    def test_unknown_subcommand_is_a_finding(self):
+        found = commands(fence("$ repro frobnicate"))
+        assert len(found) == 1
+        assert "frobnicate" in found[0]
+
+    def test_placeholders_and_pipelines_are_skipped(self):
+        assert commands(fence(
+            "$ repro <command> [options...]",
+            "$ repro dot cddat | dot -Tpng -o cddat.png",
+            "$ ls BENCH_*.json",
+            "# a comment",
+        )) == []
+
+    def test_output_lines_are_not_commands(self):
+        # Only `$ `-prefixed (or bare repro/python -m repro) lines are
+        # parsed; captured output below a command is ignored.
+        assert commands(fence(
+            "$ repro compile cddat",
+            "graph:      cd2dat (6 actors)",
+            "shared:     257 words (mco 257, mcp 257)",
+        )) == []
+
+    def test_nested_subcommand_flags_are_resolved(self):
+        assert commands(fence("$ repro cache gc --max-age-days 30")) == []
+        found = commands(fence("$ repro cache gc --no-such"))
+        assert len(found) == 1
+
+
+class TestRepoDocsAreClean:
+    def test_gate_passes_on_the_real_docs(self):
+        root = CHECK.build_parser()
+        for path in CHECK.doc_files():
+            with open(path, encoding="utf-8") as handle:
+                text = handle.read()
+            assert list(CHECK.check_links(path, text)) == []
+            assert list(CHECK.check_commands(path, text, root)) == []

@@ -14,12 +14,14 @@ import pytest
 
 from repro.apps import table1_graph
 from repro.scheduling.pipeline import implement
+from repro.scheduling.vectorize import vectorize_schedule
 from repro.sdf.random_graphs import random_sdf_graph
 from repro.sdf.simulate import (
     coarse_live_intervals,
     max_live_tokens,
     max_tokens,
     simulate_schedule,
+    validate_schedule,
 )
 
 SYSTEMS = [
@@ -165,3 +167,51 @@ class TestIncrementalSimulatorEquivalence:
             assert max_live_tokens(graph, schedule) == _ref_max_live_tokens(
                 graph, schedule
             )
+
+
+# ---------------------------------------------------------------------------
+# backend="batched": block-level closed forms vs. the same references.
+#
+# The batched backend earns its keep on *blocked* schedules (large
+# per-leaf firing counts), so each system is checked both on its SDPPO
+# schedule and on the unconstrained vectorization of it — the flat SAS
+# end of the frontier, where every actor is one block.
+
+def _blocked_schedules(graph):
+    result = implement(graph, "rpmc", verify=False)
+    vec = vectorize_schedule(graph, result.sdppo_schedule)
+    return [result.sdppo_schedule, vec.schedule]
+
+
+def _batched_graphs():
+    for name in SYSTEMS:
+        yield name, table1_graph(name)
+    for seed in range(12):
+        yield f"random15_{seed}", random_sdf_graph(15, seed=400 + seed)
+
+
+@pytest.mark.parametrize("name,graph", list(_batched_graphs()))
+class TestBatchedBackendEquivalence:
+    def test_validate_matches_interpreter(self, name, graph):
+        for schedule in _blocked_schedules(graph):
+            assert validate_schedule(
+                graph, schedule, backend="batched"
+            ) == validate_schedule(graph, schedule, backend="interpreter")
+
+    def test_max_tokens_matches_reference(self, name, graph):
+        for schedule in _blocked_schedules(graph):
+            assert max_tokens(
+                graph, schedule, backend="batched"
+            ) == _ref_max_tokens(graph, schedule)
+
+    def test_coarse_intervals_match_reference(self, name, graph):
+        for schedule in _blocked_schedules(graph):
+            assert coarse_live_intervals(
+                graph, schedule, backend="batched"
+            ) == _ref_coarse_live_intervals(graph, schedule)
+
+    def test_max_live_tokens_matches_reference(self, name, graph):
+        for schedule in _blocked_schedules(graph):
+            assert max_live_tokens(
+                graph, schedule, backend="batched"
+            ) == _ref_max_live_tokens(graph, schedule)
